@@ -1,0 +1,58 @@
+"""Ablation — BOLT-style post-link layout optimization.
+
+The paper's motivation notes binary-layout optimization as untapped
+headroom beyond LTO/PGO (§3).  This ablation stacks the layout pass on
+the adapted and on the fully optimized (LTO+PGO) images and measures the
+incremental gain — larger on the non-PGO binary, still positive after
+PGO.
+"""
+
+import pytest
+
+from repro.core.optimizations import bolt_optimize_image
+from repro.core.workflow import run_workload
+from repro.reporting import render_table
+from repro.sysmodel import X86_CLUSTER
+
+WORKLOAD = "openmx.nitro"
+BINARY = "/app/openmx"
+
+
+def test_bolt_ablation(benchmark, x86_session, emit):
+    session = x86_session
+    engine = session.system_engine
+
+    variants = {}
+    adapted = session.adapted_image("openmx")
+    optimized = session.optimized_image(WORKLOAD)
+    variants["adapted"] = adapted
+    variants["adapted+bolt"] = bolt_optimize_image(
+        engine, adapted, WORKLOAD, X86_CLUSTER, BINARY, ref="openmx:a-bolt"
+    )
+    variants["optimized (LTO+PGO)"] = optimized
+    variants["optimized+bolt"] = bolt_optimize_image(
+        engine, optimized, WORKLOAD, X86_CLUSTER, BINARY, ref="openmx:o-bolt"
+    )
+
+    times = {}
+    rows = []
+    for label, ref in variants.items():
+        seconds = run_workload(engine, ref, WORKLOAD, session.recorder,
+                               vendor_mpirun=True).seconds
+        times[label] = seconds
+        rows.append((label, seconds))
+    emit("ablation_bolt", render_table(["image", "time (s)"], rows))
+
+    assert times["adapted+bolt"] < times["adapted"]
+    assert times["optimized+bolt"] < times["optimized (LTO+PGO)"]
+    gain_plain = 1 - times["adapted+bolt"] / times["adapted"]
+    gain_post = 1 - times["optimized+bolt"] / times["optimized (LTO+PGO)"]
+    # Layout gains shrink once PGO has already placed hot code.
+    assert gain_post < gain_plain
+
+    benchmark.pedantic(
+        bolt_optimize_image,
+        args=(engine, adapted, WORKLOAD, X86_CLUSTER, BINARY),
+        kwargs={"ref": "openmx:bolt-bench"},
+        rounds=1, iterations=1,
+    )

@@ -1,0 +1,70 @@
+"""Ablation — incremental re-rebuild cost.
+
+"The rebuilding and redirecting can be performed many times during the
+image's lifetime" (§4.1): repeated rebuilds with unchanged commands reuse
+the previous node outputs.  This ablation times a cold rebuild of LAMMPS
+(the largest app) against a warm identical rebuild and a warm rebuild
+with changed options.
+"""
+
+import time
+
+import pytest
+
+from repro.apps import get_app
+from repro.containers import ContainerEngine
+from repro.core.cache.storage import decode_rebuild
+from repro.core.frontend.build import IO_MOUNT
+from repro.core.images import install_system_side_images, sysenv_ref
+from repro.core.workflow import build_extended_image
+from repro.perf import attach_perf
+from repro.reporting import render_table
+from repro.sysmodel import X86_CLUSTER
+
+
+def _timed_rebuild(engine, layout, args):
+    ctr = engine.from_image(sysenv_ref("x86"), name="inc-bench",
+                            mounts={IO_MOUNT: layout})
+    try:
+        t0 = time.perf_counter()
+        engine.run(ctr, ["coMtainer-rebuild"] + args).check()
+        return time.perf_counter() - t0
+    finally:
+        engine.remove_container("inc-bench")
+
+
+def test_incremental_rebuild_cost(benchmark, emit):
+    user = ContainerEngine(arch="amd64")
+    layout, dist_tag = build_extended_image(user, get_app("lammps"))
+    engine = ContainerEngine(arch="amd64")
+    attach_perf(engine, X86_CLUSTER)
+    install_system_side_images(engine, X86_CLUSTER)
+
+    cold = _timed_rebuild(engine, layout, ["--adapter=vendor"])
+    meta_cold, _, _, _ = decode_rebuild(layout, dist_tag)
+    warm = _timed_rebuild(engine, layout, ["--adapter=vendor"])
+    meta_warm, _, _, _ = decode_rebuild(layout, dist_tag)
+    changed = _timed_rebuild(engine, layout, ["--adapter=vendor", "--lto"])
+    meta_changed, _, _, _ = decode_rebuild(layout, dist_tag)
+
+    rows = [
+        ("cold", cold, len(meta_cold["executed_nodes"]),
+         len(meta_cold["reused_nodes"])),
+        ("warm (identical)", warm, len(meta_warm["executed_nodes"]),
+         len(meta_warm["reused_nodes"])),
+        ("warm (+LTO)", changed, len(meta_changed["executed_nodes"]),
+         len(meta_changed["reused_nodes"])),
+    ]
+    emit("ablation_incremental",
+         render_table(["rebuild", "seconds", "executed", "reused"], rows))
+
+    assert meta_cold["reused_nodes"] == []
+    assert meta_warm["executed_nodes"] == []
+    assert len(meta_warm["reused_nodes"]) == len(meta_cold["executed_nodes"])
+    assert meta_changed["reused_nodes"] == []   # -flto invalidates everything
+    assert warm < cold
+
+    benchmark.pedantic(
+        _timed_rebuild, args=(engine, layout, ["--adapter=vendor", "--lto"]),
+        rounds=1, iterations=1,
+    )

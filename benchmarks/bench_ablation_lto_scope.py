@@ -1,0 +1,86 @@
+"""Ablation — LTO scope control.
+
+DESIGN.md calls out the paper's claim that coMtainer "can flexibly
+control [LTO's] scope since the whole build process is represented as an
+explicit graph data" (§4.4).  This ablation sweeps the LTO scope over the
+build graph of minimd (full / half of the objects / none) and checks that
+execution time scales monotonically with LTO coverage, at rebuild costs
+that grow with scope.
+"""
+
+import pytest
+
+from repro.apps import get_app
+from repro.containers import ContainerEngine
+from repro.core.cache.storage import decode_cache
+from repro.core.optimizations import lto_scope_excluding
+from repro.core.workflow import (
+    _run_rebuild,
+    _run_redirect,
+    build_extended_image,
+    run_workload,
+)
+from repro.core.images import install_system_side_images
+from repro.perf import attach_perf
+from repro.reporting import render_table
+from repro.sysmodel import X86_CLUSTER
+from repro.toolchain.artifacts import read_artifact
+
+
+@pytest.fixture(scope="module")
+def setup():
+    user = ContainerEngine(arch="amd64")
+    layout, dist_tag = build_extended_image(user, get_app("minimd"))
+    system_engine = ContainerEngine(arch="amd64")
+    recorder = attach_perf(system_engine, X86_CLUSTER)
+    install_system_side_images(system_engine, X86_CLUSTER, "vendor")
+    return system_engine, layout, dist_tag, recorder
+
+
+def _adapt_with_scope(setup, scope_arg, ref):
+    engine, layout, dist_tag, recorder = setup
+    args = ["--adapter=vendor"] + ([scope_arg] if scope_arg else [])
+    _run_rebuild(engine, layout, X86_CLUSTER, "vendor", args)
+    return _run_redirect(engine, layout, X86_CLUSTER, ref=ref)
+
+
+def test_lto_scope_sweep(benchmark, setup, emit):
+    engine, layout, dist_tag, recorder = setup
+    models, _, _ = decode_cache(layout, dist_tag)
+    # LTO scope is command-granular (multi-source compiles); exclude the
+    # objects of one whole compile command.
+    by_command = {}
+    for node in models.graph.nodes("object"):
+        key = (tuple(node.step.argv), node.step.cwd)
+        by_command.setdefault(key, []).append(node.id)
+    excluded = sorted(by_command.values(), key=len)[-1]
+    half_scope = lto_scope_excluding(models.graph, excluded)
+
+    results = []
+    for label, scope_arg, ref in [
+        ("none", None, "minimd:lto-none"),
+        ("half", "--lto-scope=" + ",".join(half_scope), "minimd:lto-half"),
+        ("full", "--lto", "minimd:lto-full"),
+    ]:
+        image_ref = _adapt_with_scope(setup, scope_arg, ref)
+        exe = read_artifact(engine.image_filesystem(image_ref).read_file("/app/minimd"))
+        report = run_workload(engine, image_ref, "minimd", recorder,
+                              vendor_mpirun=True)
+        results.append((label, exe.lto_coverage, report.seconds))
+
+    emit(
+        "ablation_lto_scope",
+        render_table(["scope", "lto coverage", "time (s)"], results),
+    )
+    coverages = [c for _, c, _ in results]
+    times = [t for _, _, t in results]
+    assert coverages == sorted(coverages)
+    assert coverages[0] == 0.0 and coverages[-1] == 1.0
+    assert 0.0 < coverages[1] < 1.0
+    # minimd has a positive LTO response: more coverage, faster.
+    assert times == sorted(times, reverse=True)
+
+    benchmark.pedantic(
+        _adapt_with_scope, args=(setup, "--lto", "minimd:lto-bench"),
+        rounds=1, iterations=1,
+    )

@@ -1,0 +1,81 @@
+"""Ablation — PGO profile representativeness.
+
+The paper motivates the system-side PGO loop with "the difficulty of
+defining 'typical' input data for profiling" and PGO being "highly
+sensitive to the target system's characteristics" (§4.4).  This ablation
+rebuilds openmx with (a) a matched profile (gathered by the same
+workload on the same system), (b) a cross-system profile, and (c) a
+wrong-workload profile, and verifies the gain decays accordingly.
+"""
+
+import pytest
+
+from repro.apps import get_app
+from repro.containers import ContainerEngine
+from repro.core.images import install_system_side_images
+from repro.core.optimizations import profile_bytes_for
+from repro.core.workflow import (
+    _run_rebuild,
+    _run_redirect,
+    build_extended_image,
+    run_workload,
+)
+from repro.perf import attach_perf
+from repro.reporting import render_table
+from repro.sysmodel import X86_CLUSTER
+
+WORKLOAD = "openmx.pt13"
+
+
+@pytest.fixture(scope="module")
+def setup():
+    user = ContainerEngine(arch="amd64")
+    layout, dist_tag = build_extended_image(user, get_app("openmx"))
+    engine = ContainerEngine(arch="amd64")
+    recorder = attach_perf(engine, X86_CLUSTER)
+    install_system_side_images(engine, X86_CLUSTER, "vendor")
+    return engine, layout, recorder
+
+
+def _adapt_with_profile(setup, profile_bytes, ref):
+    engine, layout, recorder = setup
+    _run_rebuild(engine, layout, X86_CLUSTER, "vendor",
+                 ["--adapter=vendor"], profile_bytes=profile_bytes)
+    return _run_redirect(engine, layout, X86_CLUSTER, ref=ref)
+
+
+def test_pgo_profile_quality(benchmark, setup, emit):
+    engine, layout, recorder = setup
+    variants = [
+        ("matched", profile_bytes_for(WORKLOAD, "x86")),
+        ("cross-system", profile_bytes_for(WORKLOAD, "arm")),
+        ("wrong-workload", profile_bytes_for("hpl", "x86")),
+    ]
+    rows = []
+    baseline_ref = _adapt_with_profile(setup, None, "openmx:pgo-off")
+    baseline = run_workload(engine, baseline_ref, WORKLOAD, recorder,
+                            vendor_mpirun=True).seconds
+    rows.append(("no PGO", baseline, 0.0))
+    times = {}
+    for label, profile in variants:
+        ref = _adapt_with_profile(setup, profile, f"openmx:pgo-{label}")
+        seconds = run_workload(engine, ref, WORKLOAD, recorder,
+                               vendor_mpirun=True).seconds
+        times[label] = seconds
+        rows.append((label, seconds, 1 - seconds / baseline))
+
+    emit("ablation_pgo_profile",
+         render_table(["profile", "time (s)", "gain vs no-PGO"], rows))
+
+    # Matched profile gives the full gain; representativeness decays it.
+    assert times["matched"] < times["cross-system"] < times["wrong-workload"]
+    assert times["wrong-workload"] < baseline  # residual generic benefit
+    full_gain = 1 - times["matched"] / baseline
+    stale_gain = 1 - times["cross-system"] / baseline
+    assert stale_gain == pytest.approx(full_gain * 0.5, rel=0.15)
+
+    benchmark.pedantic(
+        _adapt_with_profile,
+        args=(setup, profile_bytes_for(WORKLOAD, "x86"), "openmx:pgo-bench"),
+        rounds=1, iterations=1,
+    )

@@ -1,0 +1,77 @@
+"""Ablation — strong scaling and the communication crossover.
+
+The paper explains LULESH's small 16-node x86 improvement by
+communication dominance at scale (§5.2) and its huge AArch64 improvement
+by the MPI network plugin.  This ablation sweeps node counts through the
+pipeline images and shows both effects: on x86-64 the adaptation gain
+*shrinks* with scale; on AArch64 the original image's scaling degrades
+so badly that adaptation gain *grows* with scale.
+"""
+
+import pytest
+
+from repro.core.workflow import run_workload
+from repro.reporting import render_table
+
+NODE_COUNTS = (1, 2, 4, 8, 16)
+
+
+def _sweep(session, emit, name):
+    original = session.original_image("lulesh")
+    adapted = session.adapted_image("lulesh")
+    rows = []
+    improvements = []
+    for nodes in NODE_COUNTS:
+        t_orig = run_workload(session.system_engine, original, "lulesh",
+                              session.recorder, nodes=nodes).seconds
+        t_adpt = run_workload(session.system_engine, adapted, "lulesh",
+                              session.recorder, nodes=nodes,
+                              vendor_mpirun=True).seconds
+        improvement = t_orig / t_adpt - 1
+        improvements.append(improvement)
+        rows.append((nodes, t_orig, t_adpt, f"{improvement:+.1%}"))
+    emit(name, render_table(
+        ["nodes", "original (s)", "adapted (s)", "improvement"], rows
+    ))
+    return improvements
+
+
+def test_scaling_x86(benchmark, x86_session, emit):
+    improvements = benchmark.pedantic(
+        _sweep, args=(x86_session, emit, "ablation_scaling_x86"),
+        rounds=1, iterations=1,
+    )
+    # Gain shrinks with scale (comm dominates, x86 generic MPI is fine).
+    assert improvements[0] > improvements[-1]
+    assert improvements[0] == pytest.approx(0.92, abs=0.15)   # ~cxxo at 1 node
+    assert improvements[-1] == pytest.approx(0.15, abs=0.05)  # paper's +15.6%
+
+
+def test_scaling_arm(benchmark, arm_session, emit):
+    improvements = benchmark.pedantic(
+        _sweep, args=(arm_session, emit, "ablation_scaling_arm"),
+        rounds=1, iterations=1,
+    )
+    # On AArch64 the total gain is large at every scale (Fig 3's 72%
+    # single-node reduction ~ Fig 9's +231% at 16 nodes).
+    assert improvements[-1] == pytest.approx(2.31, abs=0.2)   # paper's +231%
+    assert min(improvements) > 2.0
+
+    # The *library-only* (MPI plugin) share of the gain grows with scale:
+    # it is zero at one node and carries the 16-node communication story.
+    from repro.core.workflow import library_only_adapt, run_workload
+
+    session = arm_session
+    original = session.original_image("lulesh")
+    libo = library_only_adapt(session.system_engine, original, session.system,
+                              ref="lulesh:libo-sweep")
+    libo_gains = []
+    for nodes in (1, 4, 16):
+        t_orig = run_workload(session.system_engine, original, "lulesh",
+                              session.recorder, nodes=nodes).seconds
+        t_libo = run_workload(session.system_engine, libo, "lulesh",
+                              session.recorder, nodes=nodes,
+                              vendor_mpirun=True).seconds
+        libo_gains.append(t_orig / t_libo - 1)
+    assert libo_gains == sorted(libo_gains)
+    assert libo_gains[0] == pytest.approx(0.0, abs=0.02)

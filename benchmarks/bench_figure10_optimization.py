@@ -1,0 +1,58 @@
+"""Figure 10 — relative execution time to native (LTO + PGO effects).
+
+Reuses the Figure 9 pipeline measurements.  Paper shape (§5.3):
+optimized is ~3.4% (x86) / ~3% (AArch64) better than native overall,
+~8% / ~5.6% better than adapted; effects are strongly
+workload-dependent, with openmx.pt13 (+30.4%) and lammps.chain (−12.1%)
+the x86 extremes, lammps.lj (+17.7%) and hpcg (−14.9%) the AArch64 ones.
+"""
+
+import pytest
+
+from repro.reporting import FIG10_PAPER_OUTLIERS, figure10_rows, render_table
+
+HEADERS = ["workload", "adapted/native", "optimized/native"]
+
+
+def _reduction(result, workload):
+    t = result.times[workload]
+    return 1.0 - t["optimized"] / t["native"]
+
+
+def _overall(result, versus):
+    total_ref = sum(t[versus] for t in result.times.values())
+    total_opt = sum(t["optimized"] for t in result.times.values())
+    return 1.0 - total_opt / total_ref
+
+
+def test_figure10_x86(benchmark, x86_figure9, emit):
+    rows = benchmark(figure10_rows, x86_figure9)
+    emit("figure10_x86", render_table(HEADERS, rows))
+    assert _reduction(x86_figure9, "openmx.pt13") == pytest.approx(
+        FIG10_PAPER_OUTLIERS[("x86", "openmx.pt13")], abs=0.05
+    )
+    assert _reduction(x86_figure9, "lammps.chain") == pytest.approx(
+        FIG10_PAPER_OUTLIERS[("x86", "lammps.chain")], abs=0.05
+    )
+    # The x86 extremes are exactly these two workloads.
+    reductions = {w: _reduction(x86_figure9, w) for w in x86_figure9.times}
+    assert max(reductions, key=reductions.get) == "openmx.pt13"
+    assert min(reductions, key=reductions.get) == "lammps.chain"
+    # Overall: ~3.4% over native, positive over adapted (§5.3).
+    assert _overall(x86_figure9, "native") == pytest.approx(0.034, abs=0.03)
+    assert _overall(x86_figure9, "adapted") > _overall(x86_figure9, "native")
+
+
+def test_figure10_arm(benchmark, arm_figure9, emit):
+    rows = benchmark(figure10_rows, arm_figure9)
+    emit("figure10_arm", render_table(HEADERS, rows))
+    assert _reduction(arm_figure9, "lammps.lj") == pytest.approx(
+        FIG10_PAPER_OUTLIERS[("arm", "lammps.lj")], abs=0.05
+    )
+    assert _reduction(arm_figure9, "hpcg") == pytest.approx(
+        FIG10_PAPER_OUTLIERS[("arm", "hpcg")], abs=0.05
+    )
+    reductions = {w: _reduction(arm_figure9, w) for w in arm_figure9.times}
+    assert max(reductions, key=reductions.get) == "lammps.lj"
+    assert min(reductions, key=reductions.get) == "hpcg"
+    assert _overall(arm_figure9, "native") == pytest.approx(0.03, abs=0.03)

@@ -1,0 +1,59 @@
+"""Figure 11 — cross-ISA build-script line changes.
+
+For every application that can cross ISAs (§5.5), compare the build
+script modifications coMtainer needs (strip/retarget ISA-pinned flag
+lines, audit guarded asm, retarget the base image) against a conventional
+cross-compilation port.  Paper shape: ~5 lines with coMtainer vs ~47 with
+cross-building — about 10% of the effort.
+"""
+
+import statistics
+
+import pytest
+
+from repro.containers import ContainerEngine
+from repro.reporting import figure11_reports, figure11_rows, render_table
+
+HEADERS = ["app", "coM +", "coM -", "xbuild +", "xbuild -"]
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return figure11_reports(ContainerEngine(arch="amd64"))
+
+
+def test_figure11(benchmark, reports, emit):
+    rows = figure11_rows(reports)
+    emit("figure11", render_table(HEADERS, rows))
+
+    assert all(report.can_cross for report in reports)
+    comtainer_avg = statistics.mean(r.comtainer_total for r in reports)
+    xbuild_avg = statistics.mean(r.xbuild_total for r in reports)
+    assert comtainer_avg == pytest.approx(5, abs=2.5)
+    assert xbuild_avg == pytest.approx(47, rel=0.2)
+    assert comtainer_avg / xbuild_avg == pytest.approx(0.10, abs=0.05)
+
+    # The benchmarked operation: one cross-ISA analysis.
+    from repro.core.cache.storage import decode_cache
+    from repro.core.crossisa import analyze_cross_isa
+    from repro.core.workflow import build_extended_image
+    from repro.apps import get_app
+
+    engine = ContainerEngine(arch="amd64")
+    layout, dist_tag = build_extended_image(engine, get_app("hpl"))
+    models, sources, _ = decode_cache(layout, dist_tag)
+    benchmark(analyze_cross_isa, models, sources, "aarch64", "hpl")
+
+
+def test_large_apps_blocked(benchmark, emit):
+    """lammps/openmx carry unguarded arch-specific kernels: they are the
+    images that 'fail due to ISA-specific contents' in §5.5."""
+    blocked = benchmark.pedantic(
+        figure11_reports,
+        args=(ContainerEngine(arch="amd64"),),
+        kwargs={"apps": ("lammps", "openmx")},
+        rounds=1, iterations=1,
+    )
+    for report in blocked:
+        assert not report.can_cross, report.app
+        assert any(issue.blocking for issue in report.issues)

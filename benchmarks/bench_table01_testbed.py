@@ -1,0 +1,29 @@
+"""Table 1 — the testbed systems.
+
+Hardware facts are model data; the benchmark times the full system-model
+-> calibration warm-up for all (workload, system) pairs.
+"""
+
+from repro.perf.calibration import calibrate
+from repro.perf.workloads import WORKLOADS
+from repro.reporting import render_table, table1_rows
+from repro.sysmodel import AARCH64_CLUSTER, X86_CLUSTER
+
+
+def test_table1(benchmark, emit):
+    rows = table1_rows()
+    emit("table01", render_table(["", "x86_64", "aarch64"], rows))
+    facts = {row[0]: (row[1], row[2]) for row in rows}
+    assert "8358P" in facts["CPU"][0]
+    assert "FT-2000+" in facts["CPU"][1]
+    assert facts["RAM"] == ("512GB", "128GB")
+    assert facts["Nodes"] == ("16", "16")
+    assert facts["OS"] == ("Ubuntu 22.04", "Kylin Linux Advanced Server V10")
+
+    def calibrate_all():
+        calibrate.cache_clear()
+        for name in WORKLOADS:
+            for system in (X86_CLUSTER, AARCH64_CLUSTER):
+                calibrate(name, system.key)
+
+    benchmark(calibrate_all)

@@ -1,0 +1,35 @@
+"""Table 2 — the evaluated workloads and their LoC.
+
+The benchmark times synthetic source-tree generation for the whole
+application set (the user-side "build context" cost).
+"""
+
+from repro.apps import APPS, build_context, get_app
+from repro.perf.workloads import WORKLOADS
+from repro.reporting import render_table, table2_rows
+
+
+def test_table2(benchmark, emit):
+    rows = table2_rows()
+    emit("table02", render_table(["App", "Wkld", "LoC"], rows))
+
+    assert len(rows) == 18
+    loc = {(app, wkld): n for app, wkld, n in rows}
+    # Table 2 anchors.
+    assert loc[("hpl", "hpl")] == 37556
+    assert loc[("hpcg", "hpcg")] == 5529
+    assert loc[("lulesh", "lulesh")] == 5546
+    assert loc[("comd", "comd")] == 4668
+    assert loc[("hpccg", "hpccg")] == 1563
+    assert loc[("miniaero", "miniaero")] == 42056
+    assert loc[("miniamr", "miniamr")] == 9957
+    assert loc[("minife", "minife")] == 28010
+    assert loc[("minimd", "minimd")] == 4404
+    assert loc[("lammps", "chain")] == 2273423
+    assert loc[("openmx", "pt13")] == 287381
+
+    def generate_all_contexts():
+        for app in APPS:
+            build_context(get_app(app), "amd64")
+
+    benchmark(generate_all_contexts)

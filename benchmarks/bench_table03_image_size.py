@@ -1,0 +1,50 @@
+"""Table 3 — original image sizes and cache layer sizes.
+
+Builds every Table 3 application's original image on both architectures
+and its extended image (cache layer) once, then compares against the
+paper's reported MiB values.  The benchmarked operation is one original
+image build (the dominant cost of the table).
+"""
+
+import pytest
+
+from repro.apps import get_app
+from repro.apps.specs import TABLE3_APPS
+from repro.containers import ContainerEngine
+from repro.core.workflow import build_original_image
+from repro.reporting import render_table, table3_rows
+
+HEADERS = ["App", "x86-64 MiB", "paper", "AArch64 MiB", "paper",
+           "Cache MiB", "paper"]
+
+
+@pytest.fixture(scope="module")
+def engines():
+    return {"amd64": ContainerEngine(arch="amd64"),
+            "arm64": ContainerEngine(arch="arm64")}
+
+
+def test_table3(benchmark, engines, emit):
+    rows = table3_rows(engines=engines)
+    emit("table03", render_table(HEADERS, rows))
+
+    for app, x86_mib, x86_paper, arm_mib, arm_paper, cache_mib, cache_paper in rows:
+        assert x86_mib == pytest.approx(x86_paper, rel=0.01), app
+        assert arm_mib == pytest.approx(arm_paper, rel=0.01), app
+        assert cache_mib == pytest.approx(cache_paper, rel=0.03), app
+        # Cache layers are small relative to images: max 7.1% (x86) /
+        # 11.3% (arm) in the paper.
+        assert cache_mib / x86_mib < 0.08, app
+        assert cache_mib / arm_mib < 0.12, app
+
+    # "x86-64 original images are significantly larger than the AArch64
+    # images, indicating that x86-64 has a more bloated software stack."
+    for app, x86_mib, _, arm_mib, _, _, _ in rows:
+        assert x86_mib > 1.2 * arm_mib, app
+
+    benchmark.pedantic(
+        build_original_image,
+        args=(engines["amd64"], get_app("lulesh")),
+        kwargs={"tag": "lulesh:bench"},
+        rounds=1, iterations=1,
+    )

@@ -1,0 +1,81 @@
+"""Figures 4-8 — the coMtainer workflow itself, end to end.
+
+Times each phase of the pipeline (user-side two-stage build + analysis,
+system-side rebuild, redirect) and checks the structural artifacts the
+paper's artifact description specifies: the ``+coM`` manifest after
+coMtainer-build, the ``+coMre`` manifest after coMtainer-rebuild, and a
+final redirected image that is filesystem-compatible with the original.
+"""
+
+import pytest
+
+from repro.apps import get_app
+from repro.containers import ContainerEngine
+from repro.core.cache.storage import extended_tag, rebuilt_tag
+from repro.core.workflow import build_extended_image, system_side_adapt
+from repro.perf import attach_perf
+from repro.reporting import render_table
+from repro.sysmodel import X86_CLUSTER
+
+
+def test_workflow_end_to_end(benchmark, emit):
+    import time
+
+    timings = {}
+
+    def full_pipeline():
+        user = ContainerEngine(arch="amd64")
+        t0 = time.perf_counter()
+        layout, dist_tag = build_extended_image(user, get_app("lulesh"))
+        timings["user side (build + coMtainer-build)"] = time.perf_counter() - t0
+
+        system_engine = ContainerEngine(arch="amd64")
+        recorder = attach_perf(system_engine, X86_CLUSTER)
+        t0 = time.perf_counter()
+        ref = system_side_adapt(
+            system_engine, layout, X86_CLUSTER, recorder=recorder,
+            ref="lulesh:pipeline",
+        )
+        timings["system side (rebuild + redirect)"] = time.perf_counter() - t0
+        return layout, dist_tag, system_engine, ref
+
+    layout, dist_tag, system_engine, ref = benchmark.pedantic(
+        full_pipeline, rounds=1, iterations=1
+    )
+
+    emit(
+        "workflow_pipeline",
+        render_table(["phase", "seconds"], sorted(timings.items())),
+    )
+
+    # Artifact checks (paper AD, B.2): +coM and +coMre manifests present.
+    assert layout.has_tag(extended_tag(dist_tag))
+    assert layout.has_tag(rebuilt_tag(dist_tag))
+
+    # The redirected image has a filesystem layout compatible with the
+    # original dist image: every original file path still resolves.
+    original_fs = layout.resolve(dist_tag).filesystem()
+    redirected_fs = system_engine.image_filesystem(ref)
+    missing = [
+        path for path, _ in original_fs.iter_files("/app")
+        if not redirected_fs.exists(path)
+    ]
+    assert missing == []
+
+
+def test_extended_image_oci_compliance(benchmark, emit):
+    """The extended image stays a well-formed OCI artifact: it can be
+    saved as an OCI layout directory and reloaded losslessly."""
+    import tempfile
+
+    user = ContainerEngine(arch="amd64")
+    layout, dist_tag = build_extended_image(user, get_app("hpccg"))
+    with tempfile.TemporaryDirectory() as tmp:
+        benchmark.pedantic(layout.save, args=(tmp,), rounds=1, iterations=1)
+        from repro.oci.layout import OCILayout
+
+        loaded = OCILayout.load(tmp)
+        assert set(loaded.tags()) == set(layout.tags())
+        original = layout.resolve(extended_tag(dist_tag))
+        reloaded = loaded.resolve(extended_tag(dist_tag))
+        assert reloaded.manifest.digest == original.manifest.digest

@@ -1,0 +1,55 @@
+"""Shared fixtures for the evaluation benchmarks.
+
+Sessions (user engine + registry + system engine per testbed cluster) are
+built once per pytest run and shared across benchmark files; each bench
+writes its regenerated table to ``benchmarks/results/`` and prints it.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.workflow import ComtainerSession
+from repro.sysmodel import AARCH64_CLUSTER, X86_CLUSTER
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+@pytest.fixture(scope="session")
+def x86_session() -> ComtainerSession:
+    return ComtainerSession(system=X86_CLUSTER)
+
+
+@pytest.fixture(scope="session")
+def arm_session() -> ComtainerSession:
+    return ComtainerSession(system=AARCH64_CLUSTER)
+
+
+@pytest.fixture(scope="session")
+def x86_figure9(x86_session):
+    from repro.reporting import figure9_run
+
+    return figure9_run(x86_session)
+
+
+@pytest.fixture(scope="session")
+def arm_figure9(arm_session):
+    from repro.reporting import figure9_run
+
+    return figure9_run(arm_session)
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """emit(name, text): print a regenerated table and persist it."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        print(f"\n=== {name} ===\n{text}\n")
+        with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w",
+                  encoding="utf-8") as fh:
+            fh.write(text + "\n")
+
+    return _emit

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Cross-ISA porting with coMtainer (paper §5.5 / Figure 11).
+
+Takes x86-64 extended images and attempts to rebuild them on the
+AArch64 system: analyzes ISA-specific content in the cache, shows why
+unguarded assembly blocks a port, performs the relaxed rebuild for a
+crossable app, and compares the build-script line changes against a
+conventional cross-compilation port.
+
+Run:  python examples/crossisa_port.py
+"""
+
+from repro.apps import get_app
+from repro.containers import ContainerEngine
+from repro.core.cache.storage import decode_cache
+from repro.core.crossisa import analyze_cross_isa
+from repro.core.images import install_system_side_images
+from repro.core.workflow import (
+    _run_rebuild,
+    _run_redirect,
+    build_extended_image,
+    run_workload,
+)
+from repro.perf import attach_perf
+from repro.reporting import render_table
+from repro.sysmodel import AARCH64_CLUSTER
+from repro.toolchain.artifacts import read_artifact
+
+
+def main() -> None:
+    user_x86 = ContainerEngine(arch="amd64")
+
+    # --- analysis across the application set ---------------------------
+    rows = []
+    layouts = {}
+    for app in ("hpl", "lulesh", "comd", "lammps"):
+        layout, dist_tag = build_extended_image(user_x86, get_app(app))
+        layouts[app] = (layout, dist_tag)
+        models, sources, _ = decode_cache(layout, dist_tag)
+        report = analyze_cross_isa(models, sources, "aarch64", app=app)
+        c_add, c_del = report.comtainer_changes
+        x_add, x_del = report.xbuild_changes
+        rows.append((
+            app,
+            "yes" if report.can_cross else "NO (unguarded asm)",
+            report.flag_lines, f"+{c_add}/-{c_del}", f"+{x_add}/-{x_del}",
+        ))
+    print(render_table(
+        ["app", "can cross?", "ISA-flag cmds", "coMtainer Δ", "xbuild Δ"], rows
+    ))
+
+    # --- the failure mode: rebuilding hpl's x86 flags on AArch64 -------
+    arm = ContainerEngine(arch="arm64")
+    recorder = attach_perf(arm, AARCH64_CLUSTER)
+    install_system_side_images(arm, AARCH64_CLUSTER)
+    layout, dist_tag = layouts["hpl"]
+    print("\nRebuilding x86-64 hpl image on the AArch64 system, as-is:")
+    try:
+        _run_rebuild(arm, layout, AARCH64_CLUSTER, "vendor", ["--adapter=vendor"])
+    except Exception as exc:
+        print(f"  FAILED (as the paper expects): {exc}")
+
+    # --- relaxed constraints: minor modifications, then it crosses -----
+    print("\nRetrying with --relax-isa (minor build script modifications):")
+    _run_rebuild(arm, layout, AARCH64_CLUSTER, "vendor",
+                 ["--adapter=vendor", "--relax-isa"])
+    ref = _run_redirect(arm, layout, AARCH64_CLUSTER, ref="hpl:crossed")
+    exe = read_artifact(arm.image_filesystem(ref).read_file("/app/hpl"))
+    print(f"  crossed: /app/hpl is now {exe.isa}, toolchain {exe.toolchain}")
+
+    report = run_workload(arm, ref, "hpl", recorder, vendor_mpirun=True)
+    print(f"  executes on the AArch64 cluster: {report.seconds:.2f} s "
+          f"({report.nodes} nodes)")
+
+
+if __name__ == "__main__":
+    main()

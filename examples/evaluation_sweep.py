@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Regenerate the paper's evaluation tables (Figures 9/10, Tables 1-3).
+
+Runs the full pipeline for every workload on both simulated testbeds and
+prints the same series the paper reports.  This is the long-form version
+of what the benchmark harness under benchmarks/ asserts on.
+
+Run:  python examples/evaluation_sweep.py           # both systems
+      python examples/evaluation_sweep.py x86       # one system
+"""
+
+import sys
+
+from repro.core.workflow import ComtainerSession
+from repro.reporting import (
+    figure9_rows,
+    figure9_run,
+    figure10_rows,
+    render_table,
+    table1_rows,
+    table2_rows,
+)
+from repro.sysmodel import SYSTEMS
+
+
+def main() -> None:
+    wanted = sys.argv[1:] or list(SYSTEMS)
+
+    print("=== Table 1: testbed ===")
+    print(render_table(["", "x86_64", "aarch64"], table1_rows()))
+    print("\n=== Table 2: workloads ===")
+    print(render_table(["App", "Wkld", "LoC"], table2_rows()))
+
+    for key in wanted:
+        system = SYSTEMS[key]
+        print(f"\n=== Figure 9: execution time on {system.name} ===")
+        session = ComtainerSession(system=system)
+        result = figure9_run(session)
+        print(render_table(
+            ["workload", "original", "native", "adapted", "optimized",
+             "orig/native", "paper"],
+            figure9_rows(result),
+        ))
+        averages = result.averages()
+        print(f"\naverages: " + ", ".join(
+            f"{k}={v:.2f}s" for k, v in averages.items()
+        ))
+        print(f"\n=== Figure 10: relative to native ({key}) ===")
+        print(render_table(
+            ["workload", "adapted/native", "optimized/native"],
+            figure10_rows(result),
+        ))
+
+
+if __name__ == "__main__":
+    main()

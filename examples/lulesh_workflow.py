@@ -1,0 +1,136 @@
+#!/usr/bin/env python
+"""The full coMtainer workflow, step by step (paper Figure 5 + artifact B.2).
+
+Follows the artifact description's buildah command sequence, but through
+the library API, and inspects every intermediate artifact: the hijacker
+trace, the process models, the cache layer, the ``+coM``/``+coMre``
+manifests, and the final redirected image.
+
+Run:  python examples/lulesh_workflow.py
+"""
+
+import json
+
+from repro.apps import app_containerfile, build_context, get_app
+from repro.containers import ContainerEngine
+from repro.containers.hijack import read_trace
+from repro.core.cache.storage import decode_cache, decode_rebuild, extended_tag
+from repro.core.frontend.build import IO_MOUNT
+from repro.core.images import (
+    base_ref,
+    env_ref,
+    install_system_side_images,
+    install_user_side_images,
+    rebase_ref,
+    sysenv_ref,
+)
+from repro.oci.layout import OCILayout
+from repro.perf import attach_perf
+from repro.reporting import render_table
+from repro.sysmodel import X86_CLUSTER
+
+
+def main() -> None:
+    spec = get_app("lulesh")
+
+    # ------------------------------------------------------------------
+    # USER SIDE
+    # ------------------------------------------------------------------
+    user = ContainerEngine(arch="amd64")
+    install_user_side_images(user)
+
+    # The user's Dockerfile differs from a conventional one only in the
+    # base references (paper Figure 6).
+    containerfile = app_containerfile(
+        spec, build_base=env_ref("amd64"), dist_base=base_ref("amd64")
+    )
+    print("=== Containerfile (user side) ===")
+    print(containerfile)
+
+    # $ buildah build --target build -t lulesh.build .
+    # $ buildah build --target dist  -t lulesh.dist  .
+    context = build_context(spec, "amd64")
+    refs = user.build_stages(containerfile, context=context)
+    print(f"built stages: {sorted(refs)}")
+
+    # The Env image hijacked the toolchain: the build container carries
+    # the raw build process.
+    build_fs = user.image_filesystem(refs["build"])
+    trace = read_trace(build_fs)
+    print(f"\n=== raw build process ({len(trace)} records) ===")
+    for record in trace[:3]:
+        print(" ", " ".join(record["argv"][:6]), "...")
+    print("  ...")
+
+    # $ buildah push lulesh.dist oci:./lulesh.dist.oci
+    layout = OCILayout()
+    dist_tag = "lulesh.dist"
+    user.push_to_layout(refs["dist"], layout, tag=dist_tag)
+
+    # $ buildah from --name lulesh.build -v $(pwd)/lulesh.dist.oci:/.coMtainer/io ...
+    # $ buildah run lulesh.build -- coMtainer-build
+    build_ctr = user.from_image(refs["build"], mounts={IO_MOUNT: layout})
+    result = user.run(build_ctr, ["coMtainer-build"]).check()
+    print("\n=== coMtainer-build ===")
+    print(result.stdout)
+    print("layout index tags:", layout.tags())
+    assert layout.has_tag(extended_tag(dist_tag))   # the +coM manifest
+
+    models, sources, _ = decode_cache(layout, dist_tag)
+    print("process model summary:",
+          json.dumps(models.summary(), indent=2, default=str))
+
+    # ------------------------------------------------------------------
+    # SYSTEM SIDE  (the extended image arrived via the registry)
+    # ------------------------------------------------------------------
+    system_engine = ContainerEngine(arch="amd64")
+    recorder = attach_perf(system_engine, X86_CLUSTER)
+    install_system_side_images(system_engine, X86_CLUSTER)
+
+    # $ buildah from -v ...:/.coMtainer/io --name lulesh.rebuild comtainer:x86-64.sysenv
+    # $ buildah run lulesh.rebuild -- coMtainer-rebuild
+    rebuild_ctr = system_engine.from_image(
+        sysenv_ref("x86"), mounts={IO_MOUNT: layout}
+    )
+    result = system_engine.run(
+        rebuild_ctr, ["coMtainer-rebuild", "--adapter=vendor"]
+    ).check()
+    print("=== coMtainer-rebuild ===")
+    print(result.stdout)
+    print("layout index tags:", layout.tags())
+
+    meta, files, _, _ = decode_rebuild(layout, dist_tag)
+    print("replacements:",
+          [(r["generic"], r["optimized"]) for r in meta["replacements"]])
+
+    # $ buildah from -v ... --name lulesh.redirect comtainer:x86-64.rebase
+    # $ buildah run lulesh.redirect -- coMtainer-redirect
+    # $ buildah commit lulesh.redirect oci:./lulesh.redirect.oci
+    redirect_ctr = system_engine.from_image(
+        rebase_ref("x86"), mounts={IO_MOUNT: layout}
+    )
+    system_engine.run(redirect_ctr, ["coMtainer-redirect"]).check()
+    system_engine.commit(redirect_ctr, ref="lulesh:redirected")
+    print("committed optimized image: lulesh:redirected")
+
+    # ------------------------------------------------------------------
+    # Run original vs redirected
+    # ------------------------------------------------------------------
+    system_engine.load_from_layout(layout, dist_tag, ref="lulesh:original")
+    rows = []
+    for label, ref, launcher in [
+        ("original", "lulesh:original", "mpirun"),
+        ("redirected", "lulesh:redirected", "/opt/intel/bin/mpirun"),
+    ]:
+        ctr = system_engine.from_image(ref)
+        run = system_engine.run(
+            ctr, [launcher, "-np", "16", "/app/lulesh"],
+            env={"SIM_WORKLOAD": "lulesh"},
+        ).check()
+        rows.append((label, recorder.last.seconds))
+    print()
+    print(render_table(["image", "time (s)"], rows))
+
+
+if __name__ == "__main__":
+    main()

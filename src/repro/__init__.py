@@ -1,0 +1,21 @@
+"""coMtainer reproduction (SC '25): compilation-assisted HPC container
+images with enhanced adaptability.
+
+Public entry points:
+
+* :class:`repro.core.workflow.ComtainerSession` /
+  :func:`repro.core.workflow.measure_schemes` — end-to-end evaluation.
+* :mod:`repro.reporting` — regenerate the paper's tables and figures.
+* :mod:`repro.core` — the coMtainer framework (models, frontend, cache,
+  backend, adapters, optimizations, cross-ISA).
+* Substrates: :mod:`repro.vfs`, :mod:`repro.oci`, :mod:`repro.pkg`,
+  :mod:`repro.toolchain`, :mod:`repro.containers`, :mod:`repro.sysmodel`,
+  :mod:`repro.perf`, :mod:`repro.apps`.
+"""
+
+__version__ = "1.0.0"
+__paper__ = (
+    "coMtainer: Compilation-assisted HPC Container Images with Enhanced "
+    "Adaptability - Gu, Chen, Chen, Du, Chen, Xiao, Zhang, Lu; SC '25, "
+    "doi:10.1145/3712285.3759790"
+)

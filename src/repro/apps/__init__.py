@@ -1,0 +1,25 @@
+"""Synthetic HPC applications (Table 2 of the paper).
+
+Each application gets a deterministic synthetic source tree, a build
+script of real (simulated) compiler invocations, a two-stage
+Containerfile (Figure 2 / Figure 6), runtime data files, and — for the
+cross-ISA study — per-ISA build flags and optionally inline-assembly
+sources.  Sizes are calibrated so the *original* images and coMtainer
+cache layers reproduce Table 3.
+"""
+
+from repro.apps.specs import APPS, AppSpec, get_app
+from repro.apps.generate import (
+    app_containerfile,
+    build_context,
+    estimate_executable_size,
+)
+
+__all__ = [
+    "APPS",
+    "AppSpec",
+    "app_containerfile",
+    "build_context",
+    "estimate_executable_size",
+    "get_app",
+]

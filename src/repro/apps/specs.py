@@ -1,0 +1,174 @@
+"""Application specifications.
+
+Structural facts per app: language, Table 2 LoC, workload inputs, library
+dependencies, MPI usage, ISA-specific build content (for §5.5), plus the
+Table 3 size calibration targets (original image size per architecture
+and cache layer size).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+MIB = 1024 * 1024
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    name: str
+    language: str                   # "c" or "c++"
+    loc: int                        # Table 2
+    workloads: Tuple[str, ...]      # input names ("" = single unnamed input)
+    uses_mpi: bool = True
+    libs: Tuple[str, ...] = ()      # -l libraries beyond implicit ones
+    build_packages: Tuple[str, ...] = ()    # extra -dev packages (build stage)
+    runtime_packages: Tuple[str, ...] = ()  # extra packages in the dist stage
+    n_sources: int = 6              # translation units in the synthetic tree
+    n_compile_commands: int = 3     # distinct compile invocations in build.sh
+    use_static_lib: bool = False    # build an intermediate .a
+    defines: Tuple[str, ...] = ()
+    #: ISA-specific compiler flags the app's build script uses, per ISA.
+    isa_flags: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    #: Source files containing inline assembly; ``guarded`` asm has a
+    #: portable fallback (#else branch), unguarded asm blocks cross-ISA.
+    asm_files: int = 0
+    asm_guarded: bool = True
+    #: Table 3 calibration (MiB).  Apps absent from Table 3 carry estimates.
+    image_size: Dict[str, float] = field(default_factory=dict)  # arch -> MiB
+    cache_size: float = 0.5
+
+    @property
+    def source_suffix(self) -> str:
+        return {"c": "c", "c++": "cc"}[self.language]
+
+    @property
+    def binary_name(self) -> str:
+        return {"lammps": "lmp", "openmx": "openmx"}.get(self.name, self.name)
+
+    def workload_names(self) -> List[str]:
+        if self.workloads == ("",):
+            return [self.name]
+        return [f"{self.name}.{w}" for w in self.workloads]
+
+    @property
+    def source_bytes(self) -> int:
+        """Total synthetic source size.
+
+        The cache layer is sources + the process-models JSON; the models
+        document is small (tens of KiB even for LAMMPS), so sources make
+        up ~99% of the Table 3 cache target.
+        """
+        return int(self.cache_size * MIB * 0.99)
+
+
+_X86_SIMD = ("-msse4.2", "-mavx2")
+_ARM_SIMD = ("-moutline-atomics",)
+
+
+APPS: Dict[str, AppSpec] = {
+    spec.name: spec
+    for spec in [
+        AppSpec(
+            name="hpl", language="c", loc=37556, workloads=("",),
+            libs=("openblas",), build_packages=("libopenblas-dev",),
+            runtime_packages=(), n_sources=14, n_compile_commands=4,
+            use_static_lib=True, defines=("HPL_CALL_CBLAS",),
+            isa_flags={"x86-64": _X86_SIMD, "aarch64": _ARM_SIMD},
+            asm_files=2, asm_guarded=True,
+            image_size={"amd64": 170.76, "arm64": 94.86}, cache_size=1.32,
+        ),
+        AppSpec(
+            name="hpcg", language="c++", loc=5529, workloads=("",),
+            libs=("openblas",), build_packages=("libopenblas-dev",),
+            n_sources=8, n_compile_commands=3,
+            isa_flags={"x86-64": ("-mavx2",), "aarch64": ()},
+            image_size={"amd64": 170.04, "arm64": 95.37}, cache_size=0.80,
+        ),
+        AppSpec(
+            name="lulesh", language="c++", loc=5546, workloads=("",),
+            defines=("USE_MPI=1",), n_sources=6, n_compile_commands=2,
+            isa_flags={"x86-64": (), "aarch64": ()},
+            image_size={"amd64": 170.29, "arm64": 96.12}, cache_size=0.66,
+        ),
+        AppSpec(
+            name="comd", language="c", loc=4668, workloads=("",),
+            n_sources=7, n_compile_commands=2,
+            isa_flags={"x86-64": ("-msse4.2",), "aarch64": ()},
+            asm_files=1, asm_guarded=True,
+            image_size={"amd64": 170.36, "arm64": 94.87}, cache_size=0.75,
+        ),
+        AppSpec(
+            name="hpccg", language="c++", loc=1563, workloads=("",),
+            n_sources=4, n_compile_commands=1,
+            image_size={"amd64": 170.40, "arm64": 94.77}, cache_size=0.59,
+        ),
+        AppSpec(
+            name="miniaero", language="c++", loc=42056, workloads=("",),
+            n_sources=12, n_compile_commands=3,
+            isa_flags={"x86-64": ("-mavx2", "-mfma"), "aarch64": ()},
+            asm_files=1, asm_guarded=True,
+            image_size={"amd64": 170.12, "arm64": 94.63}, cache_size=0.62,
+        ),
+        AppSpec(
+            name="miniamr", language="c", loc=9957, workloads=("",),
+            n_sources=9, n_compile_commands=3,
+            isa_flags={"x86-64": ("-msse4.2",), "aarch64": ()},
+            image_size={"amd64": 170.10, "arm64": 94.62}, cache_size=0.80,
+        ),
+        AppSpec(
+            name="minife", language="c++", loc=28010, workloads=("",),
+            libs=("openblas",), build_packages=("libopenblas-dev",),
+            n_sources=10, n_compile_commands=3,
+            isa_flags={"x86-64": ("-mavx2",), "aarch64": _ARM_SIMD},
+            image_size={"amd64": 170.45, "arm64": 95.05}, cache_size=0.85,
+        ),
+        AppSpec(
+            name="minimd", language="c++", loc=4404, workloads=("",),
+            n_sources=6, n_compile_commands=2,
+            isa_flags={"x86-64": ("-msse4.2", "-mavx2"), "aarch64": ()},
+            asm_files=1, asm_guarded=True,
+            image_size={"amd64": 170.15, "arm64": 94.75}, cache_size=0.55,
+        ),
+        AppSpec(
+            name="lammps", language="c++", loc=2273423,
+            workloads=("chain", "chute", "eam", "lj", "rhodo"),
+            libs=("fftw3", "jpeg", "png16"),
+            build_packages=("libfftw3-dev",),
+            runtime_packages=("libfftw3-3", "libjpeg8", "libpng16-16"),
+            n_sources=60, n_compile_commands=6, use_static_lib=True,
+            defines=("LAMMPS_GZIP", "FFT_FFTW3"),
+            isa_flags={"x86-64": ("-mavx512f", "-mavx2"), "aarch64": ()},
+            asm_files=4, asm_guarded=False,   # arch-specific kernel pack
+            image_size={"amd64": 203.30, "arm64": 127.23}, cache_size=14.42,
+        ),
+        AppSpec(
+            name="openmx", language="c", loc=287381,
+            workloads=("awf5e", "awf7e", "nitro", "pt13"),
+            libs=("scalapack-openmpi", "openblas", "fftw3"),
+            build_packages=("libopenblas-dev", "libfftw3-dev"),
+            runtime_packages=("libscalapack-openmpi2", "libfftw3-3"),
+            n_sources=48, n_compile_commands=5,
+            defines=("kcomp", "noomp"),
+            isa_flags={"x86-64": ("-mavx2",), "aarch64": ()},
+            asm_files=3, asm_guarded=False,
+            image_size={"amd64": 440.97, "arm64": 359.14}, cache_size=23.99,
+        ),
+    ]
+}
+
+
+def get_app(name: str) -> AppSpec:
+    try:
+        return APPS[name]
+    except KeyError:
+        raise KeyError(f"unknown application: {name!r}") from None
+
+
+#: Apps the paper's Table 3 reports (all but minife/minimd).
+TABLE3_APPS = ("comd", "hpccg", "hpcg", "hpl", "lulesh", "miniaero",
+               "miniamr", "lammps", "openmx")
+
+#: Apps that successfully cross ISAs with minor modifications (§5.5).
+CROSSISA_APPS = ("hpl", "hpcg", "lulesh", "comd", "hpccg", "miniaero",
+                 "miniamr", "minife", "minimd")

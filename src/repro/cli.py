@@ -1,0 +1,167 @@
+"""``comtainer-demo``: a small CLI over the reproduction.
+
+Subcommands::
+
+    comtainer-demo schemes  <workload> [--system x86|arm]   # Figure 9 row
+    comtainer-demo adapt    <app>      [--system ...] [--lto] [--pgo WKLD]
+    comtainer-demo analyze  <app>                          # process models
+    comtainer-demo crossisa <app>      [--target aarch64]  # Figure 11 row
+    comtainer-demo inspect  <app>      [--extended]        # layer stack
+    comtainer-demo tables                                  # Tables 1 & 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.sysmodel import SYSTEMS
+
+
+def _session(system_key: str):
+    from repro.core.workflow import ComtainerSession
+
+    return ComtainerSession(system=SYSTEMS[system_key])
+
+
+def cmd_schemes(args: argparse.Namespace) -> int:
+    from repro.core.workflow import measure_schemes
+    from repro.reporting import render_table
+
+    session = _session(args.system)
+    times = measure_schemes(session, args.workload)
+    rows = [(scheme, seconds) for scheme, seconds in times.items()]
+    print(render_table(["scheme", "time (s)"], rows))
+    return 0
+
+
+def cmd_adapt(args: argparse.Namespace) -> int:
+    from repro.apps import get_app
+    from repro.core.workflow import build_extended_image, system_side_adapt
+    from repro.containers import ContainerEngine
+    from repro.perf import attach_perf
+
+    system = SYSTEMS[args.system]
+    user = ContainerEngine(arch=system.arch)
+    layout, dist_tag = build_extended_image(user, get_app(args.app))
+    engine = ContainerEngine(arch=system.arch)
+    recorder = attach_perf(engine, system)
+    ref = system_side_adapt(
+        engine, layout, system, recorder=recorder,
+        lto=args.lto, pgo_workload=args.pgo, ref=f"{args.app}:adapted",
+    )
+    print(f"adapted image: {ref}")
+    print(f"layout tags  : {layout.tags()}")
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.apps import get_app
+    from repro.containers import ContainerEngine
+    from repro.core.cache.storage import decode_cache
+    from repro.core.workflow import build_extended_image
+
+    user = ContainerEngine(arch="amd64")
+    layout, dist_tag = build_extended_image(user, get_app(args.app))
+    models, sources, _ = decode_cache(layout, dist_tag)
+    print(json.dumps(models.summary(), indent=2, default=str))
+    print(f"cached sources: {len(sources)}")
+    return 0
+
+
+def cmd_crossisa(args: argparse.Namespace) -> int:
+    from repro.apps import get_app
+    from repro.containers import ContainerEngine
+    from repro.core.cache.storage import decode_cache
+    from repro.core.crossisa import analyze_cross_isa
+    from repro.core.workflow import build_extended_image
+
+    user = ContainerEngine(arch="amd64")
+    layout, dist_tag = build_extended_image(user, get_app(args.app))
+    models, sources, _ = decode_cache(layout, dist_tag)
+    report = analyze_cross_isa(models, sources, args.target, app=args.app)
+    c_add, c_del = report.comtainer_changes
+    x_add, x_del = report.xbuild_changes
+    print(f"app              : {report.app}")
+    print(f"can cross        : {report.can_cross}")
+    print(f"ISA-flag commands: {report.flag_lines}")
+    print(f"inline asm       : {report.asm_guarded} guarded, "
+          f"{report.asm_unguarded} unguarded")
+    print(f"coMtainer changes: +{c_add}/-{c_del}")
+    print(f"xbuild changes   : +{x_add}/-{x_del}")
+    return 0 if report.can_cross else 1
+
+
+def cmd_inspect(args: argparse.Namespace) -> int:
+    from repro.apps import get_app
+    from repro.containers import ContainerEngine
+    from repro.core.cache.storage import extended_tag
+    from repro.core.workflow import build_extended_image
+    from repro.oci.inspect import inspect_image
+
+    user = ContainerEngine(arch="amd64")
+    layout, dist_tag = build_extended_image(user, get_app(args.app))
+    tag = extended_tag(dist_tag) if args.extended else dist_tag
+    summary = inspect_image(layout.resolve(tag))
+    print(f"image: {tag}")
+    print(summary.render())
+    return 0
+
+
+def cmd_tables(args: argparse.Namespace) -> int:
+    from repro.reporting import render_table, table1_rows, table2_rows
+
+    print(render_table(["", "x86_64", "aarch64"], table1_rows()))
+    print()
+    print(render_table(["App", "Wkld", "LoC"], table2_rows()))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="comtainer-demo",
+        description="coMtainer (SC'25) reproduction demo CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("schemes", help="measure a workload under all schemes")
+    p.add_argument("workload")
+    p.add_argument("--system", choices=sorted(SYSTEMS), default="x86")
+    p.set_defaults(fn=cmd_schemes)
+
+    p = sub.add_parser("adapt", help="run the coMtainer workflow for an app")
+    p.add_argument("app")
+    p.add_argument("--system", choices=sorted(SYSTEMS), default="x86")
+    p.add_argument("--lto", action="store_true")
+    p.add_argument("--pgo", metavar="WORKLOAD", default=None)
+    p.set_defaults(fn=cmd_adapt)
+
+    p = sub.add_parser("analyze", help="show an app's process models")
+    p.add_argument("app")
+    p.set_defaults(fn=cmd_analyze)
+
+    p = sub.add_parser("crossisa", help="cross-ISA feasibility analysis")
+    p.add_argument("app")
+    p.add_argument("--target", choices=["x86-64", "aarch64"], default="aarch64")
+    p.set_defaults(fn=cmd_crossisa)
+
+    p = sub.add_parser("inspect", help="inspect an app image's layer stack")
+    p.add_argument("app")
+    p.add_argument("--extended", action="store_true",
+                   help="inspect the +coM extended image instead")
+    p.set_defaults(fn=cmd_inspect)
+
+    p = sub.add_parser("tables", help="print Tables 1 and 2")
+    p.set_defaults(fn=cmd_tables)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

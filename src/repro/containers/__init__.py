@@ -1,0 +1,32 @@
+"""Container engine substrate (a buildah/podman simulacrum).
+
+Provides multi-stage Containerfile builds, containers over the virtual
+filesystem, a simulated userland (shell + coreutils + apt + toolchain
+entry points), commit-to-layer semantics, and the command hijacker that
+records the raw build process for coMtainer's front-end.
+"""
+
+from repro.containers.container import (
+    Container,
+    ProcessContext,
+    ProgramError,
+    RunResult,
+)
+from repro.containers.dockerfile import ContainerfileError, Stage, parse_containerfile
+from repro.containers.engine import ContainerEngine, EngineError, StoredImage
+from repro.containers.hijack import install_hijackers, TRACE_PATH
+
+__all__ = [
+    "Container",
+    "ContainerEngine",
+    "ContainerfileError",
+    "EngineError",
+    "ProcessContext",
+    "ProgramError",
+    "RunResult",
+    "Stage",
+    "StoredImage",
+    "TRACE_PATH",
+    "install_hijackers",
+    "parse_containerfile",
+]

@@ -1,0 +1,105 @@
+"""Containers, process contexts and run results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.oci.image import ImageConfig
+from repro.vfs import VirtualFilesystem
+from repro.vfs import paths as vpath
+
+ARCH_ISA = {"amd64": "x86-64", "arm64": "aarch64"}
+
+DEFAULT_PATH = "/usr/local/bin:/usr/bin:/bin:/usr/sbin:/sbin:/opt/intel/bin:/opt/phytium/bin"
+
+
+class ProgramError(Exception):
+    """A simulated program failed; message is its stderr diagnostic."""
+
+
+@dataclass
+class RunResult:
+    """Outcome of executing a command in a container."""
+
+    exit_code: int = 0
+    stdout: str = ""
+    stderr: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.exit_code == 0
+
+    def check(self) -> "RunResult":
+        if not self.ok:
+            raise ProgramError(self.stderr or f"command failed with {self.exit_code}")
+        return self
+
+
+@dataclass
+class Container:
+    """A writable instance of an image plus runtime state."""
+
+    id: str
+    name: str
+    image_ref: str
+    arch: str
+    fs: VirtualFilesystem
+    base_fs: VirtualFilesystem
+    config: ImageConfig
+    mounts: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def isa(self) -> str:
+        return ARCH_ISA.get(self.arch, "x86-64")
+
+    def environment(self) -> Dict[str, str]:
+        env = {"PATH": DEFAULT_PATH, "HOME": "/root"}
+        env.update(self.config.env_dict())
+        return env
+
+    def mount_at(self, path: str) -> Optional[Any]:
+        return self.mounts.get(vpath.normalize(path))
+
+
+@dataclass
+class ProcessContext:
+    """Everything a simulated program sees when it runs."""
+
+    engine: Any                     # ContainerEngine (untyped to avoid cycle)
+    container: Container
+    argv: List[str]
+    env: Dict[str, str]
+    cwd: str
+    meta: Dict[str, Any] = field(default_factory=dict)   # program marker metadata
+    _stdout: List[str] = field(default_factory=list)
+
+    @property
+    def fs(self) -> VirtualFilesystem:
+        return self.container.fs
+
+    @property
+    def isa(self) -> str:
+        return self.container.isa
+
+    def resolve(self, path: str) -> str:
+        return vpath.join(self.cwd, path)
+
+    def write(self, text: str) -> None:
+        self._stdout.append(text)
+
+    def writeline(self, text: str = "") -> None:
+        self._stdout.append(text + "\n")
+
+    def stdout(self) -> str:
+        return "".join(self._stdout)
+
+    def arg_after(self, flag: str) -> Optional[str]:
+        """Value following *flag* in argv, if present."""
+        try:
+            index = self.argv.index(flag)
+        except ValueError:
+            return None
+        if index + 1 < len(self.argv):
+            return self.argv[index + 1]
+        return None

@@ -1,0 +1,143 @@
+"""Containerfile (Dockerfile) parsing.
+
+Supports the subset the coMtainer workflow needs (Figure 2 / Figure 6 of
+the paper): multi-stage ``FROM ... AS name``, ``RUN``, ``COPY`` (with
+``--from=stage``), ``ADD``, ``WORKDIR``, ``ENV``, ``ARG``, ``LABEL``,
+``ENTRYPOINT``/``CMD`` in shell or exec form, and comments/continuations.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+_INSTRUCTION_RE = re.compile(r"^\s*([A-Za-z]+)\s+(.*)$", re.DOTALL)
+
+SUPPORTED = {
+    "FROM", "RUN", "COPY", "ADD", "WORKDIR", "ENV", "ARG", "LABEL",
+    "ENTRYPOINT", "CMD", "EXPOSE", "USER", "VOLUME", "SHELL",
+}
+
+
+class ContainerfileError(Exception):
+    pass
+
+
+@dataclass
+class Instruction:
+    keyword: str
+    value: str
+    flags: Dict[str, str] = field(default_factory=dict)
+
+    def exec_form(self) -> Optional[List[str]]:
+        """Parse a JSON exec-form value (["prog", "arg"]) if present."""
+        text = self.value.strip()
+        if text.startswith("["):
+            try:
+                parsed = json.loads(text)
+            except json.JSONDecodeError as exc:
+                raise ContainerfileError(f"malformed exec form: {text!r}: {exc}")
+            if not isinstance(parsed, list) or not all(isinstance(x, str) for x in parsed):
+                raise ContainerfileError(f"exec form must be a string array: {text!r}")
+            return parsed
+        return None
+
+
+@dataclass
+class Stage:
+    base_ref: str
+    name: Optional[str] = None
+    index: int = 0
+    instructions: List[Instruction] = field(default_factory=list)
+
+    def ref_name(self) -> str:
+        return self.name if self.name is not None else str(self.index)
+
+
+def _logical_lines(text: str) -> List[str]:
+    lines: List[str] = []
+    pending = ""
+    for raw in text.split("\n"):
+        stripped = raw.strip()
+        if not pending and (not stripped or stripped.startswith("#")):
+            continue
+        line = pending + raw
+        if line.rstrip().endswith("\\"):
+            pending = line.rstrip()[:-1] + " "
+            continue
+        pending = ""
+        lines.append(line.strip())
+    if pending:
+        lines.append(pending.strip())
+    return lines
+
+
+def _parse_flags(value: str) -> (Dict[str, str], str):
+    """Peel leading ``--flag=value`` tokens off an instruction value."""
+    flags: Dict[str, str] = {}
+    rest = value
+    while True:
+        match = re.match(r"^--([a-z-]+)=(\S+)\s+(.*)$", rest, re.DOTALL)
+        if not match:
+            return flags, rest
+        flags[match.group(1)] = match.group(2)
+        rest = match.group(3)
+
+
+def parse_containerfile(text: str) -> List[Stage]:
+    """Parse a Containerfile into its build stages."""
+    stages: List[Stage] = []
+    current: Optional[Stage] = None
+    args: Dict[str, str] = {}
+
+    for line in _logical_lines(text):
+        match = _INSTRUCTION_RE.match(line)
+        if not match:
+            raise ContainerfileError(f"malformed instruction: {line!r}")
+        keyword = match.group(1).upper()
+        value = match.group(2).strip()
+        if keyword not in SUPPORTED:
+            raise ContainerfileError(f"unsupported instruction: {keyword}")
+
+        # ${ARG} substitution (build args declared before use).
+        for name, default in args.items():
+            value = value.replace("${" + name + "}", default).replace("$" + name, default)
+
+        if keyword == "ARG":
+            name, _, default = value.partition("=")
+            args[name.strip()] = default.strip()
+            continue
+
+        if keyword == "FROM":
+            flags, rest = _parse_flags(value)
+            parts = rest.split()
+            base = parts[0]
+            name = None
+            if len(parts) >= 3 and parts[1].lower() == "as":
+                name = parts[2]
+            elif len(parts) not in (1,):
+                raise ContainerfileError(f"malformed FROM: {value!r}")
+            current = Stage(base_ref=base, name=name, index=len(stages))
+            stages.append(current)
+            continue
+
+        if current is None:
+            raise ContainerfileError(f"{keyword} before any FROM")
+        flags, rest = _parse_flags(value)
+        current.instructions.append(Instruction(keyword=keyword, value=rest, flags=flags))
+
+    if not stages:
+        raise ContainerfileError("Containerfile has no FROM instruction")
+    return stages
+
+
+def find_stage(stages: List[Stage], target: Optional[str]) -> Stage:
+    """Locate the build target stage (by name, by index, or the last one)."""
+    if target is None:
+        return stages[-1]
+    for stage in stages:
+        if stage.name == target or str(stage.index) == target:
+            return stage
+    raise ContainerfileError(f"build target not found: {target!r}")

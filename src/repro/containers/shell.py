@@ -1,0 +1,210 @@
+"""Shell script execution inside containers.
+
+Executes scripts statement by statement with ``&&``/``||``/``;``
+semantics, variable assignment, ``cd``/``export``/``exit`` builtins,
+glob expansion against the virtual filesystem, and minimal output
+redirection.  A failing command aborts the script (``set -e``
+semantics) — which is what container build steps want.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from typing import Dict, List, Optional, Tuple
+
+from repro import shellparse
+from repro.containers.container import Container, ProgramError, RunResult
+from repro.vfs import paths as vpath
+
+
+class Shell:
+    def __init__(self, engine, container: Container) -> None:
+        self.engine = engine
+        self.container = container
+
+    # ------------------------------------------------------------------
+
+    def run_script(
+        self,
+        script: str,
+        env: Optional[Dict[str, str]] = None,
+        cwd: str = "/",
+    ) -> RunResult:
+        env = dict(env if env is not None else self.container.environment())
+        state = _ShellState(env=env, cwd=cwd)
+        stdout_parts: List[str] = []
+        last = RunResult()
+        for statement in shellparse.split_statements(script):
+            try:
+                groups = shellparse.parse_statement_lazy(statement)
+            except shellparse.ShellSyntaxError as exc:
+                return RunResult(exit_code=2, stdout="".join(stdout_parts),
+                                 stderr=f"sh: {exc}")
+            previous_ok = True
+            first = True
+            for connector, tokens in groups:
+                if not first:
+                    if connector == shellparse.OP_AND and not previous_ok:
+                        continue
+                    if connector == shellparse.OP_OR and previous_ok:
+                        continue
+                first = False
+                last = self._run_simple(tokens, state)
+                stdout_parts.append(last.stdout)
+                previous_ok = last.ok
+                if state.exited:
+                    return RunResult(exit_code=state.exit_code,
+                                     stdout="".join(stdout_parts),
+                                     stderr=last.stderr)
+            # set -e semantics between statements.
+            if not last.ok:
+                return RunResult(exit_code=last.exit_code,
+                                 stdout="".join(stdout_parts), stderr=last.stderr)
+        return RunResult(exit_code=last.exit_code, stdout="".join(stdout_parts),
+                         stderr=last.stderr)
+
+    # ------------------------------------------------------------------
+
+    def _run_simple(
+        self, tokens: List[shellparse.WordToken], state: "_ShellState"
+    ) -> RunResult:
+        try:
+            argv, redirect = self._expand(tokens, state)
+        except shellparse.ShellSyntaxError as exc:
+            return RunResult(exit_code=2, stderr=f"sh: {exc}")
+        if not argv:
+            return RunResult()
+
+        # Leading VAR=value assignments.
+        assignments: List[Tuple[str, str]] = []
+        while argv and _is_assignment(argv[0]):
+            name, _, value = argv[0].partition("=")
+            assignments.append((name, value))
+            argv = argv[1:]
+        if not argv:
+            for name, value in assignments:
+                state.env[name] = value
+            return RunResult()
+
+        command = argv[0]
+        if command == "cd":
+            return self._builtin_cd(argv, state)
+        if command == "export":
+            for item in argv[1:]:
+                if "=" in item:
+                    name, _, value = item.partition("=")
+                    state.env[name] = value
+            return RunResult()
+        if command == "set":
+            return RunResult()  # set -e is already the default behaviour
+        if command == "exit":
+            state.exited = True
+            try:
+                state.exit_code = int(argv[1]) if len(argv) > 1 else 0
+            except ValueError:
+                state.exit_code = 2
+            return RunResult(exit_code=state.exit_code)
+        if command == "unset":
+            for name in argv[1:]:
+                state.env.pop(name, None)
+            return RunResult()
+        if command in (":", "true"):
+            return RunResult()
+
+        env = dict(state.env)
+        env.update(assignments)
+        result = self.engine.exec_in(self.container, argv, env=env, cwd=state.cwd)
+        return self._apply_redirect(result, redirect, state)
+
+    # ------------------------------------------------------------------
+
+    def _expand(
+        self, tokens: List[shellparse.WordToken], state: "_ShellState"
+    ) -> Tuple[List[str], Optional[Tuple[str, str]]]:
+        """Expand variables/globs and peel off output redirection."""
+        expanded = [token.expanded(state.env) for token in tokens]
+        words: List[str] = []
+        redirect: Optional[Tuple[str, str]] = None
+        i = 0
+        while i < len(expanded):
+            text, may_glob = expanded[i]
+            if text in (">", ">>") and i + 1 < len(expanded):
+                redirect = (text, expanded[i + 1][0])
+                i += 2
+                continue
+            if text.startswith((">", ">>")) and len(text) > 1 and not may_glob:
+                op = ">>" if text.startswith(">>") else ">"
+                redirect = (op, text[len(op):])
+                i += 1
+                continue
+            if text in ("2>/dev/null", "2>&1", "&>/dev/null"):
+                i += 1
+                continue
+            if may_glob:
+                matches = self._glob(text, state.cwd)
+                words.extend(matches if matches else [text])
+            else:
+                words.append(text)
+            i += 1
+        return words, redirect
+
+    def _glob(self, pattern: str, cwd: str) -> List[str]:
+        fs = self.container.fs
+        directory, _, name_pattern = vpath.join(cwd, pattern).rpartition("/")
+        directory = directory or "/"
+        if any(c in directory for c in "*?"):
+            return []  # directory-component globs unsupported
+        if not fs.is_dir(directory):
+            return []
+        matches = sorted(
+            name for name in fs.listdir(directory)
+            if fnmatch.fnmatchcase(name, name_pattern)
+        )
+        if pattern.startswith("/") or "/" in pattern:
+            prefix = pattern.rpartition("/")[0]
+            return [f"{prefix}/{m}" for m in matches]
+        return matches
+
+    def _apply_redirect(
+        self,
+        result: RunResult,
+        redirect: Optional[Tuple[str, str]],
+        state: "_ShellState",
+    ) -> RunResult:
+        if redirect is None or not result.ok:
+            return result
+        op, target = redirect
+        path = vpath.join(state.cwd, target)
+        data = result.stdout.encode("utf-8")
+        if op == ">>" and self.container.fs.exists(path):
+            data = self.container.fs.read_file(path) + data
+        self.container.fs.write_file(path, data, create_parents=True)
+        return RunResult(exit_code=result.exit_code, stdout="", stderr=result.stderr)
+
+    def _builtin_cd(self, argv: List[str], state: "_ShellState") -> RunResult:
+        target = argv[1] if len(argv) > 1 else state.env.get("HOME", "/")
+        path = vpath.join(state.cwd, target)
+        if not self.container.fs.is_dir(path):
+            return RunResult(exit_code=1, stderr=f"cd: {target}: No such file or directory")
+        state.cwd = path
+        state.env["PWD"] = path
+        return RunResult()
+
+
+class _ShellState:
+    __slots__ = ("env", "cwd", "exited", "exit_code")
+
+    def __init__(self, env: Dict[str, str], cwd: str) -> None:
+        self.env = env
+        self.cwd = cwd
+        self.exited = False
+        self.exit_code = 0
+
+
+def _is_assignment(word: str) -> bool:
+    if "=" not in word:
+        return False
+    name = word.split("=", 1)[0]
+    return bool(name) and (name[0].isalpha() or name[0] == "_") and all(
+        c.isalnum() or c == "_" for c in name
+    )

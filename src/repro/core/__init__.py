@@ -1,0 +1,50 @@
+"""coMtainer: the paper's primary contribution.
+
+A compilation-assisted image transformation framework:
+
+* :mod:`repro.core.models` — the process models (§4.3): image model,
+  build graph model, compilation models.
+* :mod:`repro.core.frontend` — user-side analysis: parse the recorded raw
+  build process into models (``coMtainer-build``).
+* :mod:`repro.core.cache` — the cache layer: models + sources embedded
+  into the image as an extra OCI layer (the *extended image*, ``+coM``).
+* :mod:`repro.core.backend` — system-side rebuild (``coMtainer-rebuild``,
+  ``+coMre``) and redirect (``coMtainer-redirect``) producing the final
+  optimized image.
+* :mod:`repro.core.adapters` — system adapters (extensible plugins).
+* :mod:`repro.core.optimizations` — LTO scope control and the automated
+  PGO feedback loop.
+* :mod:`repro.core.crossisa` — the cross-ISA study (§5.5).
+* :mod:`repro.core.images` — the Env / Base / Sysenv / Rebase images.
+* :mod:`repro.core.workflow` — end-to-end orchestration of Figure 5.
+"""
+
+from repro.core.models import (
+    BuildGraph,
+    BuildNode,
+    CompilationStep,
+    FileOrigin,
+    ImageModel,
+    ProcessModels,
+)
+from repro.core.workflow import (
+    ComtainerSession,
+    build_extended_image,
+    build_native,
+    measure_schemes,
+    system_side_adapt,
+)
+
+__all__ = [
+    "BuildGraph",
+    "BuildNode",
+    "CompilationStep",
+    "ComtainerSession",
+    "FileOrigin",
+    "ImageModel",
+    "ProcessModels",
+    "build_extended_image",
+    "build_native",
+    "measure_schemes",
+    "system_side_adapt",
+]

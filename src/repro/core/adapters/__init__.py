@@ -1,0 +1,29 @@
+"""System adapters: extensible, system-specific transformation plugins."""
+
+from repro.core.adapters.base import (
+    AdapterError,
+    LibraryReplacement,
+    RebuildOptions,
+    SystemAdapter,
+)
+from repro.core.adapters.builtin import (
+    GnuNativeAdapter,
+    LlvmAdapter,
+    VendorAdapter,
+    adapter_for_system,
+    get_adapter,
+    register_adapter,
+)
+
+__all__ = [
+    "AdapterError",
+    "GnuNativeAdapter",
+    "LibraryReplacement",
+    "LlvmAdapter",
+    "RebuildOptions",
+    "SystemAdapter",
+    "VendorAdapter",
+    "adapter_for_system",
+    "get_adapter",
+    "register_adapter",
+]

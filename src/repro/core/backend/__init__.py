@@ -1,0 +1,16 @@
+"""System-side back-end: rebuild and redirect."""
+
+from repro.core.backend.rebuild import RebuildError, rebuild_in_container
+from repro.core.backend.redirect import redirect_in_container
+from repro.core.backend.replacement import apply_replacements, install_runtime
+from repro.core.backend.verify import VerificationReport, verify_redirected_image
+
+__all__ = [
+    "RebuildError",
+    "VerificationReport",
+    "apply_replacements",
+    "install_runtime",
+    "rebuild_in_container",
+    "redirect_in_container",
+    "verify_redirected_image",
+]

@@ -1,0 +1,266 @@
+"""``coMtainer-rebuild``: system-side rebuilding (Figure 5, right).
+
+Runs in a rebuild container created from the Sysenv image, with the
+extended image's layout mounted.  Decodes the cache, plans package
+replacement, prepares the environment, re-executes the (transformed)
+build graph with the system's native toolchain, and appends the rebuild
+layer as the ``<tag>+coMre`` manifest.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.containers.container import Container, ProgramError
+from repro.core.adapters.base import RebuildOptions, SystemAdapter
+from repro.core.backend.replacement import apply_replacements, install_runtime
+from repro.core.cache.storage import (
+    CacheError,
+    add_rebuild_manifest,
+    decode_cache,
+    decode_rebuild,
+    decode_rebuild_nodes,
+    encode_rebuild_layer,
+    find_dist_tag,
+)
+from repro.core.models.process import ProcessModels
+from repro.oci.layout import OCILayout
+from repro.pkg.apt import AptFacade
+from repro.vfs import RegularFile
+from repro.vfs.content import FileContent
+
+
+class RebuildError(Exception):
+    pass
+
+
+def _command_digest(argv: List[str], cwd: str) -> str:
+    import hashlib
+    import json as _json
+
+    return hashlib.sha256(
+        _json.dumps([argv, cwd], sort_keys=True).encode()
+    ).hexdigest()[:24]
+
+
+def rebuild_in_container(
+    engine,
+    container: Container,
+    models: ProcessModels,
+    sources: Dict[str, FileContent],
+    adapter: SystemAdapter,
+    options: RebuildOptions,
+    previous: Optional[Tuple[Dict[str, str], Dict[str, FileContent]]] = None,
+) -> Tuple[dict, Dict[str, FileContent], Dict[str, int], Dict[str, FileContent]]:
+    """Execute the transformed build; returns (meta, files, modes, node_files).
+
+    *previous* is a prior rebuild's (node command digests, node outputs):
+    nodes whose transformed command is unchanged reuse their previous
+    output instead of re-executing — rebuilds "can be performed many
+    times during the image's lifetime" (§4.1) without paying full cost.
+    """
+    models = models.clone()   # adapters operate on independent copies (§4.2)
+    fs = container.fs
+    pool = engine.repository_pool_for(container)
+    apt = AptFacade(fs, pool)
+
+    # 1. Package replacement plan + environment preparation.
+    plan = adapter.plan_replacements(models.image, pool)
+    install_runtime(apt, models.image.packages, plan)
+    links = apply_replacements(fs, apt, plan)
+
+    # 2. Materialize the cached sources at their original build paths.
+    for path, content in sources.items():
+        fs.write_file(path, content, create_parents=True)
+
+    # 3. Re-execute the build graph, dependencies first, transformed.
+    # One command can produce several nodes (multi-source compiles), so
+    # commands are deduplicated; LTO scope is command-granular — a command
+    # is in scope when any of its output nodes is.
+    executed: List[str] = []
+    reused: List[str] = []
+    reused_set: set = set()
+    node_commands: Dict[str, str] = {}
+    prev_commands, prev_outputs = previous if previous is not None else ({}, {})
+    # Original command identity -> ("executed"|"reused", transformed digest).
+    command_status: Dict[tuple, Tuple[str, str]] = {}
+    scope = set(options.lto_scope or [])
+
+    # PGO profile *data* is a build input: salt the command digests with
+    # its content so new profile bytes at the same path invalidate reuse.
+    profile_salt = ""
+    if options.pgo == "use" and options.pgo_profile_path:
+        profile_node = fs.try_get_node(options.pgo_profile_path)
+        if isinstance(profile_node, RegularFile):
+            profile_salt = profile_node.content.digest
+
+    def restore_output(node_path: str) -> None:
+        fs.write_file(node_path, prev_outputs[node_path],
+                      mode=0o755, create_parents=True)
+
+    for node in models.graph.topo_order():
+        if node.step is None:
+            continue
+        key = (tuple(node.step.argv), node.step.cwd)
+        if key in command_status:
+            # A sibling output of an already-handled multi-source command.
+            status, digest = command_status[key]
+            node_commands[node.id] = digest
+            if status == "reused" and node.path in prev_outputs:
+                restore_output(node.path)
+            if status == "reused":
+                reused.append(node.id)
+                reused_set.add(node.id)
+            else:
+                executed.append(node.id)
+            continue
+        scope_id = node.id
+        if scope and node.id not in scope:
+            for sibling in models.graph:
+                if sibling.step is not None and (
+                    tuple(sibling.step.argv), sibling.step.cwd
+                ) == key and sibling.id in scope:
+                    scope_id = sibling.id
+                    break
+        step = adapter.transform_step(node.step, options, node_id=scope_id)
+        digest = _command_digest(
+            step.argv + ([profile_salt] if profile_salt else []), step.cwd
+        )
+        node_commands[node.id] = digest
+        # Reusable only when the transformed command is unchanged AND every
+        # produced dependency was itself reused — an unchanged `ar` command
+        # over re-compiled objects must re-run (its inputs differ).
+        deps_unchanged = all(
+            (dep_node := models.graph.try_get(dep)) is None
+            or not dep_node.is_produced
+            or dep in reused_set
+            for dep in node.deps
+        )
+        if (
+            deps_unchanged
+            and prev_commands.get(node.id) == digest
+            and node.path in prev_outputs
+        ):
+            restore_output(node.path)
+            reused.append(node.id)
+            reused_set.add(node.id)
+            command_status[key] = ("reused", digest)
+            continue
+        fs.makedirs(step.cwd)
+        env = container.environment()
+        env.update(step.env)
+        result = engine.exec_in(container, step.argv, env=env, cwd=step.cwd)
+        if not result.ok:
+            raise RebuildError(
+                f"rebuild of {node.id} failed: {result.stderr or result.stdout}"
+            )
+        executed.append(node.id)
+        command_status[key] = ("executed", digest)
+
+    # 4. Collect rebuilt artifacts for every BUILD file of the dist image.
+    files: Dict[str, FileContent] = {}
+    modes: Dict[str, int] = {}
+    for dist_path, node_id in models.image.build_outputs().items():
+        node = models.graph.try_get(node_id)
+        if node is None:
+            continue
+        rebuilt = fs.try_get_node(node.path)
+        if not isinstance(rebuilt, RegularFile):
+            raise RebuildError(f"rebuilt artifact missing: {node.path}")
+        files[dist_path] = rebuilt.content
+        modes[dist_path] = rebuilt.mode
+
+    # Every produced node's output, for incremental future rebuilds.
+    node_files: Dict[str, FileContent] = {}
+    for node in models.graph:
+        if node.step is None:
+            continue
+        produced = fs.try_get_node(node.path)
+        if isinstance(produced, RegularFile):
+            node_files[node.path] = produced.content
+
+    meta = {
+        "adapter": adapter.name,
+        "system": adapter.system.key,
+        "options": options.to_json(),
+        "replacements": [r.to_json() for r in plan],
+        "compat_links": links,
+        "runtime_packages": list(models.image.packages),
+        "entrypoint": list(models.image.entrypoint),
+        "executed_nodes": executed,
+        "reused_nodes": reused,
+        "node_commands": node_commands,
+    }
+    return meta, files, modes, node_files
+
+
+def comtainer_rebuild_entry(ctx) -> int:
+    """The ``coMtainer-rebuild`` program (runs in the rebuild container)."""
+    from repro.core.adapters.builtin import get_adapter
+    from repro.core.frontend.build import IO_MOUNT
+    from repro.sysmodel import system_for_arch
+
+    layout = ctx.container.mount_at(IO_MOUNT)
+    if not isinstance(layout, OCILayout):
+        raise ProgramError(f"coMtainer-rebuild: no OCI layout mounted at {IO_MOUNT}")
+
+    options, adapter_name = _parse_args(ctx.argv[1:])
+    system = system_for_arch(ctx.container.arch)
+    adapter = get_adapter(adapter_name, system)
+
+    try:
+        dist_tag = find_dist_tag(layout)
+    except CacheError as exc:
+        raise ProgramError(f"coMtainer-rebuild: {exc}")
+    try:
+        models, sources, _resolved = decode_cache(layout, dist_tag)
+    except Exception as exc:
+        raise ProgramError(f"coMtainer-rebuild: {exc}")
+    previous = decode_rebuild_nodes(layout, dist_tag)
+    try:
+        meta, files, modes, node_files = rebuild_in_container(
+            ctx.engine, ctx.container, models, sources, adapter, options,
+            previous=previous,
+        )
+    except RebuildError as exc:
+        raise ProgramError(f"coMtainer-rebuild: {exc}")
+    layer = encode_rebuild_layer(meta, files, modes, node_files=node_files)
+    tag = add_rebuild_manifest(layout, dist_tag, layer)
+    ctx.writeline(
+        f"coMtainer-rebuild: rebuilt {len(meta['executed_nodes'])} nodes "
+        f"({len(meta['reused_nodes'])} reused) "
+        f"with adapter {adapter.name!r}, tagged {tag}"
+    )
+    for replacement in meta["replacements"]:
+        ctx.writeline(
+            f"coMtainer-rebuild: replaced {replacement['generic']} "
+            f"-> {replacement['optimized']}"
+        )
+    return 0
+
+
+def _parse_args(args: List[str]) -> Tuple[RebuildOptions, str]:
+    options = RebuildOptions()
+    adapter_name = "vendor"
+    i = 0
+    while i < len(args):
+        arg = args[i]
+        if arg == "--lto":
+            options.lto = True
+        elif arg.startswith("--lto-scope="):
+            options.lto = True
+            options.lto_scope = [s for s in arg.split("=", 1)[1].split(",") if s]
+        elif arg.startswith("--pgo="):
+            options.pgo = arg.split("=", 1)[1]
+        elif arg.startswith("--pgo-profile="):
+            options.pgo_profile_path = arg.split("=", 1)[1]
+        elif arg == "--relax-isa":
+            options.relax_isa = True
+        elif arg.startswith("--adapter="):
+            adapter_name = arg.split("=", 1)[1]
+        else:
+            raise ProgramError(f"coMtainer-rebuild: unknown option {arg!r}")
+        i += 1
+    if options.pgo not in ("off", "instrument", "use"):
+        raise ProgramError(f"coMtainer-rebuild: bad --pgo value {options.pgo!r}")
+    return options, adapter_name

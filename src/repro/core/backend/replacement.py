@@ -1,0 +1,95 @@
+"""Package replacement mechanics (the `libo` effect of Figure 3).
+
+Replacement keeps the image's *paths* stable: the generic package is
+removed and every library path it used to provide becomes a symlink to
+the optimized package's library.  Binaries that recorded the generic
+path keep resolving — now to the optimized code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.core.adapters.base import LibraryReplacement
+from repro.pkg.apt import AptFacade
+from repro.pkg.repository import RepositoryPool
+from repro.vfs import VirtualFilesystem
+from repro.vfs import paths as vpath
+
+
+def install_runtime(
+    apt: AptFacade,
+    packages: Iterable[str],
+    replacements: List[LibraryReplacement],
+) -> List[str]:
+    """Install an image's runtime packages, swapping in replacements.
+
+    Generic packages with a planned replacement are *not* installed; the
+    optimized packages are.  Returns the names actually installed.
+    """
+    replaced = {r.generic for r in replacements}
+    to_install = [name for name in packages if name not in replaced]
+    to_install += [r.optimized for r in replacements]
+    installed: List[str] = []
+    for name in to_install:
+        if not apt.is_installed(name):
+            for pkg in apt.install([name]):
+                installed.append(pkg.name)
+    return installed
+
+
+def apply_replacements(
+    fs: VirtualFilesystem,
+    apt: AptFacade,
+    replacements: List[LibraryReplacement],
+) -> Dict[str, str]:
+    """Enact a replacement plan on a filesystem.
+
+    Ensures optimized packages are present, removes the generic ones, and
+    lays the compat symlinks.  Returns the symlink map actually created.
+    """
+    created: Dict[str, str] = {}
+    for replacement in replacements:
+        if not apt.is_installed(replacement.optimized):
+            apt.install([replacement.optimized])
+        if apt.is_installed(replacement.generic):
+            apt.remove(replacement.generic)
+        for generic_path, optimized_path in sorted(replacement.link_map.items()):
+            if not fs.lexists(optimized_path):
+                continue
+            if fs.lexists(generic_path):
+                fs.remove(generic_path, recursive=False, missing_ok=True)
+            fs.symlink(optimized_path, generic_path, create_parents=True)
+            created[generic_path] = optimized_path
+    return created
+
+
+def replacements_for_packages(
+    package_names: Iterable[str], pool: RepositoryPool
+) -> List[LibraryReplacement]:
+    """Plan replacements directly from package metadata (no image model).
+
+    Used by native builds on the system side, where no coMtainer cache
+    exists: each generic package's own library file list provides the
+    compat-link paths.
+    """
+    plan: List[LibraryReplacement] = []
+    for name in package_names:
+        candidates = pool.optimized_equivalents(name)
+        if not candidates:
+            continue
+        best = candidates[0]
+        generic = pool.latest(name)
+        link_map: Dict[str, str] = {}
+        optimized_libs = [f.path for f in best.files if f.kind == "library"]
+        if generic is not None and optimized_libs:
+            for pfile in generic.files:
+                if pfile.kind == "library":
+                    link_map[pfile.path] = optimized_libs[0]
+        plan.append(
+            LibraryReplacement(
+                generic=name, optimized=best.name,
+                quality=best.quality, link_map=link_map,
+            )
+        )
+    return plan

@@ -1,0 +1,27 @@
+"""Cache storage: the extra OCI layer carrying build-time data."""
+
+from repro.core.cache.storage import (
+    CACHE_ROOT,
+    CacheError,
+    add_cache_manifest,
+    add_rebuild_manifest,
+    decode_cache,
+    decode_rebuild,
+    encode_cache_layer,
+    extended_tag,
+    find_dist_tag,
+    rebuilt_tag,
+)
+
+__all__ = [
+    "CACHE_ROOT",
+    "CacheError",
+    "add_cache_manifest",
+    "add_rebuild_manifest",
+    "decode_cache",
+    "decode_rebuild",
+    "encode_cache_layer",
+    "extended_tag",
+    "find_dist_tag",
+    "rebuilt_tag",
+]

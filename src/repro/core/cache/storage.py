@@ -1,0 +1,245 @@
+"""The cache layer and the +coM / +coMre manifests.
+
+"The cache storage provides directory services to system adapters,
+encodes their data into new layer tarballs, generates new config.json and
+manifest.json files to mark the tarballs as new images so that the system
+side can pull them as needed.  Thanks to the layered nature of OCI
+images, the injection of additional data introduces no changes to the
+original image." (§4.5)
+
+Layout inside the cache layer::
+
+    /.coMtainer/cache/models.json        # the process models
+    /.coMtainer/cache/sources/<path>     # sources, at their build paths
+
+and inside a rebuild layer::
+
+    /.coMtainer/rebuild/meta.json        # replacement plan + options +
+                                         # per-node command digests
+    /.coMtainer/rebuild/files/<path>     # rebuilt artifacts, original paths
+    /.coMtainer/rebuild/nodes/<path>     # every produced node's output,
+                                         # enabling incremental re-rebuilds
+
+Tag conventions follow the artifact description: after ``coMtainer-build``
+the layout's index gains ``<tag>+coM``; after ``coMtainer-rebuild`` it
+gains ``<tag>+coMre``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.models.process import ProcessModels
+from repro.oci import mediatypes
+from repro.oci.blobs import Blob
+from repro.oci.image import ImageConfig, Manifest
+from repro.oci.layer import Layer, LayerEntry
+from repro.oci.layout import OCILayout, ResolvedImage
+from repro.vfs import VirtualFilesystem
+from repro.vfs import paths as vpath
+from repro.vfs.content import FileContent, InlineContent
+
+CACHE_ROOT = "/.coMtainer/cache"
+REBUILD_ROOT = "/.coMtainer/rebuild"
+
+SUFFIX_EXTENDED = mediatypes.TAG_SUFFIX_EXTENDED   # "+coM"
+SUFFIX_REBUILT = mediatypes.TAG_SUFFIX_REBUILT     # "+coMre"
+
+
+class CacheError(Exception):
+    pass
+
+
+def extended_tag(tag: str) -> str:
+    return tag + SUFFIX_EXTENDED
+
+
+def rebuilt_tag(tag: str) -> str:
+    return tag + SUFFIX_REBUILT
+
+
+def find_dist_tag(layout: OCILayout) -> str:
+    """The original application tag in a layout (no coMtainer suffix)."""
+    for tag in layout.tags():
+        if not tag.endswith((SUFFIX_EXTENDED, SUFFIX_REBUILT)):
+            return tag
+    raise CacheError("no application image tag found in layout index")
+
+
+# ---------------------------------------------------------------------------
+# encode
+# ---------------------------------------------------------------------------
+
+def encode_cache_layer(
+    models: ProcessModels, sources: Dict[str, FileContent]
+) -> Layer:
+    """Serialize models + sources into the cache layer."""
+    layer = Layer(comment="coMtainer cache layer")
+    layer.add(LayerEntry.directory("/.coMtainer"))
+    layer.add(LayerEntry.directory(CACHE_ROOT))
+    models_bytes = json.dumps(models.to_json(), sort_keys=True).encode("utf-8")
+    layer.add(LayerEntry.file(f"{CACHE_ROOT}/models.json", InlineContent(models_bytes)))
+    layer.add(LayerEntry.directory(f"{CACHE_ROOT}/sources"))
+    for path in sorted(sources):
+        layer.add(
+            LayerEntry.file(f"{CACHE_ROOT}/sources{vpath.normalize(path)}", sources[path])
+        )
+    return layer
+
+
+def _stacked_manifest(
+    base: ResolvedImage,
+    extra_layer: Layer,
+    kind: str,
+    history_note: str,
+) -> Tuple[Manifest, ImageConfig, List[Layer]]:
+    config = base.config.clone()
+    config.diff_ids.append(extra_layer.digest)
+    config.add_history(history_note)
+    layers = list(base.layers) + [extra_layer]
+    manifest = Manifest(
+        config=config.descriptor(),
+        layers=[Blob.from_layer(layer).descriptor() for layer in layers],
+        annotations={
+            mediatypes.ANNOTATION_COMTAINER_KIND: kind,
+            mediatypes.ANNOTATION_COMTAINER_BASE: base.manifest.digest,
+        },
+    )
+    return manifest, config, layers
+
+
+def add_cache_manifest(
+    layout: OCILayout, dist_tag: str, cache_layer: Layer
+) -> str:
+    """Append the extended-image manifest (``<tag>+coM``) to the layout."""
+    base = layout.resolve(dist_tag)
+    manifest, config, layers = _stacked_manifest(
+        base, cache_layer, kind="extended", history_note="coMtainer-build cache layer"
+    )
+    tag = extended_tag(dist_tag)
+    layout.add_manifest(manifest, config, layers, tag=tag)
+    return tag
+
+
+def add_rebuild_manifest(
+    layout: OCILayout, dist_tag: str, rebuild_layer: Layer
+) -> str:
+    """Append the rebuilt-image manifest (``<tag>+coMre``) to the layout."""
+    base = layout.resolve(extended_tag(dist_tag))
+    manifest, config, layers = _stacked_manifest(
+        base, rebuild_layer, kind="rebuilt", history_note="coMtainer-rebuild layer"
+    )
+    tag = rebuilt_tag(dist_tag)
+    layout.add_manifest(manifest, config, layers, tag=tag)
+    return tag
+
+
+def encode_rebuild_layer(
+    meta: Dict[str, Any],
+    files: Dict[str, FileContent],
+    modes: Dict[str, int],
+    node_files: Optional[Dict[str, FileContent]] = None,
+) -> Layer:
+    layer = Layer(comment="coMtainer rebuild layer")
+    layer.add(LayerEntry.directory("/.coMtainer"))
+    layer.add(LayerEntry.directory(REBUILD_ROOT))
+    meta_bytes = json.dumps(meta, sort_keys=True).encode("utf-8")
+    layer.add(LayerEntry.file(f"{REBUILD_ROOT}/meta.json", InlineContent(meta_bytes)))
+    layer.add(LayerEntry.directory(f"{REBUILD_ROOT}/files"))
+    for path in sorted(files):
+        layer.add(
+            LayerEntry.file(
+                f"{REBUILD_ROOT}/files{vpath.normalize(path)}",
+                files[path],
+                mode=modes.get(path, 0o644),
+            )
+        )
+    if node_files:
+        layer.add(LayerEntry.directory(f"{REBUILD_ROOT}/nodes"))
+        for path in sorted(node_files):
+            layer.add(
+                LayerEntry.file(
+                    f"{REBUILD_ROOT}/nodes{vpath.normalize(path)}",
+                    node_files[path],
+                )
+            )
+    return layer
+
+
+# ---------------------------------------------------------------------------
+# decode
+# ---------------------------------------------------------------------------
+
+def _subtree_files(fs: VirtualFilesystem, root: str) -> Dict[str, FileContent]:
+    out: Dict[str, FileContent] = {}
+    if not fs.is_dir(root):
+        return out
+    for path, node in fs.iter_files(root):
+        out["/" + vpath.relative_to(path, root)] = node.content
+    return out
+
+
+def decode_cache(
+    layout: OCILayout, dist_tag: str
+) -> Tuple[ProcessModels, Dict[str, FileContent], ResolvedImage]:
+    """Read models + sources from the extended image in a layout."""
+    tag = extended_tag(dist_tag)
+    if not layout.has_tag(tag):
+        raise CacheError(f"layout has no extended image {tag!r}; "
+                         "run coMtainer-build first")
+    resolved = layout.resolve(tag)
+    fs = resolved.filesystem()
+    models_path = f"{CACHE_ROOT}/models.json"
+    if not fs.exists(models_path):
+        raise CacheError("extended image has no cache layer models.json")
+    models = ProcessModels.from_json(json.loads(fs.read_text(models_path)))
+    sources = _subtree_files(fs, f"{CACHE_ROOT}/sources")
+    return models, sources, resolved
+
+
+def decode_rebuild(
+    layout: OCILayout, dist_tag: str
+) -> Tuple[Dict[str, Any], Dict[str, FileContent], Dict[str, int], ResolvedImage]:
+    """Read rebuild meta + rebuilt files from the ``+coMre`` image."""
+    tag = rebuilt_tag(dist_tag)
+    if not layout.has_tag(tag):
+        raise CacheError(f"layout has no rebuilt image {tag!r}; "
+                         "run coMtainer-rebuild first")
+    resolved = layout.resolve(tag)
+    fs = resolved.filesystem()
+    meta_path = f"{REBUILD_ROOT}/meta.json"
+    if not fs.exists(meta_path):
+        raise CacheError("rebuilt image has no rebuild meta.json")
+    meta = json.loads(fs.read_text(meta_path))
+    files_root = f"{REBUILD_ROOT}/files"
+    files = _subtree_files(fs, files_root)
+    modes: Dict[str, int] = {}
+    if fs.is_dir(files_root):
+        for path, node in fs.iter_files(files_root):
+            modes["/" + vpath.relative_to(path, files_root)] = node.mode
+    return meta, files, modes, resolved
+
+
+def decode_rebuild_nodes(
+    layout: OCILayout, dist_tag: str
+) -> Tuple[Dict[str, str], Dict[str, FileContent]]:
+    """Per-node command digests + node outputs of a previous rebuild.
+
+    Enables incremental re-rebuilds: "the rebuilding and redirecting can
+    be performed many times during the image's lifetime" (§4.1) — a node
+    whose transformed command is unchanged reuses its previous output.
+    Returns empty maps when no rebuilt image exists yet.
+    """
+    tag = rebuilt_tag(dist_tag)
+    if not layout.has_tag(tag):
+        return {}, {}
+    resolved = layout.resolve(tag)
+    fs = resolved.filesystem()
+    meta_path = f"{REBUILD_ROOT}/meta.json"
+    if not fs.exists(meta_path):
+        return {}, {}
+    meta = json.loads(fs.read_text(meta_path))
+    commands = dict(meta.get("node_commands", {}))
+    node_files = _subtree_files(fs, f"{REBUILD_ROOT}/nodes")
+    return commands, node_files

@@ -1,0 +1,15 @@
+"""Cross-ISA image transformation (paper §5.5, Figure 11)."""
+
+from repro.core.crossisa.analysis import (
+    CrossIsaReport,
+    IsaIssue,
+    analyze_cross_isa,
+    xbuild_line_changes,
+)
+
+__all__ = [
+    "CrossIsaReport",
+    "IsaIssue",
+    "analyze_cross_isa",
+    "xbuild_line_changes",
+]

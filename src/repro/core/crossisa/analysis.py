@@ -1,0 +1,203 @@
+"""Cross-ISA analysis of extended images.
+
+"If all the sources involved in building a container image are
+ISA-agnostic, and the application's direct dependencies have
+implementations across different ISAs, then coMtainer should be able to
+leverage the data in the cache layer to rebuild and redirect a container
+image from one ISA to another." (§5.5)
+
+This module analyzes a cache's process models + sources for a *different*
+target ISA: which build commands carry foreign machine flags (fixable by
+a one-line edit each), which sources contain inline assembly (portable
+when guarded with a fallback, blocking when not), and how many build
+script line changes coMtainer needs versus a conventional
+cross-compilation port (Figure 11's added/deleted bars).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.core.models.process import ProcessModels
+from repro.toolchain.options import is_isa_specific
+from repro.vfs.content import FileContent, InlineContent
+
+#: Fixed cost (lines) of a conventional cross-compilation port:
+#: cross-toolchain install (~14), sysroot/include/lib path plumbing (~9),
+#: dist-stage/base-image rework for the foreign arch (~8), emulation and
+#: smoke-test hooks (~8) — added; plus the removed original toolchain
+#: setup (~9).
+XBUILD_FIXED_ADDED = 39
+XBUILD_FIXED_DELETED = 9
+
+
+@dataclass(frozen=True)
+class IsaIssue:
+    kind: str          # "flag" | "inline-asm"
+    location: str      # node id or source path
+    detail: str
+    blocking: bool
+
+
+@dataclass
+class CrossIsaReport:
+    app: str
+    source_isa: str
+    target_isa: str
+    issues: List[IsaIssue] = field(default_factory=list)
+    flag_lines: int = 0
+    asm_guarded: int = 0
+    asm_unguarded: int = 0
+    command_count: int = 0
+
+    @property
+    def can_cross(self) -> bool:
+        """Crossable with minor build-script modifications (§5.5)."""
+        return self.asm_unguarded == 0
+
+    @property
+    def comtainer_changes(self) -> Tuple[int, int]:
+        """(added, deleted) build-script lines for the coMtainer port.
+
+        Each foreign-flag command is a one-line edit (1 add + 1 del);
+        each guarded asm source needs its guard audited (1-line edit);
+        plus one added line retargeting the base image reference.
+        """
+        edits = self.flag_lines + self.asm_guarded
+        return (edits + 1, edits)
+
+    @property
+    def comtainer_total(self) -> int:
+        """Figure 11's "lines changed": modified lines count once."""
+        return max(self.comtainer_changes)
+
+    @property
+    def xbuild_total(self) -> int:
+        return max(self.xbuild_changes)
+
+    @property
+    def xbuild_changes(self) -> Tuple[int, int]:
+        """(added, deleted) lines for a conventional cross-build port.
+
+        Fixed toolchain/sysroot scaffolding plus a triplet-prefix edit on
+        every build command, a flag edit per foreign-flag line, and a
+        guard/port per assembly source.
+        """
+        added = (
+            XBUILD_FIXED_ADDED
+            + self.command_count
+            + self.flag_lines
+            + 2 * (self.asm_guarded + self.asm_unguarded)
+        )
+        deleted = (
+            XBUILD_FIXED_DELETED
+            + self.command_count
+            + self.flag_lines
+            + (self.asm_guarded + self.asm_unguarded)
+        )
+        return (added, deleted)
+
+
+def scan_sources_for_isa(
+    sources: Dict[str, FileContent]
+) -> Dict[str, Dict[str, int]]:
+    """Per-source ISA-construct scan, suitable for model metadata.
+
+    Run by the front-end on clear sources; only non-trivial results are
+    recorded.
+    """
+    out: Dict[str, Dict[str, int]] = {}
+    for path in sorted(sources):
+        guarded, unguarded = _scan_source(path, sources[path])
+        if guarded or unguarded:
+            out[path] = {"guarded": guarded, "unguarded": unguarded}
+    return out
+
+
+def _scan_source(path: str, content: FileContent) -> Tuple[int, int]:
+    """(guarded, unguarded) inline-assembly occurrences in a source file.
+
+    Only materialized (inline) sources are scanned; bulk synthetic
+    sources carry no constructs by definition.
+    """
+    if not isinstance(content, InlineContent):
+        return (0, 0)
+    try:
+        text = content.read().decode("utf-8")
+    except UnicodeDecodeError:
+        return (0, 0)
+    if "__asm__" not in text and "asm volatile" not in text:
+        return (0, 0)
+    # A fallback branch (#else) next to the asm marks it portable.
+    return (1, 0) if "#else" in text else (0, 1)
+
+
+def analyze_cross_isa(
+    models: ProcessModels,
+    sources: Dict[str, FileContent],
+    target_isa: str,
+    app: str = "",
+) -> CrossIsaReport:
+    """Analyze an extended image's cache for rebuilding on *target_isa*.
+
+    Prefers the front-end's recorded ISA scan (model metadata) over
+    scanning source bytes — required when the cache is obfuscated.
+    """
+    source_isa = "x86-64" if target_isa == "aarch64" else "aarch64"
+    report = CrossIsaReport(app=app, source_isa=source_isa, target_isa=target_isa)
+
+    seen_steps = set()
+    for node in models.graph:
+        step = node.step
+        if step is None:
+            continue
+        # One command may produce several nodes (multi-source compiles)
+        # and survives serialization as per-node copies: dedup by content.
+        key = (tuple(step.argv), step.cwd)
+        if key in seen_steps:
+            continue
+        seen_steps.add(key)
+        report.command_count += 1
+        foreign = [
+            arg for arg in step.argv
+            if (pinned := is_isa_specific(arg)) is not None and pinned != target_isa
+        ]
+        if foreign:
+            report.flag_lines += 1
+            report.issues.append(
+                IsaIssue(
+                    kind="flag",
+                    location=node.id,
+                    detail=" ".join(foreign),
+                    blocking=False,
+                )
+            )
+
+    recorded_scan = models.metadata.get("isa_scan")
+    if recorded_scan is not None:
+        scan_items = [
+            (path, entry.get("guarded", 0), entry.get("unguarded", 0))
+            for path, entry in sorted(recorded_scan.items())
+        ]
+    else:
+        scan_items = [
+            (path, *_scan_source(path, sources[path])) for path in sorted(sources)
+        ]
+    for path, guarded, unguarded in scan_items:
+        report.asm_guarded += guarded
+        report.asm_unguarded += unguarded
+        if guarded or unguarded:
+            report.issues.append(
+                IsaIssue(
+                    kind="inline-asm",
+                    location=path,
+                    detail="guarded (portable fallback)" if guarded else "unguarded",
+                    blocking=bool(unguarded),
+                )
+            )
+    return report
+
+
+def xbuild_line_changes(report: CrossIsaReport) -> Tuple[int, int]:
+    return report.xbuild_changes

@@ -1,0 +1,34 @@
+"""Registration of the coMtainer toolset entry points.
+
+The toolset "is implemented as a set of Python scripts embedded within
+the Env, Sysenv, and Rebase images" (§4.2); here the three commands are
+simulated programs dispatched when a container executes
+``coMtainer-build`` / ``coMtainer-rebuild`` / ``coMtainer-redirect``.
+"""
+
+from __future__ import annotations
+
+from repro.containers.programs import register_program
+
+
+def _build(ctx):
+    from repro.core.frontend.build import comtainer_build_entry
+
+    return comtainer_build_entry(ctx)
+
+
+def _rebuild(ctx):
+    from repro.core.backend.rebuild import comtainer_rebuild_entry
+
+    return comtainer_rebuild_entry(ctx)
+
+
+def _redirect(ctx):
+    from repro.core.backend.redirect import comtainer_redirect_entry
+
+    return comtainer_redirect_entry(ctx)
+
+
+register_program("coMtainer-build", _build)
+register_program("coMtainer-rebuild", _rebuild)
+register_program("coMtainer-redirect", _redirect)

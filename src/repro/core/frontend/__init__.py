@@ -1,0 +1,11 @@
+"""User-side front-end: raw build process -> process models."""
+
+from repro.core.frontend.parser import FrontendError, graph_from_trace
+from repro.core.frontend.build import comtainer_build, analyze_build_container
+
+__all__ = [
+    "FrontendError",
+    "analyze_build_container",
+    "comtainer_build",
+    "graph_from_trace",
+]

@@ -1,0 +1,141 @@
+"""``coMtainer-build``: the user-side analysis step (Figure 5, left).
+
+Runs inside the build container after the two-stage build finished, with
+the dist image's OCI layout mounted at ``/.coMtainer/io``.  Reads the
+hijacker trace, constructs the process models, collects the sources the
+build consumed, and appends the cache layer to the layout as the
+``<tag>+coM`` extended image.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+from repro.containers.container import ProcessContext, ProgramError
+from repro.containers.hijack import read_trace
+from repro.core.cache.storage import (
+    CacheError,
+    add_cache_manifest,
+    encode_cache_layer,
+    find_dist_tag,
+)
+from repro.core.frontend.parser import graph_from_trace
+from repro.core.models.image_model import classify_image
+from repro.core.models.process import ProcessModels
+from repro.oci.apply import flatten_layers
+from repro.oci.layout import OCILayout
+from repro.vfs import RegularFile, VirtualFilesystem
+from repro.vfs.content import FileContent
+
+IO_MOUNT = "/.coMtainer/io"
+
+
+def analyze_build_container(
+    build_fs: VirtualFilesystem,
+    layout: OCILayout,
+    dist_tag: str,
+    obfuscate: bool = False,
+) -> Tuple[ProcessModels, Dict[str, FileContent]]:
+    """Produce process models + source map from a completed build.
+
+    With *obfuscate*, sources are stored scrambled (IP protection, §4.6);
+    the ISA-construct scan is recorded in the model metadata first so the
+    cross-ISA analysis keeps working on obfuscated caches.
+    """
+    records = read_trace(build_fs)
+    graph = graph_from_trace(records)
+
+    resolved = layout.resolve(dist_tag)
+    dist_fs = resolved.filesystem()
+
+    # The dist stage's own changes are its last layer; everything below is
+    # the base image the user chose (coMtainer's Base, standard-compatible).
+    base_fs = flatten_layers(resolved.layers[:-1]) if len(resolved.layers) > 1 \
+        else VirtualFilesystem()
+    base_paths: Set[str] = {
+        path for path, node in base_fs.iter_entries("/")
+        if isinstance(node, RegularFile)
+    }
+    from repro.pkg.rpm import read_package_database
+
+    base_packages = set(read_package_database(base_fs).names())
+
+    # Content-digest index of everything the build produced, so BUILD files
+    # are recognized in the dist image no matter where COPY placed them.
+    digest_index: Dict[str, str] = {}
+    for node in graph:
+        if not node.is_produced:
+            continue
+        file_node = build_fs.try_get_node(node.path)
+        if isinstance(file_node, RegularFile):
+            digest_index[file_node.content.digest] = node.id
+
+    image_model = classify_image(
+        dist_fs,
+        base_paths=base_paths,
+        base_packages=base_packages,
+        build_digest_index=digest_index,
+        entrypoint=resolved.config.entrypoint,
+        architecture=resolved.config.architecture,
+    )
+
+    toolchains = sorted(
+        {n.step.toolchain for n in graph if n.step is not None and n.step.toolchain}
+    )
+    models = ProcessModels(
+        image=image_model,
+        graph=graph,
+        metadata={
+            "dist_tag": dist_tag,
+            "architecture": resolved.config.architecture,
+            "build_toolchains": toolchains,
+            "trace_records": len(records),
+        },
+    )
+
+    sources: Dict[str, FileContent] = {}
+    for path in graph.source_paths():
+        node = build_fs.try_get_node(path)
+        if isinstance(node, RegularFile):
+            sources[path] = node.content
+
+    # The ISA-construct scan is performed on the *clear* sources and kept
+    # in the models, so obfuscation does not blind the cross-ISA study.
+    from repro.core.crossisa.analysis import scan_sources_for_isa
+
+    models.metadata["isa_scan"] = scan_sources_for_isa(sources)
+    if obfuscate:
+        from repro.core.cache.obfuscate import obfuscate_sources
+
+        sources = obfuscate_sources(sources)
+        models.metadata["sources_obfuscated"] = True
+    return models, sources
+
+
+def comtainer_build_entry(ctx: ProcessContext) -> int:
+    """The ``coMtainer-build`` program (runs in the build container)."""
+    layout = ctx.container.mount_at(IO_MOUNT)
+    if not isinstance(layout, OCILayout):
+        raise ProgramError(
+            f"coMtainer-build: no OCI layout mounted at {IO_MOUNT}"
+        )
+    try:
+        dist_tag = find_dist_tag(layout)
+    except CacheError as exc:
+        raise ProgramError(f"coMtainer-build: {exc}")
+    obfuscate = "--obfuscate" in ctx.argv[1:]
+    models, sources = analyze_build_container(
+        ctx.fs, layout, dist_tag, obfuscate=obfuscate
+    )
+    layer = encode_cache_layer(models, sources)
+    tag = add_cache_manifest(layout, dist_tag, layer)
+    summary = models.summary()
+    ctx.writeline(f"coMtainer-build: analyzed {summary['nodes']} build nodes, "
+                  f"{summary['sources']} sources")
+    ctx.writeline(f"coMtainer-build: cache layer {layer.digest[:19]} "
+                  f"({layer.payload_size} bytes), tagged {tag}")
+    return 0
+
+
+# Re-export under the name the package __init__ expects.
+comtainer_build = comtainer_build_entry

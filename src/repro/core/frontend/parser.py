@@ -1,0 +1,119 @@
+"""Parsing the raw build process into the build graph model.
+
+"coMtainer's front end generates build process models by parsing the raw
+build process, which is the recorded history of executed command lines
+during the building process" (§4.5).  Each trace record (captured by the
+command hijacker) becomes zero or more build-graph nodes: compile
+commands produce object nodes, archive commands produce archive nodes,
+link commands produce shared-object/executable nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.core.models.build_graph import (
+    BuildGraph,
+    BuildNode,
+    KIND_ARCHIVE,
+    KIND_EXECUTABLE,
+    KIND_OBJECT,
+    KIND_SHARED,
+    kind_for_path,
+)
+from repro.core.models.compilation import CompilationStep
+from repro.toolchain import cli
+from repro.vfs import paths as vpath
+
+
+class FrontendError(Exception):
+    pass
+
+
+def _step_from_record(record: Dict[str, Any]) -> CompilationStep:
+    return CompilationStep(
+        argv=list(record.get("argv", [])),
+        cwd=record.get("cwd", "/"),
+        env=dict(record.get("env", {})),
+        tool=record.get("program", "compiler-driver"),
+        meta=dict(record.get("meta", {})),
+    )
+
+
+def _add_compile_nodes(graph: BuildGraph, step: CompilationStep) -> None:
+    inv = step.invocation()
+    cwd = step.cwd
+
+    def resolve(path: str) -> str:
+        return vpath.join(cwd, path)
+
+    if inv.mode in (cli.MODE_INFO, cli.MODE_PREPROCESS, cli.MODE_ASSEMBLE):
+        return
+
+    if inv.mode == cli.MODE_COMPILE:
+        for source in inv.sources:
+            source_node = graph.ensure(resolve(source))
+            if inv.output:
+                out = resolve(inv.output)
+            else:
+                out = resolve(source.rsplit("/", 1)[-1].rsplit(".", 1)[0] + ".o")
+            graph.add(
+                BuildNode(
+                    id=out, kind=KIND_OBJECT, path=out,
+                    deps=[source_node.id], step=step,
+                )
+            )
+        return
+
+    # Link.
+    deps: List[str] = []
+    for path in inv.sources + inv.objects + inv.archives + inv.shared_inputs:
+        deps.append(graph.ensure(resolve(path)).id)
+    out = resolve(inv.effective_output())
+    kind = KIND_SHARED if inv.shared else KIND_EXECUTABLE
+    graph.add(
+        BuildNode(
+            id=out, kind=kind, path=out, deps=deps, step=step,
+            metadata={
+                "libs": list(inv.libs) + (["mpi"] if step.mpi_wrapper else []),
+                "lib_dirs": list(inv.lib_dirs),
+            },
+        )
+    )
+
+
+def _add_archive_node(graph: BuildGraph, step: CompilationStep) -> None:
+    argv = step.argv
+    if len(argv) < 3:
+        return
+    ops = argv[1].lstrip("-")
+    if not ("r" in ops or "q" in ops):
+        return  # listing/extracting does not create nodes
+    archive = vpath.join(step.cwd, argv[2])
+    deps = [graph.ensure(vpath.join(step.cwd, m)).id for m in argv[3:]]
+    existing = graph.try_get(archive)
+    if existing is not None and existing.kind == KIND_ARCHIVE:
+        merged = list(dict.fromkeys(existing.deps + deps))
+        existing.deps = merged
+        existing.step = step
+        return
+    graph.add(
+        BuildNode(id=archive, kind=KIND_ARCHIVE, path=archive, deps=deps, step=step)
+    )
+
+
+def graph_from_trace(records: List[Dict[str, Any]]) -> BuildGraph:
+    """Build the graph model from hijacker trace records."""
+    graph = BuildGraph()
+    for record in records:
+        step = _step_from_record(record)
+        if step.is_archiver:
+            _add_archive_node(graph, step)
+        elif step.is_compiler:
+            try:
+                _add_compile_nodes(graph, step)
+            except ValueError as exc:
+                raise FrontendError(f"unparseable command {step.argv!r}: {exc}")
+        # ranlib/strip/other tools create no nodes.
+    graph.validate()
+    return graph

@@ -1,0 +1,17 @@
+"""The process models (paper §4.3, Figure 8)."""
+
+from repro.core.models.build_graph import BuildGraph, BuildNode, GraphError
+from repro.core.models.compilation import CompilationStep
+from repro.core.models.image_model import FileOrigin, FileRecord, ImageModel
+from repro.core.models.process import ProcessModels
+
+__all__ = [
+    "BuildGraph",
+    "BuildNode",
+    "CompilationStep",
+    "FileOrigin",
+    "FileRecord",
+    "GraphError",
+    "ImageModel",
+    "ProcessModels",
+]

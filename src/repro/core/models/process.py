@@ -1,0 +1,46 @@
+"""The combined process models bundle carried by the cache layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.core.models.build_graph import BuildGraph
+from repro.core.models.image_model import ImageModel
+
+
+@dataclass
+class ProcessModels:
+    """Image model + build graph (+ metadata) — the coMtainer IR."""
+
+    image: ImageModel = field(default_factory=ImageModel)
+    graph: BuildGraph = field(default_factory=BuildGraph)
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "image": self.image.to_json(),
+            "graph": self.graph.to_json(),
+            "metadata": dict(self.metadata),
+        }
+
+    @staticmethod
+    def from_json(obj: Dict[str, Any]) -> "ProcessModels":
+        return ProcessModels(
+            image=ImageModel.from_json(obj.get("image", {})),
+            graph=BuildGraph.from_json(obj.get("graph", {})),
+            metadata=dict(obj.get("metadata", {})),
+        )
+
+    def clone(self) -> "ProcessModels":
+        """Independent copy (adapters operate on copies, §4.2)."""
+        return ProcessModels.from_json(self.to_json())
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "files": len(self.image.files),
+            "origins": self.image.origin_histogram(),
+            "nodes": len(self.graph),
+            "sources": len(self.graph.source_paths()),
+            "sinks": [n.path for n in self.graph.sinks()],
+        }

@@ -1,0 +1,19 @@
+"""Advanced compiler optimizations unlocked by the embedded build data."""
+
+from repro.core.optimizations.lto import (
+    lto_scope_all,
+    lto_scope_excluding,
+    lto_scope_for_sinks,
+)
+from repro.core.optimizations.bolt import bolt_binary, bolt_optimize_image
+from repro.core.optimizations.pgo import profile_bytes_for, read_profile
+
+__all__ = [
+    "bolt_binary",
+    "bolt_optimize_image",
+    "lto_scope_all",
+    "lto_scope_excluding",
+    "lto_scope_for_sinks",
+    "profile_bytes_for",
+    "read_profile",
+]

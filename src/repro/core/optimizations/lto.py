@@ -1,0 +1,55 @@
+"""LTO scope control over the build graph.
+
+"coMtainer seamlessly enables LTO and can flexibly control its scope
+since the whole build process is represented as an explicit graph data."
+(§4.4)  A *scope* is the set of node ids whose producing commands get
+``-flto``; partial scopes trade compile time against whole-program
+optimization coverage (the ``lto_coverage`` the perf model consumes).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set
+
+from repro.core.models.build_graph import BuildGraph, KIND_OBJECT
+
+
+def lto_scope_all(graph: BuildGraph) -> List[str]:
+    """Whole-program LTO: every produced node."""
+    return sorted(node.id for node in graph if node.is_produced)
+
+
+def lto_scope_for_sinks(graph: BuildGraph, sink_paths: Iterable[str]) -> List[str]:
+    """LTO restricted to the given final artifacts and their ancestry.
+
+    Useful when an image ships several binaries but only the hot one is
+    worth the extra compile time.
+    """
+    wanted: Set[str] = set()
+    sinks = {p for p in sink_paths}
+    for node in graph.sinks():
+        if node.path in sinks or node.id in sinks:
+            wanted.add(node.id)
+            wanted.update(graph.ancestors(node.id))
+    return sorted(
+        node_id for node_id in wanted
+        if (n := graph.try_get(node_id)) is not None and n.is_produced
+    )
+
+
+def lto_scope_excluding(graph: BuildGraph, excluded_objects: Iterable[str]) -> List[str]:
+    """Whole-program LTO minus specific translation units.
+
+    The escape hatch for TUs that misbehave under LTO: excluding their
+    object nodes lowers coverage but keeps the rest of the program
+    optimized (the perf model scales the gain by coverage).
+    """
+    excluded = set(excluded_objects)
+    scope: List[str] = []
+    for node in graph:
+        if not node.is_produced:
+            continue
+        if node.kind == KIND_OBJECT and (node.id in excluded or node.path in excluded):
+            continue
+        scope.append(node.id)
+    return sorted(scope)

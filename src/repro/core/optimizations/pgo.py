@@ -1,0 +1,33 @@
+"""PGO profile data helpers.
+
+The paper's automated feedback loop (§4.4) lives in
+:func:`repro.core.workflow.system_side_adapt`; this module provides the
+profile-data plumbing: reading/validating gathered profiles and
+synthesizing profile payloads for ablation studies (e.g. deliberately
+mismatched profiles).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+from repro.perf.provenance import profile_id
+
+
+def profile_bytes_for(workload: str, system_key: str, quality: float = 1.0) -> bytes:
+    """Synthesize profile data as if gathered by (workload, system)."""
+    return json.dumps(
+        {"profile": profile_id(workload, system_key), "quality": quality}
+    ).encode("utf-8")
+
+
+def read_profile(data: bytes) -> Optional[Dict[str, object]]:
+    """Parse profile data bytes; None when malformed."""
+    try:
+        obj = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+    if isinstance(obj, dict) and "profile" in obj:
+        return obj
+    return None

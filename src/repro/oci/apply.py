@@ -1,0 +1,66 @@
+"""Applying layers onto a virtual filesystem.
+
+This is the layer-application half of the "POSIX file system simulator"
+the paper needs to compute an image's final filesystem state: entries are
+applied in order; whiteouts delete, opaque markers clear directories, and
+later layers shadow earlier ones.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.oci.layer import (
+    KIND_DIR,
+    KIND_FILE,
+    KIND_OPAQUE,
+    KIND_SYMLINK,
+    KIND_WHITEOUT,
+    Layer,
+)
+from repro.vfs import Directory, VirtualFilesystem
+
+
+def apply_layer(fs: VirtualFilesystem, layer: Layer) -> VirtualFilesystem:
+    """Apply *layer*'s entries to *fs* in order; returns *fs* for chaining."""
+    for entry in layer.entries:
+        if entry.kind == KIND_WHITEOUT:
+            fs.remove(entry.path, recursive=True, missing_ok=True)
+        elif entry.kind == KIND_OPAQUE:
+            node = fs.try_get_node(entry.path, follow_symlinks=False)
+            if isinstance(node, Directory):
+                node.children.clear()
+            else:
+                fs.remove(entry.path, recursive=True, missing_ok=True)
+                fs.makedirs(entry.path)
+        elif entry.kind == KIND_DIR:
+            node = fs.try_get_node(entry.path, follow_symlinks=False)
+            if isinstance(node, Directory):
+                node.mode = entry.mode
+            else:
+                fs.remove(entry.path, recursive=True, missing_ok=True)
+                fs.makedirs(entry.path, mode=entry.mode)
+        elif entry.kind == KIND_FILE:
+            assert entry.content is not None
+            fs.remove(entry.path, recursive=True, missing_ok=True)
+            fs.write_file(
+                entry.path,
+                entry.content,
+                mode=entry.mode,
+                mtime=entry.mtime,
+                create_parents=True,
+            )
+        elif entry.kind == KIND_SYMLINK:
+            fs.remove(entry.path, recursive=True, missing_ok=True)
+            fs.symlink(entry.link_target, entry.path, create_parents=True)
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unknown layer entry kind: {entry.kind!r}")
+    return fs
+
+
+def flatten_layers(layers: Iterable[Layer]) -> VirtualFilesystem:
+    """Compute the final filesystem state of an ordered layer stack."""
+    fs = VirtualFilesystem()
+    for layer in layers:
+        apply_layer(fs, layer)
+    return fs

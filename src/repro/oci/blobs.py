@@ -1,0 +1,106 @@
+"""Content-addressed blob storage.
+
+A blob is either raw JSON bytes (configs, manifests) or a :class:`Layer`
+object (the simulated tarball).  Both expose digest/size/media-type, so the
+store behaves like an OCI blob directory.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Union
+
+from repro.oci import mediatypes
+from repro.oci.digest import digest_bytes
+from repro.oci.image import Descriptor
+from repro.oci.layer import Layer
+
+
+@dataclass(frozen=True)
+class Blob:
+    """A stored payload plus its descriptor identity."""
+
+    media_type: str
+    digest: str
+    size: int
+    payload: Union[bytes, Layer]
+
+    @staticmethod
+    def from_bytes(data: bytes, media_type: str) -> "Blob":
+        return Blob(media_type=media_type, digest=digest_bytes(data), size=len(data), payload=data)
+
+    @staticmethod
+    def from_layer(layer: Layer) -> "Blob":
+        return Blob(
+            media_type=mediatypes.SIM_LAYER,
+            digest=layer.digest,
+            size=layer.size,
+            payload=layer,
+        )
+
+    def descriptor(self) -> Descriptor:
+        return Descriptor(self.media_type, self.digest, self.size)
+
+    def as_layer(self) -> Layer:
+        if isinstance(self.payload, Layer):
+            return self.payload
+        return Layer.from_bytes(self.payload)
+
+    def as_bytes(self) -> bytes:
+        if isinstance(self.payload, bytes):
+            return self.payload
+        return self.payload.to_bytes()
+
+    def as_json(self) -> dict:
+        return json.loads(self.as_bytes().decode("utf-8"))
+
+
+class BlobStore:
+    """Digest-keyed blob map with descriptor-checked retrieval."""
+
+    def __init__(self) -> None:
+        self._blobs: Dict[str, Blob] = {}
+
+    def __len__(self) -> int:
+        return len(self._blobs)
+
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._blobs
+
+    def digests(self) -> Iterator[str]:
+        return iter(sorted(self._blobs))
+
+    def put(self, blob: Blob) -> Descriptor:
+        self._blobs[blob.digest] = blob
+        return blob.descriptor()
+
+    def put_bytes(self, data: bytes, media_type: str) -> Descriptor:
+        return self.put(Blob.from_bytes(data, media_type))
+
+    def put_layer(self, layer: Layer) -> Descriptor:
+        return self.put(Blob.from_layer(layer))
+
+    def get(self, digest: str) -> Blob:
+        try:
+            return self._blobs[digest]
+        except KeyError:
+            raise KeyError(f"blob not found: {digest}") from None
+
+    def try_get(self, digest: str) -> Optional[Blob]:
+        return self._blobs.get(digest)
+
+    def get_layer(self, digest: str) -> Layer:
+        return self.get(digest).as_layer()
+
+    def total_size(self) -> int:
+        return sum(blob.size for blob in self._blobs.values())
+
+    def copy_into(self, other: "BlobStore") -> int:
+        """Copy all blobs into *other*; returns the number newly added."""
+        added = 0
+        for digest, blob in self._blobs.items():
+            if digest not in other._blobs:
+                other._blobs[digest] = blob
+                added += 1
+        return added

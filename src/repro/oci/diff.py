@@ -1,0 +1,82 @@
+"""Computing a layer from the difference of two filesystem states.
+
+Used by the container engine's ``commit``: the changes a RUN/COPY step (or
+a whole container session) made against its base are captured as one layer,
+with deletions encoded as whiteouts — exactly how overlay snapshots turn
+into OCI layers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.oci.layer import Layer, LayerEntry
+from repro.vfs import Directory, RegularFile, Symlink, VirtualFilesystem
+from repro.vfs.filesystem import AnyNode
+
+
+def _index(fs: VirtualFilesystem) -> Dict[str, AnyNode]:
+    return dict(fs.iter_entries("/"))
+
+
+def _same_node(a: AnyNode, b: AnyNode) -> bool:
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, Directory):
+        # Child differences are reported per-child; a directory entry itself
+        # only changes when its mode does.
+        return a.mode == b.mode
+    if isinstance(a, Symlink):
+        assert isinstance(b, Symlink)
+        return a.target == b.target
+    assert isinstance(a, RegularFile) and isinstance(b, RegularFile)
+    return a.mode == b.mode and a.content.digest == b.content.digest
+
+
+def _entry_for(path: str, node: AnyNode) -> LayerEntry:
+    if isinstance(node, Directory):
+        return LayerEntry.directory(path, mode=node.mode)
+    if isinstance(node, Symlink):
+        return LayerEntry.symlink(path, node.target)
+    assert isinstance(node, RegularFile)
+    return LayerEntry.file(path, node.content, mode=node.mode, mtime=node.mtime)
+
+
+def diff_filesystems(
+    base: VirtualFilesystem, new: VirtualFilesystem, comment: str = ""
+) -> Layer:
+    """Return the layer that transforms *base* into *new*.
+
+    Deterministic: whiteouts first (sorted), then adds/changes in sorted
+    path order (parents naturally precede children).
+    """
+    base_idx = _index(base)
+    new_idx = _index(new)
+    layer = Layer(comment=comment)
+
+    removed = sorted(set(base_idx) - set(new_idx))
+    # Skip children of removed directories: one whiteout removes the subtree.
+    covered: Tuple[str, ...] = ()
+    for path in removed:
+        if covered and path.startswith(covered[-1] + "/"):
+            continue
+        layer.add(LayerEntry.whiteout(path))
+        covered = covered + (path,)
+
+    for path in sorted(new_idx):
+        node = new_idx[path]
+        old = base_idx.get(path)
+        if old is not None and _same_node(old, node):
+            continue
+        layer.add(_entry_for(path, node))
+    return layer
+
+
+def layer_from_tree(
+    fs: VirtualFilesystem, top: str = "/", comment: str = ""
+) -> Layer:
+    """Capture an entire subtree as a layer (no whiteouts)."""
+    layer = Layer(comment=comment)
+    for path, node in fs.iter_entries(top):
+        layer.add(_entry_for(path, node))
+    return layer

@@ -1,0 +1,34 @@
+"""Content digests (``sha256:<hex>``) and canonical JSON."""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+from typing import Any
+
+_DIGEST_RE = re.compile(r"^sha256:[0-9a-f]{64}$")
+
+
+def canonical_json(obj: Any) -> bytes:
+    """Deterministic JSON serialization (sorted keys, tight separators)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def digest_bytes(data: bytes) -> str:
+    return "sha256:" + hashlib.sha256(data).hexdigest()
+
+
+def digest_json(obj: Any) -> str:
+    return digest_bytes(canonical_json(obj))
+
+
+def is_valid_digest(value: str) -> bool:
+    return bool(_DIGEST_RE.match(value))
+
+
+def short_digest(value: str, length: int = 12) -> str:
+    """Abbreviate ``sha256:abcd...`` to its first *length* hex chars."""
+    if ":" in value:
+        value = value.split(":", 1)[1]
+    return value[:length]

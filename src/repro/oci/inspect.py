@@ -1,0 +1,108 @@
+"""Image inspection utilities (a ``skopeo inspect`` / ``dive`` analogue).
+
+Summarizes manifests, layer stacks and inter-image diffs in structured
+form for the CLI and for debugging workflow states, and provides layer
+squashing (flattening an image's stack into a single layer, useful when
+exporting redirected images to runtimes that dislike deep stacks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.oci.diff import layer_from_tree
+from repro.oci.digest import short_digest
+from repro.oci.image import ImageConfig
+from repro.oci.layer import Layer
+from repro.oci.layout import ResolvedImage
+
+
+@dataclass
+class LayerSummary:
+    digest: str
+    entries: int
+    files: int
+    whiteouts: int
+    payload_bytes: int
+    comment: str
+
+    @staticmethod
+    def of(layer: Layer) -> "LayerSummary":
+        return LayerSummary(
+            digest=short_digest(layer.digest),
+            entries=len(layer),
+            files=sum(1 for e in layer if e.kind == "file"),
+            whiteouts=sum(1 for e in layer if e.kind in ("whiteout", "opaque")),
+            payload_bytes=layer.payload_size,
+            comment=layer.comment,
+        )
+
+
+@dataclass
+class ImageSummary:
+    architecture: str
+    entrypoint: List[str]
+    env: List[str]
+    labels: Dict[str, str]
+    history: List[str]
+    layers: List[LayerSummary] = field(default_factory=list)
+
+    @property
+    def total_payload(self) -> int:
+        return sum(layer.payload_bytes for layer in self.layers)
+
+    def render(self) -> str:
+        lines = [
+            f"architecture : {self.architecture}",
+            f"entrypoint   : {self.entrypoint}",
+            f"layers       : {len(self.layers)} "
+            f"({self.total_payload / (1024 * 1024):.2f} MiB payload)",
+        ]
+        for i, layer in enumerate(self.layers):
+            note = f"  [{i}] {layer.digest}  {layer.entries:>5} entries  " \
+                   f"{layer.payload_bytes / (1024 * 1024):>9.3f} MiB"
+            if layer.comment:
+                note += f"  # {layer.comment}"
+            lines.append(note)
+        for entry in self.history:
+            lines.append(f"history      : {entry}")
+        return "\n".join(lines)
+
+
+def inspect_image(resolved: ResolvedImage) -> ImageSummary:
+    config = resolved.config
+    return ImageSummary(
+        architecture=config.architecture,
+        entrypoint=list(config.entrypoint),
+        env=list(config.env),
+        labels=dict(config.labels),
+        history=[h.get("created_by", "?") for h in config.history],
+        layers=[LayerSummary.of(layer) for layer in resolved.layers],
+    )
+
+
+def diff_images(
+    a: ResolvedImage, b: ResolvedImage
+) -> Tuple[List[str], List[str], List[str]]:
+    """(added, removed, changed) file paths between two images."""
+    fs_a = a.filesystem()
+    fs_b = b.filesystem()
+    files_a = {p: n.content.digest for p, n in fs_a.iter_files()}
+    files_b = {p: n.content.digest for p, n in fs_b.iter_files()}
+    added = sorted(set(files_b) - set(files_a))
+    removed = sorted(set(files_a) - set(files_b))
+    changed = sorted(
+        p for p in set(files_a) & set(files_b) if files_a[p] != files_b[p]
+    )
+    return added, removed, changed
+
+
+def squash(resolved: ResolvedImage, comment: str = "squashed") -> Tuple[ImageConfig, Layer]:
+    """Flatten an image's layer stack into a single equivalent layer."""
+    fs = resolved.filesystem()
+    layer = layer_from_tree(fs, comment=comment)
+    config = resolved.config.clone()
+    config.diff_ids = [layer.digest]
+    config.history = [{"created_by": comment}]
+    return config, layer

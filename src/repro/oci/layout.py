@@ -1,0 +1,174 @@
+"""OCI layout: an ``index.json`` plus a blob store.
+
+This is the unit the coMtainer workflow moves around: ``buildah push
+xxx.dist oci:./xxx.dist.oci`` creates one, the user-side ``coMtainer-build``
+adds a ``<tag>+coM`` manifest to its index, and the system-side
+``coMtainer-rebuild`` adds ``<tag>+coMre``.  The layout can also be saved
+to / loaded from a real directory for inspection.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.oci import mediatypes
+from repro.oci.apply import flatten_layers
+from repro.oci.blobs import Blob, BlobStore
+from repro.oci.image import Descriptor, ImageConfig, Manifest
+from repro.oci.layer import Layer
+from repro.vfs import VirtualFilesystem
+
+
+@dataclass
+class ResolvedImage:
+    """A manifest resolved down to its config and layer objects."""
+
+    manifest: Manifest
+    config: ImageConfig
+    layers: List[Layer] = field(default_factory=list)
+
+    def filesystem(self) -> VirtualFilesystem:
+        """Flatten the layer stack into the image's final filesystem state."""
+        return flatten_layers(self.layers)
+
+    @property
+    def total_layer_size(self) -> int:
+        return self.manifest.total_layer_size
+
+
+class OCILayout:
+    """An OCI image layout (``oci-layout`` + ``index.json`` + ``blobs/``)."""
+
+    def __init__(self) -> None:
+        self.blobs = BlobStore()
+        self.index: List[Descriptor] = []
+
+    # ------------------------------------------------------------------
+    # index manipulation
+    # ------------------------------------------------------------------
+
+    def tags(self) -> List[str]:
+        return [
+            d.annotations[mediatypes.ANNOTATION_REF_NAME]
+            for d in self.index
+            if mediatypes.ANNOTATION_REF_NAME in d.annotations
+        ]
+
+    def add_manifest(
+        self,
+        manifest: Manifest,
+        config: ImageConfig,
+        layers: List[Layer],
+        tag: Optional[str] = None,
+        annotations: Optional[Dict[str, str]] = None,
+    ) -> Descriptor:
+        """Store all blobs of an image and register its manifest in the index."""
+        self.blobs.put_bytes(config.to_bytes(), mediatypes.IMAGE_CONFIG)
+        for layer in layers:
+            self.blobs.put_layer(layer)
+        self.blobs.put_bytes(manifest.to_bytes(), mediatypes.IMAGE_MANIFEST)
+        anns = dict(annotations or {})
+        if tag is not None:
+            anns[mediatypes.ANNOTATION_REF_NAME] = tag
+            # A re-pushed tag replaces its previous index entry.
+            self.index = [
+                d
+                for d in self.index
+                if d.annotations.get(mediatypes.ANNOTATION_REF_NAME) != tag
+            ]
+        desc = manifest.descriptor(annotations=anns)
+        self.index.append(desc)
+        return desc
+
+    def manifest_descriptor(self, tag: str) -> Descriptor:
+        for desc in self.index:
+            if desc.annotations.get(mediatypes.ANNOTATION_REF_NAME) == tag:
+                return desc
+        raise KeyError(f"tag not found in layout index: {tag!r}")
+
+    def has_tag(self, tag: str) -> bool:
+        return any(
+            d.annotations.get(mediatypes.ANNOTATION_REF_NAME) == tag for d in self.index
+        )
+
+    # ------------------------------------------------------------------
+    # resolution
+    # ------------------------------------------------------------------
+
+    def resolve(self, tag: str) -> ResolvedImage:
+        desc = self.manifest_descriptor(tag)
+        return self.resolve_descriptor(desc)
+
+    def resolve_descriptor(self, desc: Descriptor) -> ResolvedImage:
+        manifest = Manifest.from_json(self.blobs.get(desc.digest).as_json())
+        config = ImageConfig.from_json(self.blobs.get(manifest.config.digest).as_json())
+        layers = [self.blobs.get_layer(ld.digest) for ld in manifest.layers]
+        return ResolvedImage(manifest=manifest, config=config, layers=layers)
+
+    # ------------------------------------------------------------------
+    # persistence (inspection/debugging; blobs serialize as canonical JSON)
+    # ------------------------------------------------------------------
+
+    def index_json(self) -> dict:
+        return {
+            "schemaVersion": 2,
+            "mediaType": mediatypes.IMAGE_INDEX,
+            "manifests": [d.to_json() for d in self.index],
+        }
+
+    def save(self, directory: str) -> None:
+        os.makedirs(os.path.join(directory, "blobs", "sha256"), exist_ok=True)
+        with open(os.path.join(directory, "oci-layout"), "w", encoding="utf-8") as fh:
+            json.dump({"imageLayoutVersion": "1.0.0"}, fh)
+        with open(os.path.join(directory, "index.json"), "w", encoding="utf-8") as fh:
+            json.dump(self.index_json(), fh, indent=2, sort_keys=True)
+        for digest in self.blobs.digests():
+            blob = self.blobs.get(digest)
+            hexpart = digest.split(":", 1)[1]
+            path = os.path.join(directory, "blobs", "sha256", hexpart)
+            with open(path, "wb") as fh:
+                fh.write(blob.as_bytes())
+
+    @staticmethod
+    def load(directory: str) -> "OCILayout":
+        layout = OCILayout()
+        with open(os.path.join(directory, "index.json"), encoding="utf-8") as fh:
+            index = json.load(fh)
+        layout.index = [Descriptor.from_json(d) for d in index.get("manifests", [])]
+        blob_dir = os.path.join(directory, "blobs", "sha256")
+        if os.path.isdir(blob_dir):
+            for name in os.listdir(blob_dir):
+                with open(os.path.join(blob_dir, name), "rb") as fh:
+                    data = fh.read()
+                media_type = _sniff_media_type(data)
+                if media_type == mediatypes.SIM_LAYER:
+                    layout.blobs.put(
+                        Blob(
+                            media_type=media_type,
+                            digest="sha256:" + name,
+                            size=Layer.from_bytes(data).size,
+                            payload=Layer.from_bytes(data),
+                        )
+                    )
+                else:
+                    layout.blobs.put_bytes(data, media_type)
+        return layout
+
+
+def _sniff_media_type(data: bytes) -> str:
+    """Best-effort media type detection for loaded blob files."""
+    try:
+        obj = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return mediatypes.IMAGE_LAYER_TAR
+    if isinstance(obj, dict):
+        if "entries" in obj:
+            return mediatypes.SIM_LAYER
+        if obj.get("mediaType") == mediatypes.IMAGE_MANIFEST or "layers" in obj:
+            return mediatypes.IMAGE_MANIFEST
+        if "rootfs" in obj:
+            return mediatypes.IMAGE_CONFIG
+    return mediatypes.IMAGE_CONFIG

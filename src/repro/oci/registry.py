@@ -1,0 +1,82 @@
+"""A name:tag image registry (the "repository" box of Figure 1).
+
+Stores manifests by repository name and tag, sharing one blob store, so
+user-side push and system-side pull of extended images can be simulated
+end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.oci import mediatypes
+from repro.oci.blobs import BlobStore
+from repro.oci.image import ImageConfig, Manifest
+from repro.oci.layer import Layer
+from repro.oci.layout import OCILayout, ResolvedImage
+
+
+def parse_reference(reference: str) -> Tuple[str, str]:
+    """Split ``repo/name:tag`` into (name, tag); tag defaults to ``latest``."""
+    if ":" in reference.rsplit("/", 1)[-1]:
+        name, _, tag = reference.rpartition(":")
+        return name, tag
+    return reference, "latest"
+
+
+class ImageRegistry:
+    """In-memory OCI distribution endpoint."""
+
+    def __init__(self) -> None:
+        self.blobs = BlobStore()
+        self._manifests: Dict[Tuple[str, str], str] = {}  # (name, tag) -> digest
+
+    def repositories(self) -> List[str]:
+        return sorted({name for name, _ in self._manifests})
+
+    def tags(self, name: str) -> List[str]:
+        return sorted(tag for (n, tag) in self._manifests if n == name)
+
+    def push(
+        self,
+        reference: str,
+        manifest: Manifest,
+        config: ImageConfig,
+        layers: List[Layer],
+    ) -> str:
+        name, tag = parse_reference(reference)
+        self.blobs.put_bytes(config.to_bytes(), mediatypes.IMAGE_CONFIG)
+        for layer in layers:
+            self.blobs.put_layer(layer)
+        self.blobs.put_bytes(manifest.to_bytes(), mediatypes.IMAGE_MANIFEST)
+        digest = manifest.digest
+        self._manifests[(name, tag)] = digest
+        return digest
+
+    def push_layout(self, reference: str, layout: OCILayout, tag: Optional[str] = None) -> str:
+        """Push one tag (default: the reference's tag) from a layout."""
+        name, ref_tag = parse_reference(reference)
+        source_tag = tag if tag is not None else ref_tag
+        resolved = layout.resolve(source_tag)
+        return self.push(f"{name}:{ref_tag}", resolved.manifest, resolved.config, resolved.layers)
+
+    def pull(self, reference: str) -> ResolvedImage:
+        name, tag = parse_reference(reference)
+        try:
+            digest = self._manifests[(name, tag)]
+        except KeyError:
+            raise KeyError(f"image not found in registry: {reference!r}") from None
+        manifest = Manifest.from_json(self.blobs.get(digest).as_json())
+        config = ImageConfig.from_json(self.blobs.get(manifest.config.digest).as_json())
+        layers = [self.blobs.get_layer(ld.digest) for ld in manifest.layers]
+        return ResolvedImage(manifest=manifest, config=config, layers=layers)
+
+    def pull_to_layout(self, reference: str) -> OCILayout:
+        _, tag = parse_reference(reference)
+        resolved = self.pull(reference)
+        layout = OCILayout()
+        layout.add_manifest(resolved.manifest, resolved.config, resolved.layers, tag=tag)
+        return layout
+
+    def exists(self, reference: str) -> bool:
+        return parse_reference(reference) in self._manifests

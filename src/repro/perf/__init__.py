@@ -1,0 +1,31 @@
+"""Analytic performance model for the simulated testbeds.
+
+The evaluation figures of the paper are execution-time measurements of
+real binaries on real clusters.  Here, binaries carry *provenance* (which
+toolchain, flags, libraries produced them) and this package predicts
+execution time from that provenance, per workload and per system — with a
+calibration chosen so the paper's reported effects reproduce in shape:
+scheme orderings, approximate improvement factors, and the outliers
+(hpccg degradation, lammps.chain PGO regression, hpcg's AArch64 PGO
+regression, LULESH's communication blow-up on 16 AArch64 nodes).
+"""
+
+from repro.perf.model import predict_time, scheme_ratio
+from repro.perf.provenance import BinaryTraits, traits_from_executable
+from repro.perf.runtime import PerfRecorder, attach_perf
+from repro.perf.schemes import SCHEMES, scheme_traits
+from repro.perf.workloads import WORKLOADS, WorkloadProfile, get_workload
+
+__all__ = [
+    "BinaryTraits",
+    "PerfRecorder",
+    "SCHEMES",
+    "WORKLOADS",
+    "WorkloadProfile",
+    "attach_perf",
+    "get_workload",
+    "predict_time",
+    "scheme_ratio",
+    "scheme_traits",
+    "traits_from_executable",
+]

@@ -1,0 +1,168 @@
+"""The forward performance model.
+
+Execution time of a binary on a system:
+
+    t(n) = T_compute(16) * (16/n) * r_compute  +  T_comm(16) * f(n) * P_comm
+
+where ``r_compute`` is the binary's compute slowdown relative to the
+native build (1.0 for native), ``P_comm`` its communication penalty
+(1.0 for the native MPI stack), and ``f(n) = log2(n)/log2(16)`` the
+communication growth (0 at one node, 1 at the 16-node testbed scale).
+
+``r_compute`` decomposes over the workload's time budget:
+
+    r = serial + lib_f * (Q_lib / q_lib)  +  comp_f * (Q_comp / q_comp)
+
+with ``q_lib`` the linked libraries' quality, and ``q_comp`` the compiled
+code speed = toolchain quality x vector gain (if built for the native
+microarchitecture) x tuning-flag bonus / opt-level penalty.  LTO and PGO
+scale the compiled-code share further; their response is per-workload and
+can be negative (the paper's lammps.chain and AArch64 hpcg regressions).
+
+At small node counts the compute-side gap widens by the workload's
+``single_node_boost`` (bigger per-node working sets — Figure 3 vs 9).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Optional
+
+from repro.perf.calibration import calibrate, lib_quality, original_comm_penalty
+from repro.perf.provenance import (
+    BinaryTraits,
+    OPT_LEVEL_PENALTY,
+    profile_match,
+)
+from repro.perf.workloads import WorkloadProfile, get_workload
+from repro.sysmodel import SYSTEMS, SystemModel
+from repro.toolchain.info import get_toolchain
+
+#: Post-link layout optimization (BOLT-style extension): fraction of the
+#: workload's PGO response a layout pass can realize, and the residual
+#: benefit left when the binary is already PGO-optimized.
+LAYOUT_FRACTION = 0.4
+LAYOUT_POST_PGO_RESIDUAL = 0.5
+
+
+def compiled_speed(
+    traits: BinaryTraits, workload: WorkloadProfile, system: SystemModel
+) -> float:
+    """q_comp: the binary's compiled-code speed (generic GNU -O2 == 1.0)."""
+    cal = calibrate(workload.name, system.key)
+    toolchain = get_toolchain(traits.toolchain)
+    speed = toolchain.quality_on(system.isa)
+    if traits.march_native:
+        speed *= cal.vector_gain
+    if traits.tuned_flags:
+        speed *= 1.0 + workload.tuning_gain
+    speed /= OPT_LEVEL_PENALTY.get(traits.opt_level, 1.0)
+    return speed
+
+
+def compute_factor(
+    traits: BinaryTraits,
+    workload: WorkloadProfile,
+    system: SystemModel,
+    nodes: int,
+) -> float:
+    """r_compute: compute-time multiplier relative to the native build."""
+    cal = calibrate(workload.name, system.key)
+    q_lib_native = lib_quality(system, workload.lib_kind)
+    q_comp_native = cal.native_compiled_speedup
+
+    q_lib = max(0.05, traits.lib_quality)
+    q_comp = max(0.05, compiled_speed(traits, workload, system))
+
+    r = (
+        workload.serial_fraction
+        + workload.lib_fraction * (q_lib_native / q_lib)
+        + workload.compiler_fraction * (q_comp_native / q_comp)
+    )
+
+    # LTO / PGO act on the compiled-code share.
+    toolchain = get_toolchain(traits.toolchain)
+    opt_scale = 1.0
+    if traits.lto_applied:
+        response = workload.lto_response[system.key]
+        opt_scale *= 1.0 - response * toolchain.lto_strength * traits.lto_coverage
+    if traits.pgo_applied:
+        response = workload.pgo_response[system.key]
+        match = profile_match(traits.pgo_profile, workload.name, system.key)
+        opt_scale *= 1.0 - response * toolchain.pgo_strength * match
+    if traits.layout_optimized:
+        response = max(0.0, workload.pgo_response[system.key]) * LAYOUT_FRACTION
+        if traits.pgo_applied:
+            response *= LAYOUT_POST_PGO_RESIDUAL
+        match = profile_match(traits.layout_profile, workload.name, system.key)
+        opt_scale *= 1.0 - response * match
+    r *= max(0.05, opt_scale)
+
+    # Compute-side effects amplify at small scale (Figure 3 vs Figure 9).
+    if nodes < 16:
+        boost = workload.boost(system.key)
+        scale = 1.0 + (boost - 1.0) * (16 - nodes) / 15.0
+        r = 1.0 + (r - 1.0) * scale
+    return r
+
+
+def comm_penalty(traits: BinaryTraits, system: SystemModel) -> float:
+    """P_comm: communication-time multiplier relative to the native stack."""
+    penalty = 1.0 if traits.mpi_hsn else system.network.hsn_penalty
+    penalty *= system.native_mpi_quality / max(0.05, traits.mpi_quality)
+    return penalty
+
+
+def _comm_growth(nodes: int) -> float:
+    if nodes <= 1:
+        return 0.0
+    return math.log2(nodes) / math.log2(16)
+
+
+def predict_time(
+    workload_name: str,
+    system: SystemModel,
+    traits: BinaryTraits,
+    nodes: int = 16,
+    jitter_seed: Optional[str] = None,
+) -> float:
+    """Predicted execution time (seconds) of one run."""
+    workload = get_workload(workload_name)
+    if traits.isa != system.isa:
+        raise ValueError(
+            f"binary targets {traits.isa}, system is {system.isa}: "
+            "exec format error"
+        )
+    cal = calibrate(workload_name, system.key)
+    nodes = max(1, min(nodes, system.nodes))
+
+    compute = cal.native_compute * (16.0 / nodes) * compute_factor(
+        traits, workload, system, nodes
+    )
+    comm = cal.native_comm * _comm_growth(nodes) * comm_penalty(traits, system)
+    time = compute + comm
+
+    if jitter_seed is not None:
+        digest = hashlib.sha256(
+            f"{workload_name}|{system.key}|{jitter_seed}".encode()
+        ).digest()
+        fraction = int.from_bytes(digest[:4], "big") / 2**32
+        time *= 1.0 + (fraction - 0.5) * 0.02   # deterministic +-1%
+    return time
+
+
+def scheme_ratio(
+    workload_name: str,
+    system_key: str,
+    traits: BinaryTraits,
+    nodes: int = 16,
+) -> float:
+    """Time relative to the native build at the same scale (convenience)."""
+    from repro.perf.schemes import scheme_traits
+
+    system = SYSTEMS[system_key]
+    native = scheme_traits(workload_name, system, "native")
+    t = predict_time(workload_name, system, traits, nodes=nodes)
+    t_native = predict_time(workload_name, system, native, nodes=nodes)
+    return t / t_native

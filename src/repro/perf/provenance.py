@@ -1,0 +1,152 @@
+"""Extracting performance-relevant traits from a binary + its image.
+
+The perf model never sees scheme labels ("adapted", "native", ...): it
+sees a binary's build provenance and the package database of the image it
+runs in.  Library replacement therefore affects *existing* binaries the
+way it does in reality — through what the recorded library paths resolve
+to at run time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.pkg.database import DpkgDatabase
+from repro.pkg.package import Package
+from repro.sysmodel import SystemModel
+from repro.toolchain.artifacts import ExecutableArtifact
+from repro.vfs import VirtualFilesystem
+from repro.vfs.errors import VfsError
+
+#: -f flags whose presence marks a hand-tuned native build script.
+TUNING_FLAGS = ("fast-math", "unroll-loops", "tree-vectorize", "ipa-cp-clone")
+
+#: Relative compiled-code slowdowns of non-release optimization levels.
+OPT_LEVEL_PENALTY = {"0": 1.8, "g": 1.7, "1": 1.2}
+
+
+@dataclass(frozen=True)
+class BinaryTraits:
+    """Everything :func:`repro.perf.model.predict_time` needs to know."""
+
+    toolchain: str = "gnu-12"
+    isa: str = "x86-64"
+    opt_level: str = "2"
+    march_native: bool = False
+    tuned_flags: bool = False
+    lib_quality: float = 1.0       # quality of the workload's key libraries
+    mpi_quality: float = 1.0
+    mpi_hsn: bool = False
+    lto_applied: bool = False
+    lto_coverage: float = 0.0
+    pgo_applied: bool = False
+    pgo_profile: Optional[str] = None
+    layout_optimized: bool = False
+    layout_profile: Optional[str] = None
+
+
+def _linked_packages(
+    exe: ExecutableArtifact, fs: VirtualFilesystem, db: DpkgDatabase
+) -> List[Package]:
+    """Resolve the binary's recorded library paths to owning packages."""
+    index = db.file_index()
+    packages: List[Package] = []
+    seen: Set[str] = set()
+    for path in exe.lib_paths.values():
+        resolved = path
+        try:
+            resolved = fs.resolve_path(path)
+        except VfsError:
+            pass
+        owner = index.get(resolved) or index.get(path)
+        if owner and owner not in seen:
+            seen.add(owner)
+            packages.append(db.get(owner))
+    return packages
+
+
+def traits_from_executable(
+    exe: ExecutableArtifact,
+    fs: VirtualFilesystem,
+    system: SystemModel,
+    lib_kind: str = "none",
+    db: Optional[DpkgDatabase] = None,
+    mpi_env: Optional[Dict[str, str]] = None,
+) -> BinaryTraits:
+    """Compute a binary's traits in the context of the image it runs in.
+
+    *lib_kind* is the workload's key library family ("blas"/"fft"/"none");
+    *mpi_env* carries the launcher's ``SIM_MPI``/``SIM_MPI_HSN`` settings,
+    used as a fallback when the binary has no MPI library recorded.
+    """
+    from repro.perf.workloads import LIB_KIND_TAGS
+
+    from repro.pkg.rpm import read_package_database
+
+    database = db if db is not None else read_package_database(fs)
+    packages = _linked_packages(exe, fs, database)
+
+    want_tags = set(LIB_KIND_TAGS.get(lib_kind, ()))
+    lib_quality = 1.0
+    for pkg in packages:
+        if want_tags & set(pkg.tags):
+            lib_quality = max(lib_quality, pkg.quality)
+
+    mpi_quality = 1.0
+    mpi_hsn = False
+    mpi_found = False
+    for pkg in packages:
+        if "mpi" in pkg.tags:
+            mpi_found = True
+            mpi_quality = max(mpi_quality, pkg.quality)
+            mpi_hsn = mpi_hsn or "hsn-plugin" in pkg.tags
+    if not mpi_found and mpi_env:
+        mpi_hsn = mpi_env.get("SIM_MPI_HSN") == "1"
+        if mpi_env.get("SIM_MPI", "").startswith(("intel", "ft")):
+            mpi_quality = system.native_mpi_quality
+
+    members = exe.member_objects()
+    tuned = any(
+        any(m.fflags.get(flag) for flag in TUNING_FLAGS) for m in members
+    )
+    march_native = bool(exe.march) and system.march_is_native(exe.march)
+
+    return BinaryTraits(
+        toolchain=exe.toolchain,
+        isa=exe.isa,
+        opt_level=exe.opt_level or "2",
+        march_native=march_native,
+        tuned_flags=tuned,
+        lib_quality=lib_quality,
+        mpi_quality=mpi_quality,
+        mpi_hsn=mpi_hsn,
+        lto_applied=exe.lto_applied,
+        lto_coverage=exe.lto_coverage,
+        pgo_applied=exe.pgo_applied,
+        pgo_profile=exe.pgo_profile,
+        layout_optimized=getattr(exe, "layout_optimized", False),
+        layout_profile=getattr(exe, "layout_profile", None),
+    )
+
+
+def profile_id(workload_name: str, system_key: str) -> str:
+    """Identifier of PGO profile data gathered by a (workload, system) run."""
+    return f"{workload_name}|{system_key}"
+
+
+def profile_match(profile: Optional[str], workload_name: str, system_key: str) -> float:
+    """How representative profile data is for the current run (0..1).
+
+    Matching workload and system -> 1.0; matching workload on the other
+    system -> 0.5 (PGO is "highly sensitive to the target system's
+    characteristics", §3); a different workload's profile -> 0.15.
+    """
+    if not profile:
+        return 0.0
+    wkld, _, sys_key = profile.partition("|")
+    if wkld == workload_name and sys_key == system_key:
+        return 1.0
+    if wkld == workload_name:
+        return 0.5
+    return 0.15

@@ -1,0 +1,145 @@
+"""Hooking the perf model into container execution.
+
+:func:`attach_perf` installs a ``binary_runner`` on a container engine:
+executing a simulated application binary then predicts its execution time
+from provenance + the image's package database, prints the timing the way
+the paper's ``run.sh`` does, records an :class:`ExecutionReport`, and —
+when the binary is PGO-instrumented — drops profile data (``.gcda``) into
+the working directory, closing the paper's automated PGO feedback loop.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.containers.container import ProcessContext, RunResult
+from repro.perf.model import predict_time
+from repro.perf.provenance import profile_id, traits_from_executable
+from repro.perf.workloads import WORKLOADS, get_workload
+from repro.sysmodel import SystemModel
+from repro.toolchain.artifacts import ExecutableArtifact
+from repro.vfs import paths as vpath
+
+
+@dataclass
+class ExecutionReport:
+    """One simulated application run."""
+
+    workload: str
+    system: str
+    nodes: int
+    seconds: float
+    binary: str
+    instrumented: bool = False
+    traits: Optional[object] = None
+
+
+@dataclass
+class PerfRecorder:
+    system: SystemModel
+    reports: List[ExecutionReport] = field(default_factory=list)
+
+    @property
+    def last(self) -> Optional[ExecutionReport]:
+        return self.reports[-1] if self.reports else None
+
+
+def _workload_from_context(ctx: ProcessContext, path: str) -> Optional[str]:
+    """Resolve which workload a binary execution represents.
+
+    Priority: ``SIM_WORKLOAD`` env, ``-in in.<name>`` style argv inputs
+    (the LAMMPS convention), then the binary's basename (optionally
+    prefixed by its app directory: ``/app/openmx`` + ``pt13.dat``).
+    """
+    name = ctx.env.get("SIM_WORKLOAD", "")
+    if name in WORKLOADS:
+        return name
+    stem = vpath.basename(path)
+    stem = _binary_aliases().get(stem, stem)
+    if stem in WORKLOADS:
+        return stem
+    for arg in ctx.argv[1:]:
+        base = vpath.basename(arg)
+        if base.startswith("in."):
+            base = base[len("in."):]
+        elif "." in base:
+            base = base.rsplit(".", 1)[0]
+        candidate = f"{stem}.{base}"
+        if candidate in WORKLOADS:
+            return candidate
+    return None
+
+
+def _binary_aliases() -> dict:
+    """Binary basename -> app name (e.g. ``lmp`` -> ``lammps``)."""
+    from repro.apps.specs import APPS
+
+    return {spec.binary_name: spec.name for spec in APPS.values()}
+
+
+def attach_perf(engine, system: SystemModel) -> PerfRecorder:
+    """Install the perf model as *engine*'s binary runner."""
+    recorder = PerfRecorder(system=system)
+
+    def run_binary(
+        ctx: ProcessContext, path: str, artifact: ExecutableArtifact
+    ) -> RunResult:
+        workload_name = _workload_from_context(ctx, path)
+        if workload_name is None:
+            return RunResult(stdout=f"[simulated execution: {path}]\n")
+        workload = get_workload(workload_name)
+        nodes_text = ctx.env.get("SIM_NPROCS", ctx.env.get("SIM_NODES", "1"))
+        try:
+            nodes = max(1, int(nodes_text))
+        except ValueError:
+            return RunResult(
+                exit_code=1,
+                stderr=f"{path}: invalid process count {nodes_text!r}",
+            )
+        mpi_env = {
+            "SIM_MPI": ctx.env.get("SIM_MPI", ""),
+            "SIM_MPI_HSN": ctx.env.get("SIM_MPI_HSN", ""),
+        }
+        try:
+            traits = traits_from_executable(
+                artifact, ctx.fs, system, lib_kind=workload.lib_kind,
+                mpi_env=mpi_env,
+            )
+            seconds = predict_time(
+                workload_name, system, traits, nodes=nodes,
+                jitter_seed=ctx.env.get("SIM_JITTER"),
+            )
+        except ValueError as exc:
+            return RunResult(exit_code=126, stderr=f"{path}: {exc}")
+
+        if artifact.pgo_instrumented:
+            profile = {
+                "profile": profile_id(workload_name, system.key),
+                "quality": 1.0,
+            }
+            ctx.fs.write_file(
+                vpath.join(ctx.cwd, "default.gcda"),
+                json.dumps(profile).encode("utf-8"),
+                create_parents=True,
+            )
+
+        report = ExecutionReport(
+            workload=workload_name,
+            system=system.key,
+            nodes=nodes,
+            seconds=seconds,
+            binary=path,
+            instrumented=artifact.pgo_instrumented,
+            traits=traits,
+        )
+        recorder.reports.append(report)
+        stdout = (
+            f"Running {workload_name} on {nodes} node(s) of {system.name}\n"
+            f"Elapsed time = {seconds:.3f} (s)\n"
+        )
+        return RunResult(stdout=stdout)
+
+    engine.binary_runner = run_binary
+    return recorder

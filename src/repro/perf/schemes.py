@@ -1,0 +1,84 @@
+"""Synthetic traits for the paper's evaluation schemes.
+
+The full pipeline derives traits from real (simulated) binaries; this
+module provides the idealized per-scheme traits directly, for the
+motivation experiment (Figure 3), model unit tests and quick what-if
+analysis.
+
+Schemes (§5.1.3):
+  * ``original``  — generic image: distro GNU toolchain, ISA-baseline
+                    march, generic libraries, plugin-less MPI.
+  * ``native``    — hand-built on the system: vendor toolchain, native
+                    march, tuned flags, vendor libraries + MPI.
+  * ``adapted``   — coMtainer rebuild: like native but *without* the
+                    hand-tuned extra flags (the rebuild preserves the
+                    app's own build flags).
+  * ``optimized`` — adapted + LTO + PGO (profile gathered on-system).
+
+Figure 3's incremental single-node variants are also provided:
+``libo`` (library replacement only) and ``cxxo`` (libo + native
+toolchain/march rebuild).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.perf.calibration import lib_quality
+from repro.perf.provenance import BinaryTraits, profile_id
+from repro.perf.workloads import get_workload
+from repro.sysmodel import SystemModel
+
+SCHEMES = ("original", "native", "adapted", "optimized")
+MOTIVATION_SCHEMES = ("original", "libo", "cxxo", "lto", "pgo")
+
+
+def scheme_traits(
+    workload_name: str, system: SystemModel, scheme: str
+) -> BinaryTraits:
+    workload = get_workload(workload_name)
+    q_lib = lib_quality(system, workload.lib_kind)
+
+    generic = dict(
+        toolchain="gnu-12",
+        isa=system.isa,
+        opt_level="3",
+        march_native=False,
+        tuned_flags=False,
+        lib_quality=1.0,
+        mpi_quality=1.0,
+        mpi_hsn=False,
+    )
+    nativeish = dict(
+        toolchain=system.native_toolchain,
+        isa=system.isa,
+        opt_level="3",
+        march_native=True,
+        tuned_flags=False,
+        lib_quality=q_lib,
+        mpi_quality=system.native_mpi_quality,
+        mpi_hsn=True,
+    )
+
+    if scheme == "original":
+        return BinaryTraits(**generic)
+    if scheme == "libo":
+        # Library replacement only: the binary itself is unchanged.
+        return BinaryTraits(**{**generic, "lib_quality": q_lib,
+                               "mpi_quality": system.native_mpi_quality,
+                               "mpi_hsn": True})
+    if scheme in ("cxxo", "adapted"):
+        return BinaryTraits(**nativeish)
+    if scheme == "native":
+        return BinaryTraits(**{**nativeish, "tuned_flags": True})
+    if scheme == "lto":
+        return BinaryTraits(**nativeish, lto_applied=True, lto_coverage=1.0)
+    if scheme in ("pgo", "optimized"):
+        return BinaryTraits(
+            **nativeish,
+            lto_applied=True,
+            lto_coverage=1.0,
+            pgo_applied=True,
+            pgo_profile=profile_id(workload_name, system.key),
+        )
+    raise ValueError(f"unknown scheme: {scheme!r}")

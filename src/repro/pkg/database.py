@@ -1,0 +1,110 @@
+"""The dpkg installed-package database inside an image filesystem.
+
+State lives where dpkg keeps it: ``/var/lib/dpkg/status`` (control stanzas
+of every installed package) and ``/var/lib/dpkg/info/<name>.list`` (the
+file list of each package).  coMtainer's front-end parses these paths out
+of the *image* to recover the dependency list and the file→package mapping
+its image model needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.pkg.package import Package
+from repro.vfs import VirtualFilesystem
+
+STATUS_PATH = "/var/lib/dpkg/status"
+INFO_DIR = "/var/lib/dpkg/info"
+
+
+class DpkgDatabase:
+    """In-memory view of installed packages + their file lists."""
+
+    def __init__(self) -> None:
+        self._packages: Dict[str, Package] = {}
+        self._file_lists: Dict[str, List[str]] = {}
+
+    def __len__(self) -> int:
+        return len(self._packages)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._packages
+
+    def names(self) -> List[str]:
+        return sorted(self._packages)
+
+    def get(self, name: str) -> Package:
+        return self._packages[name]
+
+    def try_get(self, name: str) -> Optional[Package]:
+        return self._packages.get(name)
+
+    def packages(self) -> List[Package]:
+        return [self._packages[name] for name in self.names()]
+
+    def file_list(self, name: str) -> List[str]:
+        return list(self._file_lists.get(name, []))
+
+    def add(self, package: Package, file_paths: Optional[List[str]] = None) -> None:
+        self._packages[package.name] = package
+        if file_paths is None:
+            file_paths = [f.path for f in package.files]
+        self._file_lists[package.name] = sorted(file_paths)
+
+    def remove(self, name: str) -> None:
+        self._packages.pop(name, None)
+        self._file_lists.pop(name, None)
+
+    def owner_of(self, path: str) -> Optional[str]:
+        for name, files in self._file_lists.items():
+            if path in files:
+                return name
+        return None
+
+    def file_index(self) -> Dict[str, str]:
+        """Map every packaged path to its owning package name."""
+        index: Dict[str, str] = {}
+        for name in self.names():
+            for path in self._file_lists.get(name, []):
+                index[path] = name
+        return index
+
+    def provides_index(self) -> Dict[str, str]:
+        """Map every provided (virtual or real) name to the provider."""
+        index: Dict[str, str] = {}
+        for pkg in self.packages():
+            for provided in pkg.provides_names():
+                index.setdefault(provided, pkg.name)
+        return index
+
+    # ------------------------------------------------------------------
+    # filesystem persistence
+    # ------------------------------------------------------------------
+
+    def write_to(self, fs: VirtualFilesystem) -> None:
+        stanzas = [self._packages[name].to_control() for name in self.names()]
+        fs.write_file(STATUS_PATH, "\n\n".join(stanzas) + "\n", create_parents=True)
+        fs.makedirs(INFO_DIR)
+        for name in self.names():
+            listing = "\n".join(self._file_lists.get(name, [])) + "\n"
+            fs.write_file(f"{INFO_DIR}/{name}.list", listing, create_parents=True)
+
+    @staticmethod
+    def read_from(fs: VirtualFilesystem) -> "DpkgDatabase":
+        db = DpkgDatabase()
+        if not fs.exists(STATUS_PATH):
+            return db
+        text = fs.read_text(STATUS_PATH)
+        for stanza in text.split("\n\n"):
+            if not stanza.strip():
+                continue
+            package = Package.from_control(stanza)
+            list_path = f"{INFO_DIR}/{package.name}.list"
+            files: List[str] = []
+            if fs.exists(list_path):
+                files = [
+                    line for line in fs.read_text(list_path).splitlines() if line.strip()
+                ]
+            db.add(package, file_paths=files)
+        return db

@@ -1,0 +1,82 @@
+"""Parsing and evaluating dpkg dependency fields.
+
+A ``Depends:`` field is a comma-separated list of clauses; each clause is a
+``|``-separated list of alternatives; each alternative is a package name
+with an optional parenthesized version restriction, e.g.::
+
+    libc6 (>= 2.34), libblas3 | libopenblas0, mpi-runtime
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.pkg.version import satisfies
+
+_DEP_RE = re.compile(
+    r"^\s*(?P<name>[a-z0-9][a-z0-9.+-]*)\s*"
+    r"(?:\(\s*(?P<rel><<|<=|=|>=|>>)\s*(?P<ver>[^\s)]+)\s*\))?\s*$"
+)
+
+
+@dataclass(frozen=True)
+class Dependency:
+    """A single alternative: package name + optional version restriction."""
+
+    name: str
+    relation: Optional[str] = None
+    version: Optional[str] = None
+
+    def matches(self, name: str, version: str) -> bool:
+        if name != self.name:
+            return False
+        if self.relation is None or self.version is None:
+            return True
+        return satisfies(version, self.relation, self.version)
+
+    def render(self) -> str:
+        if self.relation:
+            return f"{self.name} ({self.relation} {self.version})"
+        return self.name
+
+
+@dataclass(frozen=True)
+class DependencyClause:
+    """A group of alternatives; satisfied when any alternative is."""
+
+    alternatives: tuple
+
+    def render(self) -> str:
+        return " | ".join(dep.render() for dep in self.alternatives)
+
+    def __iter__(self):
+        return iter(self.alternatives)
+
+
+def parse_dependency(text: str) -> Dependency:
+    match = _DEP_RE.match(text)
+    if not match:
+        raise ValueError(f"malformed dependency: {text!r}")
+    return Dependency(
+        name=match.group("name"),
+        relation=match.group("rel"),
+        version=match.group("ver"),
+    )
+
+
+def parse_depends(text: str) -> List[DependencyClause]:
+    """Parse a full Depends: field into clauses."""
+    clauses: List[DependencyClause] = []
+    text = text.strip()
+    if not text:
+        return clauses
+    for clause_text in text.split(","):
+        alts = tuple(parse_dependency(alt) for alt in clause_text.split("|"))
+        clauses.append(DependencyClause(alternatives=alts))
+    return clauses
+
+
+def render_depends(clauses: List[DependencyClause]) -> str:
+    return ", ".join(clause.render() for clause in clauses)

@@ -1,0 +1,128 @@
+"""Debian version comparison (dpkg's ``verrevcmp`` algorithm).
+
+A version is ``[epoch:]upstream[-revision]``.  Comparison: numeric epoch,
+then upstream, then revision, where the string comparison alternates
+non-digit runs (compared character-wise with ``~`` < end-of-string <
+letters < everything else) and digit runs (compared numerically).
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Tuple
+
+
+def split_version(version: str) -> Tuple[int, str, str]:
+    """Split into (epoch, upstream, revision)."""
+    epoch = 0
+    rest = version
+    if ":" in rest:
+        head, _, tail = rest.partition(":")
+        if head.isdigit():
+            epoch = int(head)
+            rest = tail
+    upstream, _, revision = rest.rpartition("-")
+    if not upstream:  # no hyphen at all
+        return epoch, rest, ""
+    return epoch, upstream, revision
+
+
+def _char_order(char: str) -> int:
+    if char == "~":
+        return -1
+    if char.isalpha():
+        return ord(char)
+    # Non-alphabetic, non-digit characters sort after all letters.
+    return ord(char) + 256
+
+
+def _verrevcmp(a: str, b: str) -> int:
+    ia, ib = 0, 0
+    while ia < len(a) or ib < len(b):
+        # Non-digit part.
+        first_diff = 0
+        while (ia < len(a) and not a[ia].isdigit()) or (
+            ib < len(b) and not b[ib].isdigit()
+        ):
+            ac = _char_order(a[ia]) if ia < len(a) and not a[ia].isdigit() else 0
+            bc = _char_order(b[ib]) if ib < len(b) and not b[ib].isdigit() else 0
+            if ac != bc:
+                return -1 if ac < bc else 1
+            if ia < len(a) and not a[ia].isdigit():
+                ia += 1
+            if ib < len(b) and not b[ib].isdigit():
+                ib += 1
+        # Digit part: skip leading zeros, then compare numerically.
+        while ia < len(a) and a[ia] == "0":
+            ia += 1
+        while ib < len(b) and b[ib] == "0":
+            ib += 1
+        na = ia
+        while na < len(a) and a[na].isdigit():
+            na += 1
+        nb = ib
+        while nb < len(b) and b[nb].isdigit():
+            nb += 1
+        da, db = a[ia:na], b[ib:nb]
+        if len(da) != len(db):
+            first_diff = -1 if len(da) < len(db) else 1
+        elif da != db:
+            first_diff = -1 if da < db else 1
+        if first_diff:
+            return first_diff
+        ia, ib = na, nb
+    return 0
+
+
+def compare_versions(a: str, b: str) -> int:
+    """Return -1/0/1 for a<b, a==b, a>b under Debian ordering."""
+    ea, ua, ra = split_version(a)
+    eb, ub, rb = split_version(b)
+    if ea != eb:
+        return -1 if ea < eb else 1
+    cmp_upstream = _verrevcmp(ua, ub)
+    if cmp_upstream:
+        return cmp_upstream
+    return _verrevcmp(ra, rb)
+
+
+def version_key(version: str):
+    """``sorted(..., key=version_key)`` sorts by Debian ordering."""
+    return _VersionKey(version)
+
+
+@functools.total_ordering
+class _VersionKey:
+    __slots__ = ("version",)
+
+    def __init__(self, version: str) -> None:
+        self.version = version
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, _VersionKey):
+            return NotImplemented
+        return compare_versions(self.version, other.version) == 0
+
+    def __lt__(self, other: "_VersionKey") -> bool:
+        return compare_versions(self.version, other.version) < 0
+
+    def __hash__(self) -> int:  # pragma: no cover - keys are not hashed today
+        return hash(self.version)
+
+
+_RELATION_TESTS = {
+    "<<": lambda c: c < 0,
+    "<=": lambda c: c <= 0,
+    "=": lambda c: c == 0,
+    ">=": lambda c: c >= 0,
+    ">>": lambda c: c > 0,
+}
+
+
+def satisfies(candidate: str, relation: str, bound: str) -> bool:
+    """Test ``candidate <relation> bound`` for a dpkg relation operator."""
+    try:
+        test = _RELATION_TESTS[relation]
+    except KeyError:
+        raise ValueError(f"unknown version relation: {relation!r}") from None
+    return test(compare_versions(candidate, bound))

@@ -1,0 +1,248 @@
+"""Evaluation harness: regenerate every table and figure of the paper.
+
+Each ``figureNN_rows`` / ``tableNN_rows`` function returns structured rows
+(and, where the paper reports numbers, a paper-reference column) so the
+benchmarks under ``benchmarks/`` and the examples can print the same
+series the paper does.  ``render_table`` turns rows into aligned text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.apps import get_app
+from repro.apps.specs import CROSSISA_APPS, MIB, TABLE3_APPS
+from repro.containers import ContainerEngine
+from repro.core.cache.storage import decode_cache, extended_tag
+from repro.core.crossisa import CrossIsaReport, analyze_cross_isa
+from repro.core.workflow import (
+    ComtainerSession,
+    build_extended_image,
+    build_original_image,
+    library_only_adapt,
+    measure_schemes,
+    run_workload,
+)
+from repro.perf import WORKLOADS, attach_perf, predict_time, scheme_traits
+from repro.perf.schemes import MOTIVATION_SCHEMES
+from repro.sysmodel import AARCH64_CLUSTER, SYSTEMS, X86_CLUSTER, SystemModel
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Align columns; floats rendered with 3 decimals."""
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.3f}"
+        return str(value)
+
+    text_rows = [[fmt(v) for v in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in text_rows)) if text_rows
+        else len(headers[i])
+        for i in range(len(headers))
+    ]
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in text_rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 — motivation: single-node LULESH, incremental optimizations
+# ---------------------------------------------------------------------------
+
+#: Paper-reported reductions for the motivation experiment.
+FIG3_PAPER = {
+    "x86": {"cxxo_vs_original": 0.50, "lto_vs_prev": 0.175, "pgo_vs_prev": 0.096},
+    "arm": {"cxxo_vs_original": 0.72},
+}
+
+
+def figure3_rows(system: SystemModel) -> List[Tuple[str, float, float]]:
+    """(scheme, seconds, reduction vs original) for single-node LULESH."""
+    rows: List[Tuple[str, float, float]] = []
+    base = None
+    for scheme in MOTIVATION_SCHEMES:
+        traits = scheme_traits("lulesh", system, scheme)
+        seconds = predict_time("lulesh", system, traits, nodes=1)
+        if base is None:
+            base = seconds
+        rows.append((scheme, seconds, 1.0 - seconds / base))
+    return rows
+
+
+def figure3_pipeline_rows(
+    session: ComtainerSession,
+) -> List[Tuple[str, float]]:
+    """Pipeline-level motivation: original vs library-only vs adapted vs
+    optimized images, executed on one node."""
+    rows: List[Tuple[str, float]] = []
+    engine = session.system_engine
+    original = session.original_image("lulesh")
+    libo_ref = library_only_adapt(engine, original, session.system)
+    for label, ref, vendor in [
+        ("original", original, False),
+        ("libo", libo_ref, True),
+        ("adapted", session.adapted_image("lulesh"), True),
+        ("optimized", session.optimized_image("lulesh"), True),
+    ]:
+        report = run_workload(
+            engine, ref, "lulesh", session.recorder, nodes=1, vendor_mpirun=vendor
+        )
+        rows.append((label, report.seconds))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table 1 / Table 2 — testbed and workloads
+# ---------------------------------------------------------------------------
+
+def table1_rows() -> List[Tuple[str, str, str]]:
+    x86, arm = X86_CLUSTER, AARCH64_CLUSTER
+    return [
+        ("CPU", f"{x86.cpu.sockets} x {x86.cpu.name} @ {x86.cpu.freq_ghz}GHz",
+         f"{arm.cpu.sockets} x {arm.cpu.name} @ {arm.cpu.freq_ghz}GHz"),
+        ("RAM", f"{x86.ram_gb}GB", f"{arm.ram_gb}GB"),
+        ("OS", x86.os_name, arm.os_name),
+        ("Nodes", str(x86.nodes), str(arm.nodes)),
+    ]
+
+
+def table2_rows() -> List[Tuple[str, str, int]]:
+    rows = []
+    for name in sorted(WORKLOADS):
+        profile = WORKLOADS[name]
+        rows.append((profile.app, profile.input_name, profile.loc))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 9 — performance retention (the headline result)
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Figure9Result:
+    system: str
+    #: workload -> scheme -> seconds, through the full pipeline
+    times: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def averages(self) -> Dict[str, float]:
+        schemes = ("original", "native", "adapted", "optimized")
+        n = len(self.times)
+        return {
+            s: sum(t[s] for t in self.times.values()) / n for s in schemes
+        }
+
+    def improvement(self, workload: str) -> float:
+        t = self.times[workload]
+        return t["original"] / t["native"] - 1.0
+
+
+def figure9_run(
+    session: ComtainerSession, workloads: Optional[List[str]] = None
+) -> Figure9Result:
+    """Measure all four schemes for every workload through the pipeline."""
+    result = Figure9Result(system=session.system.key)
+    for name in sorted(workloads or WORKLOADS):
+        result.times[name] = measure_schemes(session, name)
+    return result
+
+
+def figure9_rows(result: Figure9Result) -> List[Tuple]:
+    rows = []
+    for name in sorted(result.times):
+        t = result.times[name]
+        paper_ratio = WORKLOADS[name].target_ratio[result.system]
+        rows.append((
+            name, t["original"], t["native"], t["adapted"], t["optimized"],
+            t["original"] / t["native"], paper_ratio,
+        ))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 10 — relative execution time to native
+# ---------------------------------------------------------------------------
+
+def figure10_rows(result: Figure9Result) -> List[Tuple[str, float, float]]:
+    """(workload, adapted/native, optimized/native)."""
+    rows = []
+    for name in sorted(result.times):
+        t = result.times[name]
+        rows.append((name, t["adapted"] / t["native"], t["optimized"] / t["native"]))
+    return rows
+
+
+#: Paper outliers of Figure 10 (reduction of optimized vs native).
+FIG10_PAPER_OUTLIERS = {
+    ("x86", "openmx.pt13"): 0.304,
+    ("x86", "lammps.chain"): -0.121,
+    ("arm", "lammps.lj"): 0.177,
+    ("arm", "hpcg"): -0.149,
+}
+
+
+# ---------------------------------------------------------------------------
+# Table 3 — image and cache layer sizes
+# ---------------------------------------------------------------------------
+
+def table3_rows(
+    engines: Optional[Dict[str, ContainerEngine]] = None,
+    apps: Sequence[str] = TABLE3_APPS,
+) -> List[Tuple]:
+    """(app, x86 MiB, paper, arm MiB, paper, cache MiB, paper)."""
+    engines = engines or {
+        "amd64": ContainerEngine(arch="amd64"),
+        "arm64": ContainerEngine(arch="arm64"),
+    }
+    rows = []
+    for app in apps:
+        spec = get_app(app)
+        sizes = {}
+        cache_mib = None
+        for arch, engine in engines.items():
+            ref = build_original_image(engine, spec, tag=f"{app}:{arch}")
+            sizes[arch] = engine.image_filesystem(ref).total_size() / MIB
+            if cache_mib is None:
+                layout, dist_tag = build_extended_image(engine, spec)
+                extended = layout.resolve(extended_tag(dist_tag))
+                cache_mib = extended.layers[-1].payload_size / MIB
+        rows.append((
+            app,
+            sizes["amd64"], spec.image_size["amd64"],
+            sizes["arm64"], spec.image_size["arm64"],
+            cache_mib, spec.cache_size,
+        ))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 11 — cross-ISA build script changes
+# ---------------------------------------------------------------------------
+
+def figure11_reports(
+    engine: Optional[ContainerEngine] = None,
+    apps: Sequence[str] = CROSSISA_APPS,
+    target_isa: str = "aarch64",
+) -> List[CrossIsaReport]:
+    engine = engine or ContainerEngine(arch="amd64")
+    reports = []
+    for app in apps:
+        layout, dist_tag = build_extended_image(engine, get_app(app))
+        models, sources, _ = decode_cache(layout, dist_tag)
+        reports.append(analyze_cross_isa(models, sources, target_isa, app=app))
+    return reports
+
+
+def figure11_rows(reports: Sequence[CrossIsaReport]) -> List[Tuple]:
+    """(app, coM +lines, coM -lines, xbuild +lines, xbuild -lines)."""
+    rows = []
+    for report in reports:
+        c_add, c_del = report.comtainer_changes
+        x_add, x_del = report.xbuild_changes
+        rows.append((report.app, c_add, c_del, x_add, x_del))
+    return rows

@@ -1,0 +1,75 @@
+"""Simulated binary formats.
+
+Real container images hold ELF executables and shared objects; this
+substrate represents them as small self-describing payloads:
+
+* **program markers** — ``#!sim\\n{json}`` — an executable whose behaviour
+  is provided by a registered simulated program (``gcc``, ``cp``, ``apt-get``,
+  the coMtainer entry points, the command-line hijacker, ...).  The JSON
+  carries the program name plus arbitrary metadata (e.g. which toolchain a
+  compiler driver belongs to).
+
+* **artifact payloads** — ``\\x7fSIM\\n{json}`` — build products (.o/.a/.so/
+  executables) carrying their full build provenance: source inputs, flags,
+  toolchain, target ISA, LTO/PGO state.  The system-side backend reads this
+  provenance the way a real backend would read ELF sections and build IDs.
+
+Both formats are plain bytes, so they round-trip through layers, diffs and
+tar export like any other file content.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+PROGRAM_MAGIC = b"#!sim\n"
+ARTIFACT_MAGIC = b"\x7fSIM\n"
+
+
+def program_marker(program: str, **meta: Any) -> bytes:
+    """Encode an executable file that dispatches to simulated *program*."""
+    payload: Dict[str, Any] = {"program": program}
+    payload.update(meta)
+    return PROGRAM_MAGIC + json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+def read_program_marker(data: bytes) -> Optional[Dict[str, Any]]:
+    """Decode a program marker, or None when *data* is not one."""
+    if not data.startswith(PROGRAM_MAGIC):
+        return None
+    try:
+        obj = json.loads(data[len(PROGRAM_MAGIC):].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+    if isinstance(obj, dict) and "program" in obj:
+        return obj
+    return None
+
+
+def is_program(data: bytes) -> bool:
+    return read_program_marker(data) is not None
+
+
+def artifact_payload(kind: str, body: Dict[str, Any]) -> bytes:
+    """Encode a build artifact of *kind* (object/archive/shared/executable)."""
+    payload = {"kind": kind}
+    payload.update(body)
+    return ARTIFACT_MAGIC + json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+def read_artifact_payload(data: bytes) -> Optional[Dict[str, Any]]:
+    """Decode an artifact payload, or None when *data* is not one."""
+    if not data.startswith(ARTIFACT_MAGIC):
+        return None
+    try:
+        obj = json.loads(data[len(ARTIFACT_MAGIC):].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return None
+    if isinstance(obj, dict) and "kind" in obj:
+        return obj
+    return None
+
+
+def is_artifact(data: bytes) -> bool:
+    return read_artifact_payload(data) is not None

@@ -1,0 +1,21 @@
+"""HPC system models (Table 1 of the paper)."""
+
+from repro.sysmodel.systems import (
+    AARCH64_CLUSTER,
+    SYSTEMS,
+    X86_CLUSTER,
+    CpuModel,
+    NetworkModel,
+    SystemModel,
+    system_for_arch,
+)
+
+__all__ = [
+    "AARCH64_CLUSTER",
+    "CpuModel",
+    "NetworkModel",
+    "SYSTEMS",
+    "SystemModel",
+    "X86_CLUSTER",
+    "system_for_arch",
+]

@@ -1,0 +1,44 @@
+"""Compiler toolchain substrate.
+
+The paper's compilation model "represents structural data of GCC command
+lines — deriving this compilation model was a non-trivial task, requiring
+us to manually extract it by systematically reviewing the entire GCC user
+manual" (§4.3; 2314 options, §4.5).  This package provides that model for
+the simulated ecosystem: a structured option table
+(:mod:`repro.toolchain.options`), a GCC-style command-line parser producing
+:class:`~repro.toolchain.cli.CompilerInvocation` objects
+(:mod:`repro.toolchain.cli`), build artifacts carrying full provenance
+(:mod:`repro.toolchain.artifacts`), toolchain descriptors
+(:mod:`repro.toolchain.info`) and the driver programs that execute
+compilations against a virtual filesystem (:mod:`repro.toolchain.drivers`).
+"""
+
+from repro.toolchain.artifacts import (
+    ArchiveArtifact,
+    ExecutableArtifact,
+    ObjectArtifact,
+    SharedObjectArtifact,
+    read_artifact,
+)
+from repro.toolchain.cli import CompilerInvocation, parse_command_line
+from repro.toolchain.drivers import CompilerDriver, CompilerError
+from repro.toolchain.info import ToolchainInfo, get_toolchain, register_toolchain
+from repro.toolchain.options import OPTION_TABLE, OptionSpec, classify_option
+
+__all__ = [
+    "ArchiveArtifact",
+    "CompilerDriver",
+    "CompilerError",
+    "CompilerInvocation",
+    "ExecutableArtifact",
+    "OPTION_TABLE",
+    "ObjectArtifact",
+    "OptionSpec",
+    "SharedObjectArtifact",
+    "ToolchainInfo",
+    "classify_option",
+    "get_toolchain",
+    "parse_command_line",
+    "read_artifact",
+    "register_toolchain",
+]

@@ -1,0 +1,127 @@
+"""Toolchain descriptors and registry.
+
+A :class:`ToolchainInfo` captures what the perf model and the system
+adapters need to know about a compiler family: which ISAs it targets, its
+relative code quality on each ISA (the `cxxo` effect of Figure 3), how
+strong its LTO and PGO implementations are, and what ``-march`` value
+counts as "native" on each ISA.
+
+Quality/strength numbers are *calibration*, chosen so the evaluation
+figures keep the paper's shape; see repro/perf/workloads.py for the
+workload-side half of the calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class ToolchainInfo:
+    """Identity + performance characteristics of one compiler family."""
+
+    id: str
+    vendor: str
+    display_name: str
+    kind: str                      # "gnu" / "llvm" / "vendor"
+    supported_isas: Tuple[str, ...]
+    # Relative code quality vs the generic GNU baseline per ISA (>= ~1.0).
+    codegen_quality: Dict[str, float] = field(default_factory=dict)
+    # Fraction of a workload's potential LTO/PGO gain this compiler realizes.
+    lto_strength: float = 1.0
+    pgo_strength: float = 1.0
+    # -march value that means "tuned for this machine" per ISA.
+    native_march: Dict[str, str] = field(default_factory=dict)
+    # Relative compile-time cost factor (LTO famously lengthens builds).
+    compile_cost: float = 1.0
+
+    def supports(self, isa: str) -> bool:
+        return isa in self.supported_isas
+
+    def quality_on(self, isa: str) -> float:
+        return self.codegen_quality.get(isa, 1.0)
+
+
+_REGISTRY: Dict[str, ToolchainInfo] = {}
+
+
+def register_toolchain(info: ToolchainInfo) -> ToolchainInfo:
+    _REGISTRY[info.id] = info
+    return info
+
+
+def get_toolchain(toolchain_id: str) -> ToolchainInfo:
+    try:
+        return _REGISTRY[toolchain_id]
+    except KeyError:
+        raise KeyError(f"unknown toolchain: {toolchain_id!r}") from None
+
+
+def known_toolchains() -> Tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+# ---------------------------------------------------------------------------
+# Built-in toolchains of the simulated ecosystem.
+# ---------------------------------------------------------------------------
+
+GNU_GENERIC = register_toolchain(
+    ToolchainInfo(
+        id="gnu-12",
+        vendor="GNU",
+        display_name="GCC 12 (distro default)",
+        kind="gnu",
+        supported_isas=("x86-64", "aarch64"),
+        codegen_quality={"x86-64": 1.0, "aarch64": 1.0},
+        lto_strength=1.0,
+        pgo_strength=1.0,
+        native_march={"x86-64": "icelake-server", "aarch64": "ft-2000plus"},
+        compile_cost=1.0,
+    )
+)
+
+LLVM_GENERIC = register_toolchain(
+    ToolchainInfo(
+        id="llvm-17",
+        vendor="LLVM",
+        display_name="LLVM/Clang 17 (artifact's free alternative)",
+        kind="llvm",
+        supported_isas=("x86-64", "aarch64"),
+        codegen_quality={"x86-64": 1.06, "aarch64": 1.10},
+        lto_strength=0.95,
+        pgo_strength=0.85,
+        native_march={"x86-64": "icelake-server", "aarch64": "ft-2000plus"},
+        compile_cost=1.1,
+    )
+)
+
+INTEL_VENDOR = register_toolchain(
+    ToolchainInfo(
+        id="intel-2024",
+        vendor="Intel",
+        display_name="Intel oneAPI 2024 (x86-64 cluster native)",
+        kind="vendor",
+        supported_isas=("x86-64",),
+        codegen_quality={"x86-64": 1.24},
+        lto_strength=1.05,
+        pgo_strength=1.05,
+        native_march={"x86-64": "icelake-server"},
+        compile_cost=1.4,
+    )
+)
+
+PHYTIUM_VENDOR = register_toolchain(
+    ToolchainInfo(
+        id="phytium-kit-3",
+        vendor="Phytium",
+        display_name="Phytium Compiler Kit 3 (AArch64 cluster native)",
+        kind="vendor",
+        supported_isas=("aarch64",),
+        codegen_quality={"aarch64": 1.30},
+        lto_strength=1.0,
+        pgo_strength=1.0,
+        native_march={"aarch64": "ft-2000plus"},
+        compile_cost=1.3,
+    )
+)

@@ -1,0 +1,454 @@
+"""The structured compiler option table.
+
+Every option the parser understands is described by an :class:`OptionSpec`
+carrying its syntax (how it consumes arguments) and its semantics flags
+(does it affect code generation?  is it optimization-related?  is it tied
+to one ISA? which pipeline stage does it belong to?).  The semantics flags
+are what coMtainer's analysis consumes: ISA-specific options gate the
+cross-ISA study (Figure 11), codegen/optimization options feed the rebuild
+planner, and stage flags let the build-graph parser infer what a command
+produced.
+
+The table covers the option families that dominate real HPC build logs:
+``-O``/``-f``/``-m``/``-W`` groups, preprocessor ``-D/-U/-I``, linker
+``-l/-L/-Wl,``/``-shared``/``-static``, language/standard selection, debug
+options, LTO and PGO controls, and the GCC pass-through spellings
+(``-Wa,``, ``-Wp,``, ``-Xlinker``, ``@file`` response files).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+# Option syntax styles.
+FLAG = "flag"                      # -c, -v, -shared
+JOINED = "joined"                  # -O2, -DNAME, -Ipath (argument glued on)
+SEPARATE = "separate"              # -o file, -x lang (argument is next argv)
+JOINED_OR_SEPARATE = "joined-or-separate"   # -I path / -Ipath, -L, -l
+
+# Pipeline stages an option belongs to.
+STAGE_ANY = "any"
+STAGE_PREPROCESS = "preprocess"
+STAGE_COMPILE = "compile"
+STAGE_LINK = "link"
+
+
+@dataclass(frozen=True)
+class OptionSpec:
+    """Syntax + semantics of one compiler option (or option family prefix)."""
+
+    name: str
+    style: str = FLAG
+    stage: str = STAGE_ANY
+    codegen: bool = False          # influences generated code
+    optimization: bool = False     # optimization dial
+    isa: Optional[str] = None      # "x86-64" / "aarch64" when ISA-specific
+    description: str = ""
+
+
+def _spec(name: str, style: str = FLAG, **kw) -> Tuple[str, OptionSpec]:
+    return name, OptionSpec(name=name, style=style, **kw)
+
+
+# ---------------------------------------------------------------------------
+# -f group: machine-independent codegen/optimization switches.
+# Each name implies -fNAME and -fno-NAME spellings.
+# ---------------------------------------------------------------------------
+
+F_FLAGS_OPTIMIZATION = [
+    "aggressive-loop-optimizations", "align-functions", "align-jumps",
+    "align-labels", "align-loops", "associative-math", "auto-inc-dec",
+    "branch-count-reg", "caller-saves", "code-hoisting",
+    "combine-stack-adjustments", "compare-elim", "cprop-registers",
+    "crossjumping", "cse-follow-jumps", "cx-fortran-rules",
+    "cx-limited-range", "dce", "defer-pop", "delete-null-pointer-checks",
+    "devirtualize", "devirtualize-speculatively", "dse", "early-inlining",
+    "expensive-optimizations", "fast-math", "finite-loops",
+    "finite-math-only", "float-store", "forward-propagate", "gcse",
+    "gcse-after-reload", "gcse-las", "gcse-lm", "gcse-sm", "graphite",
+    "graphite-identity", "guess-branch-probability", "hoist-adjacent-loads",
+    "if-conversion", "if-conversion2", "indirect-inlining", "inline",
+    "inline-functions", "inline-functions-called-once", "inline-small-functions",
+    "ipa-bit-cp", "ipa-cp", "ipa-cp-clone", "ipa-icf", "ipa-modref",
+    "ipa-profile", "ipa-pta", "ipa-pure-const", "ipa-ra", "ipa-reference",
+    "ipa-sra", "ira-hoist-pressure", "isolate-erroneous-paths-dereference",
+    "ivopts", "jump-tables", "keep-inline-functions", "live-range-shrinkage",
+    "loop-block", "loop-interchange", "loop-nest-optimize",
+    "loop-parallelize-all", "loop-unroll-and-jam", "lra-remat", "math-errno",
+    "merge-all-constants", "merge-constants", "modulo-sched",
+    "move-loop-invariants", "omit-frame-pointer", "optimize-sibling-calls",
+    "partial-inlining", "peel-loops", "peephole", "peephole2", "plt",
+    "predictive-commoning", "prefetch-loop-arrays", "printf-return-value",
+    "reciprocal-math", "ree", "rename-registers", "reorder-blocks",
+    "reorder-blocks-and-partition", "reorder-functions", "rerun-cse-after-loop",
+    "rounding-math", "rtti", "sched-interblock", "sched-pressure",
+    "sched-spec", "schedule-insns", "schedule-insns2", "section-anchors",
+    "signed-zeros", "split-ivs-in-unroller", "split-loops", "split-paths",
+    "split-wide-types", "ssa-backprop", "ssa-phiopt", "store-merging",
+    "strict-aliasing", "thread-jumps", "tracer", "tree-bit-ccp", "tree-ccp",
+    "tree-ch", "tree-coalesce-vars", "tree-copy-prop", "tree-dce",
+    "tree-dominator-opts", "tree-dse", "tree-forwprop", "tree-fre",
+    "tree-loop-distribute-patterns", "tree-loop-distribution", "tree-loop-if-convert",
+    "tree-loop-im", "tree-loop-ivcanon", "tree-loop-optimize", "tree-loop-vectorize",
+    "tree-partial-pre", "tree-phiprop", "tree-pre", "tree-pta", "tree-reassoc",
+    "tree-scev-cprop", "tree-sink", "tree-slp-vectorize", "tree-slsr",
+    "tree-sra", "tree-switch-conversion", "tree-tail-merge", "tree-ter",
+    "tree-vectorize", "tree-vrp", "unconstrained-commons", "unroll-all-loops",
+    "unroll-loops", "unsafe-math-optimizations", "unswitch-loops",
+    "variable-expansion-in-unroller", "vect-cost-model", "vpt", "web",
+]
+
+F_FLAGS_CODEGEN = [
+    "PIC", "PIE", "pic", "pie", "common", "exceptions", "function-sections",
+    "data-sections", "asynchronous-unwind-tables", "unwind-tables",
+    "stack-protector", "stack-protector-all", "stack-protector-strong",
+    "stack-clash-protection", "short-enums", "signed-char", "unsigned-char",
+    "pack-struct", "visibility-inlines-hidden", "openmp", "openacc",
+    "wrapv", "trapv", "non-call-exceptions", "delete-dead-exceptions",
+    "leading-underscore", "verbose-asm", "instrument-functions",
+    "sanitize-recover", "zero-initialized-in-bss", "strict-volatile-bitfields",
+]
+
+F_FLAGS_OTHER = [
+    "diagnostics-color", "diagnostics-show-option", "permissive",
+    "syntax-only", "preprocessed", "freestanding", "hosted", "gnu89-inline",
+    "builtin", "stack-usage", "dump-tree-all", "time-report", "mem-report",
+    "working-directory", "implicit-none", "backslash", "range-check",
+    "second-underscore", "default-real-8", "default-integer-8",
+]
+
+# -f options that take a value after '='.
+F_VALUE_OPTIONS = {
+    "visibility": False,           # codegen
+    "inline-limit": True,          # optimization (value=True means optimization)
+    "lto-partition": True,
+    "lto-compression-level": True,
+    "profile-dir": True,
+    "sanitize": False,
+    "abi-version": False,
+    "stack-limit-register": False,
+    "tls-model": False,
+    "ffp-contract": True,
+    "vect-cost-model": True,
+    "stack-protector-explicit": False,
+    "max-errors": False,
+}
+
+# LTO / PGO family (the paper's headline optimizations, §4.4).
+F_LTO_PGO = [
+    "lto", "fat-lto-objects", "lto-odr-type-merging", "whole-program",
+    "use-linker-plugin",
+    "profile-generate", "profile-use", "profile-arcs", "profile-correction",
+    "profile-values", "profile-reorder-functions", "branch-probabilities",
+    "test-coverage", "auto-profile",
+]
+
+# ---------------------------------------------------------------------------
+# -m group: machine-specific switches, tagged per ISA.
+# ---------------------------------------------------------------------------
+
+M_FLAGS_X86 = [
+    "mmx", "sse", "sse2", "sse3", "ssse3", "sse4", "sse4.1", "sse4.2",
+    "sse4a", "avx", "avx2", "avx512f", "avx512cd", "avx512bw", "avx512dq",
+    "avx512vl", "avx512vnni", "avx512bf16", "avx512fp16", "avx512ifma",
+    "avx512vbmi", "avx512vbmi2", "avx512vpopcntdq", "avx512bitalg",
+    "fma", "fma4", "f16c", "bmi", "bmi2", "lzcnt", "popcnt", "adx", "aes",
+    "pclmul", "sha", "rdrnd", "rdseed", "xsave", "xsaveopt", "xsavec",
+    "fsgsbase", "prfchw", "clflushopt", "clwb", "movbe", "abm", "tbm",
+    "3dnow", "x32", "80387", "fp-ret-in-387", "hard-float", "soft-float",
+    "align-double", "ieee-fp", "push-args", "accumulate-outgoing-args",
+    "red-zone", "cld", "vzeroupper", "stackrealign", "sahf", "cx16",
+    "movdiri", "movdir64b", "enqcmd", "serialize", "tsxldtrk", "uintr",
+    "amx-tile", "amx-int8", "amx-bf16", "kl", "widekl", "avxvnni",
+]
+
+M_VALUE_X86 = [
+    "arch", "tune", "cpu", "fpmath", "preferred-stack-boundary",
+    "incoming-stack-boundary", "branch-cost", "large-data-threshold",
+    "regparm", "veclibabi", "stack-protector-guard", "memcpy-strategy",
+    "memset-strategy", "prefer-vector-width", "indirect-branch",
+    "function-return", "cmodel",
+]
+
+M_FLAGS_AARCH64 = [
+    "little-endian", "big-endian", "general-regs-only", "fix-cortex-a53-835769",
+    "fix-cortex-a53-843419", "low-precision-recip-sqrt", "low-precision-sqrt",
+    "low-precision-div", "pc-relative-literal-loads", "strict-align",
+    "omit-leaf-frame-pointer", "track-speculation", "outline-atomics",
+    "harden-sls-retbr", "harden-sls-blr", "sve-vector-bits-scalable",
+]
+
+M_VALUE_AARCH64 = [
+    "abi", "arch", "tune", "cpu", "branch-protection", "sve-vector-bits",
+    "stack-protector-guard", "tls-dialect", "tls-size",
+]
+
+# -march= / -mcpu= values considered ISA-specific (used by cross-ISA study).
+MARCH_VALUES_X86 = {
+    "x86-64", "x86-64-v2", "x86-64-v3", "x86-64-v4", "native",
+    "nocona", "core2", "nehalem", "westmere", "sandybridge", "ivybridge",
+    "haswell", "broadwell", "skylake", "skylake-avx512", "cascadelake",
+    "cooperlake", "icelake-client", "icelake-server", "sapphirerapids",
+    "alderlake", "znver1", "znver2", "znver3", "znver4",
+}
+MARCH_VALUES_AARCH64 = {
+    "armv8-a", "armv8.1-a", "armv8.2-a", "armv8.3-a", "armv8.4-a",
+    "armv8.5-a", "armv8.6-a", "armv9-a", "native",
+    "ft-2000plus", "tsv110", "a64fx", "neoverse-n1", "neoverse-n2",
+    "neoverse-v1", "neoverse-v2", "cortex-a72", "cortex-a76",
+}
+
+# ---------------------------------------------------------------------------
+# -W group: warnings (never codegen) + pass-through spellings.
+# ---------------------------------------------------------------------------
+
+W_FLAGS = [
+    "all", "extra", "error", "pedantic", "abi", "address", "aggregate-return",
+    "alloc-zero", "alloca", "array-bounds", "array-parameter", "attributes",
+    "bool-compare", "bool-operation", "builtin-declaration-mismatch",
+    "cast-align", "cast-function-type", "cast-qual", "char-subscripts",
+    "clobbered", "comment", "conversion", "dangling-else", "dangling-pointer",
+    "date-time", "declaration-after-statement", "deprecated",
+    "deprecated-declarations", "disabled-optimization", "double-promotion",
+    "duplicated-branches", "duplicated-cond", "empty-body", "enum-compare",
+    "enum-conversion", "error-implicit-function-declaration", "float-conversion",
+    "float-equal", "format", "format-nonliteral", "format-overflow",
+    "format-security", "format-truncation", "format-y2k", "frame-address",
+    "frame-larger-than", "ignored-qualifiers", "implicit",
+    "implicit-fallthrough", "implicit-function-declaration", "implicit-int",
+    "infinite-recursion", "init-self", "inline", "int-conversion",
+    "int-in-bool-context", "int-to-pointer-cast", "invalid-memory-model",
+    "invalid-pch", "jump-misses-init", "larger-than", "logical-not-parentheses",
+    "logical-op", "long-long", "main", "maybe-uninitialized",
+    "memset-elt-size", "memset-transposed-args", "misleading-indentation",
+    "missing-braces", "missing-declarations", "missing-field-initializers",
+    "missing-include-dirs", "missing-prototypes", "multistatement-macros",
+    "narrowing", "nested-externs", "nonnull", "nonnull-compare", "null-dereference",
+    "old-style-cast", "old-style-declaration", "old-style-definition",
+    "overflow", "overlength-strings", "override-init", "packed",
+    "packed-bitfield-compat", "padded", "parentheses", "pedantic-ms-format",
+    "pointer-arith", "pointer-compare", "pointer-sign", "pointer-to-int-cast",
+    "redundant-decls", "reorder", "restrict", "return-local-addr",
+    "return-type", "sequence-point", "shadow", "shift-count-negative",
+    "shift-count-overflow", "shift-negative-value", "shift-overflow",
+    "sign-compare", "sign-conversion", "sizeof-array-argument",
+    "sizeof-pointer-div", "sizeof-pointer-memaccess", "stack-protector",
+    "strict-aliasing", "strict-overflow", "strict-prototypes",
+    "stringop-overflow", "stringop-truncation", "suggest-attribute=const",
+    "suggest-attribute=noreturn", "suggest-attribute=pure", "switch",
+    "switch-default", "switch-enum", "sync-nand", "system-headers",
+    "tautological-compare", "trampolines", "trigraphs", "type-limits",
+    "undef", "uninitialized", "unknown-pragmas", "unreachable-code",
+    "unsafe-loop-optimizations", "unused", "unused-but-set-parameter",
+    "unused-but-set-variable", "unused-function", "unused-label",
+    "unused-local-typedefs", "unused-macros", "unused-parameter",
+    "unused-result", "unused-value", "unused-variable", "useless-cast",
+    "varargs", "variadic-macros", "vector-operation-performance", "vla",
+    "volatile-register-var", "write-strings", "zero-as-null-pointer-constant",
+]
+
+# ---------------------------------------------------------------------------
+# Singleton options.
+# ---------------------------------------------------------------------------
+
+_SINGLETONS = dict(
+    [
+        # Mode selection.
+        _spec("-c", FLAG, stage=STAGE_COMPILE, description="compile only, do not link"),
+        _spec("-S", FLAG, stage=STAGE_COMPILE, description="stop after assembly generation"),
+        _spec("-E", FLAG, stage=STAGE_PREPROCESS, description="preprocess only"),
+        _spec("-o", SEPARATE, description="output file"),
+        _spec("-x", SEPARATE, description="language override"),
+        _spec("-v", FLAG, description="verbose"),
+        _spec("-###", FLAG, description="dry-run verbose"),
+        _spec("--version", FLAG),
+        _spec("--help", FLAG),
+        _spec("-pipe", FLAG),
+        _spec("-save-temps", FLAG),
+        # Preprocessor.
+        _spec("-D", JOINED_OR_SEPARATE, stage=STAGE_PREPROCESS, codegen=True,
+              description="define macro"),
+        _spec("-U", JOINED_OR_SEPARATE, stage=STAGE_PREPROCESS, codegen=True),
+        _spec("-I", JOINED_OR_SEPARATE, stage=STAGE_PREPROCESS),
+        _spec("-isystem", SEPARATE, stage=STAGE_PREPROCESS),
+        _spec("-iquote", SEPARATE, stage=STAGE_PREPROCESS),
+        _spec("-idirafter", SEPARATE, stage=STAGE_PREPROCESS),
+        _spec("-include", SEPARATE, stage=STAGE_PREPROCESS, codegen=True),
+        _spec("-imacros", SEPARATE, stage=STAGE_PREPROCESS, codegen=True),
+        _spec("-nostdinc", FLAG, stage=STAGE_PREPROCESS),
+        _spec("-M", FLAG, stage=STAGE_PREPROCESS),
+        _spec("-MM", FLAG, stage=STAGE_PREPROCESS),
+        _spec("-MD", FLAG, stage=STAGE_PREPROCESS),
+        _spec("-MMD", FLAG, stage=STAGE_PREPROCESS),
+        _spec("-MP", FLAG, stage=STAGE_PREPROCESS),
+        _spec("-MF", SEPARATE, stage=STAGE_PREPROCESS),
+        _spec("-MT", SEPARATE, stage=STAGE_PREPROCESS),
+        _spec("-MQ", SEPARATE, stage=STAGE_PREPROCESS),
+        # Debug.
+        _spec("-g", JOINED, description="debug info (-g, -g0..-g3, -ggdb...)"),
+        _spec("-p", FLAG, codegen=True),
+        _spec("-pg", FLAG, codegen=True, description="gprof instrumentation"),
+        # Linker.
+        _spec("-l", JOINED_OR_SEPARATE, stage=STAGE_LINK, description="link library"),
+        _spec("-L", JOINED_OR_SEPARATE, stage=STAGE_LINK, description="library search dir"),
+        _spec("-shared", FLAG, stage=STAGE_LINK, codegen=True),
+        _spec("-static", FLAG, stage=STAGE_LINK, codegen=True),
+        _spec("-static-libgcc", FLAG, stage=STAGE_LINK),
+        _spec("-static-libstdc++", FLAG, stage=STAGE_LINK),
+        _spec("-rdynamic", FLAG, stage=STAGE_LINK),
+        _spec("-nostdlib", FLAG, stage=STAGE_LINK),
+        _spec("-nodefaultlibs", FLAG, stage=STAGE_LINK),
+        _spec("-nostartfiles", FLAG, stage=STAGE_LINK),
+        _spec("-pthread", FLAG, codegen=True, description="POSIX threads"),
+        _spec("-fopenmp", FLAG, codegen=True, optimization=True, description="OpenMP"),
+        _spec("-Xlinker", SEPARATE, stage=STAGE_LINK),
+        _spec("-Xassembler", SEPARATE),
+        _spec("-Xpreprocessor", SEPARATE, stage=STAGE_PREPROCESS),
+        _spec("-T", SEPARATE, stage=STAGE_LINK, description="linker script"),
+        _spec("-u", JOINED_OR_SEPARATE, stage=STAGE_LINK),
+        _spec("-z", SEPARATE, stage=STAGE_LINK),
+        _spec("-specs", JOINED, description="-specs=file"),
+        # Misc value options.
+        _spec("--param", SEPARATE, optimization=True, description="--param name=value"),
+        _spec("-dumpbase", SEPARATE),
+        _spec("-dumpdir", SEPARATE),
+        _spec("-aux-info", SEPARATE),
+        _spec("-B", JOINED_OR_SEPARATE, description="compiler file prefix"),
+        _spec("--sysroot", JOINED, description="--sysroot=dir"),
+    ]
+)
+
+
+def _build_table() -> Dict[str, OptionSpec]:
+    table: Dict[str, OptionSpec] = dict(_SINGLETONS)
+
+    def put(name: str, **kw) -> None:
+        table[name] = OptionSpec(name=name, **kw)
+
+    # -O family.
+    for level in ["-O", "-O0", "-O1", "-O2", "-O3", "-Os", "-Ofast", "-Og", "-Oz"]:
+        put(level, style=FLAG, optimization=True, codegen=True,
+            description="optimization level")
+
+    # -std= family.
+    for std in ["c89", "c99", "c11", "c17", "c2x", "gnu89", "gnu99", "gnu11",
+                "gnu17", "c++11", "c++14", "c++17", "c++20", "c++23",
+                "gnu++14", "gnu++17", "gnu++20", "f2008", "f2018", "legacy"]:
+        put(f"-std={std}", style=FLAG, codegen=True, description="language standard")
+
+    # -f boolean groups.
+    for name in F_FLAGS_OPTIMIZATION:
+        put(f"-f{name}", codegen=True, optimization=True)
+        put(f"-fno-{name}", codegen=True, optimization=True)
+    for name in F_FLAGS_CODEGEN:
+        put(f"-f{name}", codegen=True)
+        put(f"-fno-{name}", codegen=True)
+    for name in F_FLAGS_OTHER:
+        put(f"-f{name}")
+        put(f"-fno-{name}")
+    for name in F_LTO_PGO:
+        put(f"-f{name}", codegen=True, optimization=True,
+            description="LTO/PGO control")
+        put(f"-fno-{name}", codegen=True, optimization=True)
+    for name, is_opt in F_VALUE_OPTIONS.items():
+        put(f"-f{name}", style=JOINED, codegen=True, optimization=is_opt,
+            description=f"-f{name}=value")
+
+    # -m machine groups.
+    for name in M_FLAGS_X86:
+        put(f"-m{name}", codegen=True, isa="x86-64")
+        put(f"-mno-{name}", codegen=True, isa="x86-64")
+    for name in M_VALUE_X86:
+        put(f"-m{name}", style=JOINED, codegen=True, isa="x86-64",
+            description=f"-m{name}=value")
+    for name in M_FLAGS_AARCH64:
+        put(f"-m{name}", codegen=True, isa="aarch64")
+        put(f"-mno-{name}", codegen=True, isa="aarch64")
+    for name in M_VALUE_AARCH64:
+        # -march/-mtune/-mcpu exist on both ISAs; the *value* decides the ISA.
+        shared = name in ("arch", "tune", "cpu", "stack-protector-guard")
+        put(f"-m{name}", style=JOINED, codegen=True,
+            isa=None if shared else "aarch64", description=f"-m{name}=value")
+
+    # -W warnings + pass-throughs.
+    put("-W", style=JOINED, description="warning family")
+    for name in W_FLAGS:
+        put(f"-W{name}")
+        put(f"-Wno-{name}")
+    put("-Wl", style=JOINED, stage=STAGE_LINK, description="-Wl,args pass-through")
+    put("-Wa", style=JOINED, description="-Wa,args pass-through")
+    put("-Wp", style=JOINED, stage=STAGE_PREPROCESS, description="-Wp,args pass-through")
+    put("-Werror", style=JOINED, description="-Werror / -Werror=warning")
+
+    return table
+
+
+#: The full option table, keyed by option name (including the leading dash).
+OPTION_TABLE: Dict[str, OptionSpec] = _build_table()
+
+_FAMILY_PREFIXES = ("-f", "-m", "-W")
+
+
+def classify_option(arg: str) -> Optional[OptionSpec]:
+    """Look up *arg* in the table, handling ``=``-joined values and families.
+
+    Returns the matching spec; unknown members of the ``-f``/``-m``/``-W``
+    families get a synthesized spec (GCC evolves faster than any table —
+    the paper reports continually refining theirs) flagged with the family
+    defaults.  Returns None for arguments that are not options.
+    """
+    if not arg.startswith("-") or arg == "-":
+        return None
+    if arg in OPTION_TABLE:
+        return OPTION_TABLE[arg]
+    if "=" in arg:
+        head = arg.split("=", 1)[0]
+        if head in OPTION_TABLE:
+            return OPTION_TABLE[head]
+    # Prefix matches for joined-style singletons (-DFOO, -Iinclude, -g3, ...).
+    for prefix in ("-D", "-U", "-I", "-L", "-l", "-g", "-specs", "--sysroot",
+                   "-B", "-Wl", "-Wa", "-Wp", "-Werror", "-W"):
+        if arg.startswith(prefix) and prefix in OPTION_TABLE and len(arg) > len(prefix):
+            spec = OPTION_TABLE[prefix]
+            if spec.style in (JOINED, JOINED_OR_SEPARATE):
+                return spec
+    # Unknown family members.
+    for prefix in _FAMILY_PREFIXES:
+        if arg.startswith(prefix):
+            return OptionSpec(
+                name=arg.split("=", 1)[0],
+                style=JOINED if "=" in arg else FLAG,
+                codegen=prefix in ("-f", "-m"),
+                optimization=prefix == "-f",
+                isa=None,
+                description="unknown family member",
+            )
+    return OptionSpec(name=arg, style=FLAG, description="unknown option")
+
+
+def is_isa_specific(arg: str, isa_of_march_value=None) -> Optional[str]:
+    """Return the ISA an option pins the build to, if any.
+
+    ``-mavx2`` -> ``x86-64``; ``-march=skylake`` -> ``x86-64``;
+    ``-march=armv8.2-a`` -> ``aarch64``; portable options -> None.
+    """
+    spec = classify_option(arg)
+    if spec is None:
+        return None
+    if spec.isa is not None:
+        return spec.isa
+    if spec.name in ("-march", "-mtune", "-mcpu") and "=" in arg:
+        value = arg.split("=", 1)[1]
+        if value in MARCH_VALUES_X86 and value in MARCH_VALUES_AARCH64:
+            return None  # e.g. "native" is spelled identically on both
+        if value in MARCH_VALUES_X86:
+            return "x86-64"
+        if value in MARCH_VALUES_AARCH64:
+            return "aarch64"
+    return None
+
+
+def table_size() -> int:
+    """Number of distinct options modelled (paper: GCC has 2314)."""
+    return len(OPTION_TABLE)

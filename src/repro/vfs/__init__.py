@@ -1,0 +1,55 @@
+"""Virtual POSIX filesystem substrate.
+
+The coMtainer paper's front-end requires "a POSIX file system simulator to
+compute the final file system state after applying all image layers"
+(Section 4.5).  This package is that simulator: an in-memory tree of
+directories, regular files and symlinks with POSIX-ish semantics (absolute
+paths, symlink resolution with loop detection, recursive removal, tree
+copies) plus a content-provider abstraction that lets multi-MiB synthetic
+files exist without materializing their bytes.
+"""
+
+from repro.vfs.content import (
+    FileContent,
+    InlineContent,
+    SyntheticContent,
+    text_content,
+)
+from repro.vfs.errors import (
+    IsADirectoryVfsError,
+    NotADirectoryVfsError,
+    NotFoundError,
+    SymlinkLoopError,
+    VfsError,
+)
+from repro.vfs.filesystem import (
+    Directory,
+    Node,
+    RegularFile,
+    Symlink,
+    VirtualFilesystem,
+)
+from repro.vfs.paths import basename, dirname, is_absolute, join, normalize, split_components
+
+__all__ = [
+    "Directory",
+    "FileContent",
+    "InlineContent",
+    "IsADirectoryVfsError",
+    "Node",
+    "NotADirectoryVfsError",
+    "NotFoundError",
+    "RegularFile",
+    "Symlink",
+    "SymlinkLoopError",
+    "SyntheticContent",
+    "VfsError",
+    "VirtualFilesystem",
+    "basename",
+    "dirname",
+    "is_absolute",
+    "join",
+    "normalize",
+    "split_components",
+    "text_content",
+]

@@ -1,0 +1,25 @@
+"""Exception hierarchy for the virtual filesystem."""
+
+
+class VfsError(Exception):
+    """Base class for all virtual filesystem errors."""
+
+
+class NotFoundError(VfsError):
+    """A path component does not exist (ENOENT)."""
+
+
+class NotADirectoryVfsError(VfsError):
+    """A non-directory was used as an intermediate path component (ENOTDIR)."""
+
+
+class IsADirectoryVfsError(VfsError):
+    """A directory was used where a file was expected (EISDIR)."""
+
+
+class FileExistsVfsError(VfsError):
+    """Target already exists (EEXIST)."""
+
+
+class SymlinkLoopError(VfsError):
+    """Too many levels of symbolic links (ELOOP)."""

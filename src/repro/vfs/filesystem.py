@@ -1,0 +1,397 @@
+"""In-memory POSIX-style filesystem tree.
+
+Semantics intentionally mirror the subset of POSIX the container substrate
+needs: absolute normalized paths, symlink resolution with an ELOOP bound,
+recursive removal, whole-tree copies between filesystems, and deterministic
+ordered traversal (children are kept sorted so layer diffs and digests are
+reproducible).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.vfs import paths as vpath
+from repro.vfs.content import FileContent, InlineContent, text_content
+from repro.vfs.errors import (
+    FileExistsVfsError,
+    IsADirectoryVfsError,
+    NotADirectoryVfsError,
+    NotFoundError,
+    SymlinkLoopError,
+    VfsError,
+)
+
+_MAX_SYMLINK_HOPS = 40
+
+
+@dataclass
+class Node:
+    """Common metadata carried by every filesystem node."""
+
+    mode: int = 0o644
+    mtime: int = 0
+    uid: int = 0
+    gid: int = 0
+
+
+@dataclass
+class RegularFile(Node):
+    content: FileContent = field(default_factory=InlineContent)
+
+    @property
+    def size(self) -> int:
+        return self.content.size
+
+    def clone(self) -> "RegularFile":
+        # Content providers are immutable, so they are shared between clones.
+        return RegularFile(
+            mode=self.mode, mtime=self.mtime, uid=self.uid, gid=self.gid,
+            content=self.content,
+        )
+
+
+@dataclass
+class Symlink(Node):
+    target: str = ""
+
+    def clone(self) -> "Symlink":
+        return Symlink(
+            mode=self.mode, mtime=self.mtime, uid=self.uid, gid=self.gid,
+            target=self.target,
+        )
+
+
+@dataclass
+class Directory(Node):
+    mode: int = 0o755
+    children: Dict[str, "AnyNode"] = field(default_factory=dict)
+
+    def clone(self) -> "Directory":
+        copy = Directory(mode=self.mode, mtime=self.mtime, uid=self.uid, gid=self.gid)
+        for name, child in self.children.items():
+            copy.children[name] = child.clone()
+        return copy
+
+    def sorted_items(self) -> List[Tuple[str, "AnyNode"]]:
+        return sorted(self.children.items())
+
+
+AnyNode = Union[Directory, RegularFile, Symlink]
+
+
+class VirtualFilesystem:
+    """A mutable rooted tree of :class:`Directory`/:class:`RegularFile`/:class:`Symlink`."""
+
+    def __init__(self) -> None:
+        self.root = Directory()
+
+    # ------------------------------------------------------------------
+    # path resolution
+    # ------------------------------------------------------------------
+
+    def _resolve(
+        self,
+        path: str,
+        *,
+        follow_final: bool = True,
+        _hops: int = 0,
+    ) -> Tuple[str, Optional[AnyNode]]:
+        """Resolve *path* to ``(canonical_path, node_or_None)``.
+
+        Intermediate symlinks are always followed; the final component is
+        followed only when *follow_final*.  Returns ``node=None`` when the
+        final component does not exist but all intermediates do.
+        """
+        if _hops > _MAX_SYMLINK_HOPS:
+            raise SymlinkLoopError(f"too many levels of symbolic links: {path!r}")
+        comps = vpath.split_components(path)
+        node: AnyNode = self.root
+        cur = "/"
+        for i, comp in enumerate(comps):
+            if not isinstance(node, Directory):
+                raise NotADirectoryVfsError(f"not a directory: {cur!r}")
+            child = node.children.get(comp)
+            is_final = i == len(comps) - 1
+            child_path = vpath.join(cur, comp)
+            if child is None:
+                if is_final:
+                    return child_path, None
+                raise NotFoundError(f"no such file or directory: {child_path!r}")
+            if isinstance(child, Symlink) and (not is_final or follow_final):
+                target = child.target
+                if not vpath.is_absolute(target):
+                    target = vpath.join(cur, target)
+                rest = "/".join(comps[i + 1 :])
+                rejoined = vpath.join(target, rest) if rest else target
+                return self._resolve(
+                    rejoined, follow_final=follow_final, _hops=_hops + 1
+                )
+            node = child
+            cur = child_path
+        return cur, node
+
+    def resolve_path(self, path: str) -> str:
+        """Canonical path after following all symlinks (must exist)."""
+        canonical, node = self._resolve(path)
+        if node is None:
+            raise NotFoundError(f"no such file or directory: {path!r}")
+        return canonical
+
+    def get_node(self, path: str, *, follow_symlinks: bool = True) -> AnyNode:
+        _, node = self._resolve(path, follow_final=follow_symlinks)
+        if node is None:
+            raise NotFoundError(f"no such file or directory: {path!r}")
+        return node
+
+    def try_get_node(
+        self, path: str, *, follow_symlinks: bool = True
+    ) -> Optional[AnyNode]:
+        try:
+            _, node = self._resolve(path, follow_final=follow_symlinks)
+        except VfsError:
+            return None
+        return node
+
+    # ------------------------------------------------------------------
+    # predicates
+    # ------------------------------------------------------------------
+
+    def exists(self, path: str) -> bool:
+        return self.try_get_node(path) is not None
+
+    def lexists(self, path: str) -> bool:
+        return self.try_get_node(path, follow_symlinks=False) is not None
+
+    def is_dir(self, path: str) -> bool:
+        return isinstance(self.try_get_node(path), Directory)
+
+    def is_file(self, path: str) -> bool:
+        return isinstance(self.try_get_node(path), RegularFile)
+
+    def is_symlink(self, path: str) -> bool:
+        return isinstance(self.try_get_node(path, follow_symlinks=False), Symlink)
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+
+    def _parent_dir(self, path: str, *, create: bool = False) -> Tuple[Directory, str]:
+        """Return the directory node holding *path*'s final component."""
+        parent_path = vpath.dirname(path)
+        name = vpath.basename(path)
+        if not name:
+            raise VfsError("cannot address the root this way")
+        if create:
+            self.makedirs(parent_path, exist_ok=True)
+        canonical, node = self._resolve(parent_path)
+        if node is None:
+            raise NotFoundError(f"no such directory: {parent_path!r}")
+        if not isinstance(node, Directory):
+            raise NotADirectoryVfsError(f"not a directory: {canonical!r}")
+        return node, name
+
+    def mkdir(self, path: str, *, exist_ok: bool = False, mode: int = 0o755) -> None:
+        parent, name = self._parent_dir(path)
+        existing = parent.children.get(name)
+        if existing is not None:
+            if exist_ok and isinstance(existing, Directory):
+                return
+            raise FileExistsVfsError(f"file exists: {vpath.normalize(path)!r}")
+        parent.children[name] = Directory(mode=mode)
+
+    def makedirs(self, path: str, *, exist_ok: bool = True, mode: int = 0o755) -> None:
+        comps = vpath.split_components(path)
+        cur = "/"
+        for comp in comps:
+            cur = vpath.join(cur, comp)
+            canonical, node = self._resolve(cur)
+            if node is None:
+                self.mkdir(canonical, mode=mode)
+            elif not isinstance(node, Directory):
+                raise NotADirectoryVfsError(f"not a directory: {canonical!r}")
+            elif cur == vpath.normalize(path) and not exist_ok:
+                raise FileExistsVfsError(f"file exists: {cur!r}")
+
+    def write_file(
+        self,
+        path: str,
+        content: Union[FileContent, bytes, str],
+        *,
+        mode: int = 0o644,
+        mtime: int = 0,
+        create_parents: bool = False,
+    ) -> RegularFile:
+        if isinstance(content, str):
+            content = text_content(content)
+        elif isinstance(content, bytes):
+            content = InlineContent(content)
+        parent, name = self._parent_dir(path, create=create_parents)
+        existing = parent.children.get(name)
+        if isinstance(existing, Directory):
+            raise IsADirectoryVfsError(f"is a directory: {vpath.normalize(path)!r}")
+        node = RegularFile(mode=mode, mtime=mtime, content=content)
+        parent.children[name] = node
+        return node
+
+    def symlink(self, target: str, linkpath: str, *, create_parents: bool = False) -> Symlink:
+        parent, name = self._parent_dir(linkpath, create=create_parents)
+        if name in parent.children:
+            raise FileExistsVfsError(f"file exists: {vpath.normalize(linkpath)!r}")
+        node = Symlink(mode=0o777, target=target)
+        parent.children[name] = node
+        return node
+
+    def remove(self, path: str, *, recursive: bool = False, missing_ok: bool = False) -> None:
+        try:
+            parent, name = self._parent_dir(path)
+        except NotFoundError:
+            if missing_ok:
+                return
+            raise
+        node = parent.children.get(name)
+        if node is None:
+            if missing_ok:
+                return
+            raise NotFoundError(f"no such file or directory: {vpath.normalize(path)!r}")
+        if isinstance(node, Directory) and node.children and not recursive:
+            raise VfsError(f"directory not empty: {vpath.normalize(path)!r}")
+        del parent.children[name]
+
+    def rename(self, src: str, dst: str) -> None:
+        src_norm = vpath.normalize(src)
+        dst_norm = vpath.normalize(dst)
+        if vpath.is_within(dst_norm, src_norm):
+            raise VfsError(
+                f"cannot move {src_norm!r} into itself ({dst_norm!r})"
+            )
+        sparent, sname = self._parent_dir(src)
+        node = sparent.children.get(sname)
+        if node is None:
+            raise NotFoundError(f"no such file or directory: {src_norm!r}")
+        dparent, dname = self._parent_dir(dst)
+        del sparent.children[sname]
+        dparent.children[dname] = node
+
+    def chmod(self, path: str, mode: int) -> None:
+        self.get_node(path).mode = mode
+
+    # ------------------------------------------------------------------
+    # reading
+    # ------------------------------------------------------------------
+
+    def read_file(self, path: str) -> bytes:
+        node = self.get_node(path)
+        if isinstance(node, Directory):
+            raise IsADirectoryVfsError(f"is a directory: {vpath.normalize(path)!r}")
+        assert isinstance(node, RegularFile)
+        return node.content.read()
+
+    def read_text(self, path: str) -> str:
+        return self.read_file(path).decode("utf-8")
+
+    def readlink(self, path: str) -> str:
+        node = self.get_node(path, follow_symlinks=False)
+        if not isinstance(node, Symlink):
+            raise VfsError(f"not a symlink: {vpath.normalize(path)!r}")
+        return node.target
+
+    def listdir(self, path: str = "/") -> List[str]:
+        node = self.get_node(path)
+        if not isinstance(node, Directory):
+            raise NotADirectoryVfsError(f"not a directory: {vpath.normalize(path)!r}")
+        return sorted(node.children)
+
+    def file_size(self, path: str) -> int:
+        node = self.get_node(path)
+        if isinstance(node, RegularFile):
+            return node.size
+        raise VfsError(f"not a regular file: {vpath.normalize(path)!r}")
+
+    # ------------------------------------------------------------------
+    # traversal
+    # ------------------------------------------------------------------
+
+    def walk(self, top: str = "/") -> Iterator[Tuple[str, List[str], List[str]]]:
+        """Yield ``(dirpath, dirnames, othernames)`` in sorted pre-order.
+
+        Symlinks are reported as non-directories and never followed, so a
+        walk terminates even in the presence of symlink cycles.
+        """
+        node = self.get_node(top, follow_symlinks=False)
+        if not isinstance(node, Directory):
+            raise NotADirectoryVfsError(f"not a directory: {top!r}")
+        top = vpath.normalize(top)
+        stack: List[Tuple[str, Directory]] = [(top, node)]
+        while stack:
+            dirpath, dirnode = stack.pop()
+            dirnames: List[str] = []
+            othernames: List[str] = []
+            for name, child in dirnode.sorted_items():
+                if isinstance(child, Directory):
+                    dirnames.append(name)
+                else:
+                    othernames.append(name)
+            yield dirpath, dirnames, othernames
+            for name in reversed(dirnames):
+                child = dirnode.children[name]
+                assert isinstance(child, Directory)
+                stack.append((vpath.join(dirpath, name), child))
+
+    def iter_entries(self, top: str = "/") -> Iterator[Tuple[str, AnyNode]]:
+        """Yield every node strictly below *top* as ``(path, node)``, pre-order."""
+        for dirpath, dirnames, othernames in self.walk(top):
+            dirnode = self.get_node(dirpath, follow_symlinks=False)
+            assert isinstance(dirnode, Directory)
+            for name in sorted(dirnames + othernames):
+                yield vpath.join(dirpath, name), dirnode.children[name]
+
+    def iter_files(self, top: str = "/") -> Iterator[Tuple[str, RegularFile]]:
+        for path, node in self.iter_entries(top):
+            if isinstance(node, RegularFile):
+                yield path, node
+
+    def file_paths(self, top: str = "/") -> List[str]:
+        return [p for p, _ in self.iter_files(top)]
+
+    def total_size(self, top: str = "/") -> int:
+        """Sum of regular-file sizes below *top* (bytes)."""
+        return sum(node.size for _, node in self.iter_files(top))
+
+    # ------------------------------------------------------------------
+    # tree operations
+    # ------------------------------------------------------------------
+
+    def clone(self) -> "VirtualFilesystem":
+        other = VirtualFilesystem()
+        other.root = self.root.clone()
+        return other
+
+    def copy_tree(
+        self,
+        src: str,
+        dst: str,
+        *,
+        source_fs: Optional["VirtualFilesystem"] = None,
+    ) -> None:
+        """Recursively copy *src* (from *source_fs* or self) to *dst* on self."""
+        source = source_fs if source_fs is not None else self
+        node = source.get_node(src, follow_symlinks=False)
+        if isinstance(node, Directory):
+            self.makedirs(dst, exist_ok=True)
+            dst_node = self.get_node(dst, follow_symlinks=False)
+            assert isinstance(dst_node, Directory)
+            for name, child in node.sorted_items():
+                self.copy_tree(
+                    vpath.join(src, name), vpath.join(dst, name), source_fs=source
+                )
+        else:
+            parent, name = self._parent_dir(dst, create=True)
+            parent.children[name] = node.clone()
+
+    def overlay(self, other: "VirtualFilesystem", at: str = "/") -> None:
+        """Merge *other*'s whole tree into self rooted at *at* (other wins)."""
+        self.makedirs(at, exist_ok=True)
+        for name, _child in other.root.sorted_items():
+            self.copy_tree("/" + name, vpath.join(at, name), source_fs=other)

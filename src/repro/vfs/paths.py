@@ -1,0 +1,94 @@
+"""Pure-string POSIX path manipulation.
+
+All virtual-filesystem paths are absolute, ``/``-separated, and normalized
+(no ``.``/``..`` components, no trailing slash except the root itself).
+These helpers never touch the host filesystem.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+
+def is_absolute(path: str) -> bool:
+    """Return True when *path* starts at the filesystem root."""
+    return path.startswith("/")
+
+
+def normalize(path: str) -> str:
+    """Collapse ``.``/``..``/doubled slashes; result is absolute.
+
+    Relative input is interpreted against ``/`` — callers that care about a
+    working directory should :func:`join` first.  ``..`` above the root is
+    clamped to the root, matching kernel path resolution.
+    """
+    parts: List[str] = []
+    for comp in path.split("/"):
+        if comp in ("", "."):
+            continue
+        if comp == "..":
+            if parts:
+                parts.pop()
+            continue
+        parts.append(comp)
+    return "/" + "/".join(parts)
+
+
+def join(base: str, *rest: str) -> str:
+    """Join path fragments; an absolute fragment resets the result."""
+    result = base
+    for part in rest:
+        if is_absolute(part):
+            result = part
+        elif result.endswith("/"):
+            result = result + part
+        else:
+            result = result + "/" + part
+    return normalize(result)
+
+
+def split_components(path: str) -> List[str]:
+    """Return the component list of a normalized path (root -> [])."""
+    norm = normalize(path)
+    if norm == "/":
+        return []
+    return norm[1:].split("/")
+
+
+def split(path: str) -> Tuple[str, str]:
+    """Return ``(dirname, basename)`` of a normalized path."""
+    norm = normalize(path)
+    if norm == "/":
+        return "/", ""
+    head, _, tail = norm.rpartition("/")
+    return (head or "/", tail)
+
+
+def dirname(path: str) -> str:
+    return split(path)[0]
+
+
+def basename(path: str) -> str:
+    return split(path)[1]
+
+
+def is_within(path: str, ancestor: str) -> bool:
+    """Return True when *path* equals or lies below *ancestor*."""
+    p = normalize(path)
+    a = normalize(ancestor)
+    if a == "/":
+        return True
+    return p == a or p.startswith(a + "/")
+
+
+def relative_to(path: str, ancestor: str) -> str:
+    """Return *path* relative to *ancestor* (no leading slash)."""
+    p = normalize(path)
+    a = normalize(ancestor)
+    if not is_within(p, a):
+        raise ValueError(f"{p!r} is not within {a!r}")
+    if p == a:
+        return "."
+    if a == "/":
+        return p[1:]
+    return p[len(a) + 1 :]

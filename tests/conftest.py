@@ -1,0 +1,15 @@
+"""Test-suite configuration.
+
+Hypothesis deadlines are disabled globally: property tests here exercise
+whole substrates (filesystem trees, layer stacks) whose first-run import
+and warm-up costs trip the default 200 ms deadline spuriously.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

@@ -1,0 +1,188 @@
+"""Tests: app generation, original-image builds, Table 3 size calibration,
+and end-to-end execution timing through the perf runtime."""
+
+import pytest
+
+from repro.apps import APPS, app_containerfile, build_context, get_app
+from repro.apps.generate import (
+    build_script,
+    estimate_executable_size,
+    generate_sources,
+    source_file_plan,
+)
+from repro.apps.specs import CROSSISA_APPS, MIB, TABLE3_APPS
+from repro.containers import ContainerEngine
+from repro.images import install_ubuntu_base
+from repro.perf import attach_perf, predict_time, scheme_traits
+from repro.perf.workloads import WORKLOADS
+from repro.sysmodel import X86_CLUSTER
+from repro.toolchain.artifacts import ExecutableArtifact, read_artifact
+
+
+@pytest.fixture(scope="module")
+def engine():
+    eng = ContainerEngine(arch="amd64")
+    install_ubuntu_base(eng)
+    return eng
+
+
+def _build_original(engine, app_name, tag=None):
+    spec = get_app(app_name)
+    context = build_context(spec, engine.arch)
+    return engine.build(
+        app_containerfile(spec), context=context, target="dist",
+        tag=tag or f"{app_name}:orig",
+    )
+
+
+class TestSpecs:
+    def test_all_eleven_apps(self):
+        assert len(APPS) == 11
+
+    def test_loc_matches_table2(self):
+        assert get_app("hpl").loc == 37556
+        assert get_app("lammps").loc == 2273423
+        assert get_app("openmx").loc == 287381
+
+    def test_workload_names_cover_perf_registry(self):
+        names = {w for spec in APPS.values() for w in spec.workload_names()}
+        assert names == set(WORKLOADS)
+
+    def test_unknown_app_raises(self):
+        with pytest.raises(KeyError):
+            get_app("gromacs")
+
+
+class TestSourceGeneration:
+    @pytest.mark.parametrize("app", sorted(APPS))
+    def test_plan_sizes_sum(self, app):
+        spec = get_app(app)
+        plan = source_file_plan(spec)
+        assert len(plan) >= spec.n_sources - 1
+        total = sum(size for _, size, _ in plan)
+        assert total >= spec.source_bytes * 0.95
+
+    def test_guarded_asm_has_fallback(self):
+        sources = generate_sources(get_app("hpl"), "x86-64")
+        asm = [v for k, v in sources.items() if k.startswith("arch_")]
+        assert asm
+        text = asm[0].read().decode()
+        assert "__asm__" in text and "#else" in text
+
+    def test_unguarded_asm_has_no_fallback(self):
+        sources = generate_sources(get_app("lammps"), "x86-64")
+        asm_text = sources["arch_00.cc"].read().decode()
+        assert "__asm__" in asm_text and "#else" not in asm_text
+
+    def test_sources_deterministic(self):
+        a = generate_sources(get_app("lulesh"), "x86-64")
+        b = generate_sources(get_app("lulesh"), "x86-64")
+        assert {k: v.digest for k, v in a.items()} == {k: v.digest for k, v in b.items()}
+
+
+class TestBuildScript:
+    def test_x86_script_has_isa_flags(self):
+        script = build_script(get_app("hpl"), "x86-64")
+        assert "-mavx2" in script
+        assert "mpicc" in script
+
+    def test_arm_script_differs(self):
+        x86 = build_script(get_app("hpl"), "x86-64")
+        arm = build_script(get_app("hpl"), "aarch64")
+        assert x86 != arm
+        assert "-mavx2" not in arm
+
+    def test_static_lib_step(self):
+        script = build_script(get_app("hpl"), "x86-64")
+        assert "ar rcs libhpl.a" in script
+
+    def test_cxx_app_uses_mpicxx(self):
+        script = build_script(get_app("lulesh"), "x86-64")
+        assert "mpicxx" in script
+        assert "-DUSE_MPI=1" in script
+
+
+class TestOriginalImageBuild:
+    @pytest.mark.parametrize("app", ["lulesh", "hpl"])
+    def test_build_succeeds_and_binary_present(self, engine, app):
+        ref = _build_original(engine, app)
+        fs = engine.image_filesystem(ref)
+        spec = get_app(app)
+        exe = read_artifact(fs.read_file(f"/app/{spec.binary_name}"))
+        assert isinstance(exe, ExecutableArtifact)
+        assert exe.toolchain == "gnu-12"
+        assert exe.isa == "x86-64"
+        assert not exe.lto_applied and not exe.pgo_applied
+
+    def test_executable_size_estimate_matches(self, engine):
+        ref = _build_original(engine, "lulesh")
+        fs = engine.image_filesystem(ref)
+        actual = fs.file_size("/app/lulesh")
+        assert actual == estimate_executable_size(get_app("lulesh"))
+
+    def test_dist_image_has_no_sources_or_toolchain(self, engine):
+        ref = _build_original(engine, "lulesh")
+        fs = engine.image_filesystem(ref)
+        assert not fs.exists("/src")
+        assert not fs.exists("/usr/bin/gcc")
+
+    def test_runtime_libs_installed(self, engine):
+        ref = _build_original(engine, "lulesh")
+        fs = engine.image_filesystem(ref)
+        assert fs.exists("/usr/lib/x86_64-linux-gnu/libmpi.so.40")
+
+    @pytest.mark.parametrize("app", ["lulesh", "hpl", "lammps", "openmx"])
+    def test_table3_image_size(self, engine, app):
+        spec = get_app(app)
+        ref = _build_original(engine, app)
+        total = engine.image_filesystem(ref).total_size()
+        target = spec.image_size["amd64"] * MIB
+        assert total == pytest.approx(target, rel=0.01), app
+
+
+class TestExecution:
+    def test_run_original_lulesh_matches_model(self, engine):
+        ref = _build_original(engine, "lulesh")
+        recorder = attach_perf(engine, X86_CLUSTER)
+        container = engine.from_image(ref, name="run-lulesh")
+        result = engine.run(
+            container, ["mpirun", "-np", "16", "/app/lulesh"],
+            env={"SIM_WORKLOAD": "lulesh"},
+        )
+        assert result.ok, result.stderr
+        assert "Elapsed time" in result.stdout
+        report = recorder.last
+        assert report.workload == "lulesh"
+        assert report.nodes == 16
+        expected = predict_time(
+            "lulesh", X86_CLUSTER, scheme_traits("lulesh", X86_CLUSTER, "original")
+        )
+        assert report.seconds == pytest.approx(expected, rel=0.01)
+        engine.remove_container("run-lulesh")
+
+    def test_lammps_workload_from_input_file(self, engine):
+        ref = _build_original(engine, "lammps")
+        recorder = attach_perf(engine, X86_CLUSTER)
+        container = engine.from_image(ref, name="run-lmp")
+        result = engine.run(
+            container,
+            ["mpirun", "-np", "16", "/app/lmp", "-in", "/app/share/in.eam"],
+        )
+        assert result.ok, result.stderr
+        assert recorder.last.workload == "lammps.eam"
+        engine.remove_container("run-lmp")
+
+
+class TestCrossIsaMarkers:
+    def test_crossisa_apps_have_portable_asm(self):
+        for app in CROSSISA_APPS:
+            assert get_app(app).asm_guarded, app
+
+    def test_large_apps_blocked(self):
+        assert not get_app("lammps").asm_guarded
+        assert not get_app("openmx").asm_guarded
+
+    def test_table3_apps_have_calibration(self):
+        for app in TABLE3_APPS:
+            spec = get_app(app)
+            assert "amd64" in spec.image_size and "arm64" in spec.image_size

@@ -1,0 +1,102 @@
+"""Deeper app-generation coverage: data plans, size accounting, containerfiles."""
+
+import pytest
+
+from repro.apps import APPS, app_containerfile, build_context, get_app
+from repro.apps.generate import (
+    data_plan,
+    estimate_executable_size,
+    runtime_extra_bytes,
+)
+from repro.apps.specs import MIB, TABLE3_APPS
+
+
+class TestDataPlans:
+    @pytest.mark.parametrize("arch", ["amd64", "arm64"])
+    @pytest.mark.parametrize("app", sorted(APPS))
+    def test_pads_positive(self, app, arch):
+        for relpath, size in data_plan(get_app(app), arch):
+            assert size > 0, (app, arch, relpath)
+
+    def test_lammps_inputs_per_workload(self):
+        plan = dict(data_plan(get_app("lammps"), "amd64"))
+        for wkld in ("chain", "chute", "eam", "lj", "rhodo"):
+            assert f"in.{wkld}" in plan
+
+    def test_single_input_apps_have_no_input_files(self):
+        plan = dict(data_plan(get_app("lulesh"), "amd64"))
+        assert not any(name.startswith("in.") for name in plan)
+
+    def test_named_bulk_data(self):
+        assert "potentials.bin" in dict(data_plan(get_app("lammps"), "amd64"))
+        assert "vps_pao_database.bin" in dict(data_plan(get_app("openmx"), "amd64"))
+
+    @pytest.mark.parametrize("app", TABLE3_APPS)
+    def test_plan_totals_consistent_with_table3(self, app):
+        """base + runtime extras + exe + data == the Table 3 target."""
+        spec = get_app(app)
+        for arch in ("amd64", "arm64"):
+            from repro.pkg.catalog import BASE_PLUS_RUNTIME_TARGET
+
+            total = (
+                BASE_PLUS_RUNTIME_TARGET[arch]
+                + runtime_extra_bytes(spec, arch)
+                + estimate_executable_size(spec)
+                + sum(size for _, size in data_plan(spec, arch))
+            )
+            assert total == pytest.approx(spec.image_size[arch] * MIB, rel=0.001)
+
+
+class TestRuntimeExtras:
+    def test_plain_apps_have_no_extras(self):
+        assert runtime_extra_bytes(get_app("lulesh"), "amd64") == 0
+
+    def test_lammps_extras_positive_and_arch_dependent(self):
+        x86 = runtime_extra_bytes(get_app("lammps"), "amd64")
+        arm = runtime_extra_bytes(get_app("lammps"), "arm64")
+        assert x86 > arm > 0
+
+    def test_lto_estimate_larger(self):
+        spec = get_app("lulesh")
+        assert estimate_executable_size(spec, lto=True) > estimate_executable_size(spec)
+
+
+class TestContainerfiles:
+    def test_two_stages(self):
+        text = app_containerfile(get_app("lulesh"))
+        assert text.count("FROM ") == 2
+        assert "AS build" in text and "AS dist" in text
+
+    def test_custom_bases(self):
+        text = app_containerfile(get_app("lulesh"),
+                                 build_base="comt:amd64.env",
+                                 dist_base="comt:amd64.base")
+        assert "FROM comt:amd64.env AS build" in text
+        assert "FROM comt:amd64.base AS dist" in text
+
+    def test_runtime_packages_in_dist_stage(self):
+        text = app_containerfile(get_app("lammps"))
+        dist_part = text.split("AS dist")[1]
+        assert "libfftw3-3" in dist_part
+
+    def test_build_stage_installs_link_deps(self):
+        text = app_containerfile(get_app("lammps"))
+        build_part = text.split("AS dist")[0]
+        assert "libjpeg8" in build_part   # needed to link -ljpeg
+
+    def test_entrypoint_points_at_binary(self):
+        assert 'ENTRYPOINT ["/app/lmp"]' in app_containerfile(get_app("lammps"))
+
+
+class TestContextDeterminism:
+    def test_context_digests_stable(self):
+        a = build_context(get_app("comd"), "amd64")
+        b = build_context(get_app("comd"), "amd64")
+        digests_a = {p: n.content.digest for p, n in a.iter_files()}
+        digests_b = {p: n.content.digest for p, n in b.iter_files()}
+        assert digests_a == digests_b
+
+    def test_contexts_differ_across_arch(self):
+        x86 = build_context(get_app("hpl"), "amd64")
+        arm = build_context(get_app("hpl"), "arm64")
+        assert x86.read_text("/src/build.sh") != arm.read_text("/src/build.sh")

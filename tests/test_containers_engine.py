@@ -1,0 +1,249 @@
+"""Integration tests: engine, shell, programs, Containerfile builds."""
+
+import pytest
+
+from repro.containers import ContainerEngine, EngineError, parse_containerfile
+from repro.containers.dockerfile import ContainerfileError, find_stage
+from repro.images import install_ubuntu_base
+from repro.oci.layout import OCILayout
+from repro.oci.registry import ImageRegistry
+from repro.pkg import catalog
+from repro.toolchain.artifacts import ExecutableArtifact, read_artifact
+from repro.vfs import VirtualFilesystem
+
+
+@pytest.fixture(scope="module")
+def engine():
+    eng = ContainerEngine(arch="amd64")
+    install_ubuntu_base(eng)
+    return eng
+
+
+@pytest.fixture
+def ctr(engine):
+    container = engine.from_image("ubuntu:24.04", name="t")
+    yield container
+    engine.remove_container("t")
+
+
+class TestDockerfileParse:
+    def test_multistage(self):
+        stages = parse_containerfile(
+            """
+            FROM ubuntu:24.04 AS build
+            RUN gcc -c main.c
+            FROM ubuntu:24.04 AS dist
+            COPY --from=build /app /app
+            """
+        )
+        assert len(stages) == 2
+        assert stages[0].name == "build"
+        assert stages[1].instructions[0].flags == {"from": "build"}
+
+    def test_find_stage(self):
+        stages = parse_containerfile("FROM a AS x\nFROM b\n")
+        assert find_stage(stages, "x").name == "x"
+        assert find_stage(stages, None).base_ref == "b"
+        assert find_stage(stages, "1").base_ref == "b"
+        with pytest.raises(ContainerfileError):
+            find_stage(stages, "nope")
+
+    def test_continuations_and_comments(self):
+        stages = parse_containerfile(
+            "# build it\nFROM base\nRUN echo a \\\n  && echo b\n"
+        )
+        assert "echo b" in stages[0].instructions[0].value
+
+    def test_exec_form(self):
+        stages = parse_containerfile('FROM base\nENTRYPOINT ["/app/run", "-x"]\n')
+        assert stages[0].instructions[0].exec_form() == ["/app/run", "-x"]
+
+    def test_instruction_before_from_raises(self):
+        with pytest.raises(ContainerfileError):
+            parse_containerfile("RUN echo hi\n")
+
+    def test_arg_substitution(self):
+        stages = parse_containerfile("ARG BASE=ubuntu:24.04\nFROM ${BASE}\n")
+        assert stages[0].base_ref == "ubuntu:24.04"
+
+
+class TestExecution:
+    def test_echo(self, engine, ctr):
+        result = engine.run(ctr, ["echo", "hello", "world"])
+        assert result.ok
+        assert result.stdout == "hello world\n"
+
+    def test_command_not_found(self, engine, ctr):
+        result = engine.run(ctr, ["no-such-cmd"])
+        assert result.exit_code == 127
+
+    def test_path_lookup_through_symlink(self, engine, ctr):
+        # /bin/sh is a program marker; gcc is a symlink to gcc-12 after install.
+        result = engine.run(ctr, ["sh", "-c", "echo via-shell"])
+        assert result.stdout == "via-shell\n"
+
+    def test_shell_and_or(self, engine, ctr):
+        result = engine.run(ctr, ["sh", "-c", "false-cmd || echo rescued"])
+        assert "rescued" in result.stdout
+
+    def test_shell_aborts_on_failure(self, engine, ctr):
+        result = engine.run(ctr, ["sh", "-c", "no-such-cmd"])
+        assert result.exit_code != 0
+
+    def test_shell_sequential_statements(self, engine, ctr):
+        result = engine.run(ctr, ["sh", "-c", "mkdir -p /work; echo x > /work/f; cat /work/f"])
+        assert result.stdout.strip() == "x"
+
+    def test_cd_and_pwd_state(self, engine, ctr):
+        result = engine.run(ctr, ["sh", "-c", "mkdir -p /d && cd /d && touch f && cat /d/f"])
+        assert result.ok
+
+    def test_variable_assignment_and_use(self, engine, ctr):
+        result = engine.run(ctr, ["sh", "-c", "X=abc; echo $X"])
+        assert result.stdout == "abc\n"
+
+    def test_export(self, engine, ctr):
+        result = engine.run(ctr, ["sh", "-c", "export CC=gcc; echo $CC done"])
+        assert result.stdout == "gcc done\n"
+
+    def test_glob_expansion(self, engine, ctr):
+        engine.run(ctr, ["sh", "-c", "mkdir -p /g; touch /g/a.o /g/b.o /g/c.txt"]).check()
+        result = engine.run(ctr, ["sh", "-c", "cd /g && echo *.o"])
+        assert result.stdout == "a.o b.o\n"
+
+    def test_redirect_overwrite_and_append(self, engine, ctr):
+        engine.run(ctr, ["sh", "-c", "echo one > /r.txt; echo two >> /r.txt"]).check()
+        assert ctr.fs.read_text("/r.txt") == "one\ntwo\n"
+
+    def test_cp_mv_rm(self, engine, ctr):
+        script = (
+            "mkdir -p /w/sub && echo data > /w/f "
+            "&& cp /w/f /w/sub/ && mv /w/f /w/g && rm -r /w/sub"
+        )
+        engine.run(ctr, ["sh", "-c", script]).check()
+        assert ctr.fs.read_text("/w/g") == "data\n"
+        assert not ctr.fs.exists("/w/sub")
+
+    def test_dpkg_list(self, engine, ctr):
+        result = engine.run(ctr, ["dpkg", "-l"])
+        assert "libc6" in result.stdout
+
+    def test_dpkg_search(self, engine, ctr):
+        result = engine.run(ctr, ["dpkg", "-S", "/bin/bash"])
+        assert result.stdout.startswith("bash:")
+
+
+class TestApt:
+    def test_install_runtime_packages(self, engine):
+        container = engine.from_image("ubuntu:24.04", name="apt-test")
+        result = engine.run(
+            container, ["apt-get", "install", "-y", "libopenblas0", "libopenmpi3"]
+        )
+        assert result.ok, result.stderr
+        assert container.fs.exists("/usr/lib/x86_64-linux-gnu/libopenblas.so.0")
+        assert container.fs.exists("/usr/bin/mpirun")
+        engine.remove_container("apt-test")
+
+    def test_install_unknown_fails(self, engine, ctr):
+        result = engine.run(ctr, ["apt-get", "install", "-y", "no-such-pkg"])
+        assert not result.ok
+
+
+class TestCompileInContainer:
+    def test_full_toolchain_flow(self, engine):
+        container = engine.from_image("ubuntu:24.04", name="cc-test")
+        engine.run(container, ["apt-get", "install", "-y"] + catalog.default_devel_install()).check()
+        container.fs.write_file("/src/main.c", "int main(){}\n" * 30, create_parents=True)
+        container.fs.write_file("/src/util.c", "int u;\n" * 50, create_parents=True)
+        script = (
+            "cd /src && gcc -O2 -c main.c && gcc -O2 -c util.c "
+            "&& gcc main.o util.o -o app -lm"
+        )
+        engine.run(container, ["sh", "-c", script]).check()
+        exe = read_artifact(container.fs.read_file("/src/app"))
+        assert isinstance(exe, ExecutableArtifact)
+        assert exe.toolchain == "gnu-12"
+        engine.remove_container("cc-test")
+
+
+class TestBuildAndCommit:
+    CONTAINERFILE = """
+FROM ubuntu:24.04 AS build
+RUN mkdir -p /app && echo payload > /app/data.txt
+ENV APP_MODE=fast
+WORKDIR /app
+FROM ubuntu:24.04 AS dist
+COPY --from=build /app /app
+ENTRYPOINT ["/bin/cat", "/app/data.txt"]
+LABEL org.example.app=demo
+"""
+
+    def test_multistage_build(self, engine):
+        ref = engine.build(self.CONTAINERFILE, target="dist", tag="demo:latest")
+        assert ref == "demo:latest"
+        fs = engine.image_filesystem("demo:latest")
+        assert fs.read_text("/app/data.txt") == "payload\n"
+        stored = engine.image("demo:latest")
+        assert stored.config.entrypoint == ["/bin/cat", "/app/data.txt"]
+        assert stored.config.labels["org.example.app"] == "demo"
+
+    def test_build_stage_only(self, engine):
+        ref = engine.build(self.CONTAINERFILE, target="build", tag="demo:build")
+        stored = engine.image(ref)
+        assert stored.config.working_dir == "/app"
+        assert "APP_MODE=fast" in stored.config.env
+
+    def test_failed_run_aborts_build(self, engine):
+        with pytest.raises(EngineError, match="RUN"):
+            engine.build("FROM ubuntu:24.04\nRUN definitely-not-a-command\n")
+
+    def test_commit_captures_changes(self, engine):
+        container = engine.from_image("ubuntu:24.04", name="commit-test")
+        engine.run(container, ["sh", "-c", "echo new > /newfile"]).check()
+        stored = engine.commit(container, ref="committed:1")
+        base = engine.image("ubuntu:24.04")
+        assert len(stored.layers) == len(base.layers) + 1
+        assert engine.image_filesystem("committed:1").read_text("/newfile") == "new\n"
+        engine.remove_container("commit-test")
+
+    def test_commit_no_changes_adds_no_layer(self, engine):
+        container = engine.from_image("ubuntu:24.04", name="noop-test")
+        stored = engine.commit(container)
+        assert len(stored.layers) == len(engine.image("ubuntu:24.04").layers)
+        engine.remove_container("noop-test")
+
+    def test_copy_from_context(self, engine):
+        context = VirtualFilesystem()
+        context.write_file("/hello.txt", "ctx", create_parents=True)
+        engine.build(
+            "FROM ubuntu:24.04\nCOPY /hello.txt /opt/hello.txt\n", context=context,
+            tag="ctx:1",
+        )
+        assert engine.image_filesystem("ctx:1").read_text("/opt/hello.txt") == "ctx"
+
+
+class TestTransport:
+    def test_layout_roundtrip(self, engine):
+        layout = OCILayout()
+        engine.push_to_layout("ubuntu:24.04", layout, tag="base")
+        other = ContainerEngine(arch="amd64")
+        other.load_from_layout(layout, "base", ref="imported:1")
+        assert other.image_filesystem("imported:1").exists("/bin/bash")
+
+    def test_registry_roundtrip(self, engine):
+        registry = ImageRegistry()
+        engine.push_to_registry("ubuntu:24.04", registry, "lab/ubuntu:24.04")
+        other = ContainerEngine(arch="amd64")
+        other.load_from_registry(registry, "lab/ubuntu:24.04", ref="u:1")
+        assert other.image_filesystem("u:1").exists("/etc/os-release")
+
+
+class TestMounts:
+    def test_mount_object_accessible(self, engine):
+        layout = OCILayout()
+        container = engine.from_image(
+            "ubuntu:24.04", name="mnt", mounts={"/.coMtainer/io": layout}
+        )
+        assert container.mount_at("/.coMtainer/io") is layout
+        assert container.mount_at("/elsewhere") is None
+        engine.remove_container("mnt")

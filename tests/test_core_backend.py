@@ -1,0 +1,216 @@
+"""Adapter + backend (rebuild/redirect) tests."""
+
+import pytest
+
+from repro.apps import get_app
+from repro.containers import ContainerEngine
+from repro.core.adapters import (
+    GnuNativeAdapter,
+    LibraryReplacement,
+    RebuildOptions,
+    SystemAdapter,
+    VendorAdapter,
+    adapter_for_system,
+    get_adapter,
+    register_adapter,
+)
+from repro.core.cache.storage import decode_cache, decode_rebuild, rebuilt_tag
+from repro.core.models.compilation import CompilationStep
+from repro.core.workflow import build_extended_image, system_side_adapt
+from repro.oci import mediatypes
+from repro.perf import attach_perf
+from repro.sysmodel import AARCH64_CLUSTER, X86_CLUSTER
+from repro.toolchain.artifacts import read_artifact
+from repro.toolchain.cli import parse_command_line
+
+
+def _cc_step(argv, role="cc", mpi=False):
+    return CompilationStep(
+        argv=argv, cwd="/src", tool="compiler-driver",
+        meta={"toolchain": "gnu-12", "role": role, "mpi_wrapper": mpi},
+    )
+
+
+class TestAdapters:
+    def test_vendor_adapter_swaps_compiler(self):
+        adapter = VendorAdapter(X86_CLUSTER)
+        step = adapter.transform_step(
+            _cc_step(["gcc", "-O3", "-c", "main.c"]), RebuildOptions()
+        )
+        inv = parse_command_line(step.argv)
+        assert inv.program == "/opt/intel/bin/icx"
+        assert inv.march == "native"
+        assert step.toolchain == "intel-2024"
+
+    def test_role_mapping(self):
+        adapter = VendorAdapter(AARCH64_CLUSTER)
+        step = adapter.transform_step(
+            _cc_step(["g++", "-c", "x.cc"], role="cxx"), RebuildOptions()
+        )
+        assert step.argv[0] == "/opt/phytium/bin/ftcxx"
+
+    def test_app_flags_preserved(self):
+        adapter = VendorAdapter(X86_CLUSTER)
+        step = adapter.transform_step(
+            _cc_step(["gcc", "-O3", "-DUSE_MPI=1", "-funroll-loops", "-c", "m.c"]),
+            RebuildOptions(),
+        )
+        inv = parse_command_line(step.argv)
+        assert inv.opt_level == "3"
+        assert "USE_MPI=1" in inv.defines
+        assert inv.fflags["unroll-loops"] is True
+
+    def test_mpi_wrapper_link_gets_explicit_lmpi(self):
+        adapter = VendorAdapter(X86_CLUSTER)
+        step = adapter.transform_step(
+            _cc_step(["mpicc", "a.o", "-o", "/app/x"], mpi=True), RebuildOptions()
+        )
+        inv = parse_command_line(step.argv)
+        assert "mpi" in inv.libs
+
+    def test_lto_and_pgo_options(self):
+        adapter = VendorAdapter(X86_CLUSTER)
+        options = RebuildOptions(lto=True, pgo="instrument")
+        inv = parse_command_line(
+            adapter.transform_step(_cc_step(["gcc", "-c", "x.c"]), options).argv
+        )
+        assert inv.lto and inv.profile_generate
+        options = RebuildOptions(pgo="use", pgo_profile_path="/p/app.gcda")
+        inv = parse_command_line(
+            adapter.transform_step(_cc_step(["gcc", "-c", "x.c"]), options).argv
+        )
+        assert inv.fflags["profile-use"] == "/p/app.gcda"
+
+    def test_lto_scope_limits_nodes(self):
+        adapter = VendorAdapter(X86_CLUSTER)
+        options = RebuildOptions(lto=True, lto_scope=["/src/hot.o"])
+        hot = adapter.transform_step(
+            _cc_step(["gcc", "-c", "hot.c"]), options, node_id="/src/hot.o"
+        )
+        cold = adapter.transform_step(
+            _cc_step(["gcc", "-c", "cold.c"]), options, node_id="/src/cold.o"
+        )
+        assert parse_command_line(hot.argv).lto
+        assert not parse_command_line(cold.argv).lto
+
+    def test_relax_isa_strips_foreign_flags(self):
+        adapter = VendorAdapter(AARCH64_CLUSTER)
+        options = RebuildOptions(relax_isa=True)
+        step = adapter.transform_step(
+            _cc_step(["gcc", "-mavx2", "-msse4.2", "-O3", "-c", "x.c"]), options
+        )
+        inv = parse_command_line(step.argv)
+        assert "avx2" not in inv.mflags
+        assert "sse4.2" not in inv.mflags
+        assert inv.opt_level == "3"
+
+    def test_without_relax_foreign_flags_kept(self):
+        adapter = VendorAdapter(AARCH64_CLUSTER)
+        step = adapter.transform_step(
+            _cc_step(["gcc", "-mavx2", "-c", "x.c"]), RebuildOptions()
+        )
+        assert "avx2" in parse_command_line(step.argv).mflags
+
+    def test_non_compiler_step_passthrough(self):
+        adapter = VendorAdapter(X86_CLUSTER)
+        step = CompilationStep(argv=["ar", "rcs", "l.a", "a.o"], tool="ar")
+        assert adapter.transform_step(step, RebuildOptions()) is step
+
+    def test_registry_and_custom_adapter(self):
+        class SiteAdapter(GnuNativeAdapter):
+            name = "site-x"
+
+        register_adapter("site-x", SiteAdapter)
+        adapter = get_adapter("site-x", X86_CLUSTER)
+        assert adapter.name == "site-x"
+        with pytest.raises(KeyError):
+            get_adapter("nope", X86_CLUSTER)
+
+    def test_adapter_for_system(self):
+        assert adapter_for_system(X86_CLUSTER).name == "vendor"
+        assert adapter_for_system(X86_CLUSTER, "llvm").toolchain_id() == "llvm-17"
+
+    def test_replacement_json_roundtrip(self):
+        repl = LibraryReplacement(
+            generic="libopenblas0", optimized="intel-mkl", quality=1.6,
+            link_map={"/usr/lib/a.so.0": "/usr/lib/mkl.so.0"},
+        )
+        restored = LibraryReplacement.from_json(repl.to_json())
+        assert restored == repl
+
+
+@pytest.fixture(scope="module")
+def adapted_x86():
+    """Full rebuild+redirect of lulesh on the x86 system engine."""
+    user = ContainerEngine(arch="amd64")
+    layout, dist_tag = build_extended_image(user, get_app("lulesh"))
+    system_engine = ContainerEngine(arch="amd64")
+    recorder = attach_perf(system_engine, X86_CLUSTER)
+    ref = system_side_adapt(system_engine, layout, X86_CLUSTER,
+                            recorder=recorder, ref="lulesh:adapted")
+    return system_engine, layout, dist_tag, ref
+
+
+class TestRebuildRedirect:
+    def test_rebuilt_manifest_added(self, adapted_x86):
+        _, layout, dist_tag, _ = adapted_x86
+        assert layout.has_tag(rebuilt_tag(dist_tag))
+        resolved = layout.resolve(rebuilt_tag(dist_tag))
+        assert resolved.manifest.annotations[
+            mediatypes.ANNOTATION_COMTAINER_KIND] == "rebuilt"
+
+    def test_rebuild_meta(self, adapted_x86):
+        _, layout, dist_tag, _ = adapted_x86
+        meta, files, modes, _ = decode_rebuild(layout, dist_tag)
+        assert meta["adapter"] == "vendor"
+        assert meta["system"] == "x86"
+        replaced = {r["generic"]: r["optimized"] for r in meta["replacements"]}
+        assert replaced["libopenblas0"] == "intel-mkl"
+        assert replaced["libopenmpi3"] == "intel-mpi"
+        assert "/app/lulesh" in files
+        assert modes["/app/lulesh"] & 0o111
+
+    def test_rebuilt_binary_provenance(self, adapted_x86):
+        _, layout, dist_tag, _ = adapted_x86
+        _, files, _, _ = decode_rebuild(layout, dist_tag)
+        exe = read_artifact(files["/app/lulesh"].read())
+        assert exe.toolchain == "intel-2024"
+        assert exe.march == "native"
+        assert not exe.lto_applied
+
+    def test_redirected_image_layout(self, adapted_x86):
+        engine, _, _, ref = adapted_x86
+        fs = engine.image_filesystem(ref)
+        assert fs.exists("/app/lulesh")
+        assert fs.exists("/app/share/tables.bin")   # data carried over
+        # Generic MPI lib path resolves to the vendor library.
+        resolved = fs.resolve_path("/usr/lib/x86_64-linux-gnu/libmpi.so.40")
+        assert "intel" in resolved
+
+    def test_redirected_config_preserved(self, adapted_x86):
+        engine, _, _, ref = adapted_x86
+        stored = engine.image(ref)
+        assert stored.config.entrypoint == ["/app/lulesh"]
+        assert stored.config.labels["io.comtainer.adapted"] == "vendor"
+
+    def test_redirected_has_no_generic_blas(self, adapted_x86):
+        engine, _, _, ref = adapted_x86
+        from repro.pkg.database import DpkgDatabase
+
+        db = DpkgDatabase.read_from(engine.image_filesystem(ref))
+        assert "intel-mkl" in db.names()
+        assert "libopenblas0" not in db.names()
+
+    def test_llvm_flavor_adapts(self):
+        """The artifact's free LLVM Sysenv/Rebase images work too."""
+        user = ContainerEngine(arch="amd64")
+        layout, dist_tag = build_extended_image(user, get_app("hpccg"))
+        system_engine = ContainerEngine(arch="amd64")
+        recorder = attach_perf(system_engine, X86_CLUSTER)
+        ref = system_side_adapt(system_engine, layout, X86_CLUSTER,
+                                recorder=recorder, flavor="llvm",
+                                ref="hpccg:llvm-adapted")
+        exe = read_artifact(
+            system_engine.image_filesystem(ref).read_file("/app/hpccg")
+        )
+        assert exe.toolchain == "llvm-17"

@@ -1,0 +1,120 @@
+"""Cross-ISA study tests (§5.5 / Figure 11)."""
+
+import statistics
+
+import pytest
+
+from repro.apps import get_app
+from repro.apps.specs import CROSSISA_APPS
+from repro.containers import ContainerEngine
+from repro.core.cache.storage import decode_cache
+from repro.core.crossisa import analyze_cross_isa
+from repro.core.workflow import build_extended_image, system_side_adapt
+from repro.perf import attach_perf
+from repro.sysmodel import AARCH64_CLUSTER
+from repro.toolchain.artifacts import read_artifact
+
+
+@pytest.fixture(scope="module")
+def x86_engine():
+    return ContainerEngine(arch="amd64")
+
+
+def _report(engine, app, target_isa="aarch64"):
+    layout, dist_tag = build_extended_image(engine, get_app(app))
+    models, sources, _ = decode_cache(layout, dist_tag)
+    return layout, analyze_cross_isa(models, sources, target_isa, app=app)
+
+
+class TestAnalysis:
+    def test_hpl_flags_detected(self, x86_engine):
+        _, report = _report(x86_engine, "hpl")
+        assert report.flag_lines >= 4          # every compile + link line
+        assert report.asm_guarded == 2
+        assert report.asm_unguarded == 0
+        assert report.can_cross
+
+    def test_lulesh_is_clean(self, x86_engine):
+        _, report = _report(x86_engine, "lulesh")
+        assert report.flag_lines == 0
+        assert report.can_cross
+        added, deleted = report.comtainer_changes
+        assert (added, deleted) == (1, 0)      # only the base-image retarget
+
+    def test_lammps_blocked_by_unguarded_asm(self, x86_engine):
+        _, report = _report(x86_engine, "lammps")
+        assert report.asm_unguarded > 0
+        assert not report.can_cross
+        blocking = [i for i in report.issues if i.blocking]
+        assert all(i.kind == "inline-asm" for i in blocking)
+
+    def test_openmx_blocked(self, x86_engine):
+        _, report = _report(x86_engine, "openmx")
+        assert not report.can_cross
+
+    def test_issue_details(self, x86_engine):
+        _, report = _report(x86_engine, "hpl")
+        flag_issues = [i for i in report.issues if i.kind == "flag"]
+        assert any("-mavx2" in i.detail for i in flag_issues)
+        assert all(not i.blocking for i in flag_issues)
+
+
+class TestFigure11Shape:
+    def test_comtainer_much_cheaper_than_xbuild(self, x86_engine):
+        """Paper: ~5 lines with coMtainer vs ~47 with cross-compilation
+        (about 10% of the effort)."""
+        comtainer_totals, xbuild_totals = [], []
+        for app in CROSSISA_APPS:
+            _, report = _report(x86_engine, app)
+            assert report.can_cross, app
+            comtainer_totals.append(report.comtainer_total)
+            xbuild_totals.append(report.xbuild_total)
+        comtainer_avg = statistics.mean(comtainer_totals)
+        xbuild_avg = statistics.mean(xbuild_totals)
+        assert comtainer_avg == pytest.approx(5, abs=2.5)
+        assert xbuild_avg == pytest.approx(47, rel=0.2)
+        assert comtainer_avg / xbuild_avg == pytest.approx(0.10, abs=0.05)
+
+    def test_changes_split_add_delete(self, x86_engine):
+        _, report = _report(x86_engine, "comd")
+        added, deleted = report.comtainer_changes
+        assert added == deleted + 1            # edits + one retarget line
+        x_added, x_deleted = report.xbuild_changes
+        assert x_added > x_deleted
+
+
+class TestCrossIsaRebuild:
+    """Actually rebuild an x86 extended image on the AArch64 system."""
+
+    def test_rebuild_fails_without_relaxation(self, x86_engine):
+        layout, dist_tag = build_extended_image(x86_engine, get_app("hpl"))
+        arm_engine = ContainerEngine(arch="arm64")
+        recorder = attach_perf(arm_engine, AARCH64_CLUSTER)
+        with pytest.raises(Exception, match="unrecognized command-line option"):
+            system_side_adapt(arm_engine, layout, AARCH64_CLUSTER,
+                              recorder=recorder, ref="hpl:cross")
+
+    def test_rebuild_succeeds_with_relaxation(self, x86_engine):
+        from repro.core.workflow import _run_rebuild, _run_redirect
+        from repro.core.images import install_system_side_images
+
+        layout, dist_tag = build_extended_image(x86_engine, get_app("hpl"))
+        arm_engine = ContainerEngine(arch="arm64")
+        attach_perf(arm_engine, AARCH64_CLUSTER)
+        install_system_side_images(arm_engine, AARCH64_CLUSTER, "vendor")
+        _run_rebuild(arm_engine, layout, AARCH64_CLUSTER, "vendor",
+                     ["--adapter=vendor", "--relax-isa"])
+        ref = _run_redirect(arm_engine, layout, AARCH64_CLUSTER, ref="hpl:crossed")
+        exe = read_artifact(arm_engine.image_filesystem(ref).read_file("/app/hpl"))
+        assert exe.isa == "aarch64"
+        assert exe.toolchain == "phytium-kit-3"
+
+    def test_clean_app_crosses_without_relaxation(self, x86_engine):
+        """lulesh has no ISA-specific content: it crosses as-is."""
+        layout, dist_tag = build_extended_image(x86_engine, get_app("lulesh"))
+        arm_engine = ContainerEngine(arch="arm64")
+        recorder = attach_perf(arm_engine, AARCH64_CLUSTER)
+        ref = system_side_adapt(arm_engine, layout, AARCH64_CLUSTER,
+                                recorder=recorder, ref="lulesh:crossed")
+        exe = read_artifact(arm_engine.image_filesystem(ref).read_file("/app/lulesh"))
+        assert exe.isa == "aarch64"

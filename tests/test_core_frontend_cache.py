@@ -1,0 +1,187 @@
+"""Frontend analysis + cache layer tests (incl. Table 3 cache sizes)."""
+
+import pytest
+
+from repro.apps import get_app
+from repro.apps.specs import MIB, TABLE3_APPS
+from repro.containers import ContainerEngine, TRACE_PATH
+from repro.containers.hijack import read_trace
+from repro.core.cache.storage import (
+    CacheError,
+    decode_cache,
+    extended_tag,
+    find_dist_tag,
+    rebuilt_tag,
+)
+from repro.core.frontend.parser import graph_from_trace
+from repro.core.models import FileOrigin
+from repro.core.workflow import build_extended_image
+from repro.oci import mediatypes
+from repro.oci.layout import OCILayout
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return ContainerEngine(arch="amd64")
+
+
+@pytest.fixture(scope="module")
+def lulesh_layout(engine):
+    layout, dist_tag = build_extended_image(engine, get_app("lulesh"))
+    return layout, dist_tag
+
+
+class TestTraceParsing:
+    def test_records_from_simple_trace(self):
+        records = [
+            {"argv": ["gcc", "-O2", "-c", "a.c"], "cwd": "/src",
+             "program": "compiler-driver", "meta": {"toolchain": "gnu-12", "role": "cc"}},
+            {"argv": ["gcc", "-O2", "-c", "b.c"], "cwd": "/src",
+             "program": "compiler-driver", "meta": {"toolchain": "gnu-12", "role": "cc"}},
+            {"argv": ["ar", "rcs", "lib.a", "b.o"], "cwd": "/src",
+             "program": "ar", "meta": {}},
+            {"argv": ["gcc", "a.o", "lib.a", "-o", "/app/demo", "-lm"], "cwd": "/src",
+             "program": "compiler-driver", "meta": {"toolchain": "gnu-12", "role": "cc"}},
+        ]
+        graph = graph_from_trace(records)
+        assert {n.id for n in graph.sinks()} == {"/app/demo"}
+        exe = graph.get("/app/demo")
+        assert set(exe.deps) == {"/src/a.o", "/src/lib.a"}
+        assert exe.metadata["libs"] == ["m"]
+        archive = graph.get("/src/lib.a")
+        assert archive.deps == ["/src/b.o"]
+        assert graph.get("/src/a.o").deps == ["/src/a.c"]
+
+    def test_mpi_wrapper_recorded(self):
+        records = [
+            {"argv": ["mpicc", "x.o", "-o", "/app/x"], "cwd": "/",
+             "program": "compiler-driver",
+             "meta": {"toolchain": "gnu-12", "role": "cc", "mpi_wrapper": True}},
+        ]
+        graph = graph_from_trace(records)
+        assert "mpi" in graph.get("/app/x").metadata["libs"]
+
+    def test_preprocess_and_version_ignored(self):
+        records = [
+            {"argv": ["gcc", "--version"], "cwd": "/", "program": "compiler-driver",
+             "meta": {}},
+            {"argv": ["gcc", "-E", "x.c"], "cwd": "/", "program": "compiler-driver",
+             "meta": {}},
+        ]
+        assert len(graph_from_trace(records)) == 0
+
+    def test_strip_creates_no_nodes(self):
+        records = [
+            {"argv": ["strip", "/app/demo"], "cwd": "/", "program": "strip", "meta": {}},
+        ]
+        assert len(graph_from_trace(records)) == 0
+
+
+class TestHijackDuringBuild:
+    def test_env_image_records_trace(self, engine):
+        """Building on the Env image leaves a trace in the build container."""
+        from repro.core.images import env_ref, install_user_side_images
+
+        install_user_side_images(engine)
+        container = engine.from_image(env_ref("amd64"), name="hj")
+        container.fs.write_file("/w/x.c", "int x;\n" * 20, create_parents=True)
+        engine.run(container, ["sh", "-c", "cd /w && gcc -O2 -c x.c"]).check()
+        records = read_trace(container.fs)
+        assert len(records) == 1
+        assert records[0]["argv"][0] == "gcc"
+        assert records[0]["cwd"] == "/w"
+        assert records[0]["meta"]["toolchain"] == "gnu-12"
+        engine.remove_container("hj")
+
+
+class TestExtendedImage:
+    def test_extended_manifest_added(self, lulesh_layout):
+        layout, dist_tag = lulesh_layout
+        assert layout.has_tag(dist_tag)
+        assert layout.has_tag(extended_tag(dist_tag))
+
+    def test_extended_annotations(self, lulesh_layout):
+        layout, dist_tag = lulesh_layout
+        desc = layout.manifest_descriptor(extended_tag(dist_tag))
+        # manifest annotations live inside the blob, index entry has ref name
+        resolved = layout.resolve(extended_tag(dist_tag))
+        assert resolved.manifest.annotations[mediatypes.ANNOTATION_COMTAINER_KIND] == "extended"
+
+    def test_extended_image_is_superset(self, lulesh_layout):
+        """The cache layer adds; it never changes the original image."""
+        layout, dist_tag = lulesh_layout
+        original = layout.resolve(dist_tag)
+        extended = layout.resolve(extended_tag(dist_tag))
+        assert extended.layers[:-1] == original.layers
+        assert extended.manifest.layers[:-1] == original.manifest.layers
+
+    def test_decode_cache_roundtrip(self, lulesh_layout):
+        layout, dist_tag = lulesh_layout
+        models, sources, resolved = decode_cache(layout, dist_tag)
+        assert models.graph.validate() is None
+        assert len(sources) == len(models.graph.source_paths())
+        assert "/src/main.cc" in sources
+
+    def test_graph_shape_matches_app(self, lulesh_layout):
+        layout, dist_tag = lulesh_layout
+        models, _, _ = decode_cache(layout, dist_tag)
+        sinks = models.graph.sinks()
+        assert [n.path for n in sinks] == ["/app/lulesh"]
+        spec = get_app("lulesh")
+        assert len(models.graph.nodes("object")) == len(
+            [p for p in models.graph.source_paths()]
+        )
+
+    def test_image_model_classifies_binary_as_build(self, lulesh_layout):
+        layout, dist_tag = lulesh_layout
+        models, _, _ = decode_cache(layout, dist_tag)
+        record = models.image.files["/app/lulesh"]
+        assert record.origin == FileOrigin.BUILD
+        assert record.node_id == "/app/lulesh"
+
+    def test_image_model_classifies_runtime_packages(self, lulesh_layout):
+        layout, dist_tag = lulesh_layout
+        models, _, _ = decode_cache(layout, dist_tag)
+        assert "libopenmpi3" in models.image.packages
+        lib = "/usr/lib/x86_64-linux-gnu/libmpi.so.40"
+        assert models.image.files[lib].origin == FileOrigin.PACKAGE
+
+    def test_image_model_classifies_data(self, lulesh_layout):
+        layout, dist_tag = lulesh_layout
+        models, _, _ = decode_cache(layout, dist_tag)
+        data = [r.path for r in models.image.by_origin(FileOrigin.DATA)]
+        assert any(p.startswith("/app/share") for p in data)
+
+    def test_base_files_classified(self, lulesh_layout):
+        layout, dist_tag = lulesh_layout
+        models, _, _ = decode_cache(layout, dist_tag)
+        assert models.image.files["/bin/bash"].origin == FileOrigin.BASE
+
+    def test_find_dist_tag(self, lulesh_layout):
+        layout, dist_tag = lulesh_layout
+        assert find_dist_tag(layout) == dist_tag
+
+    def test_decode_missing_cache_raises(self):
+        layout = OCILayout()
+        with pytest.raises(CacheError):
+            decode_cache(layout, "ghost")
+
+
+class TestCacheSizeTable3:
+    @pytest.mark.parametrize("app", ["lulesh", "hpl", "comd", "lammps", "openmx"])
+    def test_cache_layer_size(self, engine, app):
+        """Table 3: cache layer sizes (0.59 - 23.99 MiB)."""
+        layout, dist_tag = build_extended_image(engine, get_app(app))
+        extended = layout.resolve(extended_tag(dist_tag))
+        cache_layer = extended.layers[-1]
+        target = get_app(app).cache_size * MIB
+        assert cache_layer.payload_size == pytest.approx(target, rel=0.03), app
+
+    def test_cache_much_smaller_than_image(self, engine):
+        """Paper: cache is <= ~7-11% of the original image size."""
+        for app in ("lulesh", "lammps"):
+            layout, dist_tag = build_extended_image(engine, get_app(app))
+            extended = layout.resolve(extended_tag(dist_tag))
+            image_size = sum(l.payload_size for l in extended.layers[:-1])
+            cache_size = extended.layers[-1].payload_size
+            assert cache_size < 0.12 * image_size

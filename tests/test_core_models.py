@@ -1,0 +1,243 @@
+"""Unit + property tests for the process models."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.models import (
+    BuildGraph,
+    BuildNode,
+    CompilationStep,
+    FileOrigin,
+    ImageModel,
+    ProcessModels,
+)
+from repro.core.models.build_graph import GraphError, kind_for_path
+from repro.core.models.image_model import FileRecord, classify_image
+from repro.pkg import DpkgDatabase, Package, PackagedFile
+from repro.vfs import VirtualFilesystem
+
+
+def _step(argv, tool="compiler-driver", **meta):
+    return CompilationStep(argv=argv, cwd="/src", tool=tool, meta=meta)
+
+
+def _chain_graph():
+    """src.c -> src.o -> app"""
+    graph = BuildGraph()
+    graph.ensure("/src/main.c")
+    graph.add(BuildNode(id="/src/main.o", kind="object", path="/src/main.o",
+                        deps=["/src/main.c"],
+                        step=_step(["gcc", "-c", "main.c"])))
+    graph.add(BuildNode(id="/app/demo", kind="executable", path="/app/demo",
+                        deps=["/src/main.o"],
+                        step=_step(["gcc", "main.o", "-o", "/app/demo"])))
+    return graph
+
+
+class TestCompilationStep:
+    def test_invocation_parses(self):
+        step = _step(["gcc", "-O2", "-c", "main.c"], toolchain="gnu-12", role="cc")
+        inv = step.invocation()
+        assert inv.opt_level == "2"
+        assert step.toolchain == "gnu-12"
+        assert step.role == "cc"
+
+    def test_non_compiler_invocation_raises(self):
+        step = _step(["ar", "rcs", "a.a"], tool="ar")
+        assert step.is_archiver
+        with pytest.raises(ValueError):
+            step.invocation()
+
+    def test_json_roundtrip(self):
+        step = _step(["mpicc", "-c", "x.c"], mpi_wrapper=True)
+        restored = CompilationStep.from_json(step.to_json())
+        assert restored.argv == step.argv
+        assert restored.mpi_wrapper
+
+    def test_with_argv_preserves_context(self):
+        step = _step(["gcc", "-c", "x.c"], toolchain="gnu-12")
+        new = step.with_argv(["icx", "-c", "x.c"], toolchain="intel-2024")
+        assert new.cwd == step.cwd
+        assert new.toolchain == "intel-2024"
+        assert step.toolchain == "gnu-12"  # original untouched
+
+
+class TestKindForPath:
+    def test_kinds(self):
+        assert kind_for_path("/a/x.o", True) == "object"
+        assert kind_for_path("/a/lib.a", True) == "archive"
+        assert kind_for_path("/a/lib.so.3", True) == "shared"
+        assert kind_for_path("/a/x.cc", False) == "source"
+        assert kind_for_path("/a/app", True) == "executable"
+        assert kind_for_path("/a/README", False) == "file"
+
+
+class TestBuildGraph:
+    def test_chain_structure(self):
+        graph = _chain_graph()
+        assert len(graph) == 3
+        assert [n.id for n in graph.roots()] == ["/src/main.c"]
+        assert [n.id for n in graph.sinks()] == ["/app/demo"]
+
+    def test_topo_order(self):
+        order = [n.id for n in _chain_graph().topo_order()]
+        assert order.index("/src/main.c") < order.index("/src/main.o")
+        assert order.index("/src/main.o") < order.index("/app/demo")
+
+    def test_cycle_detected(self):
+        graph = BuildGraph()
+        graph.add(BuildNode(id="a", kind="object", path="a", deps=["b"]))
+        graph.add(BuildNode(id="b", kind="object", path="b", deps=["a"]))
+        with pytest.raises(GraphError, match="cycle"):
+            graph.topo_order()
+
+    def test_unknown_dep_fails_validation(self):
+        graph = BuildGraph()
+        graph.add(BuildNode(id="a", kind="object", path="a", deps=["ghost"]))
+        with pytest.raises(GraphError, match="unknown"):
+            graph.validate()
+
+    def test_ancestors(self):
+        graph = _chain_graph()
+        assert graph.ancestors("/app/demo") == {"/src/main.o", "/src/main.c"}
+
+    def test_dependents(self):
+        graph = _chain_graph()
+        assert [n.id for n in graph.dependents("/src/main.c")] == ["/src/main.o"]
+
+    def test_ensure_idempotent(self):
+        graph = BuildGraph()
+        a = graph.ensure("/x.c")
+        b = graph.ensure("/x.c")
+        assert a is b
+
+    def test_source_paths(self):
+        assert _chain_graph().source_paths() == ["/src/main.c"]
+
+    def test_json_roundtrip(self):
+        graph = _chain_graph()
+        restored = BuildGraph.from_json(graph.to_json())
+        assert len(restored) == len(graph)
+        assert restored.get("/app/demo").step.argv == ["gcc", "main.o", "-o", "/app/demo"]
+        assert [n.id for n in restored.sinks()] == ["/app/demo"]
+
+    def test_missing_node_raises(self):
+        with pytest.raises(GraphError):
+            BuildGraph().get("nope")
+
+
+@st.composite
+def _dags(draw):
+    """Random DAGs: node i may only depend on nodes < i (acyclic)."""
+    n = draw(st.integers(min_value=1, max_value=10))
+    graph = BuildGraph()
+    for i in range(n):
+        deps = []
+        if i:
+            deps = draw(st.lists(
+                st.integers(min_value=0, max_value=i - 1), max_size=3, unique=True
+            ))
+        graph.add(BuildNode(id=f"n{i}", kind="object", path=f"/n{i}",
+                            deps=[f"n{d}" for d in deps]))
+    return graph
+
+
+class TestGraphProperties:
+    @given(_dags())
+    def test_topo_respects_all_edges(self, graph):
+        order = [n.id for n in graph.topo_order()]
+        position = {node_id: i for i, node_id in enumerate(order)}
+        for node in graph:
+            for dep in node.deps:
+                assert position[dep] < position[node.id]
+
+    @given(_dags())
+    def test_roundtrip_preserves_structure(self, graph):
+        restored = BuildGraph.from_json(graph.to_json())
+        assert {n.id: sorted(n.deps) for n in restored} == {
+            n.id: sorted(n.deps) for n in graph
+        }
+
+    @given(_dags())
+    def test_roots_plus_produced_cover_graph(self, graph):
+        roots = {n.id for n in graph.roots()}
+        for node in graph:
+            if node.id not in roots:
+                assert node.deps
+
+
+class TestImageModel:
+    def _build_model(self):
+        fs = VirtualFilesystem()
+        fs.write_file("/bin/bash", b"base shell", create_parents=True)
+        fs.write_file("/usr/lib/libopenblas.so.0", b"blas", create_parents=True)
+        fs.write_file("/app/demo", b"the built binary", create_parents=True)
+        fs.write_file("/app/share/input.dat", b"data", create_parents=True)
+        fs.write_file("/mystery", b"???", create_parents=True)
+        db = DpkgDatabase()
+        db.add(Package(name="bash", version="1",
+                       files=[PackagedFile(path="/bin/bash")]))
+        db.add(Package(name="libopenblas0", version="1",
+                       files=[PackagedFile(path="/usr/lib/libopenblas.so.0")]))
+        db.write_to(fs)
+        from repro.vfs import InlineContent
+
+        digest = InlineContent(b"the built binary").digest
+        return classify_image(
+            fs,
+            base_paths={"/bin/bash"},
+            base_packages={"bash"},
+            build_digest_index={digest: "/app/demo"},
+            entrypoint=["/app/demo"],
+            architecture="amd64",
+        )
+
+    def test_five_origins(self):
+        model = self._build_model()
+        assert model.files["/bin/bash"].origin == FileOrigin.BASE
+        assert model.files["/usr/lib/libopenblas.so.0"].origin == FileOrigin.PACKAGE
+        assert model.files["/usr/lib/libopenblas.so.0"].package == "libopenblas0"
+        assert model.files["/app/demo"].origin == FileOrigin.BUILD
+        assert model.files["/app/demo"].node_id == "/app/demo"
+        assert model.files["/app/share/input.dat"].origin == FileOrigin.DATA
+        assert model.files["/mystery"].origin == FileOrigin.UNKNOWN
+
+    def test_packages_excludes_base(self):
+        model = self._build_model()
+        assert model.packages == ["libopenblas0"]
+        assert model.base_packages == ["bash"]
+
+    def test_build_outputs(self):
+        model = self._build_model()
+        assert model.build_outputs() == {"/app/demo": "/app/demo"}
+
+    def test_histogram(self):
+        hist = self._build_model().origin_histogram()
+        assert hist[FileOrigin.BUILD] == 1
+        assert sum(hist.values()) >= 5
+
+    def test_json_roundtrip(self):
+        model = self._build_model()
+        restored = ImageModel.from_json(model.to_json())
+        assert restored.to_json() == model.to_json()
+
+
+class TestProcessModels:
+    def test_clone_is_deep(self):
+        models = ProcessModels(graph=_chain_graph())
+        clone = models.clone()
+        clone.graph.get("/app/demo").deps.append("extra")
+        assert "extra" not in models.graph.get("/app/demo").deps
+
+    def test_summary(self):
+        models = ProcessModels(graph=_chain_graph())
+        summary = models.summary()
+        assert summary["nodes"] == 3
+        assert summary["sinks"] == ["/app/demo"]
+
+    def test_json_roundtrip(self):
+        models = ProcessModels(graph=_chain_graph(), metadata={"app": "demo"})
+        restored = ProcessModels.from_json(models.to_json())
+        assert restored.metadata["app"] == "demo"
+        assert len(restored.graph) == 3

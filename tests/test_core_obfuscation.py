@@ -1,0 +1,135 @@
+"""Tests for cache-layer source obfuscation (§4.6)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.apps import get_app
+from repro.containers import ContainerEngine
+from repro.core.cache.obfuscate import (
+    deobfuscate_bytes,
+    obfuscate_bytes,
+    obfuscate_content,
+    obfuscate_sources,
+)
+from repro.core.cache.storage import decode_cache
+from repro.core.crossisa import analyze_cross_isa
+from repro.core.workflow import build_extended_image, system_side_adapt
+from repro.perf import attach_perf
+from repro.sysmodel import X86_CLUSTER
+from repro.toolchain.artifacts import read_artifact
+from repro.vfs import InlineContent, SyntheticContent
+
+
+class TestObfuscationPrimitives:
+    def test_roundtrip(self):
+        data = b"int main() { return 0; }\n"
+        assert deobfuscate_bytes(obfuscate_bytes(data)) == data
+
+    def test_size_preserved(self):
+        data = b"x" * 12345
+        assert len(obfuscate_bytes(data)) == len(data)
+
+    def test_scrambles_text(self):
+        data = b"__asm__ volatile(...)" * 10
+        scrambled = obfuscate_bytes(data)
+        assert scrambled != data
+        assert b"__asm__" not in scrambled
+
+    def test_key_dependent(self):
+        data = b"secret source"
+        assert obfuscate_bytes(data, "k1") != obfuscate_bytes(data, "k2")
+
+    def test_synthetic_content_passthrough(self):
+        content = SyntheticContent("s", 1000)
+        assert obfuscate_content(content) is content
+
+    def test_inline_content_scrambled_same_size(self):
+        content = InlineContent(b"void kernel();\n" * 8)
+        out = obfuscate_content(content)
+        assert out.size == content.size
+        assert out.read() != content.read()
+
+    @given(st.binary(max_size=512), st.text(min_size=1, max_size=16))
+    def test_xor_involution_property(self, data, key):
+        assert obfuscate_bytes(obfuscate_bytes(data, key), key) == data
+
+
+@pytest.fixture(scope="module")
+def obfuscated_layout():
+    engine = ContainerEngine(arch="amd64")
+    layout, dist_tag = build_extended_image(
+        engine, get_app("hpl"), obfuscate=True
+    )
+    return layout, dist_tag
+
+
+class TestObfuscatedCache:
+    def test_sources_not_readable(self, obfuscated_layout):
+        layout, dist_tag = obfuscated_layout
+        models, sources, _ = decode_cache(layout, dist_tag)
+        assert models.metadata["sources_obfuscated"]
+        main = sources["/src/main.c"].read()
+        assert b"int main" not in main
+
+    def test_sizes_preserved(self, obfuscated_layout):
+        layout, dist_tag = obfuscated_layout
+        _, sources, _ = decode_cache(layout, dist_tag)
+        clear_engine = ContainerEngine(arch="amd64")
+        clear_layout, clear_tag = build_extended_image(
+            clear_engine, get_app("hpl"), obfuscate=False
+        )
+        _, clear_sources, _ = decode_cache(clear_layout, clear_tag)
+        assert {p: c.size for p, c in sources.items()} == {
+            p: c.size for p, c in clear_sources.items()
+        }
+
+    def test_isa_scan_survives_obfuscation(self, obfuscated_layout):
+        """Cross-ISA analysis works on obfuscated caches via the recorded
+        scan — the bytes themselves are unreadable."""
+        layout, dist_tag = obfuscated_layout
+        models, sources, _ = decode_cache(layout, dist_tag)
+        report = analyze_cross_isa(models, sources, "aarch64", app="hpl")
+        assert report.asm_guarded == 2       # same as the clear cache
+        assert report.asm_unguarded == 0
+        assert report.can_cross
+
+    def test_adaptation_still_works(self, obfuscated_layout):
+        """§4.6: obfuscation 'still enables all the system-side adaptation
+        and optimizations'."""
+        layout, dist_tag = obfuscated_layout
+        engine = ContainerEngine(arch="amd64")
+        recorder = attach_perf(engine, X86_CLUSTER)
+        ref = system_side_adapt(engine, layout, X86_CLUSTER,
+                                recorder=recorder, ref="hpl:obf-adapted")
+        exe = read_artifact(engine.image_filesystem(ref).read_file("/app/hpl"))
+        assert exe.toolchain == "intel-2024"
+        assert exe.march == "native"
+
+    def test_adapted_binary_size_identical_to_clear(self, obfuscated_layout):
+        """Size-preserving obfuscation yields identical rebuild results."""
+        layout, dist_tag = obfuscated_layout
+        engine = ContainerEngine(arch="amd64")
+        recorder = attach_perf(engine, X86_CLUSTER)
+        ref = system_side_adapt(engine, layout, X86_CLUSTER,
+                                recorder=recorder, ref="hpl:obf")
+        obf_size = engine.image_filesystem(ref).file_size("/app/hpl")
+
+        clear_engine = ContainerEngine(arch="amd64")
+        clear_layout, _ = build_extended_image(
+            ContainerEngine(arch="amd64"), get_app("hpl")
+        )
+        recorder2 = attach_perf(clear_engine, X86_CLUSTER)
+        clear_ref = system_side_adapt(clear_engine, clear_layout, X86_CLUSTER,
+                                      recorder=recorder2, ref="hpl:clear")
+        clear_size = clear_engine.image_filesystem(clear_ref).file_size("/app/hpl")
+        assert obf_size == clear_size
+
+
+class TestClearCacheScanRecorded:
+    def test_isa_scan_always_recorded(self):
+        engine = ContainerEngine(arch="amd64")
+        layout, dist_tag = build_extended_image(engine, get_app("comd"))
+        models, _, _ = decode_cache(layout, dist_tag)
+        scan = models.metadata["isa_scan"]
+        assert any(entry["guarded"] for entry in scan.values())

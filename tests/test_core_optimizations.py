@@ -1,0 +1,74 @@
+"""Tests for LTO scope helpers and PGO profile plumbing."""
+
+import pytest
+
+from repro.core.models import BuildGraph, BuildNode, CompilationStep
+from repro.core.optimizations import (
+    lto_scope_all,
+    lto_scope_excluding,
+    lto_scope_for_sinks,
+    profile_bytes_for,
+    read_profile,
+)
+
+
+def _diamond_graph():
+    """a.c -> a.o \\
+               app1
+       b.c -> b.o /   ; c.c -> c.o -> app2"""
+    graph = BuildGraph()
+    step = CompilationStep(argv=["gcc", "-c", "x.c"])
+    for src in ("a", "b", "c"):
+        graph.ensure(f"/{src}.c")
+        graph.add(BuildNode(id=f"/{src}.o", kind="object", path=f"/{src}.o",
+                            deps=[f"/{src}.c"], step=step))
+    graph.add(BuildNode(id="/app1", kind="executable", path="/app1",
+                        deps=["/a.o", "/b.o"], step=step))
+    graph.add(BuildNode(id="/app2", kind="executable", path="/app2",
+                        deps=["/c.o"], step=step))
+    return graph
+
+
+class TestLtoScope:
+    def test_all_covers_produced_nodes(self):
+        scope = lto_scope_all(_diamond_graph())
+        assert set(scope) == {"/a.o", "/b.o", "/c.o", "/app1", "/app2"}
+
+    def test_sources_never_in_scope(self):
+        assert "/a.c" not in lto_scope_all(_diamond_graph())
+
+    def test_excluding(self):
+        scope = lto_scope_excluding(_diamond_graph(), ["/a.o"])
+        assert "/a.o" not in scope
+        assert "/b.o" in scope and "/app1" in scope
+
+    def test_excluding_by_path(self):
+        scope = lto_scope_excluding(_diamond_graph(), ["/b.o"])
+        assert "/b.o" not in scope
+
+    def test_for_sinks_restricts_to_ancestry(self):
+        scope = lto_scope_for_sinks(_diamond_graph(), ["/app2"])
+        assert set(scope) == {"/c.o", "/app2"}
+
+    def test_for_sinks_multiple(self):
+        scope = lto_scope_for_sinks(_diamond_graph(), ["/app1", "/app2"])
+        assert set(scope) == {"/a.o", "/b.o", "/c.o", "/app1", "/app2"}
+
+    def test_for_sinks_unknown_is_empty(self):
+        assert lto_scope_for_sinks(_diamond_graph(), ["/ghost"]) == []
+
+
+class TestPgoProfiles:
+    def test_roundtrip(self):
+        data = profile_bytes_for("lulesh", "x86")
+        profile = read_profile(data)
+        assert profile["profile"] == "lulesh|x86"
+        assert profile["quality"] == 1.0
+
+    def test_custom_quality(self):
+        profile = read_profile(profile_bytes_for("hpl", "arm", quality=0.4))
+        assert profile["quality"] == 0.4
+
+    def test_malformed_returns_none(self):
+        assert read_profile(b"not json") is None
+        assert read_profile(b'{"other": 1}') is None

@@ -1,0 +1,88 @@
+"""Tests for post-redirect verification (artifact-analysis semantics)."""
+
+import pytest
+
+from repro.apps import get_app
+from repro.containers import ContainerEngine
+from repro.core.backend.verify import verify_redirected_image
+from repro.core.workflow import build_extended_image, system_side_adapt
+from repro.perf import attach_perf
+from repro.sysmodel import X86_CLUSTER
+
+
+@pytest.fixture(scope="module")
+def adapted():
+    user = ContainerEngine(arch="amd64")
+    layout, dist_tag = build_extended_image(user, get_app("hpl"))
+    engine = ContainerEngine(arch="amd64")
+    recorder = attach_perf(engine, X86_CLUSTER)
+    ref = system_side_adapt(engine, layout, X86_CLUSTER, recorder=recorder,
+                            ref="hpl:verify")
+    return engine, layout, dist_tag, ref
+
+
+class TestVerification:
+    def test_clean_adaptation_verifies(self, adapted):
+        engine, layout, dist_tag, ref = adapted
+        report = verify_redirected_image(
+            layout, dist_tag,
+            engine.image_filesystem(ref),
+            engine.image(ref).config.entrypoint,
+        )
+        assert report.ok, report.notes
+        assert report.missing_paths == []
+        assert report.entrypoint_matches
+        assert report.wrong_toolchain == []
+        assert report.unresolved_links == []
+
+    def test_missing_binary_detected(self, adapted):
+        engine, layout, dist_tag, ref = adapted
+        fs = engine.image_filesystem(ref)
+        fs.remove("/app/hpl")
+        report = verify_redirected_image(
+            layout, dist_tag, fs, engine.image(ref).config.entrypoint
+        )
+        assert not report.ok
+        assert "/app/hpl" in report.missing_paths
+
+    def test_missing_data_detected(self, adapted):
+        engine, layout, dist_tag, ref = adapted
+        fs = engine.image_filesystem(ref)
+        fs.remove("/app/share/tables.bin")
+        report = verify_redirected_image(
+            layout, dist_tag, fs, engine.image(ref).config.entrypoint
+        )
+        assert not report.ok
+
+    def test_entrypoint_drift_detected(self, adapted):
+        engine, layout, dist_tag, ref = adapted
+        report = verify_redirected_image(
+            layout, dist_tag,
+            engine.image_filesystem(ref),
+            ["/bin/sh"],
+        )
+        assert not report.ok
+        assert not report.entrypoint_matches
+
+    def test_unrebuilt_binary_detected(self, adapted):
+        engine, layout, dist_tag, ref = adapted
+        fs = engine.image_filesystem(ref)
+        # Sneak the *original* (gnu-built) binary back in.
+        original_fs = layout.resolve(dist_tag).filesystem()
+        node = original_fs.get_node("/app/hpl")
+        fs.write_file("/app/hpl", node.content, mode=0o755)
+        report = verify_redirected_image(
+            layout, dist_tag, fs, engine.image(ref).config.entrypoint
+        )
+        assert not report.ok
+        assert "/app/hpl" in report.wrong_toolchain
+
+    def test_broken_compat_link_detected(self, adapted):
+        engine, layout, dist_tag, ref = adapted
+        fs = engine.image_filesystem(ref)
+        fs.remove("/usr/lib/x86_64-linux-gnu/libopenblas.so.0")
+        report = verify_redirected_image(
+            layout, dist_tag, fs, engine.image(ref).config.entrypoint
+        )
+        assert not report.ok
+        assert report.unresolved_links

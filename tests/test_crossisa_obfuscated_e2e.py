@@ -1,0 +1,69 @@
+"""End-to-end: an obfuscated x86-64 extended image crosses to AArch64.
+
+Combines three capabilities: source obfuscation (§4.6), cross-ISA
+rebuild with relaxed constraints (§5.5), and the standard redirect —
+the strongest integration path in the repository.
+"""
+
+import pytest
+
+from repro.apps import get_app
+from repro.containers import ContainerEngine
+from repro.core.cache.storage import decode_cache
+from repro.core.crossisa import analyze_cross_isa
+from repro.core.images import install_system_side_images
+from repro.core.workflow import (
+    _run_rebuild,
+    _run_redirect,
+    build_extended_image,
+    run_workload,
+)
+from repro.perf import attach_perf, predict_time, scheme_traits
+from repro.sysmodel import AARCH64_CLUSTER
+from repro.toolchain.artifacts import read_artifact
+
+
+@pytest.fixture(scope="module")
+def crossed():
+    user_x86 = ContainerEngine(arch="amd64")
+    layout, dist_tag = build_extended_image(
+        user_x86, get_app("minimd"), obfuscate=True
+    )
+    arm = ContainerEngine(arch="arm64")
+    recorder = attach_perf(arm, AARCH64_CLUSTER)
+    install_system_side_images(arm, AARCH64_CLUSTER)
+    _run_rebuild(arm, layout, AARCH64_CLUSTER, "vendor",
+                 ["--adapter=vendor", "--relax-isa"])
+    ref = _run_redirect(arm, layout, AARCH64_CLUSTER, ref="minimd:obf-crossed")
+    return arm, layout, dist_tag, ref, recorder
+
+
+class TestObfuscatedCrossIsa:
+    def test_analysis_on_obfuscated_cache(self, crossed):
+        _, layout, dist_tag, _, _ = crossed
+        models, sources, _ = decode_cache(layout, dist_tag)
+        assert models.metadata["sources_obfuscated"]
+        report = analyze_cross_isa(models, sources, "aarch64", app="minimd")
+        assert report.can_cross
+        assert report.asm_guarded == 1       # recorded before obfuscation
+        assert report.flag_lines > 0         # x86 SIMD flags detected
+
+    def test_crossed_binary_is_native_aarch64(self, crossed):
+        arm, _, _, ref, _ = crossed
+        exe = read_artifact(arm.image_filesystem(ref).read_file("/app/minimd"))
+        assert exe.isa == "aarch64"
+        assert exe.toolchain == "phytium-kit-3"
+        assert exe.march == "native"
+        # The x86 SIMD flags were stripped, not carried across.
+        for member in exe.member_objects():
+            assert "avx2" not in member.fflags
+            assert "sse4.2" not in member.fflags
+
+    def test_crossed_binary_runs_at_adapted_speed(self, crossed):
+        arm, _, _, ref, recorder = crossed
+        report = run_workload(arm, ref, "minimd", recorder, vendor_mpirun=True)
+        expected = predict_time(
+            "minimd", AARCH64_CLUSTER,
+            scheme_traits("minimd", AARCH64_CLUSTER, "adapted"),
+        )
+        assert report.seconds == pytest.approx(expected, rel=0.01)

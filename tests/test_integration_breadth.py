@@ -1,0 +1,130 @@
+"""Breadth integration: every app builds on both architectures; every
+workload adapts; run_image semantics; scaling behaviour."""
+
+import math
+
+import pytest
+
+from repro.apps import APPS, app_containerfile, build_context, get_app
+from repro.containers import ContainerEngine
+from repro.core.workflow import build_original_image
+from repro.images import install_ubuntu_base
+from repro.perf import attach_perf, predict_time, scheme_traits
+from repro.sysmodel import AARCH64_CLUSTER, X86_CLUSTER
+from repro.toolchain.artifacts import ExecutableArtifact, read_artifact
+
+
+@pytest.fixture(scope="module")
+def amd64_engine():
+    eng = ContainerEngine(arch="amd64")
+    install_ubuntu_base(eng)
+    return eng
+
+
+@pytest.fixture(scope="module")
+def arm64_engine():
+    eng = ContainerEngine(arch="arm64")
+    install_ubuntu_base(eng)
+    return eng
+
+
+class TestAllAppsBuildEverywhere:
+    @pytest.mark.parametrize("app", sorted(APPS))
+    def test_amd64_build(self, amd64_engine, app):
+        ref = build_original_image(amd64_engine, get_app(app), tag=f"{app}:it-x86")
+        spec = get_app(app)
+        exe = read_artifact(
+            amd64_engine.image_filesystem(ref).read_file(f"/app/{spec.binary_name}")
+        )
+        assert isinstance(exe, ExecutableArtifact)
+        assert exe.isa == "x86-64"
+
+    @pytest.mark.parametrize("app", sorted(APPS))
+    def test_arm64_build(self, arm64_engine, app):
+        ref = build_original_image(arm64_engine, get_app(app), tag=f"{app}:it-arm")
+        spec = get_app(app)
+        exe = read_artifact(
+            arm64_engine.image_filesystem(ref).read_file(f"/app/{spec.binary_name}")
+        )
+        assert exe.isa == "aarch64"
+
+
+class TestRunImage:
+    def test_entrypoint_execution(self, amd64_engine):
+        ref = build_original_image(amd64_engine, get_app("lulesh"),
+                                   tag="lulesh:run-image")
+        recorder = attach_perf(amd64_engine, X86_CLUSTER)
+        result = amd64_engine.run_image(ref, env={"SIM_NPROCS": "16"})
+        assert result.ok, result.stderr
+        assert "Elapsed time" in result.stdout
+        assert recorder.last.workload == "lulesh"
+        amd64_engine.binary_runner = None
+
+    def test_argv_overrides_cmd(self, amd64_engine):
+        amd64_engine.build(
+            'FROM ubuntu:24.04\nENTRYPOINT ["/bin/echo"]\nCMD ["default"]\n',
+            tag="echoimg:1",
+        )
+        assert amd64_engine.run_image("echoimg:1").stdout == "default\n"
+        assert amd64_engine.run_image("echoimg:1", ["custom"]).stdout == "custom\n"
+
+    def test_no_command_is_an_error(self, amd64_engine):
+        amd64_engine.build("FROM scratch\n", tag="empty:1")
+        result = amd64_engine.run_image("empty:1")
+        assert result.exit_code == 125
+
+
+class TestScalingBehaviour:
+    """The analytic model's node-count behaviour (strong scaling)."""
+
+    def test_compute_scales_down_with_nodes(self):
+        traits = scheme_traits("hpl", X86_CLUSTER, "native")
+        times = [predict_time("hpl", X86_CLUSTER, traits, nodes=n)
+                 for n in (1, 2, 4, 8, 16)]
+        assert times == sorted(times, reverse=True)
+
+    def test_comm_grows_with_nodes(self):
+        """For the comm-heavy original lulesh, adding nodes eventually
+        stops helping on the generic stack."""
+        traits = scheme_traits("lulesh", X86_CLUSTER, "original")
+        native = scheme_traits("lulesh", X86_CLUSTER, "native")
+        gap = [
+            predict_time("lulesh", X86_CLUSTER, traits, nodes=n)
+            - predict_time("lulesh", X86_CLUSTER, native, nodes=n)
+            for n in (1, 4, 16)
+        ]
+        # At 1 node the gap is pure compute; at 16 the comm penalty adds.
+        assert gap[-1] > 0
+
+    def test_adaptation_gain_largest_at_small_scale_on_x86(self):
+        """lulesh x86: compute effects dominate at 1 node, comm at 16 ->
+        relative improvement shrinks with scale (the paper's
+        'improvement becomes unobvious' at 16 nodes)."""
+        orig = scheme_traits("lulesh", X86_CLUSTER, "original")
+        adapted = scheme_traits("lulesh", X86_CLUSTER, "adapted")
+        improvements = []
+        for n in (1, 4, 16):
+            t_o = predict_time("lulesh", X86_CLUSTER, orig, nodes=n)
+            t_a = predict_time("lulesh", X86_CLUSTER, adapted, nodes=n)
+            improvements.append(t_o / t_a - 1)
+        assert improvements[0] > improvements[-1]
+
+    def test_mpi_plugin_gain_largest_at_scale_on_arm(self):
+        """lulesh arm: the HSN-plugin gain grows with node count."""
+        orig = scheme_traits("lulesh", AARCH64_CLUSTER, "original")
+        libo = scheme_traits("lulesh", AARCH64_CLUSTER, "libo")
+        gains = []
+        for n in (2, 8, 16):
+            t_o = predict_time("lulesh", AARCH64_CLUSTER, orig, nodes=n)
+            t_l = predict_time("lulesh", AARCH64_CLUSTER, libo, nodes=n)
+            gains.append(t_o - t_l)
+        assert gains == sorted(gains)
+
+    def test_nodes_clamped_to_system(self):
+        traits = scheme_traits("hpl", X86_CLUSTER, "native")
+        assert predict_time("hpl", X86_CLUSTER, traits, nodes=64) == predict_time(
+            "hpl", X86_CLUSTER, traits, nodes=16
+        )
+        assert predict_time("hpl", X86_CLUSTER, traits, nodes=0) == predict_time(
+            "hpl", X86_CLUSTER, traits, nodes=1
+        )

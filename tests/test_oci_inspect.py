@@ -1,0 +1,88 @@
+"""Tests for image inspection, diffing, and squashing."""
+
+import pytest
+
+from repro.apps import get_app
+from repro.containers import ContainerEngine
+from repro.core.cache.storage import extended_tag
+from repro.core.workflow import build_extended_image
+from repro.oci.inspect import diff_images, inspect_image, squash
+from repro.oci.layout import OCILayout
+
+
+@pytest.fixture(scope="module")
+def layout_and_tag():
+    engine = ContainerEngine(arch="amd64")
+    return build_extended_image(engine, get_app("hpccg"))
+
+
+class TestInspect:
+    def test_summary_structure(self, layout_and_tag):
+        layout, dist_tag = layout_and_tag
+        summary = inspect_image(layout.resolve(dist_tag))
+        assert summary.architecture == "amd64"
+        assert summary.entrypoint == ["/app/hpccg"]
+        assert len(summary.layers) == 3   # base + Base marker + dist stage
+        assert summary.total_payload > 100 * 1024 * 1024
+
+    def test_extended_has_one_more_layer(self, layout_and_tag):
+        layout, dist_tag = layout_and_tag
+        plain = inspect_image(layout.resolve(dist_tag))
+        extended = inspect_image(layout.resolve(extended_tag(dist_tag)))
+        assert len(extended.layers) == len(plain.layers) + 1
+        assert "cache layer" in extended.layers[-1].comment
+
+    def test_render_readable(self, layout_and_tag):
+        layout, dist_tag = layout_and_tag
+        text = inspect_image(layout.resolve(dist_tag)).render()
+        assert "architecture : amd64" in text
+        assert "MiB" in text
+
+
+class TestDiffImages:
+    def test_extended_vs_plain(self, layout_and_tag):
+        layout, dist_tag = layout_and_tag
+        added, removed, changed = diff_images(
+            layout.resolve(dist_tag), layout.resolve(extended_tag(dist_tag))
+        )
+        assert removed == [] and changed == []
+        assert any(path.startswith("/.coMtainer/cache") for path in added)
+
+    def test_self_diff_empty(self, layout_and_tag):
+        layout, dist_tag = layout_and_tag
+        resolved = layout.resolve(dist_tag)
+        assert diff_images(resolved, resolved) == ([], [], [])
+
+
+class TestSquash:
+    def test_squash_preserves_filesystem(self, layout_and_tag):
+        layout, dist_tag = layout_and_tag
+        resolved = layout.resolve(dist_tag)
+        config, layer = squash(resolved)
+        fresh = OCILayout()
+        from repro.oci.blobs import Blob
+        from repro.oci.image import Manifest
+
+        manifest = Manifest(config=config.descriptor(),
+                            layers=[Blob.from_layer(layer).descriptor()])
+        fresh.add_manifest(manifest, config, [layer], tag="squashed")
+        squashed_fs = fresh.resolve("squashed").filesystem()
+        original_fs = resolved.filesystem()
+        assert {p: n.content.digest for p, n in squashed_fs.iter_files()} == \
+            {p: n.content.digest for p, n in original_fs.iter_files()}
+
+    def test_squash_single_diff_id(self, layout_and_tag):
+        layout, dist_tag = layout_and_tag
+        config, layer = squash(layout.resolve(dist_tag))
+        assert config.diff_ids == [layer.digest]
+        assert len(config.history) == 1
+
+
+class TestCliInspect:
+    def test_inspect_command(self, capsys):
+        from repro import cli
+
+        assert cli.main(["inspect", "hpccg", "--extended"]) == 0
+        out = capsys.readouterr().out
+        assert "hpccg.dist+coM" in out
+        assert "cache layer" in out

@@ -1,0 +1,147 @@
+"""Tests for manifests, configs, OCI layouts and the registry."""
+
+import pytest
+
+from repro.oci import (
+    ImageConfig,
+    ImageRegistry,
+    Layer,
+    LayerEntry,
+    Manifest,
+    OCILayout,
+    mediatypes,
+)
+from repro.oci.blobs import Blob, BlobStore
+from repro.oci.registry import parse_reference
+from repro.vfs import InlineContent
+
+
+def _make_image(tag_data=b"payload"):
+    layer = Layer().add(LayerEntry.file("/app/bin", InlineContent(tag_data), mode=0o755))
+    config = ImageConfig(architecture="amd64", env=["PATH=/usr/bin"], entrypoint=["/app/bin"])
+    config.diff_ids.append(layer.digest)
+    manifest = Manifest(config=config.descriptor(), layers=[Blob.from_layer(layer).descriptor()])
+    return manifest, config, layer
+
+
+class TestConfigManifest:
+    def test_config_roundtrip(self):
+        _, config, _ = _make_image()
+        restored = ImageConfig.from_json(config.to_json())
+        assert restored.to_bytes() == config.to_bytes()
+        assert restored.digest == config.digest
+
+    def test_env_dict(self):
+        config = ImageConfig(env=["A=1", "B=two=2"])
+        assert config.env_dict() == {"A": "1", "B": "two=2"}
+
+    def test_manifest_roundtrip(self):
+        manifest, _, _ = _make_image()
+        restored = Manifest.from_json(manifest.to_json())
+        assert restored.digest == manifest.digest
+
+    def test_total_layer_size(self):
+        manifest, _, layer = _make_image()
+        assert manifest.total_layer_size == layer.size
+
+    def test_clone_is_independent(self):
+        _, config, _ = _make_image()
+        clone = config.clone()
+        clone.env.append("X=1")
+        assert "X=1" not in config.env
+
+
+class TestBlobStore:
+    def test_put_get_bytes(self):
+        store = BlobStore()
+        desc = store.put_bytes(b"{}", mediatypes.IMAGE_CONFIG)
+        assert store.get(desc.digest).as_bytes() == b"{}"
+
+    def test_put_get_layer(self):
+        store = BlobStore()
+        _, _, layer = _make_image()
+        desc = store.put_layer(layer)
+        assert store.get_layer(desc.digest).digest == layer.digest
+
+    def test_missing_blob_raises(self):
+        with pytest.raises(KeyError):
+            BlobStore().get("sha256:" + "0" * 64)
+
+    def test_copy_into_dedupes(self):
+        a, b = BlobStore(), BlobStore()
+        a.put_bytes(b"x", mediatypes.IMAGE_CONFIG)
+        assert a.copy_into(b) == 1
+        assert a.copy_into(b) == 0
+
+
+class TestLayout:
+    def test_add_and_resolve(self):
+        layout = OCILayout()
+        manifest, config, layer = _make_image()
+        layout.add_manifest(manifest, config, [layer], tag="app:latest")
+        resolved = layout.resolve("app:latest")
+        assert resolved.manifest.digest == manifest.digest
+        assert resolved.config.entrypoint == ["/app/bin"]
+        fs = resolved.filesystem()
+        assert fs.read_file("/app/bin") == b"payload"
+
+    def test_retag_replaces_index_entry(self):
+        layout = OCILayout()
+        m1, c1, l1 = _make_image(b"v1")
+        m2, c2, l2 = _make_image(b"v2")
+        layout.add_manifest(m1, c1, [l1], tag="app:latest")
+        layout.add_manifest(m2, c2, [l2], tag="app:latest")
+        assert layout.tags().count("app:latest") == 1
+        assert layout.resolve("app:latest").manifest.digest == m2.digest
+
+    def test_multiple_tags_coexist(self):
+        """The coMtainer workflow appends +coM manifests next to the original."""
+        layout = OCILayout()
+        m1, c1, l1 = _make_image(b"v1")
+        m2, c2, l2 = _make_image(b"v2")
+        layout.add_manifest(m1, c1, [l1], tag="app:latest")
+        layout.add_manifest(m2, c2, [l2], tag="app:latest+coM")
+        assert set(layout.tags()) == {"app:latest", "app:latest+coM"}
+
+    def test_unknown_tag_raises(self):
+        with pytest.raises(KeyError):
+            OCILayout().resolve("ghost")
+
+    def test_save_load_roundtrip(self, tmp_path):
+        layout = OCILayout()
+        manifest, config, layer = _make_image()
+        layout.add_manifest(manifest, config, [layer], tag="app:latest")
+        layout.save(str(tmp_path / "app.oci"))
+        loaded = OCILayout.load(str(tmp_path / "app.oci"))
+        resolved = loaded.resolve("app:latest")
+        assert resolved.manifest.digest == manifest.digest
+        assert resolved.filesystem().read_file("/app/bin") == b"payload"
+
+
+class TestRegistry:
+    def test_parse_reference(self):
+        assert parse_reference("repo/app:1.0") == ("repo/app", "1.0")
+        assert parse_reference("app") == ("app", "latest")
+        assert parse_reference("host:5000/app:x")[1] == "x"
+
+    def test_push_pull(self):
+        registry = ImageRegistry()
+        manifest, config, layer = _make_image()
+        registry.push("lab/app:1.0", manifest, config, [layer])
+        resolved = registry.pull("lab/app:1.0")
+        assert resolved.manifest.digest == manifest.digest
+        assert registry.repositories() == ["lab/app"]
+        assert registry.tags("lab/app") == ["1.0"]
+
+    def test_pull_missing_raises(self):
+        with pytest.raises(KeyError):
+            ImageRegistry().pull("nope:latest")
+
+    def test_layout_to_registry_to_layout(self):
+        layout = OCILayout()
+        manifest, config, layer = _make_image()
+        layout.add_manifest(manifest, config, [layer], tag="dist")
+        registry = ImageRegistry()
+        registry.push_layout("lab/app:dist", layout, tag="dist")
+        pulled = registry.pull_to_layout("lab/app:dist")
+        assert pulled.resolve("dist").manifest.digest == manifest.digest

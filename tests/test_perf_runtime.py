@@ -1,0 +1,142 @@
+"""Tests for the perf runtime hook (binary runner, PGO profile drops)."""
+
+import json
+
+import pytest
+
+from repro.containers import ContainerEngine
+from repro.images import install_ubuntu_base
+from repro.perf import attach_perf
+from repro.perf.runtime import _binary_aliases
+from repro.pkg import catalog
+from repro.sysmodel import AARCH64_CLUSTER, X86_CLUSTER
+from repro.toolchain.drivers import CompilerDriver
+from repro.toolchain.artifacts import read_artifact
+
+
+@pytest.fixture()
+def engine():
+    eng = ContainerEngine(arch="amd64")
+    install_ubuntu_base(eng)
+    return eng
+
+
+def _make_app_container(engine, name, *cc_flags, binary="/app/lulesh"):
+    container = engine.from_image("ubuntu:24.04", name=name)
+    container.fs.write_file("/src/main.cc", "int main(){}\n" * 40,
+                            create_parents=True)
+    gcc = CompilerDriver(toolchain_id="gnu-12", isa="x86-64")
+    gcc.execute(["g++", "-O3", *cc_flags, "/src/main.cc", "-o", binary],
+                container.fs, cwd="/src")
+    return container
+
+
+class TestBinaryRunner:
+    def test_run_produces_timing(self, engine):
+        recorder = attach_perf(engine, X86_CLUSTER)
+        container = _make_app_container(engine, "r1")
+        result = engine.run(container, ["/app/lulesh"],
+                            env={"SIM_NPROCS": "16"})
+        assert result.ok
+        assert "Elapsed time" in result.stdout
+        assert recorder.last.workload == "lulesh"
+        assert recorder.last.nodes == 16
+
+    def test_workload_from_binary_name(self, engine):
+        recorder = attach_perf(engine, X86_CLUSTER)
+        container = _make_app_container(engine, "r2", binary="/app/hpccg")
+        engine.run(container, ["/app/hpccg"]).check()
+        assert recorder.last.workload == "hpccg"
+
+    def test_env_workload_overrides(self, engine):
+        recorder = attach_perf(engine, X86_CLUSTER)
+        container = _make_app_container(engine, "r3")
+        engine.run(container, ["/app/lulesh"],
+                   env={"SIM_WORKLOAD": "comd"}).check()
+        assert recorder.last.workload == "comd"
+
+    def test_unknown_binary_runs_without_report(self, engine):
+        recorder = attach_perf(engine, X86_CLUSTER)
+        container = _make_app_container(engine, "r4", binary="/app/unrelated")
+        result = engine.run(container, ["/app/unrelated"])
+        assert result.ok
+        assert recorder.last is None
+
+    def test_binary_aliases(self):
+        aliases = _binary_aliases()
+        assert aliases["lmp"] == "lammps"
+        assert aliases["openmx"] == "openmx"
+
+    def test_wrong_isa_binary_fails(self, engine):
+        recorder = attach_perf(engine, AARCH64_CLUSTER)
+        container = _make_app_container(engine, "r5")
+        result = engine.run(container, ["/app/lulesh"])
+        assert result.exit_code == 126
+        assert "exec format" in result.stderr
+
+    def test_default_nodes_is_one(self, engine):
+        recorder = attach_perf(engine, X86_CLUSTER)
+        container = _make_app_container(engine, "r6")
+        engine.run(container, ["/app/lulesh"]).check()
+        assert recorder.last.nodes == 1
+
+    def test_jitter_env(self, engine):
+        recorder = attach_perf(engine, X86_CLUSTER)
+        container = _make_app_container(engine, "r7")
+        engine.run(container, ["/app/lulesh"], env={"SIM_JITTER": "a"}).check()
+        t_a = recorder.last.seconds
+        engine.run(container, ["/app/lulesh"], env={"SIM_JITTER": "b"}).check()
+        t_b = recorder.last.seconds
+        assert t_a != t_b
+        assert abs(t_a - t_b) / t_a < 0.03
+
+
+class TestPgoProfileDrop:
+    def test_instrumented_binary_writes_profile(self, engine):
+        recorder = attach_perf(engine, X86_CLUSTER)
+        container = _make_app_container(engine, "p1", "-fprofile-generate")
+        exe = read_artifact(container.fs.read_file("/app/lulesh"))
+        assert exe.pgo_instrumented
+        engine.run(container, ["/app/lulesh"]).check()
+        profile = json.loads(container.fs.read_text("/default.gcda"))
+        assert profile["profile"] == "lulesh|x86"
+        assert recorder.last.instrumented
+
+    def test_plain_binary_writes_no_profile(self, engine):
+        attach_perf(engine, X86_CLUSTER)
+        container = _make_app_container(engine, "p2")
+        engine.run(container, ["/app/lulesh"]).check()
+        assert not container.fs.exists("/default.gcda")
+
+
+class TestMpirunIntegration:
+    def test_generic_mpirun_env(self, engine):
+        recorder = attach_perf(engine, X86_CLUSTER)
+        container = _make_app_container(engine, "m1")
+        # Install the generic MPI runtime so mpirun exists.
+        from repro.pkg.apt import AptFacade
+        from repro.pkg.repository import RepositoryPool
+
+        apt = AptFacade(container.fs, RepositoryPool(
+            [engine.repos["ubuntu-generic"]]))
+        apt.install(["libopenmpi3"])
+        engine.run(container, ["mpirun", "-np", "8", "/app/lulesh"]).check()
+        assert recorder.last.nodes == 8
+        # Generic stack, no HSN plugin, comm penalty applies at scale.
+        assert not recorder.last.traits.mpi_hsn
+
+
+class TestRobustness:
+    def test_garbage_nprocs_rejected(self, engine):
+        recorder = attach_perf(engine, X86_CLUSTER)
+        container = _make_app_container(engine, "rb1")
+        result = engine.run(container, ["/app/lulesh"],
+                            env={"SIM_NPROCS": "garbage"})
+        assert result.exit_code == 1
+        assert "invalid process count" in result.stderr
+
+    def test_zero_nprocs_clamped(self, engine):
+        recorder = attach_perf(engine, X86_CLUSTER)
+        container = _make_app_container(engine, "rb2")
+        engine.run(container, ["/app/lulesh"], env={"SIM_NPROCS": "0"}).check()
+        assert recorder.last.nodes == 1

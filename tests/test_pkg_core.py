@@ -1,0 +1,163 @@
+"""Tests for dependency parsing, package control files, database, repos."""
+
+import pytest
+
+from repro.pkg import (
+    DpkgDatabase,
+    Package,
+    PackagedFile,
+    Repository,
+    RepositoryPool,
+    parse_depends,
+)
+from repro.pkg.depends import parse_dependency, render_depends
+from repro.vfs import VirtualFilesystem
+
+
+class TestDepends:
+    def test_simple(self):
+        dep = parse_dependency("libc6")
+        assert dep.name == "libc6"
+        assert dep.relation is None
+
+    def test_versioned(self):
+        dep = parse_dependency("libc6 (>= 2.34)")
+        assert dep.relation == ">="
+        assert dep.version == "2.34"
+
+    def test_matches(self):
+        dep = parse_dependency("libc6 (>= 2.34)")
+        assert dep.matches("libc6", "2.39")
+        assert not dep.matches("libc6", "2.31")
+        assert not dep.matches("other", "2.39")
+
+    def test_clauses_and_alternatives(self):
+        clauses = parse_depends("libc6 (>= 2.34), libblas3 | libopenblas0, make")
+        assert len(clauses) == 3
+        assert len(clauses[1].alternatives) == 2
+
+    def test_render_roundtrip(self):
+        text = "libc6 (>= 2.34), libblas3 | libopenblas0"
+        assert render_depends(parse_depends(text)) == text
+
+    def test_empty(self):
+        assert parse_depends("") == []
+
+    def test_malformed_raises(self):
+        with pytest.raises(ValueError):
+            parse_dependency("UPPER_CASE!!")
+
+
+class TestPackage:
+    def _pkg(self):
+        return Package(
+            name="libdemo1",
+            version="1.2-3",
+            architecture="amd64",
+            depends=parse_depends("libc6 (>= 2.34)"),
+            provides=["libdemo.so.1"],
+            equivalent_of="libolddemo1",
+            quality=1.4,
+            tags=("blas",),
+            files=[
+                PackagedFile(path="/usr/lib/libdemo.so.1", size=2048, kind="library"),
+                PackagedFile(path="/usr/bin/demo", program="demo"),
+            ],
+        )
+
+    def test_installed_size(self):
+        assert self._pkg().installed_size == 2048
+
+    def test_program_file_forced_executable(self):
+        pfile = PackagedFile(path="/usr/bin/x", program="x")
+        assert pfile.kind == "binary"
+        assert pfile.mode == 0o755
+
+    def test_control_roundtrip(self):
+        pkg = self._pkg()
+        restored = Package.from_control(pkg.to_control())
+        assert restored.name == pkg.name
+        assert restored.version == pkg.version
+        assert restored.equivalent_of == "libolddemo1"
+        assert restored.quality == 1.4
+        assert restored.tags == ("blas",)
+        assert render_depends(restored.depends) == render_depends(pkg.depends)
+        assert restored.provides == ["libdemo.so.1"]
+
+    def test_provides_names_includes_self(self):
+        assert self._pkg().provides_names() == ["libdemo1", "libdemo.so.1"]
+
+
+class TestDatabase:
+    def test_add_and_query(self):
+        db = DpkgDatabase()
+        pkg = Package(name="a", version="1", files=[PackagedFile(path="/usr/lib/a.so")])
+        db.add(pkg)
+        assert "a" in db
+        assert db.owner_of("/usr/lib/a.so") == "a"
+        assert db.file_index() == {"/usr/lib/a.so": "a"}
+
+    def test_fs_roundtrip(self):
+        db = DpkgDatabase()
+        db.add(
+            Package(
+                name="libx",
+                version="2.0-1",
+                depends=parse_depends("libc6"),
+                files=[PackagedFile(path="/usr/lib/libx.so.2", size=100)],
+            )
+        )
+        db.add(Package(name="liby", version="1.0", files=[]))
+        fs = VirtualFilesystem()
+        db.write_to(fs)
+        restored = DpkgDatabase.read_from(fs)
+        assert restored.names() == ["libx", "liby"]
+        assert restored.get("libx").version == "2.0-1"
+        assert restored.file_list("libx") == ["/usr/lib/libx.so.2"]
+
+    def test_read_from_empty_fs(self):
+        assert DpkgDatabase.read_from(VirtualFilesystem()).names() == []
+
+    def test_provides_index(self):
+        db = DpkgDatabase()
+        db.add(Package(name="mkl", version="1", provides=["libblas.so.3"]))
+        assert db.provides_index()["libblas.so.3"] == "mkl"
+
+
+class TestRepository:
+    def test_versions_sorted(self):
+        repo = Repository("r", "amd64")
+        repo.add(Package(name="a", version="1.10", architecture="amd64"))
+        repo.add(Package(name="a", version="1.9", architecture="amd64"))
+        assert [p.version for p in repo.candidates("a")] == ["1.9", "1.10"]
+        assert repo.latest("a").version == "1.10"
+
+    def test_arch_mismatch_rejected(self):
+        repo = Repository("r", "amd64")
+        with pytest.raises(ValueError):
+            repo.add(Package(name="a", version="1", architecture="arm64"))
+
+    def test_arch_all_accepted(self):
+        repo = Repository("r", "amd64")
+        repo.add(Package(name="docs", version="1", architecture="all"))
+        assert repo.latest("docs") is not None
+
+    def test_providers(self):
+        repo = Repository("r", "amd64")
+        repo.add(Package(name="mkl", version="1", architecture="amd64", provides=["libblas.so.3"]))
+        assert [p.name for p in repo.providers("libblas.so.3")] == ["mkl"]
+
+    def test_optimized_equivalents_sorted_by_quality(self):
+        repo = Repository("r", "amd64")
+        repo.add(Package(name="fast", version="1", architecture="amd64",
+                         equivalent_of="generic", quality=1.5))
+        repo.add(Package(name="faster", version="1", architecture="amd64",
+                         equivalent_of="generic", quality=1.8))
+        assert [p.name for p in repo.optimized_equivalents("generic")] == ["faster", "fast"]
+
+    def test_pool_latest_across_repos(self):
+        r1, r2 = Repository("a", "amd64"), Repository("b", "amd64")
+        r1.add(Package(name="x", version="1.0", architecture="amd64"))
+        r2.add(Package(name="x", version="2.0", architecture="amd64"))
+        pool = RepositoryPool([r1, r2])
+        assert pool.latest("x").version == "2.0"

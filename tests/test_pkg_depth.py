@@ -1,0 +1,158 @@
+"""Deeper package-substrate coverage: resolver properties, facade edges,
+catalog breadth."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pkg import (
+    AptFacade,
+    DependencyError,
+    Package,
+    PackagedFile,
+    Repository,
+    RepositoryPool,
+    parse_depends,
+    resolve_install,
+)
+from repro.pkg import catalog
+from repro.vfs import VirtualFilesystem
+
+
+class TestResolverProperties:
+    @given(st.data())
+    def test_random_dependency_forests_resolve(self, data):
+        """Any acyclic dependency forest resolves in dependency order."""
+        n = data.draw(st.integers(min_value=1, max_value=12))
+        repo = Repository("r", "amd64")
+        for i in range(n):
+            dep_ids = data.draw(st.lists(
+                st.integers(min_value=0, max_value=max(0, i - 1)),
+                max_size=3, unique=True,
+            )) if i else []
+            depends = parse_depends(", ".join(f"p{d}" for d in dep_ids))
+            repo.add(Package(name=f"p{i}", version="1", architecture="amd64",
+                             depends=depends))
+        pool = RepositoryPool([repo])
+        targets = data.draw(st.lists(
+            st.integers(min_value=0, max_value=n - 1), min_size=1, max_size=4,
+            unique=True,
+        ))
+        plan = resolve_install([f"p{t}" for t in targets], pool)
+        position = {p.name: i for i, p in enumerate(plan)}
+        # Every dependency of every planned package precedes it.
+        for pkg in plan:
+            for clause in pkg.depends:
+                dep_names = [d.name for d in clause]
+                assert any(
+                    name in position and position[name] < position[pkg.name]
+                    for name in dep_names
+                ), (pkg.name, dep_names)
+
+    @given(st.integers(min_value=1, max_value=8))
+    def test_no_duplicates_in_plan(self, n):
+        repo = Repository("r", "amd64")
+        for i in range(n):
+            depends = parse_depends("p0") if i else []
+            repo.add(Package(name=f"p{i}", version="1", architecture="amd64",
+                             depends=depends))
+        plan = resolve_install([f"p{i}" for i in range(n)],
+                               RepositoryPool([repo]))
+        names = [p.name for p in plan]
+        assert len(names) == len(set(names))
+
+
+class TestFacadeEdges:
+    def _facade(self):
+        repo = Repository("r", "amd64")
+        repo.add(Package(name="a", version="1", architecture="amd64",
+                         files=[PackagedFile(path="/usr/lib/a.so", size=10,
+                                             kind="library")]))
+        return AptFacade(VirtualFilesystem(), RepositoryPool([repo]))
+
+    def test_remove_unknown_is_noop(self):
+        apt = self._facade()
+        apt.remove("ghost")   # must not raise
+
+    def test_reinstall_after_remove(self):
+        apt = self._facade()
+        apt.install(["a"])
+        apt.remove("a")
+        added = apt.install(["a"])
+        assert [p.name for p in added] == ["a"]
+        assert apt.fs.exists("/usr/lib/a.so")
+
+    def test_symlink_file_materialization(self):
+        repo = Repository("r", "amd64")
+        repo.add(Package(
+            name="links", version="1", architecture="amd64",
+            files=[
+                PackagedFile(path="/usr/lib/libz.so.1", size=100, kind="library"),
+                PackagedFile(path="/usr/lib/libz.so", symlink_to="libz.so.1"),
+            ],
+        ))
+        apt = AptFacade(VirtualFilesystem(), RepositoryPool([repo]))
+        apt.install(["links"])
+        assert apt.fs.readlink("/usr/lib/libz.so") == "libz.so.1"
+        assert apt.fs.resolve_path("/usr/lib/libz.so") == "/usr/lib/libz.so.1"
+
+    def test_unsatisfiable_install_raises(self):
+        apt = self._facade()
+        with pytest.raises(DependencyError):
+            from repro.pkg.resolver import resolve_install as r
+
+            r(["ghost"], apt.pool)
+
+
+class TestCatalogBreadth:
+    @pytest.mark.parametrize("arch", ["amd64", "arm64"])
+    def test_every_repo_package_has_valid_files(self, arch):
+        for builder in (catalog.build_generic_repository,
+                        catalog.build_vendor_repository,
+                        catalog.build_llvm_repository):
+            repo = builder(arch)
+            for name in repo.names():
+                pkg = repo.latest(name)
+                for pfile in pkg.files:
+                    assert pfile.path.startswith("/"), (name, pfile.path)
+                    if pfile.program is None and pfile.symlink_to is None:
+                        assert pfile.size >= 0
+
+    @pytest.mark.parametrize("arch", ["amd64", "arm64"])
+    def test_vendor_toolchain_programs_exist(self, arch):
+        repo = catalog.build_vendor_repository(arch)
+        programs = [
+            f.program
+            for name in repo.names()
+            for f in repo.latest(name).files
+            if f.program
+        ]
+        assert "compiler-driver" in programs
+        assert "mpirun" in programs
+
+    def test_vendor_qualities_match_system_models(self):
+        """The package qualities ARE the system models' lib qualities —
+        one calibration source of truth."""
+        from repro.sysmodel import AARCH64_CLUSTER, X86_CLUSTER
+
+        intel = catalog.build_vendor_repository("amd64")
+        assert intel.optimized_equivalents("libopenblas0")[0].quality == \
+            X86_CLUSTER.native_lib_quality
+        assert intel.optimized_equivalents("libfftw3-3")[0].quality == \
+            X86_CLUSTER.native_fft_quality
+        assert intel.optimized_equivalents("libopenmpi3")[0].quality == \
+            X86_CLUSTER.native_mpi_quality
+
+        ft = catalog.build_vendor_repository("arm64")
+        assert ft.optimized_equivalents("libopenblas0")[0].quality == \
+            AARCH64_CLUSTER.native_lib_quality
+        assert ft.optimized_equivalents("libfftw3-3")[0].quality == \
+            AARCH64_CLUSTER.native_fft_quality
+        assert ft.optimized_equivalents("libopenmpi3")[0].quality == \
+            AARCH64_CLUSTER.native_mpi_quality
+
+    def test_hsn_plugins_only_in_vendor_mpi(self):
+        generic = catalog.build_generic_repository("amd64")
+        assert not generic.latest("libopenmpi3").has_tag("hsn-plugin")
+        vendor = catalog.build_vendor_repository("amd64")
+        assert vendor.latest("intel-mpi").has_tag("hsn-plugin")

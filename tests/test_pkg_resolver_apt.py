@@ -1,0 +1,226 @@
+"""Tests for dependency resolution and the apt facade + catalog sanity."""
+
+import pytest
+
+from repro import simbin
+from repro.pkg import (
+    AptFacade,
+    DependencyError,
+    Package,
+    PackagedFile,
+    Repository,
+    RepositoryPool,
+    parse_depends,
+    resolve_install,
+)
+from repro.pkg import catalog
+from repro.pkg.database import DpkgDatabase
+from repro.vfs import VirtualFilesystem
+
+
+def _repo(*packages):
+    repo = Repository("test", "amd64")
+    for pkg in packages:
+        repo.add(pkg)
+    return RepositoryPool([repo])
+
+
+class TestResolver:
+    def test_single_package(self):
+        pool = _repo(Package(name="a", version="1", architecture="amd64"))
+        assert [p.name for p in resolve_install(["a"], pool)] == ["a"]
+
+    def test_dependency_ordered(self):
+        pool = _repo(
+            Package(name="app", version="1", architecture="amd64",
+                    depends=parse_depends("libdep")),
+            Package(name="libdep", version="1", architecture="amd64"),
+        )
+        assert [p.name for p in resolve_install(["app"], pool)] == ["libdep", "app"]
+
+    def test_transitive_chain(self):
+        pool = _repo(
+            Package(name="a", version="1", architecture="amd64", depends=parse_depends("b")),
+            Package(name="b", version="1", architecture="amd64", depends=parse_depends("c")),
+            Package(name="c", version="1", architecture="amd64"),
+        )
+        assert [p.name for p in resolve_install(["a"], pool)] == ["c", "b", "a"]
+
+    def test_version_constraint_selects_matching(self):
+        pool = _repo(
+            Package(name="lib", version="1.0", architecture="amd64"),
+            Package(name="lib", version="2.0", architecture="amd64"),
+            Package(name="app", version="1", architecture="amd64",
+                    depends=parse_depends("lib (<< 2.0)")),
+        )
+        plan = resolve_install(["app"], pool)
+        assert ("lib", "1.0") in [(p.name, p.version) for p in plan]
+
+    def test_picks_newest(self):
+        pool = _repo(
+            Package(name="lib", version="1.0", architecture="amd64"),
+            Package(name="lib", version="2.0", architecture="amd64"),
+        )
+        assert resolve_install(["lib"], pool)[0].version == "2.0"
+
+    def test_missing_raises(self):
+        with pytest.raises(DependencyError):
+            resolve_install(["ghost"], _repo())
+
+    def test_unsatisfiable_version_raises(self):
+        pool = _repo(
+            Package(name="lib", version="1.0", architecture="amd64"),
+            Package(name="app", version="1", architecture="amd64",
+                    depends=parse_depends("lib (>= 9.0)")),
+        )
+        with pytest.raises(DependencyError):
+            resolve_install(["app"], pool)
+
+    def test_virtual_package_via_provides(self):
+        pool = _repo(
+            Package(name="mkl", version="1", architecture="amd64",
+                    provides=["blas-provider"]),
+            Package(name="app", version="1", architecture="amd64",
+                    depends=parse_depends("blas-provider")),
+        )
+        assert [p.name for p in resolve_install(["app"], pool)] == ["mkl", "app"]
+
+    def test_alternatives_first_satisfiable(self):
+        pool = _repo(
+            Package(name="b", version="1", architecture="amd64"),
+            Package(name="app", version="1", architecture="amd64",
+                    depends=parse_depends("a | b")),
+        )
+        assert [p.name for p in resolve_install(["app"], pool)] == ["b", "app"]
+
+    def test_alternatives_prefer_installed(self):
+        pool = _repo(
+            Package(name="a", version="1", architecture="amd64"),
+            Package(name="b", version="1", architecture="amd64"),
+            Package(name="app", version="1", architecture="amd64",
+                    depends=parse_depends("a | b")),
+        )
+        installed = {"b": Package(name="b", version="1", architecture="amd64")}
+        plan = resolve_install(["app"], pool, installed=installed)
+        assert [p.name for p in plan] == ["app"]
+
+    def test_already_installed_skipped(self):
+        pkg = Package(name="a", version="1", architecture="amd64")
+        pool = _repo(pkg)
+        assert resolve_install(["a"], pool, installed={"a": pkg}) == []
+
+    def test_cycle_terminates(self):
+        pool = _repo(
+            Package(name="a", version="1", architecture="amd64", depends=parse_depends("b")),
+            Package(name="b", version="1", architecture="amd64", depends=parse_depends("a")),
+        )
+        plan = resolve_install(["a"], pool)
+        assert {p.name for p in plan} == {"a", "b"}
+
+
+class TestAptFacade:
+    def _facade(self):
+        fs = VirtualFilesystem()
+        pool = _repo(
+            Package(name="liba", version="1", architecture="amd64",
+                    files=[PackagedFile(path="/usr/lib/liba.so.1", size=1000, kind="library")]),
+            Package(name="tool", version="1", architecture="amd64",
+                    depends=parse_depends("liba"),
+                    files=[PackagedFile(path="/usr/bin/tool", program="tool")]),
+        )
+        return AptFacade(fs, pool)
+
+    def test_install_materializes_files(self):
+        apt = self._facade()
+        apt.install(["tool"])
+        assert apt.fs.exists("/usr/lib/liba.so.1")
+        marker = simbin.read_program_marker(apt.fs.read_file("/usr/bin/tool"))
+        assert marker["program"] == "tool"
+        assert marker["package"] == "tool"
+
+    def test_install_updates_status_db(self):
+        apt = self._facade()
+        apt.install(["tool"])
+        db = DpkgDatabase.read_from(apt.fs)
+        assert set(db.names()) == {"liba", "tool"}
+        assert db.owner_of("/usr/bin/tool") == "tool"
+
+    def test_install_idempotent(self):
+        apt = self._facade()
+        apt.install(["tool"])
+        assert apt.install(["tool"]) == []
+
+    def test_remove(self):
+        apt = self._facade()
+        apt.install(["liba"])
+        apt.remove("liba")
+        assert not apt.fs.exists("/usr/lib/liba.so.1")
+        assert not apt.is_installed("liba")
+
+    def test_replace_creates_compat_symlink(self):
+        apt = self._facade()
+        apt.install(["liba"])
+        optimized = Package(
+            name="liba-turbo", version="1", architecture="amd64",
+            equivalent_of="liba", quality=1.5,
+            files=[PackagedFile(path="/opt/vendor/lib/liba.so.1", size=5000, kind="library")],
+        )
+        apt.replace("liba", optimized)
+        assert apt.is_installed("liba-turbo")
+        assert not apt.is_installed("liba")
+        # Old path still resolves via compat symlink.
+        assert apt.fs.readlink("/usr/lib/liba.so.1") == "/opt/vendor/lib/liba.so.1"
+
+
+class TestCatalog:
+    @pytest.mark.parametrize("arch", ["amd64", "arm64"])
+    def test_generic_repo_builds(self, arch):
+        repo = catalog.build_generic_repository(arch)
+        for name in catalog.default_base_install(arch):
+            assert repo.latest(name) is not None, name
+        for name in catalog.default_devel_install():
+            assert repo.latest(name) is not None, name
+
+    @pytest.mark.parametrize("arch", ["amd64", "arm64"])
+    def test_base_runtime_calibration(self, arch):
+        """Base + generic runtime must hit the Table 3 calibration target."""
+        repo = catalog.build_generic_repository(arch)
+        names = catalog.default_base_install(arch) + catalog.default_runtime_install()
+        total = sum(repo.latest(n).installed_size for n in names)
+        assert total == pytest.approx(catalog.BASE_PLUS_RUNTIME_TARGET[arch], rel=0.001)
+
+    @pytest.mark.parametrize("arch", ["amd64", "arm64"])
+    def test_base_install_resolves(self, arch):
+        pool = RepositoryPool([catalog.build_generic_repository(arch)])
+        plan = resolve_install(catalog.default_base_install(arch), pool)
+        assert {p.name for p in plan} >= set(catalog.default_base_install(arch))
+
+    @pytest.mark.parametrize("arch", ["amd64", "arm64"])
+    def test_devel_install_resolves(self, arch):
+        pool = RepositoryPool([catalog.build_generic_repository(arch)])
+        base = {p.name: p for p in resolve_install(catalog.default_base_install(arch), pool)}
+        plan = resolve_install(catalog.default_devel_install(), pool, installed=base)
+        assert any(p.name == "gcc-12" for p in plan)
+
+    @pytest.mark.parametrize("arch", ["amd64", "arm64"])
+    def test_vendor_repo_has_equivalents(self, arch):
+        vendor = catalog.build_vendor_repository(arch)
+        blas = vendor.optimized_equivalents("libopenblas0")
+        mpi = vendor.optimized_equivalents("libopenmpi3")
+        assert blas and blas[0].quality > 1.0
+        assert mpi and any(p.has_tag("hsn-plugin") for p in mpi)
+
+    def test_x86_more_bloated_than_arm(self):
+        """Paper: 'x86-64 has a more bloated software stack'."""
+        assert (
+            catalog.BASE_PLUS_RUNTIME_TARGET["amd64"]
+            > 1.5 * catalog.BASE_PLUS_RUNTIME_TARGET["arm64"]
+        )
+
+    def test_llvm_repo(self):
+        repo = catalog.build_llvm_repository("amd64")
+        assert repo.latest("clang-17") is not None
+
+    def test_unknown_vendor_arch_raises(self):
+        with pytest.raises(ValueError):
+            catalog.build_vendor_repository("riscv64")

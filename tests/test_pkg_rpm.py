@@ -1,0 +1,135 @@
+"""Tests for RPM database support (§4.6's "equally applicable to RPM")."""
+
+import pytest
+
+from repro.pkg import Package, PackagedFile, Repository, RepositoryPool, parse_depends
+from repro.pkg.apt import AptFacade
+from repro.pkg.database import DpkgDatabase
+from repro.pkg.rpm import (
+    RPM_DB_PATH,
+    RpmDatabase,
+    database_for_format,
+    detect_database_format,
+    read_package_database,
+)
+from repro.vfs import VirtualFilesystem
+
+
+def _pkg(name="libx", **kw):
+    defaults = dict(
+        version="2.0-1",
+        architecture="amd64",
+        depends=parse_depends("libc6 (>= 2.34)"),
+        provides=["libx.so.2"],
+        equivalent_of="liboldx",
+        quality=1.4,
+        tags=("blas",),
+        files=[PackagedFile(path="/usr/lib/libx.so.2", size=128, kind="library")],
+    )
+    defaults.update(kw)
+    return Package(name=name, **defaults)
+
+
+class TestRpmDatabase:
+    def test_fs_roundtrip(self):
+        db = RpmDatabase()
+        db.add(_pkg())
+        fs = VirtualFilesystem()
+        db.write_to(fs)
+        assert fs.exists(RPM_DB_PATH)
+        restored = RpmDatabase.read_from(fs)
+        pkg = restored.get("libx")
+        assert pkg.version == "2.0-1"
+        assert pkg.architecture == "amd64"       # mapped back from x86_64
+        assert pkg.equivalent_of == "liboldx"
+        assert pkg.quality == 1.4
+        assert pkg.tags == ("blas",)
+        assert restored.file_list("libx") == ["/usr/lib/libx.so.2"]
+
+    def test_arch_mapping(self):
+        db = RpmDatabase()
+        db.add(_pkg(architecture="arm64"))
+        fs = VirtualFilesystem()
+        db.write_to(fs)
+        assert '"aarch64"' in fs.read_text(RPM_DB_PATH)
+        assert RpmDatabase.read_from(fs).get("libx").architecture == "arm64"
+
+    def test_empty_fs(self):
+        assert RpmDatabase.read_from(VirtualFilesystem()).names() == []
+
+    def test_inherits_query_interface(self):
+        db = RpmDatabase()
+        db.add(_pkg())
+        assert db.owner_of("/usr/lib/libx.so.2") == "libx"
+        assert db.provides_index()["libx.so.2"] == "libx"
+
+
+class TestDetection:
+    def test_detect_dpkg(self):
+        fs = VirtualFilesystem()
+        DpkgDatabase().write_to(fs)
+        assert detect_database_format(fs) == "dpkg"
+        assert isinstance(read_package_database(fs), DpkgDatabase)
+
+    def test_detect_rpm(self):
+        fs = VirtualFilesystem()
+        RpmDatabase().write_to(fs)
+        assert detect_database_format(fs) == "rpm"
+        assert isinstance(read_package_database(fs), RpmDatabase)
+
+    def test_detect_none_defaults_to_dpkg(self):
+        fs = VirtualFilesystem()
+        assert detect_database_format(fs) is None
+        db = read_package_database(fs)
+        assert isinstance(db, DpkgDatabase)
+        assert db.names() == []
+
+    def test_database_for_format(self):
+        assert isinstance(database_for_format("rpm"), RpmDatabase)
+        assert isinstance(database_for_format("dpkg"), DpkgDatabase)
+        with pytest.raises(ValueError):
+            database_for_format("pacman")
+
+
+class TestAptFacadeOnRpmImage:
+    """The facade persists in whatever format the image already uses."""
+
+    def _rpm_image_facade(self):
+        fs = VirtualFilesystem()
+        RpmDatabase().write_to(fs)   # an RPM-based image (e.g. Kylin)
+        repo = Repository("kylin", "amd64")
+        repo.add(_pkg(depends=[]))
+        return AptFacade(fs, RepositoryPool([repo]))
+
+    def test_install_persists_as_rpm(self):
+        apt = self._rpm_image_facade()
+        apt.install(["libx"])
+        assert apt.fs.exists(RPM_DB_PATH)
+        assert not apt.fs.exists("/var/lib/dpkg/status")
+        db = read_package_database(apt.fs)
+        assert isinstance(db, RpmDatabase)
+        assert "libx" in db
+
+    def test_remove_on_rpm_image(self):
+        apt = self._rpm_image_facade()
+        apt.install(["libx"])
+        apt.remove("libx")
+        assert "libx" not in read_package_database(apt.fs)
+
+
+class TestComtainerOnRpmImage:
+    def test_classify_image_reads_rpm(self):
+        from repro.core.models.image_model import FileOrigin, classify_image
+
+        fs = VirtualFilesystem()
+        db = RpmDatabase()
+        db.add(_pkg())
+        db.write_to(fs)
+        fs.write_file("/usr/lib/libx.so.2", b"lib", create_parents=True)
+        model = classify_image(
+            fs, base_paths=set(), base_packages=set(),
+            build_digest_index={}, entrypoint=[], architecture="amd64",
+        )
+        assert model.files["/usr/lib/libx.so.2"].origin == FileOrigin.PACKAGE
+        assert model.files["/usr/lib/libx.so.2"].package == "libx"
+        assert "libx" in model.packages

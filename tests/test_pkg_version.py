@@ -1,0 +1,101 @@
+"""Unit + property tests for Debian version comparison."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.pkg.version import compare_versions, satisfies, split_version, version_key
+
+
+class TestSplit:
+    def test_plain(self):
+        assert split_version("1.2.3") == (0, "1.2.3", "")
+
+    def test_revision(self):
+        assert split_version("1.2.3-4ubuntu1") == (0, "1.2.3", "4ubuntu1")
+
+    def test_epoch(self):
+        assert split_version("2:1.0-1") == (2, "1.0", "1")
+
+    def test_multiple_hyphens(self):
+        # Only the last hyphen starts the revision.
+        assert split_version("1.0-rc1-2") == (0, "1.0-rc1", "2")
+
+    def test_colon_in_upstream_without_numeric_epoch(self):
+        assert split_version("a:b")[0] == 0
+
+
+class TestCompare:
+    @pytest.mark.parametrize(
+        "smaller,larger",
+        [
+            ("1.0", "1.1"),
+            ("1.9", "1.10"),          # numeric, not lexicographic
+            ("1.0", "1.0-1"),
+            ("1.0-1", "1.0-2"),
+            ("1.0~rc1", "1.0"),       # tilde sorts before release
+            ("1.0~~", "1.0~"),
+            ("0:2.0", "1:1.0"),       # epoch dominates
+            ("1.0a", "1.0b"),
+            ("1.0", "1.0a"),          # letters after digits extend
+            ("09", "10"),             # leading zeros ignored
+            ("1.2.3", "1.2.4"),
+            ("2.38-1ubuntu1", "2.38-1ubuntu2"),
+            ("1.0+ds", "1.0+ds1"),
+        ],
+    )
+    def test_ordered_pairs(self, smaller, larger):
+        assert compare_versions(smaller, larger) == -1
+        assert compare_versions(larger, smaller) == 1
+
+    def test_equal(self):
+        assert compare_versions("1.2.3-4", "1.2.3-4") == 0
+
+    def test_letters_before_special(self):
+        # 'a' < '+' in dpkg ordering (letters sort before non-letters).
+        assert compare_versions("1.0a", "1.0+") == -1
+
+    def test_version_key_sorting(self):
+        versions = ["1.10", "1.2", "1.0~rc1", "2:0.1", "1.0"]
+        ordered = sorted(versions, key=version_key)
+        assert ordered == ["1.0~rc1", "1.0", "1.2", "1.10", "2:0.1"]
+
+
+class TestSatisfies:
+    def test_all_relations(self):
+        assert satisfies("1.0", "<<", "2.0")
+        assert satisfies("1.0", "<=", "1.0")
+        assert satisfies("1.0", "=", "1.0")
+        assert satisfies("2.0", ">=", "1.0")
+        assert satisfies("2.0", ">>", "1.0")
+        assert not satisfies("1.0", ">>", "1.0")
+
+    def test_unknown_relation_raises(self):
+        with pytest.raises(ValueError):
+            satisfies("1", "~=", "1")
+
+
+_version_chars = st.text(alphabet="0123456789abc.+~", min_size=1, max_size=10).filter(
+    lambda s: s[0].isdigit()
+)
+
+
+class TestCompareProperties:
+    @given(_version_chars)
+    def test_reflexive(self, v):
+        assert compare_versions(v, v) == 0
+
+    @given(_version_chars, _version_chars)
+    def test_antisymmetric(self, a, b):
+        assert compare_versions(a, b) == -compare_versions(b, a)
+
+    @given(_version_chars, _version_chars, _version_chars)
+    def test_transitive(self, a, b, c):
+        ordered = sorted([a, b, c], key=version_key)
+        assert compare_versions(ordered[0], ordered[1]) <= 0
+        assert compare_versions(ordered[1], ordered[2]) <= 0
+        assert compare_versions(ordered[0], ordered[2]) <= 0
+
+    @given(_version_chars)
+    def test_tilde_sorts_lower(self, v):
+        assert compare_versions(v + "~x", v) == -1

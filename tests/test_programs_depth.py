@@ -1,0 +1,146 @@
+"""Coverage for remaining simulated userland programs and option-table
+self-consistency."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.containers import ContainerEngine
+from repro.images import install_ubuntu_base
+from repro.toolchain.options import FLAG, OPTION_TABLE, classify_option
+
+
+@pytest.fixture(scope="module")
+def engine():
+    eng = ContainerEngine(arch="amd64")
+    install_ubuntu_base(eng)
+    return eng
+
+
+@pytest.fixture
+def ctr(engine):
+    container = engine.from_image("ubuntu:24.04", name="prog")
+    yield container
+    engine.remove_container("prog")
+
+
+class TestCoreutilsDepth:
+    def test_install_d(self, engine, ctr):
+        engine.run(ctr, ["install", "-d", "/opt/a", "/opt/b"]).check()
+        assert ctr.fs.is_dir("/opt/a") and ctr.fs.is_dir("/opt/b")
+
+    def test_install_with_mode(self, engine, ctr):
+        ctr.fs.write_file("/src.bin", b"x", create_parents=True)
+        engine.run(ctr, ["install", "-m", "755", "/src.bin", "/usr/local/bin/x"]
+                   ).check()
+        assert ctr.fs.get_node("/usr/local/bin/x").mode == 0o755
+
+    def test_chmod_octal(self, engine, ctr):
+        ctr.fs.write_file("/f", b"")
+        engine.run(ctr, ["chmod", "700", "/f"]).check()
+        assert ctr.fs.get_node("/f").mode == 0o700
+
+    def test_chmod_missing_file(self, engine, ctr):
+        assert not engine.run(ctr, ["chmod", "755", "/ghost"]).ok
+
+    def test_ln_requires_symbolic(self, engine, ctr):
+        ctr.fs.write_file("/t", b"")
+        assert not engine.run(ctr, ["ln", "/t", "/hard"]).ok
+
+    def test_ln_sf_replaces(self, engine, ctr):
+        ctr.fs.write_file("/t1", b"1")
+        ctr.fs.write_file("/t2", b"2")
+        engine.run(ctr, ["ln", "-s", "/t1", "/l"]).check()
+        engine.run(ctr, ["ln", "-sf", "/t2", "/l"]).check()
+        assert ctr.fs.readlink("/l") == "/t2"
+
+    def test_ln_into_directory(self, engine, ctr):
+        ctr.fs.write_file("/target", b"")
+        ctr.fs.makedirs("/links")
+        engine.run(ctr, ["ln", "-s", "/target", "/links"]).check()
+        assert ctr.fs.readlink("/links/target") == "/target"
+
+    def test_echo_n(self, engine, ctr):
+        assert engine.run(ctr, ["echo", "-n", "x"]).stdout == "x"
+
+    def test_env_lists_sorted(self, engine, ctr):
+        out = engine.run(ctr, ["env"], env={"ZZZ": "1", "AAA": "2"}).stdout
+        assert out.index("AAA=2") < out.index("ZZZ=1")
+
+    def test_cp_multiple_to_file_fails(self, engine, ctr):
+        ctr.fs.write_file("/a", b"")
+        ctr.fs.write_file("/b", b"")
+        ctr.fs.write_file("/c", b"")
+        assert not engine.run(ctr, ["cp", "/a", "/b", "/c"]).ok
+
+    def test_rm_dir_without_r_fails(self, engine, ctr):
+        ctr.fs.makedirs("/d/sub")
+        assert not engine.run(ctr, ["rm", "/d"]).ok
+
+    def test_mkdir_without_p_fails_on_missing_parent(self, engine, ctr):
+        assert not engine.run(ctr, ["mkdir", "/x/y/z"]).ok
+
+
+class TestDpkgDepth:
+    def test_listfiles(self, engine, ctr):
+        out = engine.run(ctr, ["dpkg", "-L", "bash"]).stdout
+        assert "/bin/bash" in out
+
+    def test_listfiles_unknown(self, engine, ctr):
+        assert not engine.run(ctr, ["dpkg", "-L", "ghost"]).ok
+
+    def test_search_unknown_path(self, engine, ctr):
+        assert not engine.run(ctr, ["dpkg", "-S", "/nope"]).ok
+
+    def test_no_action_fails(self, engine, ctr):
+        assert not engine.run(ctr, ["dpkg"]).ok
+
+
+class TestMpirunDepth:
+    def test_no_executable_fails(self, engine, ctr):
+        assert not engine.run(ctr, ["sh", "-c",
+                                    "apt-get install -y libopenmpi3 && mpirun -np 4"]).ok
+
+    def test_hostfile_skipped(self, engine, ctr):
+        engine.run(ctr, ["apt-get", "install", "-y", "libopenmpi3"]).check()
+        result = engine.run(
+            ctr, ["mpirun", "-np", "2", "--hostfile", "/etc/hosts", "echo", "hi"]
+        )
+        assert result.ok
+        assert result.stdout == "hi\n"
+
+
+class TestOptionTableConsistency:
+    def test_every_named_option_classifies_to_itself(self):
+        for name, spec in OPTION_TABLE.items():
+            found = classify_option(name)
+            assert found is not None, name
+            # Family prefixes may swallow longer names, but the resolved
+            # spec must at least share the family semantics.
+            assert found.name == name or name.startswith(found.name), name
+
+    @given(st.sampled_from(sorted(OPTION_TABLE)))
+    def test_joined_value_forms_resolve(self, name):
+        spec = OPTION_TABLE[name]
+        if spec.style == FLAG:
+            return
+        found = classify_option(f"{name}=value")
+        assert found is not None
+
+    def test_no_option_is_both_isa_tagged_and_warning(self):
+        for name, spec in OPTION_TABLE.items():
+            if name.startswith("-W") and not name.startswith("-Wl"):
+                assert spec.isa is None, name
+
+
+class TestMpirunRobustness:
+    def test_garbage_np_rejected(self, engine, ctr):
+        engine.run(ctr, ["apt-get", "install", "-y", "libopenmpi3"]).check()
+        result = engine.run(ctr, ["mpirun", "-np", "lots", "echo", "x"])
+        assert not result.ok
+        assert "invalid process count" in result.stderr
+
+    def test_np_without_value_rejected(self, engine, ctr):
+        engine.run(ctr, ["apt-get", "install", "-y", "libopenmpi3"]).check()
+        result = engine.run(ctr, ["mpirun", "-np"])
+        assert not result.ok

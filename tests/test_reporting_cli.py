@@ -1,0 +1,100 @@
+"""Tests for the reporting harness and the demo CLI."""
+
+import pytest
+
+from repro import cli
+from repro.reporting import (
+    FIG3_PAPER,
+    figure3_rows,
+    render_table,
+    table1_rows,
+    table2_rows,
+)
+from repro.sysmodel import AARCH64_CLUSTER, X86_CLUSTER
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["a", "bb"], [("x", 1.5), ("long", 2.25)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+        assert "1.500" in lines[2]
+
+    def test_empty_rows(self):
+        text = render_table(["col"], [])
+        assert "col" in text
+
+    def test_mixed_types(self):
+        text = render_table(["n", "v"], [(1, "x"), (2, None)])
+        assert "None" in text
+
+
+class TestReportingTables:
+    def test_table1_cells(self):
+        rows = {r[0]: r for r in table1_rows()}
+        assert "512GB" in rows["RAM"]
+        assert "Kylin" in rows["OS"][2]
+
+    def test_table2_complete(self):
+        rows = table2_rows()
+        assert len(rows) == 18
+        assert sum(1 for app, _, _ in rows if app == "lammps") == 5
+        assert sum(1 for app, _, _ in rows if app == "openmx") == 4
+
+    def test_figure3_monotone_both_systems(self):
+        for system in (X86_CLUSTER, AARCH64_CLUSTER):
+            rows = figure3_rows(system)
+            times = [t for _, t, _ in rows]
+            assert times == sorted(times, reverse=True) or all(
+                times[i] >= times[i + 1] - 1e-9 for i in range(len(times) - 1)
+            )
+            # Reductions are relative to original and grow monotonically.
+            reductions = [r for _, _, r in rows]
+            assert reductions[0] == 0.0
+            assert reductions[-1] > 0.5
+
+    def test_fig3_paper_reference_constants(self):
+        assert FIG3_PAPER["x86"]["cxxo_vs_original"] == 0.50
+        assert FIG3_PAPER["arm"]["cxxo_vs_original"] == 0.72
+
+
+class TestCli:
+    def test_tables(self, capsys):
+        assert cli.main(["tables"]) == 0
+        out = capsys.readouterr().out
+        assert "8358P" in out
+        assert "lammps" in out
+
+    def test_analyze(self, capsys):
+        assert cli.main(["analyze", "hpccg"]) == 0
+        out = capsys.readouterr().out
+        assert '"nodes"' in out
+        assert "cached sources" in out
+
+    def test_crossisa_crossable(self, capsys):
+        assert cli.main(["crossisa", "lulesh"]) == 0
+        out = capsys.readouterr().out
+        assert "can cross        : True" in out
+
+    def test_crossisa_blocked_exit_code(self, capsys):
+        assert cli.main(["crossisa", "lammps"]) == 1
+
+    def test_schemes(self, capsys):
+        assert cli.main(["schemes", "hpccg", "--system", "x86"]) == 0
+        out = capsys.readouterr().out
+        assert "original" in out and "optimized" in out
+
+    def test_adapt(self, capsys):
+        assert cli.main(["adapt", "hpccg", "--system", "x86"]) == 0
+        out = capsys.readouterr().out
+        assert "adapted image" in out
+        assert "+coMre" in out
+
+    def test_bad_command(self):
+        with pytest.raises(SystemExit):
+            cli.main(["no-such-command"])
+
+    def test_parser_help_smoke(self):
+        parser = cli.build_parser()
+        assert parser.prog == "comtainer-demo"

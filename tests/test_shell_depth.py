@@ -1,0 +1,140 @@
+"""Deeper shell executor coverage."""
+
+import pytest
+
+from repro.containers import ContainerEngine
+from repro.containers.shell import Shell
+from repro.images import install_ubuntu_base
+
+
+@pytest.fixture(scope="module")
+def engine():
+    eng = ContainerEngine(arch="amd64")
+    install_ubuntu_base(eng)
+    return eng
+
+
+@pytest.fixture
+def shell(engine):
+    container = engine.from_image("ubuntu:24.04", name="shtest")
+    yield Shell(engine, container), container
+    engine.remove_container("shtest")
+
+
+def run(shell_tuple, script):
+    shell, container = shell_tuple
+    return shell.run_script(script, env=container.environment(), cwd="/")
+
+
+class TestBuiltins:
+    def test_exit_stops_script(self, shell):
+        result = run(shell, "echo before\nexit 3\necho after\n")
+        assert result.exit_code == 3
+        assert "before" in result.stdout
+        assert "after" not in result.stdout
+
+    def test_exit_zero_default(self, shell):
+        assert run(shell, "exit").exit_code == 0
+
+    def test_unset(self, shell):
+        result = run(shell, "X=1\nunset X\necho [$X]\n")
+        assert result.stdout == "[]\n"
+
+    def test_colon_noop(self, shell):
+        assert run(shell, ": ignored args\necho ok\n").stdout == "ok\n"
+
+    def test_cd_missing_dir_fails_script(self, shell):
+        result = run(shell, "cd /missing\necho unreachable\n")
+        assert result.exit_code == 1
+        assert "unreachable" not in result.stdout
+
+    def test_cd_home_default(self, shell):
+        _, container = shell
+        container.fs.makedirs("/root")
+        result = run(shell, "cd\ntouch marker\n")
+        assert result.ok
+        assert container.fs.exists("/root/marker")
+
+    def test_assignment_only_line(self, shell):
+        result = run(shell, "JUST=assignment\necho $JUST\n")
+        assert result.stdout == "assignment\n"
+
+    def test_prefix_assignment_does_not_persist(self, shell):
+        result = run(shell, "X=once env\necho [$X]\n")
+        assert "X=once" in result.stdout         # visible to the command
+        assert result.stdout.endswith("[]\n")    # not persisted
+
+
+class TestOperators:
+    def test_or_short_circuits(self, shell):
+        result = run(shell, "true || echo skipped\necho done\n")
+        assert result.stdout == "done\n"
+
+    def test_and_short_circuits(self, shell):
+        result = run(shell, "missing-cmd && echo skipped || echo rescued\n")
+        assert "rescued" in result.stdout
+        assert "skipped" not in result.stdout
+
+    def test_mixed_chain_left_to_right(self, shell):
+        result = run(shell, "echo a && missing || echo b && echo c\n")
+        assert result.stdout == "a\nb\nc\n"
+
+    def test_semicolon_continues_after_success(self, shell):
+        assert run(shell, "echo a; echo b\n").stdout == "a\nb\n"
+
+    def test_errexit_between_statements(self, shell):
+        result = run(shell, "missing-cmd\necho never\n")
+        assert result.exit_code != 0
+        assert "never" not in result.stdout
+
+
+class TestRedirectsAndGlobs:
+    def test_redirect_failing_command_keeps_stderr(self, shell):
+        result = run(shell, "missing-cmd > /out.txt\n")
+        assert not result.ok
+        _, container = shell
+        assert not container.fs.exists("/out.txt")
+
+    def test_glob_no_match_stays_literal(self, shell):
+        result = run(shell, "echo *.nomatch\n")
+        assert result.stdout == "*.nomatch\n"
+
+    def test_glob_question_mark(self, shell):
+        _, container = shell
+        container.fs.makedirs("/g")
+        for name in ("a1.o", "a2.o", "b12.o"):
+            container.fs.write_file(f"/g/{name}", b"")
+        result = run(shell, "cd /g && echo a?.o\n")
+        assert result.stdout == "a1.o a2.o\n"
+
+    def test_quoted_glob_literal(self, shell):
+        _, container = shell
+        container.fs.write_file("/x.o", b"")
+        result = run(shell, "echo '*.o'\n")
+        assert result.stdout == "*.o\n"
+
+    def test_redirect_target_with_vars(self, shell):
+        result = run(shell, "OUT=/v.txt\necho data > $OUT\ncat /v.txt\n")
+        assert result.stdout == "data\n"
+
+    def test_append_creates_file(self, shell):
+        _, container = shell
+        run(shell, "echo x >> /fresh.txt\n")
+        assert container.fs.read_text("/fresh.txt") == "x\n"
+
+
+class TestSyntaxErrors:
+    def test_unterminated_quote_reports(self, shell):
+        result = run(shell, "echo 'oops\n")
+        assert result.exit_code == 2
+        assert "unterminated" in result.stderr
+
+    def test_leading_operator_reports(self, shell):
+        result = run(shell, "&& echo nope\n")
+        assert result.exit_code == 2
+
+
+class TestExitRobustness:
+    def test_exit_with_garbage_code(self, shell):
+        result = run(shell, "exit notanumber\n")
+        assert result.exit_code == 2

@@ -1,0 +1,59 @@
+"""Tests for the simulated binary marker formats."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import simbin
+
+
+class TestProgramMarkers:
+    def test_roundtrip(self):
+        data = simbin.program_marker("gcc", toolchain="gnu-12", role="cc")
+        marker = simbin.read_program_marker(data)
+        assert marker == {"program": "gcc", "toolchain": "gnu-12", "role": "cc"}
+
+    def test_is_program(self):
+        assert simbin.is_program(simbin.program_marker("x"))
+        assert not simbin.is_program(b"#!/bin/sh\necho")
+        assert not simbin.is_program(b"")
+
+    def test_garbage_after_magic(self):
+        assert simbin.read_program_marker(b"#!sim\nnot json") is None
+
+    def test_json_without_program_key(self):
+        assert simbin.read_program_marker(b'#!sim\n{"x": 1}') is None
+
+    def test_artifact_magic_is_not_program(self):
+        data = simbin.artifact_payload("object", {"sources": []})
+        assert simbin.read_program_marker(data) is None
+
+
+class TestArtifactPayloads:
+    def test_roundtrip(self):
+        data = simbin.artifact_payload("object", {"sources": ["/a.c"], "opt": "2"})
+        payload = simbin.read_artifact_payload(data)
+        assert payload["kind"] == "object"
+        assert payload["sources"] == ["/a.c"]
+
+    def test_is_artifact(self):
+        assert simbin.is_artifact(simbin.artifact_payload("archive", {}))
+        assert not simbin.is_artifact(simbin.program_marker("x"))
+        assert not simbin.is_artifact(b"\x7fELF real elf")
+
+    def test_trailing_whitespace_tolerated(self):
+        data = simbin.artifact_payload("object", {}) + b"    "
+        assert simbin.read_artifact_payload(data)["kind"] == "object"
+
+
+@settings(deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(st.dictionaries(
+    st.text(alphabet="abcxyz_", min_size=1, max_size=8),
+    st.one_of(st.integers(-100, 100), st.text(max_size=10), st.booleans()),
+    max_size=5,
+))
+def test_program_marker_meta_roundtrip(meta):
+    meta.pop("program", None)
+    data = simbin.program_marker("prog", **meta)
+    marker = simbin.read_program_marker(data)
+    assert marker.pop("program") == "prog"
+    assert marker == meta

@@ -1,0 +1,219 @@
+"""Tests for GCC-style command-line parsing and rendering."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.toolchain.cli import (
+    CompilerInvocation,
+    MODE_COMPILE,
+    MODE_INFO,
+    MODE_LINK,
+    MODE_PREPROCESS,
+    classify_source,
+    input_kind,
+    parse_command_line,
+)
+
+
+class TestInputClassification:
+    def test_c_sources(self):
+        assert classify_source("main.c") == "c"
+        assert classify_source("a/b/x.i") == "c"
+
+    def test_cxx_sources(self):
+        assert classify_source("lulesh.cc") == "c++"
+        assert classify_source("x.cpp") == "c++"
+
+    def test_fortran_sources(self):
+        assert classify_source("solve.f90") == "fortran"
+        assert classify_source("legacy.F") == "fortran"
+
+    def test_non_source(self):
+        assert classify_source("x.o") is None
+
+    def test_input_kinds(self):
+        assert input_kind("a.o") == "object"
+        assert input_kind("liba.a") == "archive"
+        assert input_kind("libx.so") == "shared"
+        assert input_kind("libx.so.3.2") == "shared"
+        assert input_kind("main.c") == "source"
+        assert input_kind("README") == "other"
+
+
+class TestParse:
+    def test_simple_compile(self):
+        inv = parse_command_line(["gcc", "-c", "main.c", "-o", "main.o"])
+        assert inv.mode == MODE_COMPILE
+        assert inv.sources == ["main.c"]
+        assert inv.output == "main.o"
+
+    def test_simple_link(self):
+        inv = parse_command_line(["g++", "a.o", "b.o", "-o", "app", "-lm"])
+        assert inv.mode == MODE_LINK
+        assert inv.objects == ["a.o", "b.o"]
+        assert inv.libs == ["m"]
+        assert inv.output == "app"
+
+    def test_optimization_levels(self):
+        assert parse_command_line(["gcc", "-O3", "-c", "x.c"]).opt_level == "3"
+        assert parse_command_line(["gcc", "-Ofast", "-c", "x.c"]).opt_level == "fast"
+        assert parse_command_line(["gcc", "-O", "-c", "x.c"]).opt_level == "1"
+
+    def test_joined_output(self):
+        inv = parse_command_line(["gcc", "-c", "x.c", "-ox.o"])
+        assert inv.output == "x.o"
+
+    def test_defines_and_includes(self):
+        inv = parse_command_line(
+            ["gcc", "-DNDEBUG", "-D", "USE_MPI=1", "-Iinclude", "-I", "/opt/inc",
+             "-isystem", "/usr/local/include", "-c", "x.c"]
+        )
+        assert inv.defines == ["NDEBUG", "USE_MPI=1"]
+        assert inv.include_dirs == ["include", "/opt/inc"]
+        assert inv.isystem_dirs == ["/usr/local/include"]
+
+    def test_fflags(self):
+        inv = parse_command_line(
+            ["gcc", "-funroll-loops", "-fno-strict-aliasing",
+             "-fvisibility=hidden", "-c", "x.c"]
+        )
+        assert inv.fflags["unroll-loops"] is True
+        assert inv.fflags["strict-aliasing"] is False
+        assert inv.fflags["visibility"] == "hidden"
+
+    def test_mflags_and_march(self):
+        inv = parse_command_line(
+            ["gcc", "-march=native", "-mtune=skylake", "-mavx2", "-mno-fma", "-c", "x.c"]
+        )
+        assert inv.march == "native"
+        assert inv.mtune == "skylake"
+        assert inv.mflags["avx2"] is True
+        assert inv.mflags["fma"] is False
+
+    def test_lto_pgo_properties(self):
+        inv = parse_command_line(["gcc", "-flto", "-fprofile-generate", "-c", "x.c"])
+        assert inv.lto and inv.profile_generate and not inv.profile_use
+        inv = parse_command_line(["gcc", "-fprofile-use=prof.gcda", "x.o", "-o", "app"])
+        assert inv.profile_use
+        assert inv.fflags["profile-use"] == "prof.gcda"
+
+    def test_warnings_collected(self):
+        inv = parse_command_line(["gcc", "-Wall", "-Wextra", "-Wno-unused", "-c", "x.c"])
+        assert inv.warnings == ["-Wall", "-Wextra", "-Wno-unused"]
+
+    def test_linker_passthrough(self):
+        inv = parse_command_line(
+            ["gcc", "x.o", "-Wl,-rpath,/opt/lib", "-Xlinker", "--as-needed", "-o", "a"]
+        )
+        assert inv.linker_args == ["-rpath", "/opt/lib", "--as-needed"]
+
+    def test_shared_static_pthread(self):
+        inv = parse_command_line(["gcc", "-shared", "-pthread", "x.o", "-o", "libx.so"])
+        assert inv.shared and inv.pthread and not inv.static
+
+    def test_std(self):
+        inv = parse_command_line(["g++", "-std=c++17", "-c", "x.cc"])
+        assert inv.std == "c++17"
+
+    def test_language_detected(self):
+        assert parse_command_line(["g++", "-c", "x.cc"]).language == "c++"
+        assert parse_command_line(["gfortran", "-c", "x.f90"]).language == "fortran"
+
+    def test_language_override(self):
+        inv = parse_command_line(["gcc", "-x", "c++", "-c", "weird.txt"])
+        assert inv.language == "c++"
+
+    def test_mode_preprocess(self):
+        assert parse_command_line(["gcc", "-E", "x.c"]).mode == MODE_PREPROCESS
+
+    def test_mode_info(self):
+        assert parse_command_line(["gcc", "--version"]).mode == MODE_INFO
+        assert parse_command_line(["gcc"]).mode == MODE_INFO
+
+    def test_effective_output_defaults(self):
+        inv = parse_command_line(["gcc", "-c", "src/main.c"])
+        assert inv.effective_output() == "main.o"
+        inv = parse_command_line(["gcc", "main.o"])
+        assert inv.effective_output() == "a.out"
+
+    def test_response_file(self):
+        files = {"flags.rsp": "-O2 -funroll-loops"}
+        inv = parse_command_line(
+            ["gcc", "@flags.rsp", "-c", "x.c"], read_file=lambda p: files[p]
+        )
+        assert inv.opt_level == "2"
+        assert inv.fflags["unroll-loops"] is True
+
+    def test_isa_specific_args(self):
+        inv = parse_command_line(["gcc", "-mavx2", "-march=skylake", "-O2", "-c", "x.c"])
+        args = set(inv.isa_specific_args())
+        assert "-mavx2" in args
+        assert "-march=skylake" in args
+
+    def test_debug_flag(self):
+        assert parse_command_line(["gcc", "-g", "-c", "x.c"]).debug == "-g"
+        assert parse_command_line(["gcc", "-ggdb", "-c", "x.c"]).debug == "-ggdb"
+
+
+class TestRenderRoundtrip:
+    CASES = [
+        ["gcc", "-c", "main.c", "-o", "main.o"],
+        ["g++", "-std=c++14", "-O3", "-march=native", "-funroll-loops",
+         "-DUSE_MPI", "-Iinclude", "-c", "lulesh.cc", "-o", "lulesh.o"],
+        ["gcc", "-O2", "-flto", "a.o", "b.o", "-L/opt/lib", "-lblas", "-lm",
+         "-o", "app"],
+        ["gfortran", "-O3", "-fdefault-real-8", "-c", "solve.f90"],
+        ["gcc", "-shared", "-fPIC", "x.o", "-Wl,-soname,libx.so.1", "-o", "libx.so.1"],
+        ["gcc", "-E", "x.c"],
+        ["mpicc", "-O2", "-fopenmp", "-c", "comm.c"],
+    ]
+
+    def test_semantic_roundtrip(self):
+        for argv in self.CASES:
+            inv = parse_command_line(argv)
+            again = parse_command_line(inv.render())
+            assert again.mode == inv.mode, argv
+            assert again.sources == inv.sources
+            assert again.objects == inv.objects
+            assert again.output == inv.output
+            assert again.opt_level == inv.opt_level
+            assert again.fflags == inv.fflags
+            assert again.mflags == inv.mflags
+            assert again.libs == inv.libs
+            assert again.defines == inv.defines
+            assert again.linker_args == inv.linker_args
+            assert again.shared == inv.shared
+
+    def test_render_is_fixpoint(self):
+        for argv in self.CASES:
+            inv = parse_command_line(argv)
+            rendered = inv.render()
+            assert parse_command_line(rendered).render() == rendered
+
+    def test_json_roundtrip(self):
+        inv = parse_command_line(self.CASES[1])
+        restored = CompilerInvocation.from_json(inv.to_json())
+        assert restored.render() == inv.render()
+
+
+_flag_names = st.sampled_from(
+    ["unroll-loops", "strict-aliasing", "fast-math", "lto", "tree-vectorize",
+     "inline-functions", "omit-frame-pointer", "openmp"]
+)
+
+
+class TestParseProperties:
+    @given(
+        st.lists(_flag_names, max_size=5, unique=True),
+        st.sampled_from(["0", "1", "2", "3", "fast"]),
+        st.booleans(),
+    )
+    def test_random_flag_sets_roundtrip(self, flags, opt, negate_first):
+        argv = ["gcc", f"-O{opt}"]
+        for i, name in enumerate(flags):
+            argv.append(f"-fno-{name}" if (negate_first and i == 0) else f"-f{name}")
+        argv += ["-c", "x.c"]
+        inv = parse_command_line(argv)
+        again = parse_command_line(inv.render())
+        assert again.fflags == inv.fflags
+        assert again.opt_level == opt

@@ -1,0 +1,201 @@
+"""Deeper toolchain coverage: response files, env paths, vendor drivers,
+Fortran, preprocessing to files, and driver/option interplay."""
+
+import pytest
+
+from repro.toolchain.artifacts import (
+    ExecutableArtifact,
+    ObjectArtifact,
+    SharedObjectArtifact,
+    read_artifact,
+)
+from repro.toolchain.drivers import CompilerDriver, CompilerError
+from repro.toolchain.info import get_toolchain, known_toolchains
+from repro.vfs import VirtualFilesystem
+
+
+@pytest.fixture
+def fs():
+    filesystem = VirtualFilesystem()
+    filesystem.write_file("/src/main.c", "int main(){return 0;}\n" * 30,
+                          create_parents=True)
+    filesystem.write_file("/src/solve.f90", "program solve\nend program\n" * 40,
+                          create_parents=True)
+    return filesystem
+
+
+class TestResponseFiles:
+    def test_driver_expands_rsp(self, fs):
+        fs.write_file("/src/flags.rsp", "-O3 -funroll-loops -DFAST=1")
+        gcc = CompilerDriver("gnu-12", isa="x86-64")
+        gcc.execute(["gcc", "@flags.rsp", "-c", "main.c"], fs, cwd="/src")
+        obj = read_artifact(fs.read_file("/src/main.o"))
+        assert obj.opt_level == "3"
+        assert obj.fflags["unroll-loops"] is True
+        assert "FAST=1" in obj.defines
+
+    def test_missing_rsp_raises(self, fs):
+        gcc = CompilerDriver("gnu-12", isa="x86-64")
+        with pytest.raises(Exception):
+            gcc.execute(["gcc", "@ghost.rsp", "-c", "main.c"], fs, cwd="/src")
+
+
+class TestLibraryPathEnv:
+    def test_library_path_searched(self, fs):
+        fs.write_file("/custom/libs/libweird.so", b"x", create_parents=True)
+        gcc = CompilerDriver("gnu-12", isa="x86-64")
+        gcc.execute(
+            ["gcc", "main.c", "-lweird", "-o", "app"], fs, cwd="/src",
+            env={"LIBRARY_PATH": "/custom/libs"},
+        )
+        exe = read_artifact(fs.read_file("/src/app"))
+        assert exe.lib_paths["weird"] == "/custom/libs/libweird.so"
+
+    def test_l_flag_beats_library_path(self, fs):
+        fs.write_file("/a/libdual.so", b"a", create_parents=True)
+        fs.write_file("/b/libdual.so", b"b", create_parents=True)
+        gcc = CompilerDriver("gnu-12", isa="x86-64")
+        gcc.execute(
+            ["gcc", "main.c", "-L/a", "-ldual", "-o", "app"], fs, cwd="/src",
+            env={"LIBRARY_PATH": "/b"},
+        )
+        exe = read_artifact(fs.read_file("/src/app"))
+        assert exe.lib_paths["dual"] == "/a/libdual.so"
+
+    def test_static_preference(self, fs):
+        fs.makedirs("/usr/lib")
+        fs.write_file("/usr/lib/libpick.so", b"so")
+        # Static preference only matters when a real .a artifact exists;
+        # here only the .so exists, so -static still resolves the .so path
+        # ... unless an archive is present:
+        gcc = CompilerDriver("gnu-12", isa="x86-64")
+        gcc.execute(["gcc", "main.c", "-lpick", "-o", "app"], fs, cwd="/src")
+        exe = read_artifact(fs.read_file("/src/app"))
+        assert exe.lib_paths["pick"].endswith(".so")
+
+
+class TestVendorAndLlvmDrivers:
+    @pytest.mark.parametrize("toolchain_id,isa", [
+        ("intel-2024", "x86-64"),
+        ("phytium-kit-3", "aarch64"),
+        ("llvm-17", "x86-64"),
+        ("llvm-17", "aarch64"),
+    ])
+    def test_compile_and_provenance(self, fs, toolchain_id, isa):
+        driver = CompilerDriver(toolchain_id, isa=isa)
+        driver.execute(["cc", "-O2", "-march=native", "-c", "main.c"],
+                       fs, cwd="/src")
+        obj = read_artifact(fs.read_file("/src/main.o"))
+        assert obj.toolchain == toolchain_id
+        assert obj.isa == isa
+
+    def test_vendor_rejects_unsupported_isa_quality(self):
+        info = get_toolchain("intel-2024")
+        assert not info.supports("aarch64")
+        assert info.quality_on("aarch64") == 1.0   # neutral off-target
+
+    def test_known_toolchains(self):
+        assert set(known_toolchains()) >= {
+            "gnu-12", "llvm-17", "intel-2024", "phytium-kit-3"
+        }
+
+    def test_unknown_toolchain_raises(self):
+        with pytest.raises(KeyError):
+            get_toolchain("pgi-19")
+
+    def test_version_banner(self, fs):
+        result = CompilerDriver("phytium-kit-3", isa="aarch64").execute(
+            ["ftcc", "--version"], fs
+        )
+        assert "Phytium" in result.stdout
+        assert "aarch64" in result.stdout
+
+
+class TestFortran:
+    def test_fortran_compile(self, fs):
+        gfortran = CompilerDriver("gnu-12", role="fc", isa="x86-64")
+        gfortran.execute(["gfortran", "-O2", "-c", "solve.f90"], fs, cwd="/src")
+        obj = read_artifact(fs.read_file("/src/solve.o"))
+        assert obj.language == "fortran"
+
+    def test_fortran_link_with_runtime(self, fs):
+        gfortran = CompilerDriver("gnu-12", role="fc", isa="x86-64")
+        gfortran.execute(
+            ["gfortran", "-O2", "solve.f90", "-o", "solver", "-lgfortran"],
+            fs, cwd="/src",
+        )
+        exe = read_artifact(fs.read_file("/src/solver"))
+        assert isinstance(exe, ExecutableArtifact)
+        assert "gfortran" in exe.libs
+
+    def test_fortran_flags(self, fs):
+        gfortran = CompilerDriver("gnu-12", role="fc", isa="x86-64")
+        gfortran.execute(
+            ["gfortran", "-O3", "-fdefault-real-8", "-c", "solve.f90"],
+            fs, cwd="/src",
+        )
+        obj = read_artifact(fs.read_file("/src/solve.o"))
+        assert obj.fflags["default-real-8"] is True
+
+
+class TestPipelineModes:
+    def test_preprocess_to_file(self, fs):
+        gcc = CompilerDriver("gnu-12", isa="x86-64")
+        gcc.execute(["gcc", "-E", "main.c", "-o", "main.i"], fs, cwd="/src")
+        assert '"main.c"' in fs.read_text("/src/main.i")
+
+    def test_assemble_mode(self, fs):
+        gcc = CompilerDriver("gnu-12", isa="x86-64")
+        result = gcc.execute(["gcc", "-S", "main.c"], fs, cwd="/src")
+        assert result.outputs == ["main.s"]
+        assert "asm for" in fs.read_text("/src/main.s")
+
+    def test_shared_without_soname(self, fs):
+        gcc = CompilerDriver("gnu-12", isa="x86-64")
+        gcc.execute(["gcc", "-shared", "-fPIC", "main.c", "-o", "libm1.so"],
+                    fs, cwd="/src")
+        so = read_artifact(fs.read_file("/src/libm1.so"))
+        assert isinstance(so, SharedObjectArtifact)
+        assert so.soname is None
+
+    def test_link_against_simulated_shared_artifact(self, fs):
+        gcc = CompilerDriver("gnu-12", isa="x86-64")
+        gcc.execute(["gcc", "-shared", "-fPIC", "main.c", "-o", "/usr/lib/libown.so"],
+                    fs, cwd="/src")
+        gcc.execute(["gcc", "main.c", "-lown", "-o", "app"], fs, cwd="/src")
+        exe = read_artifact(fs.read_file("/src/app"))
+        assert exe.lib_paths["own"] == "/usr/lib/libown.so"
+
+    def test_direct_shared_input(self, fs):
+        gcc = CompilerDriver("gnu-12", isa="x86-64")
+        gcc.execute(["gcc", "-shared", "main.c", "-o", "libx.so.2"], fs, cwd="/src")
+        gcc.execute(["gcc", "main.c", "libx.so.2", "-o", "app"], fs, cwd="/src")
+        exe = read_artifact(fs.read_file("/src/app"))
+        assert exe.lib_paths["x"] == "/src/libx.so.2"
+
+    def test_source_directory_rejected(self, fs):
+        gcc = CompilerDriver("gnu-12", isa="x86-64")
+        fs.makedirs("/src/adir.c")
+        with pytest.raises(CompilerError, match="is a directory"):
+            gcc.execute(["gcc", "-c", "adir.c"], fs, cwd="/src")
+
+
+class TestObjectProvenanceDetails:
+    def test_command_recorded(self, fs):
+        gcc = CompilerDriver("gnu-12", isa="x86-64")
+        gcc.execute(["gcc", "-O2", "-c", "main.c"], fs, cwd="/src")
+        obj = read_artifact(fs.read_file("/src/main.o"))
+        assert obj.command[0] == "gcc"
+        assert "-O2" in obj.command
+
+    def test_debug_flag_recorded(self, fs):
+        gcc = CompilerDriver("gnu-12", isa="x86-64")
+        gcc.execute(["gcc", "-g", "-c", "main.c"], fs, cwd="/src")
+        assert read_artifact(fs.read_file("/src/main.o")).debug
+
+    def test_lto_grows_object(self, fs):
+        gcc = CompilerDriver("gnu-12", isa="x86-64")
+        gcc.execute(["gcc", "-O2", "-c", "main.c", "-o", "plain.o"], fs, cwd="/src")
+        gcc.execute(["gcc", "-O2", "-flto", "-c", "main.c", "-o", "fat.o"],
+                    fs, cwd="/src")
+        assert fs.file_size("/src/fat.o") > fs.file_size("/src/plain.o")

@@ -1,0 +1,84 @@
+"""Tests for the structured option table."""
+
+from repro.toolchain.options import (
+    OPTION_TABLE,
+    classify_option,
+    is_isa_specific,
+    table_size,
+)
+
+
+class TestTable:
+    def test_table_is_large(self):
+        """The paper models 2314 GCC options; we model a substantial subset."""
+        assert table_size() >= 800
+
+    def test_core_options_present(self):
+        for name in ["-c", "-S", "-E", "-o", "-O2", "-O3", "-Ofast",
+                     "-flto", "-fprofile-use", "-fprofile-generate",
+                     "-shared", "-static", "-pthread", "-fopenmp"]:
+            assert name in OPTION_TABLE, name
+
+    def test_fno_variants_present(self):
+        assert "-fno-inline" in OPTION_TABLE
+        assert "-fno-lto" in OPTION_TABLE
+
+    def test_optimization_flags_marked(self):
+        assert OPTION_TABLE["-O3"].optimization
+        assert OPTION_TABLE["-flto"].optimization
+        assert OPTION_TABLE["-ftree-vectorize"].optimization
+        assert not OPTION_TABLE["-Wall"].optimization
+
+    def test_isa_tagging(self):
+        assert OPTION_TABLE["-mavx2"].isa == "x86-64"
+        assert OPTION_TABLE["-msve-vector-bits"].isa == "aarch64"
+        # -march is shared; the value decides.
+        assert OPTION_TABLE["-march"].isa is None
+
+
+class TestClassify:
+    def test_exact_match(self):
+        assert classify_option("-c").name == "-c"
+
+    def test_joined_value(self):
+        assert classify_option("-march=native").name == "-march"
+        assert classify_option("-I/usr/include").name == "-I"
+        assert classify_option("-DNDEBUG").name == "-D"
+        assert classify_option("-Wl,-rpath,/x").name == "-Wl"
+
+    def test_non_option_returns_none(self):
+        assert classify_option("main.c") is None
+        assert classify_option("-") is None
+
+    def test_unknown_family_member_synthesized(self):
+        spec = classify_option("-fsome-future-flag")
+        assert spec is not None
+        assert spec.optimization  # -f family default
+        spec = classify_option("-Wsome-future-warning")
+        assert spec is not None
+        assert not spec.codegen
+
+    def test_unknown_option(self):
+        spec = classify_option("--totally-unknown")
+        assert spec is not None
+        assert spec.description == "unknown option"
+
+
+class TestIsaSpecific:
+    def test_m_flags(self):
+        assert is_isa_specific("-mavx512f") == "x86-64"
+        assert is_isa_specific("-mno-sse4.2") == "x86-64"
+        assert is_isa_specific("-moutline-atomics") == "aarch64"
+
+    def test_march_values(self):
+        assert is_isa_specific("-march=skylake-avx512") == "x86-64"
+        assert is_isa_specific("-march=armv8.2-a") == "aarch64"
+        assert is_isa_specific("-mcpu=ft-2000plus") == "aarch64"
+
+    def test_march_native_is_ambiguous(self):
+        assert is_isa_specific("-march=native") is None
+
+    def test_portable_options(self):
+        assert is_isa_specific("-O3") is None
+        assert is_isa_specific("-flto") is None
+        assert is_isa_specific("main.c") is None

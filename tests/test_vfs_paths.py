@@ -1,0 +1,111 @@
+"""Unit and property tests for pure path manipulation."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.vfs import paths as vpath
+
+
+class TestNormalize:
+    def test_root(self):
+        assert vpath.normalize("/") == "/"
+
+    def test_empty_is_root(self):
+        assert vpath.normalize("") == "/"
+
+    def test_collapses_doubled_slashes(self):
+        assert vpath.normalize("//usr///bin/") == "/usr/bin"
+
+    def test_removes_single_dots(self):
+        assert vpath.normalize("/usr/./bin/.") == "/usr/bin"
+
+    def test_resolves_dotdot(self):
+        assert vpath.normalize("/usr/lib/../bin") == "/usr/bin"
+
+    def test_dotdot_above_root_clamps(self):
+        assert vpath.normalize("/../../etc") == "/etc"
+
+    def test_relative_treated_as_rooted(self):
+        assert vpath.normalize("usr/bin") == "/usr/bin"
+
+
+class TestJoin:
+    def test_simple(self):
+        assert vpath.join("/usr", "bin", "gcc") == "/usr/bin/gcc"
+
+    def test_absolute_fragment_resets(self):
+        assert vpath.join("/usr", "/etc", "passwd") == "/etc/passwd"
+
+    def test_dotdot_in_fragment(self):
+        assert vpath.join("/usr/bin", "../lib") == "/usr/lib"
+
+
+class TestSplit:
+    def test_components_of_root(self):
+        assert vpath.split_components("/") == []
+
+    def test_components(self):
+        assert vpath.split_components("/a/b/c") == ["a", "b", "c"]
+
+    def test_dirname_basename(self):
+        assert vpath.dirname("/a/b/c") == "/a/b"
+        assert vpath.basename("/a/b/c") == "c"
+
+    def test_dirname_of_top_level(self):
+        assert vpath.dirname("/a") == "/"
+
+
+class TestContainment:
+    def test_is_within_self(self):
+        assert vpath.is_within("/a/b", "/a/b")
+
+    def test_is_within_child(self):
+        assert vpath.is_within("/a/b/c", "/a/b")
+
+    def test_not_within_sibling_prefix(self):
+        # /a/bc is NOT within /a/b even though it shares a string prefix.
+        assert not vpath.is_within("/a/bc", "/a/b")
+
+    def test_everything_within_root(self):
+        assert vpath.is_within("/anything", "/")
+
+    def test_relative_to(self):
+        assert vpath.relative_to("/a/b/c", "/a") == "b/c"
+        assert vpath.relative_to("/a", "/a") == "."
+        assert vpath.relative_to("/a/b", "/") == "a/b"
+
+    def test_relative_to_outside_raises(self):
+        with pytest.raises(ValueError):
+            vpath.relative_to("/x", "/a")
+
+
+# Path components never containing separators or dot tokens.
+_component = st.text(
+    alphabet=st.characters(min_codepoint=33, max_codepoint=126, blacklist_characters="/"),
+    min_size=1,
+    max_size=8,
+).filter(lambda s: s not in (".", ".."))
+
+
+class TestPathProperties:
+    @given(st.lists(_component, max_size=6))
+    def test_normalize_idempotent(self, comps):
+        p = "/" + "/".join(comps)
+        assert vpath.normalize(vpath.normalize(p)) == vpath.normalize(p)
+
+    @given(st.lists(_component, min_size=1, max_size=6))
+    def test_split_components_roundtrip(self, comps):
+        p = "/" + "/".join(comps)
+        assert vpath.split_components(p) == comps
+
+    @given(st.lists(_component, min_size=1, max_size=6))
+    def test_dirname_basename_rejoin(self, comps):
+        p = "/" + "/".join(comps)
+        assert vpath.join(vpath.dirname(p), vpath.basename(p)) == p
+
+    @given(st.lists(_component, max_size=4), st.lists(_component, min_size=1, max_size=4))
+    def test_join_result_within_base(self, base_comps, rel_comps):
+        base = "/" + "/".join(base_comps)
+        joined = vpath.join(base, "/".join(rel_comps))
+        assert vpath.is_within(joined, base)
