@@ -1,0 +1,23 @@
+# Convenience targets for the coMtainer reproduction.
+#
+#   make test    - the tier-1 test suite (includes the chaos sweeps)
+#   make chaos   - only the randomized fault-injection sweeps
+#   make bench   - regenerate the evaluation tables / benchmarks
+#   make resilience-bench - just the resilience happy-path overhead check
+
+PYTHON ?= python
+PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
+
+.PHONY: test chaos bench resilience-bench
+
+test:
+	$(PYTEST) -x -q
+
+chaos:
+	$(PYTEST) -m chaos -q
+
+bench:
+	$(PYTEST) benchmarks -q -s
+
+resilience-bench:
+	$(PYTEST) benchmarks/bench_resilience_overhead.py -q -s

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro import simbin
 from repro.containers import programs as prog
@@ -69,6 +69,16 @@ class ContainerEngine:
         self.binary_runner: Optional[BinaryRunner] = None
         self._fs_cache: Dict[tuple, VirtualFilesystem] = {}
         self._ids = itertools.count(1)
+        #: Optional :class:`repro.resilience.faults.FaultInjector`; armed at
+        #: the top of :meth:`run` so chaos tests can crash container entry.
+        self.fault_injector = None
+        #: Optional :class:`repro.resilience.degrade.ResilienceContext`;
+        #: read by ``coMtainer-rebuild`` for per-node retry and journaling.
+        self.resilience = None
+        #: Every (container name, argv) dispatched through :meth:`exec_in` —
+        #: the command log resume tests inspect to prove completed compile
+        #: nodes are not re-executed.
+        self.exec_log: List[Tuple[str, Tuple[str, ...]]] = []
 
     # ------------------------------------------------------------------
     # repositories
@@ -170,6 +180,8 @@ class ContainerEngine:
         env: Optional[Dict[str, str]] = None,
         cwd: Optional[str] = None,
     ) -> RunResult:
+        if self.fault_injector is not None and argv:
+            self.fault_injector.arm("container.run", argv[0])
         merged = container.environment()
         merged.update(env or {})
         return self.exec_in(container, argv, env=merged,
@@ -208,6 +220,7 @@ class ContainerEngine:
         """The dispatcher: resolve argv[0] in the container and execute it."""
         if not argv:
             return RunResult(exit_code=0)
+        self.exec_log.append((container.name, tuple(argv)))
         path = self._resolve_program(container, argv[0], env, cwd)
         if path is None:
             return RunResult(

@@ -51,6 +51,8 @@ def rebuild_in_container(
     adapter: SystemAdapter,
     options: RebuildOptions,
     previous: Optional[Tuple[Dict[str, str], Dict[str, FileContent]]] = None,
+    journal=None,
+    fallback_fs=None,
 ) -> Tuple[dict, Dict[str, FileContent], Dict[str, int], Dict[str, FileContent]]:
     """Execute the transformed build; returns (meta, files, modes, node_files).
 
@@ -58,11 +60,23 @@ def rebuild_in_container(
     nodes whose transformed command is unchanged reuse their previous
     output instead of re-executing — rebuilds "can be performed many
     times during the image's lifetime" (§4.1) without paying full cost.
+
+    *journal* is an optional :class:`repro.resilience.RebuildJournal`:
+    each successful command's outputs are checkpointed into the layout,
+    and an interrupted rebuild resumes by restoring journaled nodes whose
+    transformed command digest still matches, instead of recompiling.
+
+    *fallback_fs* (the extended image's filesystem) enables per-node
+    graceful degradation: a node that keeps failing is skipped and its
+    dist artifact falls back to the generic build from the cache layer.
+    Without it (the default) any node failure raises — strict behaviour.
     """
     models = models.clone()   # adapters operate on independent copies (§4.2)
     fs = container.fs
     pool = engine.repository_pool_for(container)
     apt = AptFacade(fs, pool)
+    rctx = getattr(engine, "resilience", None)
+    injector = getattr(engine, "fault_injector", None)
 
     # 1. Package replacement plan + environment preparation.
     plan = adapter.plan_replacements(models.image, pool)
@@ -79,12 +93,22 @@ def rebuild_in_container(
     # is in scope when any of its output nodes is.
     executed: List[str] = []
     reused: List[str] = []
+    restored: List[str] = []
+    failed_nodes: List[str] = []
     reused_set: set = set()
     node_commands: Dict[str, str] = {}
     prev_commands, prev_outputs = previous if previous is not None else ({}, {})
-    # Original command identity -> ("executed"|"reused", transformed digest).
+    # Original command identity ->
+    # ("executed"|"reused"|"restored"|"failed", transformed digest).
     command_status: Dict[tuple, Tuple[str, str]] = {}
     scope = set(options.lto_scope or [])
+
+    # All output nodes of each command, so journal checkpoints cover every
+    # sibling of a multi-source compile.
+    siblings: Dict[tuple, List] = {}
+    for n in models.graph:
+        if n.step is not None:
+            siblings.setdefault((tuple(n.step.argv), n.step.cwd), []).append(n)
 
     # PGO profile *data* is a build input: salt the command digests with
     # its content so new profile bytes at the same path invalidate reuse.
@@ -111,6 +135,11 @@ def rebuild_in_container(
             if status == "reused":
                 reused.append(node.id)
                 reused_set.add(node.id)
+            elif status == "restored":
+                restored.append(node.id)
+                reused_set.add(node.id)
+            elif status == "failed":
+                failed_nodes.append(node.id)
             else:
                 executed.append(node.id)
             continue
@@ -136,6 +165,21 @@ def rebuild_in_container(
             or dep in reused_set
             for dep in node.deps
         )
+        # Checkpointed by an interrupted previous run?  Restore from the
+        # journal instead of recompiling — but only when the transformed
+        # command digest still matches (options/adapter/profile identical).
+        if (
+            journal is not None
+            and deps_unchanged
+            and all(journal.digest_of(s.id) == digest for s in siblings[key])
+        ):
+            for s in siblings[key]:
+                content, mode = journal.output_for(s.id)
+                fs.write_file(s.path, content, mode=mode, create_parents=True)
+            restored.append(node.id)
+            reused_set.add(node.id)
+            command_status[key] = ("restored", digest)
+            continue
         if (
             deps_unchanged
             and prev_commands.get(node.id) == digest
@@ -149,23 +193,55 @@ def rebuild_in_container(
         fs.makedirs(step.cwd)
         env = container.environment()
         env.update(step.env)
-        result = engine.exec_in(container, step.argv, env=env, cwd=step.cwd)
-        if not result.ok:
-            raise RebuildError(
-                f"rebuild of {node.id} failed: {result.stderr or result.stdout}"
-            )
+
+        def run_once(step=step, node=node, env=env):
+            if injector is not None:
+                injector.arm("rebuild.node", node.id)
+            result = engine.exec_in(container, step.argv, env=env, cwd=step.cwd)
+            if not result.ok:
+                raise RebuildError(
+                    f"rebuild of {node.id} failed: {result.stderr or result.stdout}"
+                )
+
+        try:
+            if rctx is not None:
+                rctx.retry(run_once, site="rebuild.node")
+            else:
+                run_once()
+        except Exception:
+            if fallback_fs is None:
+                raise
+            failed_nodes.append(node.id)
+            command_status[key] = ("failed", digest)
+            continue
         executed.append(node.id)
         command_status[key] = ("executed", digest)
+        if journal is not None:
+            for s in siblings[key]:
+                out = fs.try_get_node(s.path)
+                if isinstance(out, RegularFile):
+                    journal.record(s.id, digest, s.path, out.content, out.mode)
+            journal.flush()
 
     # 4. Collect rebuilt artifacts for every BUILD file of the dist image.
     files: Dict[str, FileContent] = {}
     modes: Dict[str, int] = {}
+    fallback_paths: List[str] = []
     for dist_path, node_id in models.image.build_outputs().items():
         node = models.graph.try_get(node_id)
         if node is None:
             continue
         rebuilt = fs.try_get_node(node.path)
         if not isinstance(rebuilt, RegularFile):
+            # Per-node degradation: serve the generic artifact from the
+            # extended image for anything the rebuild could not produce.
+            if fallback_fs is not None:
+                generic = fallback_fs.try_get_node(dist_path)
+                if isinstance(generic, RegularFile):
+                    files[dist_path] = generic.content
+                    modes[dist_path] = generic.mode
+                    fallback_paths.append(dist_path)
+                    continue
             raise RebuildError(f"rebuilt artifact missing: {node.path}")
         files[dist_path] = rebuilt.content
         modes[dist_path] = rebuilt.mode
@@ -190,6 +266,9 @@ def rebuild_in_container(
         "executed_nodes": executed,
         "reused_nodes": reused,
         "node_commands": node_commands,
+        "failed_nodes": failed_nodes,
+        "fallback_paths": fallback_paths,
+        "journal_restored": restored,
     }
     return meta, files, modes, node_files
 
@@ -204,7 +283,7 @@ def comtainer_rebuild_entry(ctx) -> int:
     if not isinstance(layout, OCILayout):
         raise ProgramError(f"coMtainer-rebuild: no OCI layout mounted at {IO_MOUNT}")
 
-    options, adapter_name = _parse_args(ctx.argv[1:])
+    options, adapter_name, flags = _parse_args(ctx.argv[1:])
     system = system_for_arch(ctx.container.arch)
     adapter = get_adapter(adapter_name, system)
 
@@ -213,24 +292,46 @@ def comtainer_rebuild_entry(ctx) -> int:
     except CacheError as exc:
         raise ProgramError(f"coMtainer-rebuild: {exc}")
     try:
-        models, sources, _resolved = decode_cache(layout, dist_tag)
+        models, sources, resolved = decode_cache(layout, dist_tag)
     except Exception as exc:
         raise ProgramError(f"coMtainer-rebuild: {exc}")
+    journal = None
+    if flags["journal"]:
+        from repro.resilience.journal import RebuildJournal
+
+        journal = RebuildJournal(layout, dist_tag)
+    # The extended image carries the generic dist content, so it doubles
+    # as the per-node fallback source under --fallback.
+    fallback_fs = resolved.filesystem() if flags["fallback"] else None
     previous = decode_rebuild_nodes(layout, dist_tag)
     try:
         meta, files, modes, node_files = rebuild_in_container(
             ctx.engine, ctx.container, models, sources, adapter, options,
-            previous=previous,
+            previous=previous, journal=journal, fallback_fs=fallback_fs,
         )
     except RebuildError as exc:
         raise ProgramError(f"coMtainer-rebuild: {exc}")
     layer = encode_rebuild_layer(meta, files, modes, node_files=node_files)
     tag = add_rebuild_manifest(layout, dist_tag, layer)
+    if journal is not None:
+        # A completed rebuild supersedes its checkpoints; from here the
+        # +coMre node outputs are the incremental-reuse source.
+        journal.clear()
     ctx.writeline(
         f"coMtainer-rebuild: rebuilt {len(meta['executed_nodes'])} nodes "
         f"({len(meta['reused_nodes'])} reused) "
         f"with adapter {adapter.name!r}, tagged {tag}"
     )
+    if meta["journal_restored"]:
+        ctx.writeline(
+            f"coMtainer-rebuild: resumed {len(meta['journal_restored'])} "
+            "nodes from the checkpoint journal"
+        )
+    if meta["failed_nodes"]:
+        ctx.writeline(
+            f"coMtainer-rebuild: {len(meta['failed_nodes'])} nodes failed; "
+            f"{len(meta['fallback_paths'])} artifacts fell back to generic"
+        )
     for replacement in meta["replacements"]:
         ctx.writeline(
             f"coMtainer-rebuild: replaced {replacement['generic']} "
@@ -239,14 +340,19 @@ def comtainer_rebuild_entry(ctx) -> int:
     return 0
 
 
-def _parse_args(args: List[str]) -> Tuple[RebuildOptions, str]:
+def _parse_args(args: List[str]) -> Tuple[RebuildOptions, str, Dict[str, bool]]:
     options = RebuildOptions()
     adapter_name = "vendor"
+    flags = {"journal": False, "fallback": False}
     i = 0
     while i < len(args):
         arg = args[i]
         if arg == "--lto":
             options.lto = True
+        elif arg == "--journal":
+            flags["journal"] = True
+        elif arg == "--fallback":
+            flags["fallback"] = True
         elif arg.startswith("--lto-scope="):
             options.lto = True
             options.lto_scope = [s for s in arg.split("=", 1)[1].split(",") if s]
@@ -263,4 +369,4 @@ def _parse_args(args: List[str]) -> Tuple[RebuildOptions, str]:
         i += 1
     if options.pgo not in ("off", "instrument", "use"):
         raise ProgramError(f"coMtainer-rebuild: bad --pgo value {options.pgo!r}")
-    return options, adapter_name
+    return options, adapter_name, flags

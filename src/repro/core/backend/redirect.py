@@ -14,7 +14,12 @@ from typing import Dict
 from repro.containers.container import Container, ProgramError
 from repro.core.adapters.base import LibraryReplacement
 from repro.core.backend.replacement import apply_replacements, install_runtime
-from repro.core.cache.storage import decode_cache, decode_rebuild, find_dist_tag
+from repro.core.cache.storage import (
+    CacheError,
+    decode_cache,
+    decode_rebuild,
+    find_dist_tag,
+)
 from repro.core.models.image_model import FileOrigin
 from repro.oci.layout import OCILayout
 from repro.pkg.apt import AptFacade

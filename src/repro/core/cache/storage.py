@@ -48,7 +48,19 @@ SUFFIX_REBUILT = mediatypes.TAG_SUFFIX_REBUILT     # "+coMre"
 
 
 class CacheError(Exception):
-    pass
+    """A cache/rebuild layer could not be located or decoded.
+
+    Carries the pipeline *stage* that failed and the *tag* involved, so
+    callers (and the resilience report) can say precisely which artifact
+    was unusable instead of parsing the message.
+    """
+
+    def __init__(
+        self, message: str, stage: Optional[str] = None, tag: Optional[str] = None
+    ) -> None:
+        super().__init__(message)
+        self.stage = stage
+        self.tag = tag
 
 
 def extended_tag(tag: str) -> str:
@@ -64,7 +76,9 @@ def find_dist_tag(layout: OCILayout) -> str:
     for tag in layout.tags():
         if not tag.endswith((SUFFIX_EXTENDED, SUFFIX_REBUILT)):
             return tag
-    raise CacheError("no application image tag found in layout index")
+    raise CacheError(
+        "no application image tag found in layout index", stage="find-dist-tag"
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -187,12 +201,14 @@ def decode_cache(
     tag = extended_tag(dist_tag)
     if not layout.has_tag(tag):
         raise CacheError(f"layout has no extended image {tag!r}; "
-                         "run coMtainer-build first")
+                         "run coMtainer-build first",
+                         stage="decode-cache", tag=tag)
     resolved = layout.resolve(tag)
     fs = resolved.filesystem()
     models_path = f"{CACHE_ROOT}/models.json"
     if not fs.exists(models_path):
-        raise CacheError("extended image has no cache layer models.json")
+        raise CacheError("extended image has no cache layer models.json",
+                         stage="decode-cache", tag=tag)
     models = ProcessModels.from_json(json.loads(fs.read_text(models_path)))
     sources = _subtree_files(fs, f"{CACHE_ROOT}/sources")
     return models, sources, resolved
@@ -205,12 +221,14 @@ def decode_rebuild(
     tag = rebuilt_tag(dist_tag)
     if not layout.has_tag(tag):
         raise CacheError(f"layout has no rebuilt image {tag!r}; "
-                         "run coMtainer-rebuild first")
+                         "run coMtainer-rebuild first",
+                         stage="decode-rebuild", tag=tag)
     resolved = layout.resolve(tag)
     fs = resolved.filesystem()
     meta_path = f"{REBUILD_ROOT}/meta.json"
     if not fs.exists(meta_path):
-        raise CacheError("rebuilt image has no rebuild meta.json")
+        raise CacheError("rebuilt image has no rebuild meta.json",
+                         stage="decode-rebuild", tag=tag)
     meta = json.loads(fs.read_text(meta_path))
     files_root = f"{REBUILD_ROOT}/files"
     files = _subtree_files(fs, files_root)

@@ -41,6 +41,14 @@ from repro.oci.registry import ImageRegistry
 from repro.perf.runtime import ExecutionReport, PerfRecorder, attach_perf
 from repro.pkg import catalog
 from repro.pkg.apt import AptFacade
+from repro.resilience.degrade import (
+    ResilienceContext,
+    ResiliencePolicy,
+    ResilienceReport,
+    adapt_with_resilience,
+    install_resilience,
+    resilient_transfer,
+)
 from repro.sysmodel import SystemModel, X86_CLUSTER
 from repro.toolchain.cli import parse_command_line
 
@@ -113,7 +121,10 @@ def _run_rebuild(
     flavor: str,
     args: List[str],
     profile_bytes: Optional[bytes] = None,
+    extra_args: Optional[List[str]] = None,
 ) -> None:
+    if extra_args:
+        args = args + list(extra_args)
     ctr = engine.from_image(
         sysenv_ref(system.key, flavor), name="comt-rebuild",
         mounts={IO_MOUNT: layout},
@@ -199,12 +210,15 @@ def system_side_adapt(
     flavor: str = "vendor",
     ref: Optional[str] = None,
     nodes: int = 16,
+    extra_rebuild_args: Optional[List[str]] = None,
 ) -> str:
     """Rebuild + redirect an extended image for *system*.
 
     With *pgo_workload*, runs the paper's automated PGO feedback loop:
     instrumented rebuild -> redirect -> profiling run -> final rebuild
-    with the gathered profile.
+    with the gathered profile.  *extra_rebuild_args* are appended to
+    every ``coMtainer-rebuild`` invocation (the resilience layer passes
+    ``--journal`` / ``--fallback`` through here).
     """
     install_system_side_images(engine, system, flavor)
     dist_tag = find_dist_tag(layout)
@@ -215,7 +229,9 @@ def system_side_adapt(
     if pgo_workload is not None:
         if recorder is None:
             raise WorkflowError("PGO loop needs a perf recorder on the engine")
-        _run_rebuild(engine, layout, system, flavor, base_args + ["--pgo=instrument"])
+        _run_rebuild(engine, layout, system, flavor,
+                     base_args + ["--pgo=instrument"],
+                     extra_args=extra_rebuild_args)
         instr_ref = _run_redirect(engine, layout, system, ref=f"{ref}.instrumented")
         # Profiling run: execute the instrumented binary on the system.
         app_name, _, input_name = pgo_workload.partition(".")
@@ -242,9 +258,10 @@ def system_side_adapt(
         finally:
             engine.remove_container(instr_ctr.name)
         _run_rebuild(engine, layout, system, flavor, base_args,
-                     profile_bytes=profile_bytes)
+                     profile_bytes=profile_bytes, extra_args=extra_rebuild_args)
     else:
-        _run_rebuild(engine, layout, system, flavor, base_args)
+        _run_rebuild(engine, layout, system, flavor, base_args,
+                     extra_args=extra_rebuild_args)
 
     return _run_redirect(engine, layout, system, ref=ref)
 
@@ -378,6 +395,10 @@ class ComtainerSession:
     system_engine: ContainerEngine = None
     registry: ImageRegistry = None
     recorder: PerfRecorder = None
+    #: Optional resilience policy; the default (None / strict) keeps the
+    #: original fail-loud behaviour with zero instrumentation installed.
+    resilience: Optional[ResiliencePolicy] = None
+    resilience_reports: List[ResilienceReport] = field(default_factory=list)
     _original: Dict[str, str] = field(default_factory=dict)
     _layouts: Dict[str, Tuple[OCILayout, str]] = field(default_factory=dict)
     _adapted: Dict[str, str] = field(default_factory=dict)
@@ -395,6 +416,13 @@ class ComtainerSession:
         install_system_side_images(self.system_engine, self.system, self.flavor)
         if self.recorder is None:
             self.recorder = attach_perf(self.system_engine, self.system)
+        self._resilience_ctx: Optional[ResilienceContext] = None
+        if self.resilience is not None and not self.resilience.strict:
+            self._resilience_ctx = install_resilience(
+                self.resilience,
+                registry=self.registry,
+                engines=[self.system_engine],
+            )
 
     # -- artifact builders (memoized per app/workload) ----------------------
 
@@ -413,15 +441,12 @@ class ComtainerSession:
         """The extended image layout, transferred to the system side."""
         if app not in self._layouts:
             layout, dist_tag = build_extended_image(self.user_engine, get_app(app))
-            # Distribute via the registry (both manifests of the layout).
-            for tag in (dist_tag, extended_tag(dist_tag)):
-                self.registry.push_layout(f"repro/{app}:{tag}", layout, tag=tag)
-            remote = OCILayout()
-            for tag in (dist_tag, extended_tag(dist_tag)):
-                resolved = self.registry.pull(f"repro/{app}:{tag}")
-                remote.add_manifest(
-                    resolved.manifest, resolved.config, resolved.layers, tag=tag
-                )
+            # Distribute via the registry (both manifests of the layout),
+            # retrying transient transfer faults under a permissive policy.
+            remote = resilient_transfer(
+                self.registry, layout, f"repro/{app}",
+                (dist_tag, extended_tag(dist_tag)), ctx=self._resilience_ctx,
+            )
             self._layouts[app] = (remote, dist_tag)
         return self._layouts[app]
 
@@ -445,6 +470,28 @@ class ComtainerSession:
                 flavor=self.flavor, ref=f"{workload}:optimized", nodes=self.nodes,
             )
         return self._optimized[workload]
+
+    def resilient_adapt(
+        self,
+        app: str,
+        lto: bool = False,
+        pgo_workload: Optional[str] = None,
+        ref: Optional[str] = None,
+    ) -> ResilienceReport:
+        """Adapt an app down the degradation ladder; returns the report.
+
+        With a strict (or no) session policy this is a plain
+        :func:`system_side_adapt` reported at the ``full`` rung.
+        """
+        layout, _dist_tag = self.extended_layout(app)
+        report = adapt_with_resilience(
+            self.system_engine, layout, self.system,
+            ctx=self._resilience_ctx, recorder=self.recorder,
+            lto=lto, pgo_workload=pgo_workload, flavor=self.flavor,
+            ref=ref or f"{app}:resilient", nodes=self.nodes,
+        )
+        self.resilience_reports.append(report)
+        return report
 
     def native_image(self, app: str) -> str:
         if app not in self._native:

@@ -61,6 +61,14 @@ class BlobStore:
 
     def __init__(self) -> None:
         self._blobs: Dict[str, Blob] = {}
+        #: Optional :class:`repro.resilience.faults.FaultInjector`; armed
+        #: *before* any mutation so an injected fault can never leave a
+        #: truncated or half-written blob behind.
+        self.fault_injector = None
+
+    def _arm(self, site: str, key: str) -> None:
+        if self.fault_injector is not None:
+            self.fault_injector.arm(site, key)
 
     def __len__(self) -> int:
         return len(self._blobs)
@@ -72,6 +80,7 @@ class BlobStore:
         return iter(sorted(self._blobs))
 
     def put(self, blob: Blob) -> Descriptor:
+        self._arm("blob.write", blob.digest)
         self._blobs[blob.digest] = blob
         return blob.descriptor()
 
@@ -82,6 +91,7 @@ class BlobStore:
         return self.put(Blob.from_layer(layer))
 
     def get(self, digest: str) -> Blob:
+        self._arm("blob.read", digest)
         try:
             return self._blobs[digest]
         except KeyError:
@@ -93,8 +103,32 @@ class BlobStore:
     def get_layer(self, digest: str) -> Layer:
         return self.get(digest).as_layer()
 
+    def remove(self, digest: str) -> bool:
+        """Drop a blob (garbage collection); True if it was present."""
+        return self._blobs.pop(digest, None) is not None
+
     def total_size(self) -> int:
         return sum(blob.size for blob in self._blobs.values())
+
+    def verify_integrity(self) -> list:
+        """Recompute every blob's digest; returns a list of problems.
+
+        A mismatch means the store holds truncated or corrupted content —
+        the invariant fault-injection sweeps assert can never happen,
+        because injectors arm *before* a put mutates the map.
+        """
+        problems = []
+        for digest, blob in sorted(self._blobs.items()):
+            if isinstance(blob.payload, Layer):
+                # Layer digests cover entry identities; content types with
+                # declared digests (e.g. PaddedContent) are not recomputable
+                # from serialized bytes, so verify the stored object itself.
+                actual = blob.payload.digest
+            else:
+                actual = digest_bytes(blob.payload)
+            if actual != digest:
+                problems.append(f"blob {digest} content hashes to {actual}")
+        return problems
 
     def copy_into(self, other: "BlobStore") -> int:
         """Copy all blobs into *other*; returns the number newly added."""

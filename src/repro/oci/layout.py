@@ -109,6 +109,51 @@ class OCILayout:
         return ResolvedImage(manifest=manifest, config=config, layers=layers)
 
     # ------------------------------------------------------------------
+    # garbage collection & invariants
+    # ------------------------------------------------------------------
+
+    def referenced_digests(self) -> set:
+        """Every blob digest reachable from an index descriptor."""
+        refs: set = set()
+        for desc in self.index:
+            refs.add(desc.digest)
+            if desc.media_type != mediatypes.IMAGE_MANIFEST:
+                continue
+            blob = self.blobs.try_get(desc.digest)
+            if blob is None:
+                continue
+            manifest = Manifest.from_json(blob.as_json())
+            refs.add(manifest.config.digest)
+            refs.update(ld.digest for ld in manifest.layers)
+        return refs
+
+    def gc(self) -> int:
+        """Drop blobs unreachable from the index; returns the count removed.
+
+        Replaced tags (a re-run ``coMtainer-rebuild`` overwriting
+        ``+coMre``) and abandoned recovery attempts leave unreferenced
+        blobs behind; the resilient pipeline sweeps them so a degraded
+        session never strands partial state in the layout.
+        """
+        reachable = self.referenced_digests()
+        orphans = [d for d in self.blobs.digests() if d not in reachable]
+        for digest in orphans:
+            self.blobs.remove(digest)
+        return len(orphans)
+
+    def audit(self) -> List[str]:
+        """Layout invariants: no missing, truncated, or orphaned blobs."""
+        problems = self.blobs.verify_integrity()
+        reachable = self.referenced_digests()
+        for digest in reachable:
+            if digest not in self.blobs:
+                problems.append(f"missing referenced blob {digest}")
+        for digest in self.blobs.digests():
+            if digest not in reachable:
+                problems.append(f"orphaned blob {digest}")
+        return problems
+
+    # ------------------------------------------------------------------
     # persistence (inspection/debugging; blobs serialize as canonical JSON)
     # ------------------------------------------------------------------
 

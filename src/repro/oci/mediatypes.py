@@ -11,12 +11,18 @@ IMAGE_MANIFEST = "application/vnd.oci.image.manifest.v1+json"
 IMAGE_CONFIG = "application/vnd.oci.image.config.v1+json"
 IMAGE_LAYER_TAR = "application/vnd.oci.image.layer.v1.tar"
 SIM_LAYER = "application/vnd.repro.sim-layer.v1+json"
+#: Checkpoint journal of an interrupted ``coMtainer-rebuild`` (persisted
+#: alongside the cache layer in the layout's blob store; never pushed as
+#: a taggable image).
+REBUILD_JOURNAL = "application/vnd.comtainer.rebuild-journal.v1+json"
 
 # Annotation keys (OCI standard + coMtainer extensions).
 ANNOTATION_REF_NAME = "org.opencontainers.image.ref.name"
 ANNOTATION_CREATED = "org.opencontainers.image.created"
 ANNOTATION_COMTAINER_KIND = "io.comtainer.kind"
 ANNOTATION_COMTAINER_BASE = "io.comtainer.base-manifest"
+ANNOTATION_COMTAINER_JOURNAL = "io.comtainer.journal"
+ANNOTATION_COMTAINER_RUNG = "io.comtainer.resilience-rung"
 
 # Tag suffixes used by the paper's workflow (Artifact Description B.2):
 # after coMtainer-build a ``+coM`` manifest appears in index.json, after

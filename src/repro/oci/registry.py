@@ -16,6 +16,31 @@ from repro.oci.layer import Layer
 from repro.oci.layout import OCILayout, ResolvedImage
 
 
+class RegistryError(Exception):
+    """Base class for registry transfer failures."""
+
+
+class ImageNotFound(RegistryError, KeyError):
+    """The requested reference has no manifest in this registry.
+
+    Subclasses :class:`KeyError` for backwards compatibility with callers
+    that guarded ``pull`` with ``except KeyError``.
+    """
+
+    def __str__(self) -> str:   # KeyError would repr() the message
+        return Exception.__str__(self)
+
+
+class TransientTransferError(RegistryError):
+    """A transfer failed in a way that is expected to succeed on retry.
+
+    The ``transient`` class attribute is the typed classification signal
+    the resilience layer keys on (no string matching).
+    """
+
+    transient = True
+
+
 def parse_reference(reference: str) -> Tuple[str, str]:
     """Split ``repo/name:tag`` into (name, tag); tag defaults to ``latest``."""
     if ":" in reference.rsplit("/", 1)[-1]:
@@ -30,6 +55,13 @@ class ImageRegistry:
     def __init__(self) -> None:
         self.blobs = BlobStore()
         self._manifests: Dict[Tuple[str, str], str] = {}  # (name, tag) -> digest
+        #: Optional :class:`repro.resilience.faults.FaultInjector`; armed on
+        #: push/pull so chaos tests can exercise transfer failures.
+        self.fault_injector = None
+
+    def _arm(self, site: str, key: str) -> None:
+        if self.fault_injector is not None:
+            self.fault_injector.arm(site, key)
 
     def repositories(self) -> List[str]:
         return sorted({name for name, _ in self._manifests})
@@ -45,6 +77,7 @@ class ImageRegistry:
         layers: List[Layer],
     ) -> str:
         name, tag = parse_reference(reference)
+        self._arm("registry.push", reference)
         self.blobs.put_bytes(config.to_bytes(), mediatypes.IMAGE_CONFIG)
         for layer in layers:
             self.blobs.put_layer(layer)
@@ -62,10 +95,11 @@ class ImageRegistry:
 
     def pull(self, reference: str) -> ResolvedImage:
         name, tag = parse_reference(reference)
+        self._arm("registry.pull", reference)
         try:
             digest = self._manifests[(name, tag)]
         except KeyError:
-            raise KeyError(f"image not found in registry: {reference!r}") from None
+            raise ImageNotFound(f"image not found in registry: {reference!r}") from None
         manifest = Manifest.from_json(self.blobs.get(digest).as_json())
         config = ImageConfig.from_json(self.blobs.get(manifest.config.digest).as_json())
         layers = [self.blobs.get_layer(ld.digest) for ld in manifest.layers]
@@ -80,3 +114,35 @@ class ImageRegistry:
 
     def exists(self, reference: str) -> bool:
         return parse_reference(reference) in self._manifests
+
+    # -- invariants --------------------------------------------------------
+
+    def referenced_digests(self) -> set:
+        """Every blob digest reachable from a tagged manifest."""
+        refs: set = set()
+        for digest in self._manifests.values():
+            refs.add(digest)
+            blob = self.blobs.try_get(digest)
+            if blob is None:
+                continue
+            manifest = Manifest.from_json(blob.as_json())
+            refs.add(manifest.config.digest)
+            refs.update(ld.digest for ld in manifest.layers)
+        return refs
+
+    def audit(self) -> List[str]:
+        """Store invariants: no missing, truncated, or orphaned blobs.
+
+        Returns a list of human-readable problems (empty when healthy).
+        Chaos tests assert this stays empty no matter where transfers were
+        interrupted — a retried push must never strand partial state.
+        """
+        problems = self.blobs.verify_integrity()
+        reachable = self.referenced_digests()
+        for digest in reachable:
+            if digest not in self.blobs:
+                problems.append(f"missing referenced blob {digest}")
+        for digest in self.blobs.digests():
+            if digest not in reachable:
+                problems.append(f"orphaned blob {digest}")
+        return problems

@@ -52,6 +52,38 @@ def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> st
 
 
 # ---------------------------------------------------------------------------
+# Resilience reports (docs/RESILIENCE.md)
+# ---------------------------------------------------------------------------
+
+def render_resilience_report(report) -> str:
+    """One :class:`repro.resilience.ResilienceReport` as aligned text."""
+    rows = [
+        ("rung", report.rung),
+        ("image", report.ref or "-"),
+        ("retries", sum(report.retries.values())),
+        ("failed nodes", len(report.failed_nodes)),
+        ("fallback artifacts", len(report.fallback_paths)),
+        ("journal-restored nodes", len(report.restored_nodes)),
+        ("simulated backoff (s)", report.simulated_seconds),
+    ]
+    lines = [render_table((f"adaptation of {report.tag}", "value"), rows)]
+    for reason in report.reasons:
+        lines.append(f"  degraded: {reason}")
+    return "\n".join(lines)
+
+
+def resilience_rows(reports) -> List[Tuple]:
+    """(tag, rung, retries, failed, fallbacks, restored) summary rows."""
+    return [
+        (
+            r.tag, r.rung, sum(r.retries.values()), len(r.failed_nodes),
+            len(r.fallback_paths), len(r.restored_nodes),
+        )
+        for r in reports
+    ]
+
+
+# ---------------------------------------------------------------------------
 # Figure 3 — motivation: single-node LULESH, incremental optimizations
 # ---------------------------------------------------------------------------
 

@@ -1,0 +1,72 @@
+"""Resilient rebuild pipeline: fault injection, retry, journal, ladder.
+
+See ``docs/RESILIENCE.md`` for the fault model, retry semantics, the
+journal format and the graceful-degradation ladder.
+"""
+
+from repro.resilience.degrade import (
+    RUNG_FULL,
+    RUNG_GENERIC,
+    RUNG_ORDER,
+    PERMISSIVE_RETRY,
+    RUNG_PARTIAL,
+    RUNG_REDIRECT_ONLY,
+    ResilienceContext,
+    ResiliencePolicy,
+    ResilienceReport,
+    adapt_with_resilience,
+    install_resilience,
+    resilient_transfer,
+    uninstall_resilience,
+)
+from repro.resilience.faults import (
+    ALL_SITES,
+    EXEC_SITES,
+    TRANSFER_SITES,
+    FaultInjector,
+    FaultSpec,
+    InjectedFault,
+    PersistentFault,
+    TransientFault,
+)
+from repro.resilience.journal import RebuildJournal, has_journal
+from repro.resilience.retry import (
+    RetryBudgetExhausted,
+    RetryPolicy,
+    RetryStats,
+    SimulatedClock,
+    is_transient,
+    retry_call,
+)
+
+__all__ = [
+    "ALL_SITES",
+    "EXEC_SITES",
+    "TRANSFER_SITES",
+    "RUNG_FULL",
+    "RUNG_GENERIC",
+    "RUNG_ORDER",
+    "PERMISSIVE_RETRY",
+    "RUNG_PARTIAL",
+    "RUNG_REDIRECT_ONLY",
+    "FaultInjector",
+    "FaultSpec",
+    "InjectedFault",
+    "PersistentFault",
+    "TransientFault",
+    "RebuildJournal",
+    "has_journal",
+    "ResilienceContext",
+    "ResiliencePolicy",
+    "ResilienceReport",
+    "RetryBudgetExhausted",
+    "RetryPolicy",
+    "RetryStats",
+    "SimulatedClock",
+    "adapt_with_resilience",
+    "install_resilience",
+    "is_transient",
+    "resilient_transfer",
+    "retry_call",
+    "uninstall_resilience",
+]

@@ -1,0 +1,360 @@
+"""The graceful-degradation ladder and the resilience report.
+
+coMtainer's promise is that the system side adapts images "without any
+user involvement" — which must include the days when the vendor compiler
+segfaults on one translation unit or the registry flakes mid-pull.  The
+extended image by construction contains a runnable generic dist image, so
+there is always *something* to serve; the ladder makes the fallback
+explicit and reportable instead of an unhandled exception:
+
+    rung 1  full           rebuild with every requested optimization
+                           (native toolchain, LTO, PGO loop), redirect
+    rung 2  partial        rebuild with per-node fallback to the generic
+                           artifact and/or optimizations dropped, redirect
+    rung 3  redirect-only  no rebuild; generic binaries with the system's
+                           optimized runtime libraries linked in via
+                           compat symlinks (library-only adaptation)
+    rung 4  generic        the untouched dist image from the layout
+
+Every session ends on some rung with a runnable image and a
+:class:`ResilienceReport` naming the rung and why each higher rung was
+abandoned.  The default :class:`ResiliencePolicy` is ``strict``: no
+retries, no fallback, no journal — exactly today's fail-loud behaviour.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.resilience.faults import FaultInjector
+from repro.resilience.retry import (
+    RetryPolicy,
+    RetryStats,
+    SimulatedClock,
+    retry_call,
+)
+
+RUNG_FULL = "full"
+RUNG_PARTIAL = "partial"
+RUNG_REDIRECT_ONLY = "redirect-only"
+RUNG_GENERIC = "generic"
+
+#: Best to worst; every resilient session terminates on exactly one.
+RUNG_ORDER = (RUNG_FULL, RUNG_PARTIAL, RUNG_REDIRECT_ONLY, RUNG_GENERIC)
+
+#: Default retry policy for permissive sessions.  Transient faults have
+#: bounded per-key bursts, but a composite operation (one push touches
+#: many blobs) can absorb up to max_burst faults *per key* — so the
+#: attempt count must be provisioned for the whole composite, not a
+#: single call.  Backoff runs on the simulated clock, so the generous
+#: limits cost nothing on the happy path and guarantee that transfers
+#: (whose faults are transient by the fault model) always complete.
+PERMISSIVE_RETRY = RetryPolicy(max_attempts=128, budget_seconds=1e6)
+
+
+@dataclass
+class ResiliencePolicy:
+    """How much autonomy the system side has when things go wrong.
+
+    ``strict`` (the default) preserves the original fail-loud semantics;
+    ``permissive`` enables retry/backoff, per-node fallback, checkpoint
+    journaling and the degradation ladder.
+    """
+
+    mode: str = "strict"               # "strict" | "permissive"
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    injector: Optional[FaultInjector] = None
+    journal: bool = True               # checkpoint rebuilds into the layout
+    fallback: bool = True              # failed nodes fall back to generic
+    seed: int = 0                      # jitter determinism
+
+    @property
+    def strict(self) -> bool:
+        return self.mode != "permissive"
+
+    @staticmethod
+    def permissive(
+        seed: int = 0,
+        injector: Optional[FaultInjector] = None,
+        retry: Optional[RetryPolicy] = None,
+        journal: bool = True,
+        fallback: bool = True,
+    ) -> "ResiliencePolicy":
+        return ResiliencePolicy(
+            mode="permissive",
+            retry=retry or PERMISSIVE_RETRY,
+            injector=injector,
+            journal=journal,
+            fallback=fallback,
+            seed=seed,
+        )
+
+
+@dataclass
+class ResilienceContext:
+    """Runtime state of one policy installation (clock, stats, rng)."""
+
+    policy: ResiliencePolicy
+    injector: Optional[FaultInjector] = None
+    clock: SimulatedClock = field(default_factory=SimulatedClock)
+    stats: RetryStats = field(default_factory=RetryStats)
+    rng: random.Random = None
+
+    def __post_init__(self) -> None:
+        if self.injector is None:
+            self.injector = self.policy.injector
+        if self.rng is None:
+            self.rng = random.Random(f"comtainer-retry-jitter:{self.policy.seed}")
+
+    def retry(self, fn, site: str):
+        """Run *fn* under this context's retry policy."""
+        return retry_call(
+            fn,
+            policy=self.policy.retry,
+            clock=self.clock,
+            rng=self.rng,
+            stats=self.stats,
+            site=site,
+        )
+
+
+@dataclass
+class ResilienceReport:
+    """What the session achieved and what it had to give up."""
+
+    tag: str
+    rung: str = RUNG_FULL
+    ref: Optional[str] = None
+    #: Why each abandoned higher rung failed, best rung first.
+    reasons: List[str] = field(default_factory=list)
+    retries: Dict[str, int] = field(default_factory=dict)
+    failed_nodes: List[str] = field(default_factory=list)
+    fallback_paths: List[str] = field(default_factory=list)
+    restored_nodes: List[str] = field(default_factory=list)
+    faults_seen: Dict[str, int] = field(default_factory=dict)
+    simulated_seconds: float = 0.0
+
+    def to_json(self) -> dict:
+        return {
+            "tag": self.tag,
+            "rung": self.rung,
+            "ref": self.ref,
+            "reasons": list(self.reasons),
+            "retries": dict(self.retries),
+            "failed_nodes": list(self.failed_nodes),
+            "fallback_paths": list(self.fallback_paths),
+            "restored_nodes": list(self.restored_nodes),
+            "faults_seen": dict(self.faults_seen),
+            "simulated_seconds": self.simulated_seconds,
+        }
+
+    def summary(self) -> str:
+        bits = [f"{self.tag}: rung={self.rung} ref={self.ref}"]
+        if self.fallback_paths:
+            bits.append(f"{len(self.fallback_paths)} artifacts fell back to generic")
+        if self.restored_nodes:
+            bits.append(f"{len(self.restored_nodes)} nodes resumed from journal")
+        if self.retries:
+            bits.append(f"{sum(self.retries.values())} retries")
+        return "; ".join(bits)
+
+
+def install_resilience(policy, registry=None, engines=()) -> ResilienceContext:
+    """Wire a policy into a registry and one or more engines.
+
+    Strict policies install nothing (behaviour stays byte-identical);
+    permissive ones attach the fault injector to the registry (push/pull
+    and its blob store) and to each engine (``container.run`` arming plus
+    the in-rebuild retry/journal context).
+    """
+    ctx = ResilienceContext(policy=policy)
+    if policy.strict:
+        return ctx
+    if registry is not None:
+        registry.fault_injector = ctx.injector
+        registry.blobs.fault_injector = ctx.injector
+    for engine in engines:
+        engine.fault_injector = ctx.injector
+        engine.resilience = ctx
+    return ctx
+
+
+def uninstall_resilience(registry=None, engines=()) -> None:
+    """Detach a previously installed policy (tests share long-lived engines)."""
+    if registry is not None:
+        registry.fault_injector = None
+        registry.blobs.fault_injector = None
+    for engine in engines:
+        engine.fault_injector = None
+        engine.resilience = None
+
+
+def resilient_transfer(registry, layout, name, tags, ctx=None):
+    """Push *tags* of *layout* through *registry* and pull them back.
+
+    This is the distribution step of Figure 5 (user side -> repository ->
+    system side).  Under a permissive context every push and pull is
+    retried on transient transfer errors; under a strict (or absent)
+    context the behaviour is the plain one-shot transfer.
+    """
+    from repro.oci.layout import OCILayout
+
+    remote = OCILayout()
+    for tag in tags:
+        reference = f"{name}:{tag}"
+
+        def push(tag=tag, reference=reference):
+            return registry.push_layout(reference, layout, tag=tag)
+
+        def pull(reference=reference):
+            return registry.pull(reference)
+
+        if ctx is None or ctx.policy.strict:
+            push()
+            resolved = pull()
+        else:
+            ctx.retry(push, site="registry.push")
+            resolved = ctx.retry(pull, site="registry.pull")
+        remote.add_manifest(resolved.manifest, resolved.config, resolved.layers, tag=tag)
+    return remote
+
+
+# ---------------------------------------------------------------------------
+# the ladder
+# ---------------------------------------------------------------------------
+
+def _redirect_only(engine, layout, dist_tag, system, flavor, ref, ctx) -> str:
+    """Rung 3: generic binaries + the system's optimized runtime libraries.
+
+    Mirrors the paper's library-only adaptation (Figure 3 ``libo``): the
+    recorded library paths of the *unmodified* binaries re-resolve through
+    compat symlinks to the vendor-optimized code.  No rebuild container,
+    no compile nodes — only filesystem surgery, so persistent
+    ``container.run`` faults cannot reach this rung.
+    """
+    from repro.core.backend.replacement import (
+        apply_replacements,
+        replacements_for_packages,
+    )
+    from repro.core.images import install_system_side_images
+    from repro.oci import mediatypes
+    from repro.pkg.apt import AptFacade
+
+    install_system_side_images(engine, system, flavor)
+    base = ctx.retry(
+        lambda: engine.load_from_layout(layout, dist_tag, ref=f"{ref}.generic-base"),
+        site="layout.load",
+    )
+    ctr = engine.from_image(base, name=f"resil-redirect-{dist_tag}")
+    try:
+        ctr.fs.write_file(
+            "/etc/apt/sources.list",
+            f"repo ubuntu-generic\nrepo {system.vendor_repo}\n",
+            create_parents=True,
+        )
+        pool = engine.repository_pool_for(ctr)
+        apt = AptFacade(ctr.fs, pool)
+        plan = replacements_for_packages(list(apt.installed()), pool)
+        apply_replacements(ctr.fs, apt, plan)
+        ctr.config.labels[mediatypes.ANNOTATION_COMTAINER_RUNG] = RUNG_REDIRECT_ONLY
+        engine.commit(ctr, ref=ref, comment="coMtainer redirect-only (degraded)")
+        return ref
+    finally:
+        engine.remove_container(ctr.name)
+
+
+def adapt_with_resilience(
+    engine,
+    layout,
+    system,
+    ctx: Optional[ResilienceContext] = None,
+    recorder=None,
+    lto: bool = False,
+    pgo_workload: Optional[str] = None,
+    flavor: str = "vendor",
+    ref: Optional[str] = None,
+    nodes: int = 16,
+) -> ResilienceReport:
+    """System-side adaptation that always terminates with a runnable image.
+
+    With a strict (or absent) context this is exactly
+    :func:`repro.core.workflow.system_side_adapt` — errors propagate.
+    With a permissive context the ladder walks rungs until one holds.
+    """
+    from repro.core import workflow as wf
+    from repro.core.cache.storage import decode_rebuild, find_dist_tag
+
+    dist_tag = find_dist_tag(layout)
+    ref = ref or f"{dist_tag}:adapted"
+    report = ResilienceReport(tag=dist_tag)
+
+    if ctx is None or ctx.policy.strict:
+        report.ref = wf.system_side_adapt(
+            engine, layout, system, recorder=recorder, lto=lto,
+            pgo_workload=pgo_workload, flavor=flavor, ref=ref, nodes=nodes,
+        )
+        report.rung = RUNG_FULL
+        return report
+
+    extra_args: List[str] = []
+    if ctx.policy.journal:
+        extra_args.append("--journal")
+    if ctx.policy.fallback:
+        extra_args.append("--fallback")
+
+    # Rungs 1-2: rebuild + redirect.  First with the requested
+    # optimizations, then (if those were the problem) a plain rebuild.
+    attempts = [(lto, pgo_workload, "optimized rebuild")]
+    if lto or pgo_workload is not None:
+        attempts.append((False, None, "plain rebuild"))
+    adapted_ref = None
+    degraded_options = False
+    for attempt_lto, attempt_pgo, label in attempts:
+        def run_attempt(a_lto=attempt_lto, a_pgo=attempt_pgo):
+            return wf.system_side_adapt(
+                engine, layout, system, recorder=recorder, lto=a_lto,
+                pgo_workload=a_pgo, flavor=flavor, ref=ref, nodes=nodes,
+                extra_rebuild_args=extra_args,
+            )
+
+        try:
+            adapted_ref = ctx.retry(run_attempt, site="adapt")
+            degraded_options = (attempt_lto, attempt_pgo) != (lto, pgo_workload)
+            break
+        except Exception as exc:
+            report.reasons.append(f"{label} failed: {exc}")
+
+    if adapted_ref is not None:
+        meta = decode_rebuild(layout, dist_tag)[0]
+        report.ref = adapted_ref
+        report.failed_nodes = list(meta.get("failed_nodes", []))
+        report.fallback_paths = list(meta.get("fallback_paths", []))
+        report.restored_nodes = list(meta.get("journal_restored", []))
+        degraded = bool(report.failed_nodes or report.fallback_paths) or degraded_options
+        report.rung = RUNG_PARTIAL if degraded else RUNG_FULL
+    else:
+        # Rung 3: redirect-only (library-only adaptation, no rebuild).
+        try:
+            report.ref = _redirect_only(
+                engine, layout, dist_tag, system, flavor, ref, ctx
+            )
+            report.rung = RUNG_REDIRECT_ONLY
+        except Exception as exc:
+            report.reasons.append(f"redirect-only failed: {exc}")
+            # Rung 4: the untouched generic dist image.  Loads straight
+            # from the already-transferred layout, so nothing can stop it.
+            report.ref = ctx.retry(
+                lambda: engine.load_from_layout(layout, dist_tag, ref=ref),
+                site="layout.load",
+            )
+            report.rung = RUNG_GENERIC
+
+    # Abandoned recovery attempts must not strand partial state.
+    layout.gc()
+    report.retries = dict(ctx.stats.retries)
+    if ctx.injector is not None:
+        report.faults_seen = ctx.injector.summary()
+    report.simulated_seconds = ctx.clock.now
+    return report

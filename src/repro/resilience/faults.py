@@ -1,0 +1,198 @@
+"""Deterministic fault injection for the system-side pipeline.
+
+A :class:`FaultInjector` is consulted ("armed") at well-known sites of the
+rebuild pipeline:
+
+====================  =====================================================
+site                  armed by
+====================  =====================================================
+``registry.push``     :meth:`repro.oci.registry.ImageRegistry.push`
+``registry.pull``     :meth:`repro.oci.registry.ImageRegistry.pull`
+``blob.read``         :meth:`repro.oci.blobs.BlobStore.get`
+``blob.write``        :meth:`repro.oci.blobs.BlobStore.put`
+``container.run``     :meth:`repro.containers.engine.ContainerEngine.run`
+``rebuild.node``      each compile-node execution in ``coMtainer-rebuild``
+====================  =====================================================
+
+Faults come in two kinds.  **Transient** faults model network hiccups and
+scheduler blips: a key faults for a bounded burst (at most ``max_burst``
+consecutive arms) and then succeeds, so any retry policy with more than
+``max_burst`` attempts is guaranteed to make progress.  **Persistent**
+faults model a genuinely broken compile node or container entrypoint: once
+a key turns persistent it fails on every subsequent arm, and recovery must
+come from the degradation ladder, not from retrying.
+
+Transfer sites (``registry.*``/``blob.*``) only ever produce transient
+faults — a registry that has permanently lost the extended image leaves no
+image at all to degrade to, which is outside the paper's fault model (the
+extended image *by construction* carries a runnable generic dist image).
+
+Everything is derived from a single integer seed through one private
+``random.Random`` stream, so a chaos sweep replays identically run to run
+as long as the (single-threaded, simulated) pipeline arms the same sites
+in the same order.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.oci.registry import TransientTransferError
+
+#: Sites that model data transfer; faults here are always transient.
+TRANSFER_SITES = frozenset({"registry.push", "registry.pull", "blob.read", "blob.write"})
+
+#: Sites that model execution; faults here may be persistent.
+EXEC_SITES = frozenset({"container.run", "rebuild.node"})
+
+ALL_SITES = TRANSFER_SITES | EXEC_SITES
+
+
+class InjectedFault(Exception):
+    """Base class for all injector-raised faults."""
+
+    transient = False
+
+    def __init__(self, site: str, key: str, kind: str) -> None:
+        super().__init__(f"injected {kind} fault at {site} ({key or '<any>'})")
+        self.site = site
+        self.key = key
+        self.kind = kind
+
+
+class TransientFault(InjectedFault):
+    """A fault that goes away if the operation is retried."""
+
+    transient = True
+
+    def __init__(self, site: str, key: str) -> None:
+        super().__init__(site, key, "transient")
+
+
+class PersistentFault(InjectedFault):
+    """A fault that will recur on every retry of the same operation."""
+
+    def __init__(self, site: str, key: str) -> None:
+        super().__init__(site, key, "persistent")
+
+
+class InjectedTransferFault(TransientFault, TransientTransferError):
+    """A transient fault at a transfer site, typed so the retry layer can
+    classify it through the :class:`RegistryError` hierarchy."""
+
+
+@dataclass
+class FaultSpec:
+    """A scripted fault: fire at *site* whenever *match* occurs in the key.
+
+    ``times`` bounds how often a transient spec fires; persistent specs
+    fire forever.  Scripted specs are checked before the seeded random
+    stream, so tests can target one specific node or reference.
+    """
+
+    site: str
+    kind: str = "transient"
+    match: str = ""
+    times: int = 1
+
+
+@dataclass
+class FaultRecord:
+    """One fired fault, for post-hoc inspection."""
+
+    site: str
+    key: str
+    kind: str
+
+
+class FaultInjector:
+    """Seedable, deterministic fault source for the arm sites above."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        rate: float = 0.0,
+        persistent_rate: float = 0.25,
+        sites: frozenset = ALL_SITES,
+        max_burst: int = 2,
+        specs: Optional[List[FaultSpec]] = None,
+    ) -> None:
+        self.seed = seed
+        self.rate = rate
+        self.persistent_rate = persistent_rate
+        self.sites = frozenset(sites)
+        self.max_burst = max_burst
+        self.specs: List[FaultSpec] = list(specs or [])
+        self.enabled = True
+        self.log: List[FaultRecord] = []
+        self._rng = random.Random(f"comtainer-faults:{seed}")
+        #: (site, key) -> remaining transient failures; 0 means immune.
+        self._bursts: Dict[Tuple[str, str], int] = {}
+        self._persistent: Set[Tuple[str, str]] = set()
+
+    # ------------------------------------------------------------------
+
+    def _fire(self, site: str, key: str, kind: str) -> None:
+        self.log.append(FaultRecord(site=site, key=key, kind=kind))
+        if kind == "persistent":
+            raise PersistentFault(site, key)
+        if site in TRANSFER_SITES:
+            raise InjectedTransferFault(site, key)
+        raise TransientFault(site, key)
+
+    def arm(self, site: str, key: str = "") -> None:
+        """Raise an :class:`InjectedFault` if this operation should fail."""
+        if not self.enabled:
+            return
+        for spec in self.specs:
+            if spec.site != site or spec.match not in key:
+                continue
+            if spec.kind == "persistent":
+                self._fire(site, key, "persistent")
+            if spec.times > 0:
+                spec.times -= 1
+                self._fire(site, key, "transient")
+
+        ident = (site, key)
+        if ident in self._persistent:
+            self._fire(site, key, "persistent")
+        if ident in self._bursts:
+            left = self._bursts[ident]
+            if left <= 0:
+                return   # burst exhausted: this key is now immune
+            self._bursts[ident] = left - 1
+            self._fire(site, key, "transient")
+        if site not in self.sites or self.rate <= 0.0:
+            return
+        if self._rng.random() >= self.rate:
+            # Sticky: a key that passed its roll stays healthy forever.
+            # This bounds the total transient failures of any composite
+            # operation (a push touches many blobs) by max_burst * keys,
+            # so a sufficiently-provisioned retry policy always finishes.
+            self._bursts[ident] = 0
+            return
+        if site in EXEC_SITES and self._rng.random() < self.persistent_rate:
+            self._persistent.add(ident)
+            self._fire(site, key, "persistent")
+        # Total consecutive transient failures for a key never exceeds
+        # max_burst, so retry policies with max_attempts > max_burst always
+        # get through eventually.
+        self._bursts[ident] = self._rng.randint(1, self.max_burst) - 1
+        self._fire(site, key, "transient")
+
+    # ------------------------------------------------------------------
+
+    def fired(self, site: Optional[str] = None) -> List[FaultRecord]:
+        if site is None:
+            return list(self.log)
+        return [r for r in self.log if r.site == site]
+
+    def summary(self) -> Dict[str, int]:
+        """Fired-fault counts per ``site/kind``."""
+        out: Dict[str, int] = {}
+        for record in self.log:
+            label = f"{record.site}/{record.kind}"
+            out[label] = out.get(label, 0) + 1
+        return out

@@ -1,0 +1,174 @@
+"""Per-node checkpoint journal for interrupted rebuilds.
+
+``coMtainer-rebuild`` re-executes the transformed build graph in
+topological order.  When a rebuild dies mid-graph (node fault, container
+crash, operator interrupt) everything it already compiled is lost unless
+it was checkpointed somewhere that outlives the rebuild container — and
+the only thing that outlives the container is the mounted OCI layout.
+
+The journal is therefore persisted *in the layout*, alongside the cache
+layer: a single JSON blob in the layout's blob store, registered in the
+index through a descriptor that carries the
+``io.comtainer.journal=<dist-tag>`` annotation but **no**
+``org.opencontainers.image.ref.name`` — so it is invisible to
+``layout.tags()``, ``find_dist_tag`` and registry pushes, yet survives
+``layout.save()``/``load()`` round trips.
+
+Journal blob format (``application/vnd.comtainer.rebuild-journal.v1+json``)::
+
+    {
+      "version": 1,
+      "dist_tag": "<app>.dist",
+      "nodes": {
+        "<node-id>": {
+          "digest":  "<transformed-command digest>",
+          "path":    "/src/main.o",
+          "mode":    493,
+          "content": {"kind": "padded", "payload": "<base64>", "pad": 81920}
+        },
+        ...
+      }
+    }
+
+Content is serialized *structurally* — a compiler artifact is a small JSON
+payload plus a declared whitespace pad, and synthetic bulk content is just
+a seed and a size, so the journal never materializes (or base64s) the
+megabytes of padding.  That keeps the per-command-group ``flush`` cheap
+enough to run on the happy path (see ``bench_resilience_overhead``); the
+reconstructed content has the exact digest of the original.
+
+A journal entry is only reused when the node's *transformed* command
+digest matches the recorded one (the digest already encodes adapter,
+options and PGO profile salt), so a resume with different rebuild options
+recompiles instead of resurrecting stale outputs.  On a fully successful
+rebuild the journal is cleared — the ``+coMre`` manifest's node outputs
+take over as the incremental-reuse source.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+from typing import Dict, List, Optional, Tuple
+
+from repro.oci import mediatypes
+from repro.oci.image import Descriptor
+from repro.oci.layout import OCILayout
+from repro.toolchain.artifacts import PaddedContent
+from repro.vfs.content import FileContent, InlineContent, SyntheticContent
+
+JOURNAL_VERSION = 1
+
+
+def _encode_content(content: FileContent) -> dict:
+    if isinstance(content, PaddedContent):
+        return {
+            "kind": "padded",
+            "payload": base64.b64encode(content.payload).decode("ascii"),
+            "pad": content.pad,
+        }
+    if isinstance(content, SyntheticContent):
+        return {"kind": "synthetic", "seed": content.seed,
+                "size": content.declared_size}
+    return {"kind": "inline",
+            "data": base64.b64encode(content.read()).decode("ascii")}
+
+
+def _decode_content(entry: dict) -> FileContent:
+    if entry["kind"] == "padded":
+        return PaddedContent(base64.b64decode(entry["payload"]), entry["pad"])
+    if entry["kind"] == "synthetic":
+        return SyntheticContent(entry["seed"], entry["size"])
+    return InlineContent(base64.b64decode(entry["data"]))
+
+
+def _find_descriptor(layout: OCILayout, dist_tag: str) -> Optional[Descriptor]:
+    for desc in layout.index:
+        if desc.annotations.get(mediatypes.ANNOTATION_COMTAINER_JOURNAL) == dist_tag:
+            return desc
+    return None
+
+
+def _drop_descriptor(layout: OCILayout, desc: Descriptor) -> None:
+    layout.index = [d for d in layout.index if d is not desc]
+    still_referenced = any(d.digest == desc.digest for d in layout.index)
+    if not still_referenced:
+        layout.blobs.remove(desc.digest)
+
+
+class RebuildJournal:
+    """Checkpoint journal bound to one layout and dist tag."""
+
+    def __init__(self, layout: OCILayout, dist_tag: str) -> None:
+        self.layout = layout
+        self.dist_tag = dist_tag
+        self._nodes: Dict[str, dict] = {}
+        desc = _find_descriptor(layout, dist_tag)
+        if desc is not None:
+            blob = layout.blobs.try_get(desc.digest)
+            if blob is not None:
+                payload = json.loads(blob.as_bytes().decode("utf-8"))
+                if payload.get("version") == JOURNAL_VERSION:
+                    self._nodes = dict(payload.get("nodes", {}))
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def node_ids(self) -> List[str]:
+        return sorted(self._nodes)
+
+    def digest_of(self, node_id: str) -> Optional[str]:
+        entry = self._nodes.get(node_id)
+        return entry["digest"] if entry else None
+
+    def output_for(self, node_id: str) -> Tuple[FileContent, int]:
+        entry = self._nodes[node_id]
+        return _decode_content(entry["content"]), entry["mode"]
+
+    # -- mutation ----------------------------------------------------------
+
+    def record(
+        self, node_id: str, digest: str, path: str, content: FileContent, mode: int
+    ) -> None:
+        self._nodes[node_id] = {
+            "digest": digest,
+            "path": path,
+            "mode": mode,
+            "content": _encode_content(content),
+        }
+
+    def flush(self) -> None:
+        """Persist the journal into the layout (replacing any previous blob)."""
+        old = _find_descriptor(self.layout, self.dist_tag)
+        if old is not None:
+            _drop_descriptor(self.layout, old)
+        payload = {
+            "version": JOURNAL_VERSION,
+            "dist_tag": self.dist_tag,
+            "nodes": self._nodes,
+        }
+        data = json.dumps(payload, sort_keys=True).encode("utf-8")
+        desc = self.layout.blobs.put_bytes(data, mediatypes.REBUILD_JOURNAL)
+        self.layout.index.append(
+            Descriptor(
+                media_type=desc.media_type,
+                digest=desc.digest,
+                size=desc.size,
+                annotations={
+                    mediatypes.ANNOTATION_COMTAINER_JOURNAL: self.dist_tag
+                },
+            )
+        )
+
+    def clear(self) -> None:
+        """Drop the journal from the layout (a rebuild completed cleanly)."""
+        desc = _find_descriptor(self.layout, self.dist_tag)
+        if desc is not None:
+            _drop_descriptor(self.layout, desc)
+        self._nodes = {}
+
+
+def has_journal(layout: OCILayout, dist_tag: str) -> bool:
+    return _find_descriptor(layout, dist_tag) is not None

@@ -1,0 +1,116 @@
+"""Retry with exponential backoff on a simulated clock.
+
+Real HPC build services sleep between attempts; the reproduction must not
+(tier-1 runs in seconds), so backoff is charged to a
+:class:`SimulatedClock` instead of ``time.sleep``.  The clock doubles as
+the resilience layer's notion of elapsed time: reports quote
+``clock.now`` as the simulated cost of the recovery.
+
+Classification is type-based, not string-based: an exception is retryable
+iff its class carries a truthy ``transient`` attribute
+(:class:`repro.oci.registry.TransientTransferError`,
+:class:`repro.resilience.faults.TransientFault`).  Everything else —
+genuine compile failures, corrupted caches, persistent faults — is fatal
+to the attempt and handled by the degradation ladder.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+class RetryBudgetExhausted(Exception):
+    """The retry budget ran out before the operation succeeded."""
+
+
+@dataclass
+class SimulatedClock:
+    """Monotonic simulated time; ``sleep`` advances instead of blocking."""
+
+    now: float = 0.0
+    sleeps: List[float] = field(default_factory=list)
+
+    def sleep(self, seconds: float) -> None:
+        self.now += seconds
+        self.sleeps.append(seconds)
+
+
+@dataclass
+class RetryPolicy:
+    """Exponential backoff with jitter, an attempt cap and a time budget."""
+
+    max_attempts: int = 4
+    base_delay: float = 0.5
+    multiplier: float = 2.0
+    max_delay: float = 30.0
+    jitter: float = 0.25          # +/- fraction of the nominal delay
+    budget_seconds: float = 300.0  # total simulated sleep per operation
+
+    def delay_for(self, attempt: int, rng: Optional[random.Random] = None) -> float:
+        delay = min(self.max_delay, self.base_delay * self.multiplier ** attempt)
+        if rng is not None and self.jitter > 0.0:
+            delay *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return max(0.0, delay)
+
+
+@dataclass
+class RetryStats:
+    """Retry bookkeeping, aggregated per site for the resilience report."""
+
+    retries: Dict[str, int] = field(default_factory=dict)
+    exhausted: List[str] = field(default_factory=list)
+
+    def note_retry(self, site: str) -> None:
+        self.retries[site] = self.retries.get(site, 0) + 1
+
+    def note_exhausted(self, site: str) -> None:
+        self.exhausted.append(site)
+
+    @property
+    def total_retries(self) -> int:
+        return sum(self.retries.values())
+
+
+def is_transient(exc: BaseException) -> bool:
+    """True when *exc* is worth retrying (typed, not string-matched)."""
+    return bool(getattr(exc, "transient", False))
+
+
+def retry_call(
+    fn: Callable[[], T],
+    *,
+    policy: RetryPolicy,
+    clock: SimulatedClock,
+    rng: Optional[random.Random] = None,
+    stats: Optional[RetryStats] = None,
+    site: str = "op",
+) -> T:
+    """Run *fn*, retrying transient failures under *policy*.
+
+    Fatal (non-transient) errors propagate immediately.  When attempts or
+    the simulated-time budget run out, the last transient error propagates
+    so the caller's degradation logic sees the real cause.
+    """
+    spent = 0.0
+    for attempt in range(policy.max_attempts):
+        try:
+            return fn()
+        except Exception as exc:
+            if not is_transient(exc):
+                raise
+            delay = policy.delay_for(attempt, rng)
+            out_of_attempts = attempt + 1 >= policy.max_attempts
+            out_of_budget = spent + delay > policy.budget_seconds
+            if out_of_attempts or out_of_budget:
+                if stats is not None:
+                    stats.note_exhausted(site)
+                raise
+            clock.sleep(delay)
+            spent += delay
+            if stats is not None:
+                stats.note_retry(site)
+    raise RetryBudgetExhausted(site)   # unreachable; loop always returns/raises

@@ -29,8 +29,17 @@ from repro.core.images import (
     sysenv_ref,
 )
 from repro.core.models.process import ProcessModels
-from repro.core.workflow import build_extended_image
+from repro.core.workflow import build_extended_image, run_workload
 from repro.oci.layout import OCILayout
+from repro.perf.runtime import attach_perf
+from repro.resilience import (
+    RUNG_GENERIC,
+    RUNG_REDIRECT_ONLY,
+    ResiliencePolicy,
+    adapt_with_resilience,
+    install_resilience,
+    uninstall_resilience,
+)
 from repro.sysmodel import X86_CLUSTER
 from repro.vfs import InlineContent
 
@@ -52,6 +61,36 @@ def system_engine():
 @pytest.fixture()
 def extended(user_engine):
     return build_extended_image(user_engine, get_app("hpccg"))
+
+
+def _corrupt_cache_layout(layout, dist_tag):
+    """Copy of *layout* whose +coM image has an unparseable models.json."""
+    from repro.core.cache.storage import add_cache_manifest
+    from repro.oci.layer import Layer, LayerEntry
+
+    resolved = layout.resolve(extended_tag(dist_tag))
+    bad_cache = Layer(comment="corrupt")
+    for entry in resolved.layers[-1].entries:
+        if entry.path == f"{CACHE_ROOT}/models.json":
+            bad_cache.add(LayerEntry.file(entry.path, InlineContent(b"{not json")))
+        else:
+            bad_cache.add(entry)
+    fresh = OCILayout()
+    original = layout.resolve(dist_tag)
+    fresh.add_manifest(original.manifest, original.config, original.layers,
+                       tag=dist_tag)
+    # add_cache_manifest stacks the corrupt layer as the +coM image.
+    add_cache_manifest(fresh, dist_tag, bad_cache)
+    return fresh, dist_tag
+
+
+def _dist_only_layout(layout, dist_tag):
+    """Copy of *layout* holding only the dist image — no +coM cache at all."""
+    fresh = OCILayout()
+    resolved = layout.resolve(dist_tag)
+    fresh.add_manifest(resolved.manifest, resolved.config, resolved.layers,
+                       tag=dist_tag)
+    return fresh, dist_tag
 
 
 class TestFrontendFailures:
@@ -100,25 +139,7 @@ class TestCacheFailures:
             decode_rebuild(layout, dist_tag)
 
     def test_corrupted_models_json(self, user_engine, extended):
-        layout, dist_tag = extended
-        resolved = layout.resolve(extended_tag(dist_tag))
-        # Corrupt the models.json inside a copy of the cache layer.
-        from repro.oci.layer import Layer, LayerEntry
-
-        bad_cache = Layer(comment="corrupt")
-        for entry in resolved.layers[-1].entries:
-            if entry.path == f"{CACHE_ROOT}/models.json":
-                bad_cache.add(LayerEntry.file(entry.path, InlineContent(b"{not json")))
-            else:
-                bad_cache.add(entry)
-        fresh = OCILayout()
-        original = layout.resolve(dist_tag)
-        fresh.add_manifest(original.manifest, original.config, original.layers,
-                           tag=dist_tag)
-        from repro.core.cache.storage import add_cache_manifest
-
-        # add_cache_manifest stacks the corrupt layer as the +coM image.
-        add_cache_manifest(fresh, dist_tag, bad_cache)
+        fresh, dist_tag = _corrupt_cache_layout(*extended)
         with pytest.raises(json.JSONDecodeError):
             decode_cache(fresh, dist_tag)
 
@@ -216,3 +237,58 @@ class TestRedirectFailures:
         assert not result.ok
         assert "no OCI layout mounted" in result.stderr
         system_engine.remove_container("rd-nomount")
+
+
+class TestPermissiveDegradation:
+    """The same corruptions, under a permissive policy: instead of raising,
+    adaptation must land on a low ladder rung with a runnable image.  The
+    strict default keeps today's loud-failure behaviour bit for bit."""
+
+    @pytest.fixture(scope="class")
+    def perf_engine(self):
+        engine = ContainerEngine(arch="amd64")
+        install_system_side_images(engine, X86_CLUSTER)
+        recorder = attach_perf(engine, X86_CLUSTER)
+        return engine, recorder
+
+    def _permissive_adapt(self, engine, recorder, layout, ref):
+        policy = ResiliencePolicy.permissive()
+        ctx = install_resilience(policy, engines=[engine])
+        try:
+            return adapt_with_resilience(
+                engine, layout, X86_CLUSTER, ctx, recorder=recorder, ref=ref
+            )
+        finally:
+            uninstall_resilience(engines=[engine])
+
+    def test_corrupt_cache_lands_on_redirect_rung(self, perf_engine, extended):
+        engine, recorder = perf_engine
+        fresh, _dist_tag = _corrupt_cache_layout(*extended)
+        report = self._permissive_adapt(engine, recorder, fresh,
+                                        "corrupt-cache:adapted")
+        assert report.rung in (RUNG_REDIRECT_ONLY, RUNG_GENERIC)
+        assert any("rebuild" in reason for reason in report.reasons)
+        result = run_workload(engine, report.ref, "hpccg", recorder,
+                              vendor_mpirun=True)
+        assert result.seconds > 0
+
+    def test_dist_only_image_lands_on_redirect_rung(self, perf_engine, extended):
+        """A plain image without any +coM cache still gets the package
+        redirects — the ladder's whole point."""
+        engine, recorder = perf_engine
+        fresh, _dist_tag = _dist_only_layout(*extended)
+        report = self._permissive_adapt(engine, recorder, fresh,
+                                        "dist-only:adapted")
+        assert report.rung in (RUNG_REDIRECT_ONLY, RUNG_GENERIC)
+        result = run_workload(engine, report.ref, "hpccg", recorder,
+                              vendor_mpirun=True)
+        assert result.seconds > 0
+
+    def test_corrupt_cache_strict_still_raises(self, perf_engine, extended):
+        """Without opting into a permissive policy, nothing degrades: the
+        corrupted cache surfaces as the same ProgramError as before."""
+        engine, recorder = perf_engine
+        fresh, _dist_tag = _corrupt_cache_layout(*extended)
+        with pytest.raises(ProgramError, match="coMtainer-rebuild"):
+            adapt_with_resilience(engine, fresh, X86_CLUSTER, None,
+                                  recorder=recorder, ref="strict:adapted")

@@ -1,0 +1,243 @@
+"""Chaos suite: seeded fault sweeps through the full coMtainer pipeline.
+
+Every seed drives user-side build -> registry transfer -> system-side
+rebuild/redirect with a deterministic :class:`FaultInjector` armed on
+transfers, container entry, and individual compile nodes.  The
+invariants, regardless of seed:
+
+* the run terminates at a documented ladder rung with a runnable image —
+  no seed may end in an unhandled exception;
+* neither the registry nor the transferred layout is ever left with
+  orphaned or truncated blobs;
+* an interrupted ``coMtainer-rebuild --journal`` resumes without
+  re-executing any completed compile node (checked against the engine's
+  command log).
+"""
+
+import pytest
+
+from repro.apps import get_app
+from repro.containers import ContainerEngine
+from repro.core.cache.storage import decode_cache, decode_rebuild, extended_tag
+from repro.core.frontend.build import IO_MOUNT
+from repro.core.images import install_system_side_images, sysenv_ref
+from repro.core.workflow import build_extended_image, run_workload
+from repro.oci.layout import OCILayout
+from repro.oci.registry import ImageRegistry
+from repro.perf.runtime import attach_perf
+from repro.resilience import (
+    RUNG_ORDER,
+    FaultInjector,
+    FaultSpec,
+    PersistentFault,
+    RebuildJournal,
+    ResiliencePolicy,
+    adapt_with_resilience,
+    has_journal,
+    install_resilience,
+    resilient_transfer,
+    uninstall_resilience,
+)
+from repro.sysmodel import X86_CLUSTER
+
+pytestmark = pytest.mark.chaos
+
+SWEEP_SEEDS = list(range(50))
+HEAVY_SEEDS = list(range(10))
+PGO_SEEDS = list(range(5))
+
+
+@pytest.fixture(scope="module")
+def extended():
+    engine = ContainerEngine(arch="amd64")
+    return build_extended_image(engine, get_app("hpccg"))
+
+
+@pytest.fixture(scope="module")
+def system_engine():
+    engine = ContainerEngine(arch="amd64")
+    install_system_side_images(engine, X86_CLUSTER)
+    recorder = attach_perf(engine, X86_CLUSTER)
+    return engine, recorder
+
+
+def _chaos_run(extended, system_engine, seed, rate, persistent_rate,
+               lto=False, pgo_workload=None, ref=None):
+    """One full pipeline run under fault injection; returns the report."""
+    layout, dist_tag = extended
+    engine, recorder = system_engine
+    registry = ImageRegistry()
+    injector = FaultInjector(seed=seed, rate=rate,
+                             persistent_rate=persistent_rate)
+    # The default permissive retry policy is provisioned for composite
+    # transfers (many blobs, each with a bounded transient burst), so no
+    # custom policy is needed even under heavy fault rates.
+    policy = ResiliencePolicy.permissive(seed=seed, injector=injector)
+    ctx = install_resilience(policy, registry=registry, engines=[engine])
+    try:
+        remote = resilient_transfer(
+            registry, layout, "repro/hpccg",
+            (dist_tag, extended_tag(dist_tag)), ctx,
+        )
+        report = adapt_with_resilience(
+            engine, remote, X86_CLUSTER, ctx, recorder=recorder,
+            lto=lto, pgo_workload=pgo_workload, ref=ref,
+        )
+        # Whatever happened, the stores must be consistent...
+        assert registry.audit() == []
+        assert remote.audit() == []
+        # ...the rung documented...
+        assert report.rung in RUNG_ORDER
+        assert report.ref is not None
+        # ...and the resulting image runnable (faults off for the check).
+        injector.enabled = False
+        result = run_workload(engine, report.ref, "hpccg", recorder,
+                              vendor_mpirun=True)
+        assert result.seconds > 0
+        return report
+    finally:
+        uninstall_resilience(registry=registry, engines=[engine])
+
+
+class TestChaosSweep:
+    @pytest.mark.parametrize("seed", SWEEP_SEEDS)
+    def test_every_seed_lands_on_a_rung(self, extended, system_engine, seed):
+        _chaos_run(extended, system_engine, seed,
+                   rate=0.15, persistent_rate=0.25,
+                   ref=f"chaos{seed}:adapted")
+
+    @pytest.mark.parametrize("seed", HEAVY_SEEDS)
+    def test_heavy_faults_still_terminate(self, extended, system_engine, seed):
+        """High fault pressure pushes runs down the ladder, never off it."""
+        _chaos_run(extended, system_engine, seed,
+                   rate=0.5, persistent_rate=0.6, lto=True,
+                   ref=f"heavy{seed}:adapted")
+
+    @pytest.mark.parametrize("seed", PGO_SEEDS)
+    def test_pgo_loop_under_faults(self, extended, system_engine, seed):
+        """The multi-stage PGO feedback loop degrades gracefully too."""
+        _chaos_run(extended, system_engine, seed,
+                   rate=0.3, persistent_rate=0.5,
+                   lto=True, pgo_workload="hpccg",
+                   ref=f"pgo{seed}:adapted")
+
+    def test_sweep_actually_exercises_faults(self, extended, system_engine):
+        """Guard against a silently disarmed injector: across a small
+        sweep, faults must fire and retries must be recorded."""
+        fired = 0
+        retried = 0
+        for seed in range(8):
+            report = _chaos_run(extended, system_engine, seed,
+                                rate=0.4, persistent_rate=0.3,
+                                ref=f"sanity{seed}:adapted")
+            fired += sum(report.faults_seen.values())
+            retried += sum(report.retries.values())
+        assert fired > 0
+        assert retried > 0
+
+
+class TestJournalResume:
+    def _fresh_layout(self, extended):
+        layout, dist_tag = extended
+        fresh = OCILayout()
+        for tag in (dist_tag, extended_tag(dist_tag)):
+            resolved = layout.resolve(tag)
+            fresh.add_manifest(resolved.manifest, resolved.config,
+                               resolved.layers, tag=tag)
+        return fresh, dist_tag
+
+    def test_interrupted_rebuild_resumes_without_recompiling(
+        self, extended, system_engine
+    ):
+        engine, _recorder = system_engine
+        layout, dist_tag = self._fresh_layout(extended)
+        models, _sources, _resolved = decode_cache(layout, dist_tag)
+        step_nodes = [n for n in models.graph.topo_order() if n.step is not None]
+        victim = step_nodes[-1]   # the final link: every compile completes
+
+        # Run 1: a persistently-failing node kills the rebuild mid-graph.
+        engine.fault_injector = FaultInjector(
+            specs=[FaultSpec(site="rebuild.node", kind="persistent",
+                             match=victim.id)]
+        )
+        ctr1 = engine.from_image(sysenv_ref("x86"), name="resume-run1",
+                                 mounts={IO_MOUNT: layout})
+        try:
+            with pytest.raises(PersistentFault):
+                engine.run(ctr1, ["coMtainer-rebuild", "--journal"])
+        finally:
+            engine.fault_injector = None
+            engine.remove_container("resume-run1")
+
+        # The checkpoints survived in the layout; the arm fired *before*
+        # the victim executed, so its command never reached the log.
+        assert has_journal(layout, dist_tag)
+        journal = RebuildJournal(layout, dist_tag)
+        completed = set(journal.node_ids())
+        assert completed, "run 1 should have checkpointed completed nodes"
+        assert victim.id not in completed
+        run1_cmds = {
+            argv for name, argv in engine.exec_log
+            if name == "resume-run1" and argv[0] != "coMtainer-rebuild"
+        }
+        assert run1_cmds, "run 1 should have executed compile commands"
+
+        # Run 2: same rebuild, faults gone — resumes from the journal.
+        mark = len(engine.exec_log)
+        ctr2 = engine.from_image(sysenv_ref("x86"), name="resume-run2",
+                                 mounts={IO_MOUNT: layout})
+        try:
+            engine.run(ctr2, ["coMtainer-rebuild", "--journal"]).check()
+        finally:
+            engine.remove_container("resume-run2")
+
+        run2_cmds = {
+            argv for name, argv in engine.exec_log[mark:]
+            if name == "resume-run2" and argv[0] != "coMtainer-rebuild"
+        }
+        # Zero completed compile nodes re-executed: the command log of the
+        # resumed run shares nothing with the interrupted run's.
+        assert run2_cmds
+        assert run1_cmds.isdisjoint(run2_cmds)
+
+        meta = decode_rebuild(layout, dist_tag)[0]
+        assert set(meta["journal_restored"]) == completed
+        assert victim.id in meta["executed_nodes"]
+        assert not (set(meta["executed_nodes"]) & completed)
+        # A clean finish clears the journal; the layout stays consistent.
+        assert not has_journal(layout, dist_tag)
+        assert layout.audit() == []
+
+    def test_journal_ignored_when_options_change(self, extended, system_engine):
+        """Checkpoints from a plain rebuild must not leak into an LTO one."""
+        engine, _recorder = system_engine
+        layout, dist_tag = self._fresh_layout(extended)
+        models, _sources, _resolved = decode_cache(layout, dist_tag)
+        step_nodes = [n for n in models.graph.topo_order() if n.step is not None]
+        victim = step_nodes[-1]
+
+        engine.fault_injector = FaultInjector(
+            specs=[FaultSpec(site="rebuild.node", kind="persistent",
+                             match=victim.id)]
+        )
+        ctr1 = engine.from_image(sysenv_ref("x86"), name="optchange-run1",
+                                 mounts={IO_MOUNT: layout})
+        try:
+            with pytest.raises(PersistentFault):
+                engine.run(ctr1, ["coMtainer-rebuild", "--journal"])
+        finally:
+            engine.fault_injector = None
+            engine.remove_container("optchange-run1")
+        assert has_journal(layout, dist_tag)
+
+        # Resume with --lto: transformed command digests change, so the
+        # journaled outputs are stale and everything recompiles.
+        ctr2 = engine.from_image(sysenv_ref("x86"), name="optchange-run2",
+                                 mounts={IO_MOUNT: layout})
+        try:
+            engine.run(ctr2, ["coMtainer-rebuild", "--journal", "--lto"]).check()
+        finally:
+            engine.remove_container("optchange-run2")
+        meta = decode_rebuild(layout, dist_tag)[0]
+        assert meta["journal_restored"] == []
+        assert meta["executed_nodes"]
