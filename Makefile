@@ -4,11 +4,17 @@
 #   make chaos   - only the randomized fault-injection sweeps
 #   make bench   - regenerate the evaluation tables / benchmarks
 #   make resilience-bench - just the resilience happy-path overhead check
+#   make trace   - traced adaptation; Chrome trace JSON + span tree
+#   make metrics - traced adaptation; Prometheus-style metrics dump
+#   make telemetry-bench - the NullTelemetry happy-path overhead check
 
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
+CLI     = PYTHONPATH=src $(PYTHON) -m repro.cli
 
-.PHONY: test chaos bench resilience-bench
+TRACE_APP ?= lammps
+
+.PHONY: test chaos bench resilience-bench trace metrics telemetry-bench
 
 test:
 	$(PYTEST) -x -q
@@ -21,3 +27,13 @@ bench:
 
 resilience-bench:
 	$(PYTEST) benchmarks/bench_resilience_overhead.py -q -s
+
+trace:
+	mkdir -p benchmarks/results
+	$(CLI) --trace trace $(TRACE_APP) --out benchmarks/results/trace.json
+
+metrics:
+	$(CLI) --metrics trace $(TRACE_APP)
+
+telemetry-bench:
+	$(PYTEST) benchmarks/bench_telemetry_overhead.py -q -s

@@ -4,33 +4,55 @@ Subcommands::
 
     comtainer-demo schemes  <workload> [--system x86|arm]   # Figure 9 row
     comtainer-demo adapt    <app>      [--system ...] [--lto] [--pgo WKLD]
+    comtainer-demo trace    <app>      [--out trace.json]  # traced adapt
     comtainer-demo analyze  <app>                          # process models
     comtainer-demo crossisa <app>      [--target aarch64]  # Figure 11 row
     comtainer-demo inspect  <app>      [--extended]        # layer stack
     comtainer-demo tables                                  # Tables 1 & 2
+
+Global flags: ``--trace`` prints the span tree after the command,
+``--trace-out FILE`` writes Chrome trace-event JSON, ``--metrics`` dumps
+the Prometheus-style metrics registry, and ``-v``/``-q`` raise/lower the
+stdlib-logging level (default WARNING).
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
 from typing import List, Optional
 
 from repro.sysmodel import SYSTEMS
 
 
-def _session(system_key: str):
+def configure_logging(verbose: int = 0, quiet: int = 0) -> int:
+    """Map ``-v``/``-q`` counts onto a stdlib-logging level (default WARNING)."""
+    level = logging.WARNING + 10 * quiet - 10 * verbose
+    level = max(logging.DEBUG, min(logging.CRITICAL, level))
+    logging.basicConfig(level=level,
+                        format="%(levelname)s %(name)s: %(message)s")
+    logging.getLogger("repro").setLevel(level)
+    return level
+
+
+def _wants_telemetry(args: argparse.Namespace) -> bool:
+    return bool(args.trace or args.trace_out or args.metrics
+                or args.command == "trace")
+
+
+def _session(system_key: str, telemetry=None):
     from repro.core.workflow import ComtainerSession
 
-    return ComtainerSession(system=SYSTEMS[system_key])
+    return ComtainerSession(system=SYSTEMS[system_key], telemetry=telemetry)
 
 
 def cmd_schemes(args: argparse.Namespace) -> int:
     from repro.core.workflow import measure_schemes
     from repro.reporting import render_table
 
-    session = _session(args.system)
+    session = _session(args.system, telemetry=args.telemetry)
     times = measure_schemes(session, args.workload)
     rows = [(scheme, seconds) for scheme, seconds in times.items()]
     print(render_table(["scheme", "time (s)"], rows))
@@ -42,11 +64,13 @@ def cmd_adapt(args: argparse.Namespace) -> int:
     from repro.core.workflow import build_extended_image, system_side_adapt
     from repro.containers import ContainerEngine
     from repro.perf import attach_perf
+    from repro.telemetry import install_telemetry
 
     system = SYSTEMS[args.system]
     user = ContainerEngine(arch=system.arch)
-    layout, dist_tag = build_extended_image(user, get_app(args.app))
     engine = ContainerEngine(arch=system.arch)
+    install_telemetry(args.telemetry, engines=[user, engine])
+    layout, dist_tag = build_extended_image(user, get_app(args.app))
     recorder = attach_perf(engine, system)
     ref = system_side_adapt(
         engine, layout, system, recorder=recorder,
@@ -57,13 +81,28 @@ def cmd_adapt(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    """A traced end-to-end adaptation plus the measured stage breakdown."""
+    from repro.reporting import render_table, telemetry_stage_rows
+
+    session = _session(args.system, telemetry=args.telemetry)
+    ref = session.adapt(args.app, workload=args.workload)
+    print(f"adapted image: {ref}")
+    print()
+    print(render_table(["stage", "spans", "simulated s"],
+                       telemetry_stage_rows(args.telemetry)))
+    return 0
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
     from repro.apps import get_app
     from repro.containers import ContainerEngine
     from repro.core.cache.storage import decode_cache
     from repro.core.workflow import build_extended_image
+    from repro.telemetry import install_telemetry
 
     user = ContainerEngine(arch="amd64")
+    install_telemetry(args.telemetry, engines=[user])
     layout, dist_tag = build_extended_image(user, get_app(args.app))
     models, sources, _ = decode_cache(layout, dist_tag)
     print(json.dumps(models.summary(), indent=2, default=str))
@@ -124,6 +163,16 @@ def build_parser() -> argparse.ArgumentParser:
         prog="comtainer-demo",
         description="coMtainer (SC'25) reproduction demo CLI",
     )
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="more logging (-v INFO, -vv DEBUG)")
+    parser.add_argument("-q", "--quiet", action="count", default=0,
+                        help="less logging (-q ERROR, -qq CRITICAL)")
+    parser.add_argument("--trace", action="store_true",
+                        help="record telemetry and print the span tree")
+    parser.add_argument("--trace-out", metavar="FILE", default=None,
+                        help="write Chrome trace-event JSON to FILE")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the Prometheus-style metrics dump")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("schemes", help="measure a workload under all schemes")
@@ -137,6 +186,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--lto", action="store_true")
     p.add_argument("--pgo", metavar="WORKLOAD", default=None)
     p.set_defaults(fn=cmd_adapt)
+
+    p = sub.add_parser("trace", help="traced adaptation + stage breakdown")
+    p.add_argument("app")
+    p.add_argument("--system", choices=sorted(SYSTEMS), default="x86")
+    p.add_argument("--workload", metavar="WORKLOAD", default=None,
+                   help="run the optimized (LTO+PGO) pipeline for WORKLOAD")
+    p.add_argument("--out", metavar="FILE", default=None,
+                   help="write Chrome trace-event JSON to FILE")
+    p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("analyze", help="show an app's process models")
     p.add_argument("app")
@@ -159,8 +217,30 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    from repro.telemetry import (
+        NULL_TELEMETRY,
+        Telemetry,
+        chrome_trace_json,
+        prometheus_text,
+        render_span_tree,
+    )
+
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    configure_logging(verbose=args.verbose, quiet=args.quiet)
+    args.telemetry = Telemetry() if _wants_telemetry(args) else NULL_TELEMETRY
+    rc = args.fn(args)
+    if args.trace:
+        print()
+        print(render_span_tree(args.telemetry))
+    trace_out = args.trace_out or getattr(args, "out", None)
+    if trace_out:
+        with open(trace_out, "w", encoding="utf-8") as fh:
+            fh.write(chrome_trace_json(args.telemetry))
+        print(f"trace written: {trace_out}")
+    if args.metrics:
+        print()
+        print(prometheus_text(args.telemetry.metrics), end="")
+    return rc
 
 
 if __name__ == "__main__":

@@ -11,8 +11,9 @@ layer executes simulated application binaries.
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from repro import simbin
 from repro.containers import programs as prog
@@ -35,6 +36,7 @@ from repro.oci.layer import Layer
 from repro.oci.layout import OCILayout
 from repro.oci.registry import ImageRegistry
 from repro.pkg.repository import Repository, RepositoryPool
+from repro.telemetry import NULL_TELEMETRY
 from repro.toolchain.artifacts import ExecutableArtifact, try_read_artifact
 from repro.vfs import RegularFile, VirtualFilesystem
 from repro.vfs import paths as vpath
@@ -42,6 +44,14 @@ from repro.vfs import paths as vpath
 
 class EngineError(Exception):
     pass
+
+
+#: Upper bound on retained :attr:`ContainerEngine.exec_log` entries.  A
+#: :class:`ComtainerSession` dispatches thousands of commands across its
+#: many containers; only the most recent window is ever inspected (the
+#: chaos suite's journal-resume assertions), so the log is a bounded
+#: deque — older entries fall off instead of growing without bound.
+EXEC_LOG_CAP = 4096
 
 
 @dataclass
@@ -75,10 +85,19 @@ class ContainerEngine:
         #: Optional :class:`repro.resilience.degrade.ResilienceContext`;
         #: read by ``coMtainer-rebuild`` for per-node retry and journaling.
         self.resilience = None
-        #: Every (container name, argv) dispatched through :meth:`exec_in` —
-        #: the command log resume tests inspect to prove completed compile
-        #: nodes are not re-executed.
-        self.exec_log: List[Tuple[str, Tuple[str, ...]]] = []
+        #: Telemetry sink (:class:`repro.telemetry.Telemetry`); the no-op
+        #: default records nothing and keeps untraced runs byte-identical.
+        self.telemetry = NULL_TELEMETRY
+        #: The most recent (container name, argv) pairs dispatched through
+        #: :meth:`exec_in` — the command log the journal-resume tests
+        #: inspect to prove completed compile nodes are not re-executed.
+        #: Bounded at :data:`EXEC_LOG_CAP` entries; use :meth:`reset_exec_log`
+        #: to start a fresh observation window.
+        self.exec_log: Deque[Tuple[str, Tuple[str, ...]]] = deque(maxlen=EXEC_LOG_CAP)
+
+    def reset_exec_log(self) -> None:
+        """Clear the command log (the chaos suite calls this between runs)."""
+        self.exec_log.clear()
 
     # ------------------------------------------------------------------
     # repositories
@@ -139,6 +158,10 @@ class ContainerEngine:
 
             cached = flatten_layers(stored.layers)
             self._fs_cache[key] = cached
+            if self.telemetry.enabled:
+                self.telemetry.metrics.counter("engine_fs_cache_misses_total").inc()
+        elif self.telemetry.enabled:
+            self.telemetry.metrics.counter("engine_fs_cache_hits_total").inc()
         return cached.clone()
 
     # ------------------------------------------------------------------
@@ -180,12 +203,29 @@ class ContainerEngine:
         env: Optional[Dict[str, str]] = None,
         cwd: Optional[str] = None,
     ) -> RunResult:
-        if self.fault_injector is not None and argv:
-            self.fault_injector.arm("container.run", argv[0])
-        merged = container.environment()
-        merged.update(env or {})
-        return self.exec_in(container, argv, env=merged,
-                            cwd=cwd or container.config.working_dir or "/")
+        tele = self.telemetry
+        if not tele.enabled:
+            if self.fault_injector is not None and argv:
+                self.fault_injector.arm("container.run", argv[0])
+            merged = container.environment()
+            merged.update(env or {})
+            return self.exec_in(container, argv, env=merged,
+                                cwd=cwd or container.config.working_dir or "/")
+        with tele.span(
+            "container.run",
+            container=container.name,
+            command=argv[0] if argv else "",
+        ) as span:
+            if self.fault_injector is not None and argv:
+                self.fault_injector.arm("container.run", argv[0])
+            merged = container.environment()
+            merged.update(env or {})
+            result = self.exec_in(container, argv, env=merged,
+                                  cwd=cwd or container.config.working_dir or "/")
+            span.set("exit_code", result.exit_code)
+            if not result.ok:
+                span.status = "error"
+            return result
 
     def run_image(
         self,
@@ -221,6 +261,8 @@ class ContainerEngine:
         if not argv:
             return RunResult(exit_code=0)
         self.exec_log.append((container.name, tuple(argv)))
+        if self.telemetry.enabled:
+            self.telemetry.metrics.counter("engine_commands_total").inc()
         path = self._resolve_program(container, argv[0], env, cwd)
         if path is None:
             return RunResult(
@@ -299,18 +341,33 @@ class ContainerEngine:
         comment: str = "",
     ) -> StoredImage:
         """Capture the container's changes as a new layer atop its image."""
-        base = self.image(container.image_ref)
-        layer = diff_filesystems(container.base_fs, container.fs, comment=comment)
-        config = container.config.clone()
-        layers = list(base.layers)
-        if len(layer):
-            layers.append(layer)
-            config.diff_ids.append(layer.digest)
-            config.add_history(comment or f"commit {container.name}")
-        stored = StoredImage(config=config, layers=layers)
-        if ref is not None:
-            self.images[ref] = stored
-        return stored
+        tele = self.telemetry
+        span = tele.start_span(
+            "engine.commit", container=container.name, ref=ref or ""
+        ) if tele.enabled else None
+        try:
+            base = self.image(container.image_ref)
+            layer = diff_filesystems(container.base_fs, container.fs, comment=comment)
+            config = container.config.clone()
+            layers = list(base.layers)
+            if len(layer):
+                layers.append(layer)
+                config.diff_ids.append(layer.digest)
+                config.add_history(comment or f"commit {container.name}")
+            stored = StoredImage(config=config, layers=layers)
+            if ref is not None:
+                self.images[ref] = stored
+            if span is not None:
+                span.set("layer_entries", len(layer))
+                span.set("layer_bytes", layer.size if len(layer) else 0)
+                m = tele.metrics
+                m.counter("engine_commits_total").inc()
+                if len(layer):
+                    m.counter("engine_layer_bytes_total").inc(layer.size)
+            return stored
+        finally:
+            if span is not None:
+                tele.end_span(span)
 
     def push_to_layout(
         self, ref: str, layout: OCILayout, tag: Optional[str] = None

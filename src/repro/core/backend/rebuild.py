@@ -77,6 +77,7 @@ def rebuild_in_container(
     apt = AptFacade(fs, pool)
     rctx = getattr(engine, "resilience", None)
     injector = getattr(engine, "fault_injector", None)
+    tele = engine.telemetry
 
     # 1. Package replacement plan + environment preparation.
     plan = adapter.plan_replacements(models.image, pool)
@@ -203,11 +204,25 @@ def rebuild_in_container(
                     f"rebuild of {node.id} failed: {result.stderr or result.stdout}"
                 )
 
-        try:
+        def run_node():
             if rctx is not None:
                 rctx.retry(run_once, site="rebuild.node")
             else:
                 run_once()
+
+        try:
+            if tele.enabled:
+                # One span per executed compile command; `nodes` names
+                # every sibling output of a multi-source compile.
+                with tele.span(
+                    "rebuild.node",
+                    node=node.id,
+                    nodes=[s.id for s in siblings[key]],
+                    command=step.argv[0] if step.argv else "",
+                ):
+                    run_node()
+            else:
+                run_node()
         except Exception:
             if fallback_fs is None:
                 raise
@@ -254,6 +269,17 @@ def rebuild_in_container(
         produced = fs.try_get_node(node.path)
         if isinstance(produced, RegularFile):
             node_files[node.path] = produced.content
+
+    if tele.enabled:
+        m = tele.metrics
+        m.counter("rebuild_nodes_executed_total").inc(len(executed))
+        m.counter("rebuild_nodes_reused_total").inc(len(reused))
+        m.counter("rebuild_nodes_restored_total").inc(len(restored))
+        m.counter("rebuild_nodes_failed_total").inc(len(failed_nodes))
+        for node_id in reused:
+            tele.event("rebuild.node_reused", node=node_id)
+        for node_id in restored:
+            tele.event("rebuild.node_restored", node=node_id)
 
     meta = {
         "adapter": adapter.name,

@@ -50,6 +50,7 @@ from repro.resilience.degrade import (
     resilient_transfer,
 )
 from repro.sysmodel import SystemModel, X86_CLUSTER
+from repro.telemetry import NULL_TELEMETRY, install_telemetry
 from repro.toolchain.cli import parse_command_line
 
 
@@ -70,28 +71,29 @@ def build_extended_image(
     With *obfuscate*, cached sources are scrambled for IP protection
     (§4.6) — adaptation still works.
     """
-    install_user_side_images(engine)
-    arch = engine.arch
-    containerfile = app_containerfile(
-        spec, build_base=env_ref(arch), dist_base=base_ref(arch)
-    )
-    context = build_context(spec, arch)
-    refs = engine.build_stages(containerfile, context=context)
-    build_ref, dist_ref = refs["build"], refs["dist"]
+    with engine.telemetry.span("build", app=spec.name, arch=engine.arch):
+        install_user_side_images(engine)
+        arch = engine.arch
+        containerfile = app_containerfile(
+            spec, build_base=env_ref(arch), dist_base=base_ref(arch)
+        )
+        context = build_context(spec, arch)
+        refs = engine.build_stages(containerfile, context=context)
+        build_ref, dist_ref = refs["build"], refs["dist"]
 
-    dist_tag = f"{spec.name}.dist"
-    layout = OCILayout()
-    engine.push_to_layout(dist_ref, layout, tag=dist_tag)
+        dist_tag = f"{spec.name}.dist"
+        layout = OCILayout()
+        engine.push_to_layout(dist_ref, layout, tag=dist_tag)
 
-    build_ctr = engine.from_image(
-        build_ref, name=f"{spec.name}.build", mounts={IO_MOUNT: layout}
-    )
-    try:
-        argv = ["coMtainer-build"] + (["--obfuscate"] if obfuscate else [])
-        engine.run(build_ctr, argv).check()
-    finally:
-        engine.remove_container(build_ctr.name)
-    return layout, dist_tag
+        build_ctr = engine.from_image(
+            build_ref, name=f"{spec.name}.build", mounts={IO_MOUNT: layout}
+        )
+        try:
+            argv = ["coMtainer-build"] + (["--obfuscate"] if obfuscate else [])
+            engine.run(build_ctr, argv).check()
+        finally:
+            engine.remove_container(build_ctr.name)
+        return layout, dist_tag
 
 
 def build_original_image(
@@ -125,19 +127,20 @@ def _run_rebuild(
 ) -> None:
     if extra_args:
         args = args + list(extra_args)
-    ctr = engine.from_image(
-        sysenv_ref(system.key, flavor), name="comt-rebuild",
-        mounts={IO_MOUNT: layout},
-    )
-    try:
-        if profile_bytes is not None:
-            ctr.fs.write_file(
-                "/profiles/app.gcda", profile_bytes, create_parents=True
-            )
-            args = args + ["--pgo=use", "--pgo-profile=/profiles/app.gcda"]
-        engine.run(ctr, ["coMtainer-rebuild"] + args).check()
-    finally:
-        engine.remove_container(ctr.name)
+    with engine.telemetry.span("rebuild", system=system.key, flavor=flavor):
+        ctr = engine.from_image(
+            sysenv_ref(system.key, flavor), name="comt-rebuild",
+            mounts={IO_MOUNT: layout},
+        )
+        try:
+            if profile_bytes is not None:
+                ctr.fs.write_file(
+                    "/profiles/app.gcda", profile_bytes, create_parents=True
+                )
+                args = args + ["--pgo=use", "--pgo-profile=/profiles/app.gcda"]
+            engine.run(ctr, ["coMtainer-rebuild"] + args).check()
+        finally:
+            engine.remove_container(ctr.name)
 
 
 def _run_redirect(
@@ -146,15 +149,16 @@ def _run_redirect(
     system: SystemModel,
     ref: str,
 ) -> str:
-    ctr = engine.from_image(
-        rebase_ref(system.key), name="comt-redirect", mounts={IO_MOUNT: layout}
-    )
-    try:
-        engine.run(ctr, ["coMtainer-redirect"]).check()
-        engine.commit(ctr, ref=ref, comment="coMtainer redirected image")
-    finally:
-        engine.remove_container(ctr.name)
-    return ref
+    with engine.telemetry.span("redirect", system=system.key, ref=ref):
+        ctr = engine.from_image(
+            rebase_ref(system.key), name="comt-redirect", mounts={IO_MOUNT: layout}
+        )
+        try:
+            engine.run(ctr, ["coMtainer-redirect"]).check()
+            engine.commit(ctr, ref=ref, comment="coMtainer redirected image")
+        finally:
+            engine.remove_container(ctr.name)
+        return ref
 
 
 def run_workload(
@@ -179,25 +183,31 @@ def run_workload(
             if fs.exists(candidate):
                 launcher = candidate
                 break
-    ctr = engine.from_image(image_ref, name=f"run-{workload_name}")
-    try:
-        before = len(recorder.reports)
-        result = engine.run(
-            ctr,
-            [launcher, "-np", str(nodes), binary] + argv,
-            env={"SIM_WORKLOAD": workload_name},
-        )
-        if not result.ok:
-            raise WorkflowError(
-                f"workload {workload_name} failed in {image_ref}: {result.stderr}"
+    tele = engine.telemetry
+    with tele.span("workload", workload=workload_name, image=image_ref,
+                   nodes=nodes) as span:
+        ctr = engine.from_image(image_ref, name=f"run-{workload_name}")
+        try:
+            before = len(recorder.reports)
+            result = engine.run(
+                ctr,
+                [launcher, "-np", str(nodes), binary] + argv,
+                env={"SIM_WORKLOAD": workload_name},
             )
-        if len(recorder.reports) == before:
-            raise WorkflowError(
-                f"workload {workload_name} produced no execution report"
-            )
-        return recorder.reports[-1]
-    finally:
-        engine.remove_container(ctr.name)
+            if not result.ok:
+                raise WorkflowError(
+                    f"workload {workload_name} failed in {image_ref}: {result.stderr}"
+                )
+            if len(recorder.reports) == before:
+                raise WorkflowError(
+                    f"workload {workload_name} produced no execution report"
+                )
+            report = recorder.reports[-1]
+            span.set("seconds", report.seconds)
+            tele.charge(report.seconds)
+            return report
+        finally:
+            engine.remove_container(ctr.name)
 
 
 def system_side_adapt(
@@ -399,6 +409,9 @@ class ComtainerSession:
     #: original fail-loud behaviour with zero instrumentation installed.
     resilience: Optional[ResiliencePolicy] = None
     resilience_reports: List[ResilienceReport] = field(default_factory=list)
+    #: Telemetry recorder (:class:`repro.telemetry.Telemetry`); the
+    #: default no-op sink records nothing and adds no overhead.
+    telemetry: object = None
     _original: Dict[str, str] = field(default_factory=dict)
     _layouts: Dict[str, Tuple[OCILayout, str]] = field(default_factory=dict)
     _adapted: Dict[str, str] = field(default_factory=dict)
@@ -423,6 +436,15 @@ class ComtainerSession:
                 registry=self.registry,
                 engines=[self.system_engine],
             )
+        if self.telemetry is None:
+            self.telemetry = NULL_TELEMETRY
+        install_telemetry(
+            self.telemetry,
+            registry=self.registry,
+            engines=[self.user_engine, self.system_engine],
+        )
+        if self._resilience_ctx is not None:
+            self._resilience_ctx.telemetry = self.telemetry
 
     # -- artifact builders (memoized per app/workload) ----------------------
 
@@ -443,12 +465,30 @@ class ComtainerSession:
             layout, dist_tag = build_extended_image(self.user_engine, get_app(app))
             # Distribute via the registry (both manifests of the layout),
             # retrying transient transfer faults under a permissive policy.
-            remote = resilient_transfer(
-                self.registry, layout, f"repro/{app}",
-                (dist_tag, extended_tag(dist_tag)), ctx=self._resilience_ctx,
-            )
+            with self.telemetry.span("transfer", app=app):
+                remote = resilient_transfer(
+                    self.registry, layout, f"repro/{app}",
+                    (dist_tag, extended_tag(dist_tag)), ctx=self._resilience_ctx,
+                )
             self._layouts[app] = (remote, dist_tag)
         return self._layouts[app]
+
+    def adapt(self, app: str, workload: Optional[str] = None) -> str:
+        """One traced end-to-end adaptation of *app*.
+
+        Opens the root ``adapt`` span covering build -> transfer ->
+        rebuild (every compile node) -> redirect -> commit; with
+        *workload*, runs the full optimized pipeline (LTO + PGO loop)
+        instead of the plain adaptation.  Returns the adapted image ref.
+        """
+        with self.telemetry.span("adapt", app=app,
+                                 system=self.system.key) as span:
+            if workload is not None:
+                ref = self.optimized_image(workload)
+            else:
+                ref = self.adapted_image(app)
+            span.set("ref", ref)
+            return ref
 
     def adapted_image(self, app: str) -> str:
         if app not in self._adapted:

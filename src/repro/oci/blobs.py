@@ -15,6 +15,7 @@ from repro.oci import mediatypes
 from repro.oci.digest import digest_bytes
 from repro.oci.image import Descriptor
 from repro.oci.layer import Layer
+from repro.telemetry import NULL_TELEMETRY
 
 
 @dataclass(frozen=True)
@@ -65,6 +66,9 @@ class BlobStore:
         #: *before* any mutation so an injected fault can never leave a
         #: truncated or half-written blob behind.
         self.fault_injector = None
+        #: Telemetry sink; counts bytes in/out and content-address cache
+        #: hits (a put whose digest is already stored moved zero bytes).
+        self.telemetry = NULL_TELEMETRY
 
     def _arm(self, site: str, key: str) -> None:
         if self.fault_injector is not None:
@@ -81,7 +85,18 @@ class BlobStore:
 
     def put(self, blob: Blob) -> Descriptor:
         self._arm("blob.write", blob.digest)
+        if self.telemetry.enabled:
+            m = self.telemetry.metrics
+            m.counter("oci_blob_writes_total").inc()
+            if blob.digest in self._blobs:
+                m.counter("oci_blob_cache_hits_total").inc()
+            else:
+                m.counter("oci_blob_cache_misses_total").inc()
+                m.counter("oci_blob_bytes_written_total").inc(blob.size)
+                m.histogram("oci_blob_size_bytes").observe(blob.size)
         self._blobs[blob.digest] = blob
+        if self.telemetry.enabled:
+            self.telemetry.metrics.gauge("oci_blob_store_blobs").set(len(self._blobs))
         return blob.descriptor()
 
     def put_bytes(self, data: bytes, media_type: str) -> Descriptor:
@@ -93,9 +108,14 @@ class BlobStore:
     def get(self, digest: str) -> Blob:
         self._arm("blob.read", digest)
         try:
-            return self._blobs[digest]
+            blob = self._blobs[digest]
         except KeyError:
             raise KeyError(f"blob not found: {digest}") from None
+        if self.telemetry.enabled:
+            m = self.telemetry.metrics
+            m.counter("oci_blob_reads_total").inc()
+            m.counter("oci_blob_bytes_read_total").inc(blob.size)
+        return blob
 
     def try_get(self, digest: str) -> Optional[Blob]:
         return self._blobs.get(digest)

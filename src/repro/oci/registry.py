@@ -14,6 +14,7 @@ from repro.oci.blobs import BlobStore
 from repro.oci.image import ImageConfig, Manifest
 from repro.oci.layer import Layer
 from repro.oci.layout import OCILayout, ResolvedImage
+from repro.telemetry import NULL_TELEMETRY
 
 
 class RegistryError(Exception):
@@ -58,6 +59,8 @@ class ImageRegistry:
         #: Optional :class:`repro.resilience.faults.FaultInjector`; armed on
         #: push/pull so chaos tests can exercise transfer failures.
         self.fault_injector = None
+        #: Telemetry sink; spans each push/pull and counts transfer bytes.
+        self.telemetry = NULL_TELEMETRY
 
     def _arm(self, site: str, key: str) -> None:
         if self.fault_injector is not None:
@@ -77,14 +80,35 @@ class ImageRegistry:
         layers: List[Layer],
     ) -> str:
         name, tag = parse_reference(reference)
-        self._arm("registry.push", reference)
-        self.blobs.put_bytes(config.to_bytes(), mediatypes.IMAGE_CONFIG)
-        for layer in layers:
-            self.blobs.put_layer(layer)
-        self.blobs.put_bytes(manifest.to_bytes(), mediatypes.IMAGE_MANIFEST)
-        digest = manifest.digest
-        self._manifests[(name, tag)] = digest
-        return digest
+        tele = self.telemetry
+        if not tele.enabled:
+            self._arm("registry.push", reference)
+            self.blobs.put_bytes(config.to_bytes(), mediatypes.IMAGE_CONFIG)
+            for layer in layers:
+                self.blobs.put_layer(layer)
+            self.blobs.put_bytes(manifest.to_bytes(), mediatypes.IMAGE_MANIFEST)
+            digest = manifest.digest
+            self._manifests[(name, tag)] = digest
+            return digest
+        with tele.span("registry.push", reference=reference) as span:
+            self._arm("registry.push", reference)
+            config_bytes = config.to_bytes()
+            manifest_bytes = manifest.to_bytes()
+            self.blobs.put_bytes(config_bytes, mediatypes.IMAGE_CONFIG)
+            for layer in layers:
+                self.blobs.put_layer(layer)
+            self.blobs.put_bytes(manifest_bytes, mediatypes.IMAGE_MANIFEST)
+            digest = manifest.digest
+            self._manifests[(name, tag)] = digest
+            pushed = (len(config_bytes) + len(manifest_bytes)
+                      + sum(layer.size for layer in layers))
+            span.set("bytes", pushed)
+            span.set("layers", len(layers))
+            m = tele.metrics
+            m.counter("registry_pushes_total").inc()
+            m.counter("registry_push_bytes_total").inc(pushed)
+            m.gauge("registry_manifests").set(len(self._manifests))
+            return digest
 
     def push_layout(self, reference: str, layout: OCILayout, tag: Optional[str] = None) -> str:
         """Push one tag (default: the reference's tag) from a layout."""
@@ -95,6 +119,22 @@ class ImageRegistry:
 
     def pull(self, reference: str) -> ResolvedImage:
         name, tag = parse_reference(reference)
+        tele = self.telemetry
+        if not tele.enabled:
+            return self._pull_inner(name, tag, reference)
+        with tele.span("registry.pull", reference=reference) as span:
+            resolved = self._pull_inner(name, tag, reference)
+            pulled = (resolved.config.descriptor().size
+                      + resolved.manifest.descriptor().size
+                      + sum(layer.size for layer in resolved.layers))
+            span.set("bytes", pulled)
+            span.set("layers", len(resolved.layers))
+            m = tele.metrics
+            m.counter("registry_pulls_total").inc()
+            m.counter("registry_pull_bytes_total").inc(pulled)
+            return resolved
+
+    def _pull_inner(self, name: str, tag: str, reference: str) -> ResolvedImage:
         self._arm("registry.pull", reference)
         try:
             digest = self._manifests[(name, tag)]

@@ -30,16 +30,28 @@ from repro.sysmodel import AARCH64_CLUSTER, SYSTEMS, X86_CLUSTER, SystemModel
 
 
 def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
-    """Align columns; floats rendered with 3 decimals."""
+    """Align columns; floats rendered with 3 decimals.
+
+    Cells may contain newlines: a multi-line cell contributes its widest
+    line to the column width and its row renders as multiple output
+    lines, with the other columns padded.
+    """
     def fmt(value: object) -> str:
         if isinstance(value, float):
             return f"{value:.3f}"
         return str(value)
 
+    def cell_lines(text: str) -> List[str]:
+        return text.split("\n") if text else [""]
+
+    def cell_width(text: str) -> int:
+        return max(len(line) for line in cell_lines(text))
+
     text_rows = [[fmt(v) for v in row] for row in rows]
     widths = [
-        max(len(headers[i]), *(len(r[i]) for r in text_rows)) if text_rows
-        else len(headers[i])
+        max(cell_width(headers[i]),
+            *(cell_width(r[i]) for r in text_rows)) if text_rows
+        else cell_width(headers[i])
         for i in range(len(headers))
     ]
     lines = [
@@ -47,7 +59,77 @@ def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> st
         "  ".join("-" * w for w in widths),
     ]
     for row in text_rows:
-        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(len(row))))
+        split = [cell_lines(cell) for cell in row]
+        height = max(len(cell) for cell in split)
+        for line_no in range(height):
+            lines.append("  ".join(
+                (split[i][line_no] if line_no < len(split[i]) else "")
+                .ljust(widths[i])
+                for i in range(len(row))
+            ))
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Telemetry: measured stage breakdowns and adaptation reports
+# (docs/OBSERVABILITY.md)
+# ---------------------------------------------------------------------------
+
+def telemetry_stage_rows(telemetry) -> List[Tuple[str, int, float]]:
+    """(stage, span count, total simulated seconds) per span name.
+
+    This is the measured decomposition the paper's evaluation needs
+    (where do adaptation time and bytes go): span self-plus-children
+    durations aggregated across the recorded forest, sorted by cost.
+    """
+    counts: Dict[str, int] = {}
+    seconds: Dict[str, float] = {}
+    for span in telemetry.iter_spans():
+        counts[span.name] = counts.get(span.name, 0) + 1
+        seconds[span.name] = seconds.get(span.name, 0.0) + span.duration
+    return [
+        (name, counts[name], seconds[name])
+        for name in sorted(counts, key=lambda n: -seconds[n])
+    ]
+
+
+def render_adaptation_report(telemetry) -> str:
+    """The exportable adaptation report: stages, transfer cost, caching.
+
+    Combines the measured stage breakdown with the OCI byte/cache-hit
+    counters so evaluation tables cite what the pipeline actually did
+    instead of recomputing sizes after the fact.
+    """
+    m = telemetry.metrics
+    lines = [render_table(["stage", "spans", "simulated s"],
+                          telemetry_stage_rows(telemetry))]
+
+    reads = m.value("oci_blob_reads_total")
+    hits = m.value("oci_blob_cache_hits_total")
+    writes = m.value("oci_blob_cache_misses_total") + hits
+    transfer_rows = [
+        ("registry pushes", int(m.value("registry_pushes_total")),
+         int(m.value("registry_push_bytes_total"))),
+        ("registry pulls", int(m.value("registry_pulls_total")),
+         int(m.value("registry_pull_bytes_total"))),
+        ("blob writes", int(writes), int(m.value("oci_blob_bytes_written_total"))),
+        ("blob reads", int(reads), int(m.value("oci_blob_bytes_read_total"))),
+    ]
+    lines.append("")
+    lines.append(render_table(["transfer", "ops", "bytes"], transfer_rows))
+
+    hit_ratio = hits / writes if writes else 0.0
+    summary_rows = [
+        ("blob cache hit ratio", f"{hit_ratio:.1%}"),
+        ("rebuild nodes executed", int(m.value("rebuild_nodes_executed_total"))),
+        ("rebuild nodes reused", int(m.value("rebuild_nodes_reused_total"))),
+        ("rebuild nodes restored", int(m.value("rebuild_nodes_restored_total"))),
+        ("rebuild nodes failed", int(m.value("rebuild_nodes_failed_total"))),
+        ("retries", int(m.value("resilience_retries_total"))),
+        ("events logged", len(telemetry.events)),
+    ]
+    lines.append("")
+    lines.append(render_table(["adaptation", "value"], summary_rows))
     return "\n".join(lines)
 
 

@@ -24,6 +24,7 @@ retries, no fallback, no journal — exactly today's fail-loud behaviour.
 
 from __future__ import annotations
 
+import logging
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
@@ -35,6 +36,9 @@ from repro.resilience.retry import (
     SimulatedClock,
     retry_call,
 )
+from repro.telemetry import NULL_TELEMETRY
+
+logger = logging.getLogger("repro.resilience")
 
 RUNG_FULL = "full"
 RUNG_PARTIAL = "partial"
@@ -101,12 +105,17 @@ class ResilienceContext:
     clock: SimulatedClock = field(default_factory=SimulatedClock)
     stats: RetryStats = field(default_factory=RetryStats)
     rng: random.Random = None
+    #: Telemetry recorder retries/degradations report into; the no-op
+    #: default keeps untraced sessions free of bookkeeping.
+    telemetry: object = None
 
     def __post_init__(self) -> None:
         if self.injector is None:
             self.injector = self.policy.injector
         if self.rng is None:
             self.rng = random.Random(f"comtainer-retry-jitter:{self.policy.seed}")
+        if self.telemetry is None:
+            self.telemetry = NULL_TELEMETRY
 
     def retry(self, fn, site: str):
         """Run *fn* under this context's retry policy."""
@@ -117,6 +126,7 @@ class ResilienceContext:
             rng=self.rng,
             stats=self.stats,
             site=site,
+            telemetry=self.telemetry if self.telemetry.enabled else None,
         )
 
 
@@ -289,6 +299,7 @@ def adapt_with_resilience(
     dist_tag = find_dist_tag(layout)
     ref = ref or f"{dist_tag}:adapted"
     report = ResilienceReport(tag=dist_tag)
+    tele = getattr(engine, "telemetry", NULL_TELEMETRY)
 
     if ctx is None or ctx.policy.strict:
         report.ref = wf.system_side_adapt(
@@ -325,6 +336,9 @@ def adapt_with_resilience(
             break
         except Exception as exc:
             report.reasons.append(f"{label} failed: {exc}")
+            tele.event("degradation.attempt_failed", tag=dist_tag,
+                       label=label, error=str(exc))
+            logger.warning("%s of %s failed, degrading: %s", label, dist_tag, exc)
 
     if adapted_ref is not None:
         meta = decode_rebuild(layout, dist_tag)[0]
@@ -343,6 +357,10 @@ def adapt_with_resilience(
             report.rung = RUNG_REDIRECT_ONLY
         except Exception as exc:
             report.reasons.append(f"redirect-only failed: {exc}")
+            tele.event("degradation.attempt_failed", tag=dist_tag,
+                       label="redirect-only", error=str(exc))
+            logger.warning("redirect-only of %s failed, serving generic: %s",
+                           dist_tag, exc)
             # Rung 4: the untouched generic dist image.  Loads straight
             # from the already-transferred layout, so nothing can stop it.
             report.ref = ctx.retry(
@@ -357,4 +375,12 @@ def adapt_with_resilience(
     if ctx.injector is not None:
         report.faults_seen = ctx.injector.summary()
     report.simulated_seconds = ctx.clock.now
+    tele.event("degradation.rung", tag=dist_tag, rung=report.rung,
+               ref=report.ref or "", reasons=len(report.reasons))
+    if tele.enabled:
+        tele.metrics.counter(
+            f"resilience_rung_{report.rung.replace('-', '_')}_total").inc()
+    if report.rung != RUNG_FULL:
+        logger.warning("adaptation of %s degraded to rung %r",
+                       dist_tag, report.rung)
     return report

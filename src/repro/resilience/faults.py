@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.oci.registry import TransientTransferError
+from repro.telemetry import NULL_TELEMETRY
 
 #: Sites that model data transfer; faults here are always transient.
 TRANSFER_SITES = frozenset({"registry.push", "registry.pull", "blob.read", "blob.write"})
@@ -127,6 +128,9 @@ class FaultInjector:
         self.specs: List[FaultSpec] = list(specs or [])
         self.enabled = True
         self.log: List[FaultRecord] = []
+        #: Telemetry recorder; fired faults land a ``fault.fired`` event
+        #: on whatever span armed the site.
+        self.telemetry = NULL_TELEMETRY
         self._rng = random.Random(f"comtainer-faults:{seed}")
         #: (site, key) -> remaining transient failures; 0 means immune.
         self._bursts: Dict[Tuple[str, str], int] = {}
@@ -136,6 +140,9 @@ class FaultInjector:
 
     def _fire(self, site: str, key: str, kind: str) -> None:
         self.log.append(FaultRecord(site=site, key=key, kind=kind))
+        if self.telemetry.enabled:
+            self.telemetry.event("fault.fired", site=site, key=key, kind=kind)
+            self.telemetry.metrics.counter("resilience_faults_fired_total").inc()
         if kind == "persistent":
             raise PersistentFault(site, key)
         if site in TRANSFER_SITES:
@@ -146,6 +153,8 @@ class FaultInjector:
         """Raise an :class:`InjectedFault` if this operation should fail."""
         if not self.enabled:
             return
+        if self.telemetry.enabled:
+            self.telemetry.event("fault.armed", site=site, key=key)
         for spec in self.specs:
             if spec.site != site or spec.match not in key:
                 continue

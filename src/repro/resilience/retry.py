@@ -16,11 +16,14 @@ to the attempt and handled by the degradation ladder.
 
 from __future__ import annotations
 
+import logging
 import random
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, TypeVar
 
 T = TypeVar("T")
+
+logger = logging.getLogger("repro.resilience.retry")
 
 
 class RetryBudgetExhausted(Exception):
@@ -88,12 +91,15 @@ def retry_call(
     rng: Optional[random.Random] = None,
     stats: Optional[RetryStats] = None,
     site: str = "op",
+    telemetry=None,
 ) -> T:
     """Run *fn*, retrying transient failures under *policy*.
 
     Fatal (non-transient) errors propagate immediately.  When attempts or
     the simulated-time budget run out, the last transient error propagates
-    so the caller's degradation logic sees the real cause.
+    so the caller's degradation logic sees the real cause.  With a
+    *telemetry* recorder, each retry lands a ``retry.attempt`` event on
+    the active span and the backoff delay is charged to the trace clock.
     """
     spent = 0.0
     for attempt in range(policy.max_attempts):
@@ -108,9 +114,24 @@ def retry_call(
             if out_of_attempts or out_of_budget:
                 if stats is not None:
                     stats.note_exhausted(site)
+                if telemetry is not None:
+                    telemetry.event("retry.exhausted", site=site,
+                                    attempts=attempt + 1, error=str(exc))
+                    telemetry.metrics.counter(
+                        "resilience_retries_exhausted_total").inc()
+                logger.warning("retry budget exhausted at %s after %d attempts",
+                               site, attempt + 1)
                 raise
             clock.sleep(delay)
             spent += delay
             if stats is not None:
                 stats.note_retry(site)
+            if telemetry is not None:
+                telemetry.event("retry.attempt", site=site,
+                                attempt=attempt + 1, delay=delay,
+                                error=str(exc))
+                telemetry.metrics.counter("resilience_retries_total").inc()
+                telemetry.charge(delay)
+            logger.info("transient failure at %s (attempt %d): %s; "
+                        "backing off %.2fs", site, attempt + 1, exc, delay)
     raise RetryBudgetExhausted(site)   # unreachable; loop always returns/raises

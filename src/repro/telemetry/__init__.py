@@ -1,0 +1,77 @@
+"""End-to-end telemetry: spans, metrics, events and their exporters.
+
+See ``docs/OBSERVABILITY.md`` for the span model, the metric name
+catalogue and the export formats.  Installation mirrors the resilience
+layer: substrates (engines, registries, blob stores) carry a
+``telemetry`` attribute that defaults to the shared no-op
+:data:`NULL_TELEMETRY`; :func:`install_telemetry` swaps a live recorder
+in and :func:`uninstall_telemetry` restores the default.
+"""
+
+from repro.telemetry.export import (
+    chrome_trace,
+    chrome_trace_json,
+    prometheus_text,
+    render_span_tree,
+)
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    NullMetricsRegistry,
+)
+from repro.telemetry.spans import (
+    EVENT_LOG_CAP,
+    NULL_TELEMETRY,
+    Event,
+    NullTelemetry,
+    Span,
+    Telemetry,
+    TelemetryClock,
+)
+
+
+def install_telemetry(telemetry, registry=None, engines=()) -> None:
+    """Attach a recorder to a registry (and its blob store) and engines.
+
+    Passing a :class:`NullTelemetry` is equivalent to uninstalling.
+    """
+    if registry is not None:
+        registry.telemetry = telemetry
+        registry.blobs.telemetry = telemetry
+    for engine in engines:
+        engine.telemetry = telemetry
+        if engine.fault_injector is not None:
+            engine.fault_injector.telemetry = telemetry
+
+
+def uninstall_telemetry(registry=None, engines=()) -> None:
+    """Restore the no-op default on a registry and engines."""
+    install_telemetry(NULL_TELEMETRY, registry=registry, engines=engines)
+
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "EVENT_LOG_CAP",
+    "NULL_TELEMETRY",
+    "Counter",
+    "Event",
+    "Gauge",
+    "Histogram",
+    "MetricError",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NullTelemetry",
+    "Span",
+    "Telemetry",
+    "TelemetryClock",
+    "chrome_trace",
+    "chrome_trace_json",
+    "install_telemetry",
+    "prometheus_text",
+    "render_span_tree",
+    "uninstall_telemetry",
+]

@@ -1,0 +1,119 @@
+"""Exporters: span-tree text, Chrome trace-event JSON, Prometheus text.
+
+Three consumers, three formats:
+
+* ``render_span_tree`` — the CLI's human view (``comtainer-demo --trace``).
+* ``chrome_trace`` / ``chrome_trace_json`` — ``chrome://tracing`` /
+  Perfetto-loadable ``traceEvents`` JSON (``comtainer-demo trace --out``).
+  Spans become complete (``"ph": "X"``) events, log events become
+  instants (``"ph": "i"``); timestamps are simulated-clock microseconds.
+* ``prometheus_text`` — the metrics registry in the Prometheus exposition
+  format (``comtainer-demo --metrics``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.telemetry.metrics import Histogram, MetricsRegistry
+from repro.telemetry.spans import Span, Telemetry
+
+_US = 1e6   # seconds -> microseconds
+
+
+def _format_attrs(attributes: Dict[str, object]) -> str:
+    return " ".join(f"{k}={v}" for k, v in attributes.items())
+
+
+def render_span_tree(telemetry: Telemetry, max_events: int = 3) -> str:
+    """The span forest as an indented text tree with durations."""
+    lines: List[str] = []
+
+    def visit(span: Span, depth: int) -> None:
+        attrs = _format_attrs(span.attributes)
+        status = "" if span.status == "ok" else f" !{span.status}"
+        lines.append(
+            f"{'  ' * depth}{span.name}  [{span.duration:.6f}s]{status}"
+            + (f"  {attrs}" if attrs else "")
+        )
+        events = telemetry.events_for(span)
+        for evt in events[:max_events]:
+            lines.append(
+                f"{'  ' * (depth + 1)}* {evt.name}"
+                + (f"  {_format_attrs(evt.attributes)}" if evt.attributes else "")
+            )
+        if len(events) > max_events:
+            lines.append(
+                f"{'  ' * (depth + 1)}* ... {len(events) - max_events} more events"
+            )
+        for child in span.children:
+            visit(child, depth + 1)
+
+    for root in telemetry.roots:
+        visit(root, 0)
+    if not lines:
+        return "(no spans recorded)"
+    return "\n".join(lines)
+
+
+def chrome_trace(telemetry: Telemetry) -> dict:
+    """The whole recording as a Chrome trace-event document (a dict)."""
+    events: List[dict] = []
+    for span in telemetry.iter_spans():
+        end = span.end if span.end is not None else span.start
+        args: Dict[str, object] = dict(span.attributes)
+        args["status"] = span.status
+        events.append({
+            "name": span.name,
+            "ph": "X",
+            "ts": span.start * _US,
+            "dur": (end - span.start) * _US,
+            "pid": 1,
+            "tid": 1,
+            "cat": "comtainer",
+            "args": args,
+        })
+    for evt in telemetry.events:
+        events.append({
+            "name": evt.name,
+            "ph": "i",
+            "ts": evt.ts * _US,
+            "pid": 1,
+            "tid": 1,
+            "s": "t",
+            "cat": "comtainer",
+            "args": dict(evt.attributes),
+        })
+    events.sort(key=lambda e: e["ts"])
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def chrome_trace_json(telemetry: Telemetry, indent: Optional[int] = None) -> str:
+    return json.dumps(chrome_trace(telemetry), indent=indent, default=str)
+
+
+def prometheus_text(metrics: MetricsRegistry) -> str:
+    """Prometheus exposition-format dump of every registered instrument."""
+    def num(value: float) -> str:
+        if value == float("inf"):
+            return "+Inf"
+        if float(value).is_integer():
+            return str(int(value))
+        return repr(float(value))
+
+    lines: List[str] = []
+    for metric in metrics:
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, Histogram):
+            for bound, count in metric.cumulative():
+                lines.append(
+                    f'{metric.name}_bucket{{le="{num(bound)}"}} {count}'
+                )
+            lines.append(f"{metric.name}_sum {num(metric.sum)}")
+            lines.append(f"{metric.name}_count {metric.count}")
+        else:
+            lines.append(f"{metric.name} {num(metric.value)}")
+    if not lines:
+        return "# (no metrics recorded)\n"
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,217 @@
+"""The metrics registry: counters, gauges and bounded-bucket histograms.
+
+Names follow the Prometheus convention (``snake_case``, ``_total`` suffix
+for counters, ``_bytes``/``_seconds`` unit suffixes) so the text export in
+:mod:`repro.telemetry.export` is a straight serialization.  Instruments
+are created on first use and live for the registry's lifetime; histogram
+buckets are fixed at creation (bounded — observing can never allocate).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+#: Default histogram buckets, tuned for blob/layer byte sizes.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    1 << 10, 1 << 14, 1 << 18, 1 << 22, 1 << 26,
+)
+
+
+class MetricError(Exception):
+    pass
+
+
+class Counter:
+    """Monotonically increasing value."""
+
+    kind = "counter"
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise MetricError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (queue depths, store sizes)."""
+
+    kind = "gauge"
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Cumulative histogram over a fixed, bounded bucket list."""
+
+    kind = "histogram"
+    __slots__ = ("name", "buckets", "counts", "sum", "count")
+
+    def __init__(self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        if not buckets:
+            raise MetricError(f"histogram {name} needs at least one bucket")
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if len(set(bounds)) != len(bounds):
+            raise MetricError(f"histogram {name} has duplicate buckets")
+        self.name = name
+        self.buckets = bounds
+        #: counts[i] observations <= buckets[i]; counts[-1] is +Inf overflow.
+        self.counts: List[int] = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """(upper_bound, cumulative_count) pairs, +Inf last."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self.buckets, self.counts):
+            running += n
+            out.append((bound, running))
+        out.append((float("inf"), running + self.counts[-1]))
+        return out
+
+
+class MetricsRegistry:
+    """Name-keyed instrument store; instruments are created on first use."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, object] = {}
+
+    def _get_or_create(self, name: str, kind: str, factory):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = factory()
+            self._metrics[name] = metric
+        elif metric.kind != kind:
+            raise MetricError(
+                f"metric {name!r} is a {metric.kind}, requested as {kind}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, "counter", lambda: Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, "gauge", lambda: Gauge(name))
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._get_or_create(
+            name, "histogram", lambda: Histogram(name, buckets)
+        )
+
+    def get(self, name: str) -> Optional[object]:
+        return self._metrics.get(name)
+
+    def value(self, name: str, default: float = 0.0) -> float:
+        """Scalar value of a counter/gauge (histograms report their sum)."""
+        metric = self._metrics.get(name)
+        if metric is None:
+            return default
+        if isinstance(metric, Histogram):
+            return metric.sum
+        return metric.value
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(self._metrics[name] for name in sorted(self._metrics))
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-friendly dump of every instrument."""
+        out: Dict[str, object] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                out[name] = {
+                    "sum": metric.sum,
+                    "count": metric.count,
+                    "buckets": {
+                        ("+Inf" if bound == float("inf") else str(int(bound))): n
+                        for bound, n in metric.cumulative()
+                    },
+                }
+            else:
+                out[name] = metric.value
+        return out
+
+
+class _NullInstrument:
+    """Shared inert counter/gauge/histogram."""
+
+    __slots__ = ()
+    kind = "null"
+    name = ""
+    value = 0.0
+    sum = 0.0
+    count = 0
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def dec(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetricsRegistry:
+    """No-op registry used by :class:`repro.telemetry.NullTelemetry`."""
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, buckets=DEFAULT_BUCKETS) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def get(self, name: str) -> None:
+        return None
+
+    def value(self, name: str, default: float = 0.0) -> float:
+        return default
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(())
+
+    def __len__(self) -> int:
+        return 0
+
+    def snapshot(self) -> Dict[str, object]:
+        return {}

@@ -1,0 +1,301 @@
+"""Hierarchical spans and the structured event log.
+
+The telemetry substrate mirrors how the paper attributes adaptation cost
+per pipeline stage (frontend recording, rebuild, redirect — Figures 9-11,
+Tables 2-3): every stage opens a **span**, spans nest into a tree, and
+cross-cutting layers (resilience, fault injection) attach **events** to
+whatever span is active.
+
+Time is simulated, exactly like the resilience layer's backoff clock:
+tier-1 must run in seconds, so nothing ever calls ``time.time``.  Every
+structural event (span start/end, event emission) advances the clock by
+one tick so ordering is strict and durations are non-zero; operations
+that know their simulated cost (retry backoff, workload execution time)
+add it explicitly via :meth:`Telemetry.charge`, which is what makes the
+exported traces show *where the simulated seconds went*.
+
+:class:`NullTelemetry` is the default everywhere: same API, no recording,
+no clock — untraced runs stay byte-identical and fast.
+"""
+
+from __future__ import annotations
+
+import itertools
+import logging
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from repro.telemetry.metrics import MetricsRegistry, NullMetricsRegistry
+
+logger = logging.getLogger("repro.telemetry")
+
+#: Clock advance per structural event (span start/end, event emission).
+CLOCK_TICK = 1e-6
+
+#: The central event log is bounded; a traced chaos sweep can arm fault
+#: sites thousands of times and must not grow memory without bound.
+EVENT_LOG_CAP = 65536
+
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+
+
+@dataclass
+class TelemetryClock:
+    """Monotonic simulated time for span timestamps."""
+
+    now: float = 0.0
+    tick: float = CLOCK_TICK
+
+    def advance(self, seconds: float) -> float:
+        self.now += seconds
+        return self.now
+
+    def step(self) -> float:
+        return self.advance(self.tick)
+
+
+@dataclass
+class Event:
+    """One structured log entry, attributed to the span it occurred in."""
+
+    ts: float
+    name: str
+    span_id: Optional[int] = None
+    attributes: Dict[str, object] = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        return {
+            "ts": self.ts,
+            "name": self.name,
+            "span_id": self.span_id,
+            "attributes": dict(self.attributes),
+        }
+
+
+@dataclass
+class Span:
+    """One timed pipeline stage, with attributes, status and children."""
+
+    name: str
+    span_id: int
+    parent_id: Optional[int]
+    start: float
+    end: Optional[float] = None
+    status: str = STATUS_OK
+    attributes: Dict[str, object] = field(default_factory=dict)
+    children: List["Span"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        return (self.end if self.end is not None else self.start) - self.start
+
+    @property
+    def finished(self) -> bool:
+        return self.end is not None
+
+    def set(self, key: str, value: object) -> None:
+        self.attributes[key] = value
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "start": self.start,
+            "end": self.end,
+            "status": self.status,
+            "attributes": dict(self.attributes),
+            "children": [c.to_json() for c in self.children],
+        }
+
+
+class _SpanContext:
+    """Context manager for one span; error status is set on exception."""
+
+    __slots__ = ("_telemetry", "_span")
+
+    def __init__(self, telemetry: "Telemetry", span: Span) -> None:
+        self._telemetry = telemetry
+        self._span = span
+
+    def __enter__(self) -> Span:
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc is not None:
+            self._span.status = STATUS_ERROR
+            self._span.attributes.setdefault("error", str(exc))
+        self._telemetry.end_span(self._span)
+        return False
+
+
+class Telemetry:
+    """An active recorder: span tree + metrics registry + event log."""
+
+    enabled = True
+
+    def __init__(self, clock: Optional[TelemetryClock] = None) -> None:
+        self.clock = clock or TelemetryClock()
+        self.metrics = MetricsRegistry()
+        self.roots: List[Span] = []
+        self.events: List[Event] = []
+        self._stack: List[Span] = []
+        self._ids = itertools.count(1)
+
+    # -- spans ----------------------------------------------------------
+
+    @property
+    def current(self) -> Optional[Span]:
+        return self._stack[-1] if self._stack else None
+
+    def start_span(self, name: str, **attributes: object) -> Span:
+        parent = self.current
+        span = Span(
+            name=name,
+            span_id=next(self._ids),
+            parent_id=parent.span_id if parent is not None else None,
+            start=self.clock.step(),
+            attributes=attributes,
+        )
+        if parent is not None:
+            parent.children.append(span)
+        else:
+            self.roots.append(span)
+        self._stack.append(span)
+        return span
+
+    def end_span(self, span: Span, status: Optional[str] = None) -> None:
+        if status is not None:
+            span.status = status
+        span.end = self.clock.step()
+        # Tolerate mis-nested ends (an abandoned child after an exception):
+        # pop everything above the span being ended.
+        while self._stack and self._stack[-1] is not span:
+            dangling = self._stack.pop()
+            if dangling.end is None:
+                dangling.end = span.end
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+        logger.debug("span %s (%s) %.6fs", span.name, span.status, span.duration)
+
+    def span(self, name: str, **attributes: object) -> _SpanContext:
+        return _SpanContext(self, self.start_span(name, **attributes))
+
+    # -- events and time ------------------------------------------------
+
+    def event(self, name: str, **attributes: object) -> Optional[Event]:
+        current = self.current
+        evt = Event(
+            ts=self.clock.step(),
+            name=name,
+            span_id=current.span_id if current is not None else None,
+            attributes=attributes,
+        )
+        self.events.append(evt)
+        if len(self.events) > EVENT_LOG_CAP:
+            del self.events[: len(self.events) - EVENT_LOG_CAP]
+        return evt
+
+    def charge(self, seconds: float) -> None:
+        """Attribute *seconds* of simulated time to the active span."""
+        if seconds > 0.0:
+            self.clock.advance(seconds)
+
+    # -- introspection ---------------------------------------------------
+
+    def iter_spans(self) -> Iterator[Span]:
+        """All spans, depth-first in start order."""
+        stack = list(reversed(self.roots))
+        while stack:
+            span = stack.pop()
+            yield span
+            stack.extend(reversed(span.children))
+
+    def find_spans(self, name: str) -> List[Span]:
+        return [s for s in self.iter_spans() if s.name == name]
+
+    def events_for(self, span: Span) -> List[Event]:
+        return [e for e in self.events if e.span_id == span.span_id]
+
+    def reset(self) -> None:
+        self.roots.clear()
+        self.events.clear()
+        self._stack.clear()
+        self.metrics = MetricsRegistry()
+        self.clock = TelemetryClock()
+
+
+class _NullSpan:
+    """Shared inert span: accepts writes, records nothing."""
+
+    __slots__ = ()
+    name = ""
+    span_id = 0
+    parent_id = None
+    status = STATUS_OK
+    start = 0.0
+    end = 0.0
+    duration = 0.0
+    children: List[Span] = []
+
+    def set(self, key: str, value: object) -> None:
+        pass
+
+
+class _NullSpanContext:
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return _NULL_SPAN
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class NullTelemetry:
+    """The default no-op recorder: same surface, nothing stored."""
+
+    enabled = False
+    current = None
+
+    def __init__(self) -> None:
+        self.metrics = NullMetricsRegistry()
+        self.roots: List[Span] = []
+        self.events: List[Event] = []
+
+    def start_span(self, name: str, **attributes: object) -> _NullSpan:
+        return _NULL_SPAN
+
+    def end_span(self, span, status: Optional[str] = None) -> None:
+        pass
+
+    def span(self, name: str, **attributes: object) -> _NullSpanContext:
+        return _NULL_SPAN_CONTEXT
+
+    def event(self, name: str, **attributes: object) -> None:
+        return None
+
+    def charge(self, seconds: float) -> None:
+        pass
+
+    def iter_spans(self) -> Iterator[Span]:
+        return iter(())
+
+    def find_spans(self, name: str) -> List[Span]:
+        return []
+
+    def events_for(self, span) -> List[Event]:
+        return []
+
+    def reset(self) -> None:
+        pass
+
+
+#: The process-wide default telemetry sink; installed on every engine,
+#: registry and blob store until a real :class:`Telemetry` replaces it.
+NULL_TELEMETRY = NullTelemetry()

@@ -25,9 +25,48 @@ class TestRenderTable:
         text = render_table(["col"], [])
         assert "col" in text
 
+    def test_empty_rows_widths_follow_headers(self):
+        text = render_table(["scheme", "time (s)"], [])
+        header, rule = text.splitlines()
+        assert rule == "------  --------"
+        assert len(header) == len(rule)
+
     def test_mixed_types(self):
         text = render_table(["n", "v"], [(1, "x"), (2, None)])
         assert "None" in text
+
+    def test_mixed_int_float_str_formatting(self):
+        text = render_table(
+            ["name", "count", "ratio"],
+            [("blob", 3, 0.5), ("layer", 10, 1.0), ("none", "-", "-")],
+        )
+        lines = text.splitlines()
+        assert "0.500" in lines[2]          # floats get 3 decimals
+        assert "1.000" in lines[3]
+        assert " 3 " in lines[2] + " "      # ints render bare
+        assert "-" in lines[4]              # strings pass through
+        # Every rendered line is padded to the same table width.
+        assert len({len(l.rstrip()) for l in lines[:2]}) == 1
+
+    def test_multiline_cell_sets_column_width(self):
+        text = render_table(
+            ["stage", "detail"],
+            [("rebuild", "node a\na much longer second line"), ("redirect", "ok")],
+        )
+        lines = text.splitlines()
+        # The widest *line* of the multi-line cell drives the column.
+        assert len(lines[1].split("  ")[1]) == len("a much longer second line")
+        # The multi-line row spans two output lines; short columns pad.
+        assert lines[2].startswith("rebuild")
+        assert lines[3].strip() == "a much longer second line"
+        assert lines[4].startswith("redirect")
+
+    def test_multiline_and_empty_cells_pad_consistently(self):
+        text = render_table(["a", "b"], [("x\ny\nz", ""), ("", "w")])
+        lines = text.splitlines()
+        assert len(lines) == 2 + 3 + 1      # header + rule + 3-line row + row
+        widths = {len(l) for l in lines[:2]}
+        assert len(widths) == 1
 
 
 class TestReportingTables:

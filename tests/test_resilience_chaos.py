@@ -183,7 +183,8 @@ class TestJournalResume:
         assert run1_cmds, "run 1 should have executed compile commands"
 
         # Run 2: same rebuild, faults gone — resumes from the journal.
-        mark = len(engine.exec_log)
+        # The bounded exec_log starts a fresh observation window here.
+        engine.reset_exec_log()
         ctr2 = engine.from_image(sysenv_ref("x86"), name="resume-run2",
                                  mounts={IO_MOUNT: layout})
         try:
@@ -192,7 +193,7 @@ class TestJournalResume:
             engine.remove_container("resume-run2")
 
         run2_cmds = {
-            argv for name, argv in engine.exec_log[mark:]
+            argv for name, argv in engine.exec_log
             if name == "resume-run2" and argv[0] != "coMtainer-rebuild"
         }
         # Zero completed compile nodes re-executed: the command log of the

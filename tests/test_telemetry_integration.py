@@ -1,0 +1,147 @@
+"""Telemetry wired through the pipeline: span trees, OCI metrics, parity.
+
+The acceptance criteria for the observability layer:
+
+* a traced :meth:`ComtainerSession.adapt` run produces a span tree that
+  covers build, transfer, every rebuild compile node and redirect, with
+  OCI byte / cache-hit metrics recorded alongside;
+* the Chrome trace-event export round-trips through ``json.loads``;
+* with telemetry disabled (the default), the produced image digests are
+  byte-identical to a traced run — observation never perturbs artifacts.
+"""
+
+import json
+
+import pytest
+
+from repro.core.workflow import ComtainerSession
+from repro.reporting import render_adaptation_report, telemetry_stage_rows
+from repro.resilience import FaultSpec, FaultInjector, ResiliencePolicy
+from repro.telemetry import Telemetry, chrome_trace_json, render_span_tree
+
+pytestmark = pytest.mark.telemetry
+
+APP = "hpccg"
+
+
+@pytest.fixture(scope="module")
+def traced_session():
+    tele = Telemetry()
+    session = ComtainerSession(telemetry=tele)
+    ref = session.adapt(APP)
+    return session, tele, ref
+
+
+class TestTracedAdaptation:
+    def test_span_tree_covers_the_whole_pipeline(self, traced_session):
+        session, tele, ref = traced_session
+        (adapt,) = tele.find_spans("adapt")
+        assert adapt.attributes["app"] == APP
+        assert adapt.attributes["ref"] == ref
+        assert adapt.status == "ok"
+        for stage in ("build", "transfer", "rebuild", "redirect"):
+            spans = tele.find_spans(stage)
+            assert spans, f"no {stage!r} span recorded"
+            assert all(s.finished and s.status == "ok" for s in spans)
+        # Registry traffic and engine commits appear under the tree too.
+        assert tele.find_spans("registry.push")
+        assert tele.find_spans("registry.pull")
+        assert tele.find_spans("engine.commit")
+
+    def test_every_compile_node_gets_a_span(self, traced_session):
+        session, tele, _ref = traced_session
+        node_spans = tele.find_spans("rebuild.node")
+        executed = tele.metrics.value("rebuild_nodes_executed_total")
+        assert executed > 0
+        # A span covers one dispatch group (a node plus its merged
+        # siblings); together the groups cover every executed node.
+        covered = [n for s in node_spans for n in s.attributes["nodes"]]
+        assert len(covered) == len(set(covered)) == executed
+        # Node spans are children of the rebuild stage.
+        (rebuild,) = tele.find_spans("rebuild")
+
+        def descendants(span):
+            for child in span.children:
+                yield child
+                yield from descendants(child)
+
+        assert set(id(s) for s in node_spans) <= set(
+            id(s) for s in descendants(rebuild)
+        )
+
+    def test_oci_byte_and_cache_metrics_recorded(self, traced_session):
+        _session, tele, _ref = traced_session
+        m = tele.metrics
+        assert m.value("registry_push_bytes_total") > 0
+        assert m.value("registry_pull_bytes_total") > 0
+        assert m.value("oci_blob_bytes_written_total") > 0
+        writes = m.value("oci_blob_writes_total")
+        hits = m.value("oci_blob_cache_hits_total")
+        misses = m.value("oci_blob_cache_misses_total")
+        assert writes == hits + misses
+        assert misses > 0
+        hist = m.get("oci_blob_size_bytes")
+        assert hist is not None and hist.count == misses
+
+    def test_chrome_trace_round_trips(self, traced_session, tmp_path):
+        _session, tele, _ref = traced_session
+        out = tmp_path / "trace.json"
+        out.write_text(chrome_trace_json(tele), encoding="utf-8")
+        doc = json.loads(out.read_text(encoding="utf-8"))
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert {"adapt", "build", "transfer", "rebuild",
+                "rebuild.node", "redirect"} <= names
+        assert doc["displayTimeUnit"] == "ms"
+
+    def test_text_exports_render(self, traced_session):
+        _session, tele, _ref = traced_session
+        tree = render_span_tree(tele)
+        assert tree.splitlines()[0].startswith("adapt")
+        stages = {row[0] for row in telemetry_stage_rows(tele)}
+        assert "rebuild" in stages
+        report = render_adaptation_report(tele)
+        assert "registry push" in report
+
+
+class TestDigestParity:
+    def test_traced_and_untraced_runs_produce_identical_images(self):
+        """Observation must not perturb artifacts: same layer digests."""
+        untraced = ComtainerSession()           # NULL_TELEMETRY default
+        traced = ComtainerSession(telemetry=Telemetry())
+        ref_u = untraced.adapt(APP)
+        ref_t = traced.adapt(APP)
+        assert ref_u == ref_t
+        img_u = untraced.system_engine.images[ref_u]
+        img_t = traced.system_engine.images[ref_t]
+        assert img_u.layer_key() == img_t.layer_key()
+        assert img_u.config.to_json() == img_t.config.to_json()
+        # The untraced session really recorded nothing.
+        assert not untraced.telemetry.enabled
+        assert list(untraced.telemetry.iter_spans()) == []
+
+
+class TestResilienceEventsOnTrace:
+    def test_retry_and_fault_events_reach_the_event_log(self):
+        """Chaos-mode events (fault armed/fired, retry attempts) land on
+        the active span and surface in the counters."""
+        tele = Telemetry()
+        injector = FaultInjector(specs=[
+            FaultSpec(site="registry.push", kind="transient", times=2),
+        ])
+        policy = ResiliencePolicy.permissive(injector=injector)
+        session = ComtainerSession(resilience=policy, telemetry=tele)
+        session.registry.fault_injector = injector
+        injector.telemetry = tele
+        report = session.resilient_adapt(APP)
+        assert report.ref is not None
+        armed = [e for e in tele.events if e.name == "fault.armed"]
+        fired = [e for e in tele.events if e.name == "fault.fired"]
+        attempts = [e for e in tele.events if e.name == "retry.attempt"]
+        assert armed
+        assert len(fired) == 2
+        assert attempts, "retries should be visible as events"
+        assert tele.metrics.value("resilience_retries_total") >= 2
+        assert tele.metrics.value("resilience_faults_fired_total") == 2
+        # The degradation rung is reported as an event as well.
+        rungs = [e for e in tele.events if e.name == "degradation.rung"]
+        assert rungs and rungs[-1].attributes["rung"] == report.rung
