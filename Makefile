@@ -7,6 +7,8 @@
 #   make trace   - traced adaptation; Chrome trace JSON + span tree
 #   make metrics - traced adaptation; Prometheus-style metrics dump
 #   make telemetry-bench - the NullTelemetry happy-path overhead check
+#   make integrity-bench - the verified-reads happy-path overhead check
+#   make fsck-demo - save a layout, corrupt it on disk, detect and repair
 
 PYTHON ?= python
 PYTEST  = PYTHONPATH=src $(PYTHON) -m pytest
@@ -14,7 +16,8 @@ CLI     = PYTHONPATH=src $(PYTHON) -m repro.cli
 
 TRACE_APP ?= lammps
 
-.PHONY: test chaos bench resilience-bench trace metrics telemetry-bench
+.PHONY: test chaos bench resilience-bench trace metrics telemetry-bench \
+        integrity-bench fsck-demo
 
 test:
 	$(PYTEST) -x -q
@@ -37,3 +40,9 @@ metrics:
 
 telemetry-bench:
 	$(PYTEST) benchmarks/bench_telemetry_overhead.py -q -s
+
+integrity-bench:
+	$(PYTEST) benchmarks/bench_integrity_overhead.py -q -s
+
+fsck-demo:
+	PYTHONPATH=src $(PYTHON) examples/fsck_demo.py

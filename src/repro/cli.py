@@ -8,6 +8,7 @@ Subcommands::
     comtainer-demo analyze  <app>                          # process models
     comtainer-demo crossisa <app>      [--target aarch64]  # Figure 11 row
     comtainer-demo inspect  <app>      [--extended]        # layer stack
+    comtainer-demo fsck     <dir>      [--repair] [--source DIR] [--app APP]
     comtainer-demo tables                                  # Tables 1 & 2
 
 Global flags: ``--trace`` prints the span tree after the command,
@@ -149,6 +150,40 @@ def cmd_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fsck(args: argparse.Namespace) -> int:
+    """Verify a saved OCI layout directory; with ``--repair``, heal it.
+
+    Exit code 0 means every object verified (possibly after repair);
+    1 means unrepaired corruption remains.
+    """
+    from repro.integrity.fsck import fsck_directory
+    from repro.integrity.repair import RepairEngine
+    from repro.oci.layout import OCILayout
+    from repro.reporting import render_fsck_report
+
+    repair = None
+    if args.repair:
+        repair = RepairEngine(telemetry=args.telemetry)
+        for source in args.source:
+            repair.add_layout(
+                OCILayout.load(source, verify=False), label=source
+            )
+        if args.app:
+            from repro.apps import get_app
+            from repro.containers import ContainerEngine
+            from repro.core.workflow import build_extended_image
+
+            repair.add_regenerator(
+                lambda: build_extended_image(
+                    ContainerEngine(arch="amd64"), get_app(args.app)
+                )[0],
+                label=f"regenerate:{args.app}",
+            )
+    report = fsck_directory(args.path, repair=repair, telemetry=args.telemetry)
+    print(render_fsck_report(report))
+    return report.exit_code
+
+
 def cmd_tables(args: argparse.Namespace) -> int:
     from repro.reporting import render_table, table1_rows, table2_rows
 
@@ -210,6 +245,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--extended", action="store_true",
                    help="inspect the +coM extended image instead")
     p.set_defaults(fn=cmd_inspect)
+
+    p = sub.add_parser("fsck", help="verify (and repair) a saved OCI layout")
+    p.add_argument("path", help="layout directory written by OCILayout.save")
+    p.add_argument("--repair", action="store_true",
+                   help="quarantine corrupt blobs, repair from the given "
+                        "sources, and atomically rewrite the directory")
+    p.add_argument("--source", action="append", metavar="DIR", default=[],
+                   help="replica layout directory to repair from (repeatable)")
+    p.add_argument("--app", default=None,
+                   help="app whose extended image is regenerated as a "
+                        "last-resort repair source")
+    p.set_defaults(fn=cmd_fsck)
 
     p = sub.add_parser("tables", help="print Tables 1 and 2")
     p.set_defaults(fn=cmd_tables)

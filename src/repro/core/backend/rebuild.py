@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from repro.containers.container import Container, ProgramError
+from repro.integrity import IntegrityError
 from repro.core.adapters.base import RebuildOptions, SystemAdapter
 from repro.core.backend.replacement import apply_replacements, install_runtime
 from repro.core.cache.storage import (
@@ -319,6 +320,11 @@ def comtainer_rebuild_entry(ctx) -> int:
         raise ProgramError(f"coMtainer-rebuild: {exc}")
     try:
         models, sources, resolved = decode_cache(layout, dist_tag)
+    except IntegrityError:
+        # A corrupt cache blob must stay *typed* all the way out of
+        # engine.run: ProgramError would be flattened into RunResult
+        # stderr, severing the chain the repair engine keys on.
+        raise
     except Exception as exc:
         raise ProgramError(f"coMtainer-rebuild: {exc}")
     journal = None

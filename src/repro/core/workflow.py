@@ -36,6 +36,7 @@ from repro.core.images import (
     rebase_ref,
     sysenv_ref,
 )
+from repro.integrity.repair import RepairEngine
 from repro.oci.layout import OCILayout
 from repro.oci.registry import ImageRegistry
 from repro.perf.runtime import ExecutionReport, PerfRecorder, attach_perf
@@ -414,6 +415,8 @@ class ComtainerSession:
     telemetry: object = None
     _original: Dict[str, str] = field(default_factory=dict)
     _layouts: Dict[str, Tuple[OCILayout, str]] = field(default_factory=dict)
+    _user_layouts: Dict[str, OCILayout] = field(default_factory=dict)
+    _repairers: Dict[str, RepairEngine] = field(default_factory=dict)
     _adapted: Dict[str, str] = field(default_factory=dict)
     _optimized: Dict[str, str] = field(default_factory=dict)
     _native: Dict[str, str] = field(default_factory=dict)
@@ -463,6 +466,9 @@ class ComtainerSession:
         """The extended image layout, transferred to the system side."""
         if app not in self._layouts:
             layout, dist_tag = build_extended_image(self.user_engine, get_app(app))
+            # The user-side layout is never touched by the (system-side)
+            # fault injector, so it doubles as a pristine repair replica.
+            self._user_layouts[app] = layout
             # Distribute via the registry (both manifests of the layout),
             # retrying transient transfer faults under a permissive policy.
             with self.telemetry.span("transfer", app=app):
@@ -472,6 +478,25 @@ class ComtainerSession:
                 )
             self._layouts[app] = (remote, dist_tag)
         return self._layouts[app]
+
+    def repairer(self, app: str) -> RepairEngine:
+        """Repair sources for *app*, best first: registry replica, the
+        pristine user-side layout, then full regeneration via the
+        process-model build path."""
+        if app not in self._repairers:
+            engine = RepairEngine(telemetry=self.telemetry)
+            engine.add_registry(self.registry, label="registry")
+            user_layout = self._user_layouts.get(app)
+            if user_layout is not None:
+                engine.add_layout(user_layout, label="user-layout")
+            engine.add_regenerator(
+                lambda app=app: build_extended_image(
+                    self.user_engine, get_app(app)
+                )[0],
+                label="regenerate",
+            )
+            self._repairers[app] = engine
+        return self._repairers[app]
 
     def adapt(self, app: str, workload: Optional[str] = None) -> str:
         """One traced end-to-end adaptation of *app*.
@@ -492,12 +517,21 @@ class ComtainerSession:
 
     def adapted_image(self, app: str) -> str:
         if app not in self._adapted:
-            layout, dist_tag = self.extended_layout(app)
-            self._adapted[app] = system_side_adapt(
-                self.system_engine, layout, self.system,
-                recorder=self.recorder, flavor=self.flavor,
-                ref=f"{app}:adapted", nodes=self.nodes,
-            )
+            if self._resilience_ctx is not None:
+                # Permissive session: route through the degradation
+                # ladder + repair engine so a corrupt cache blob is
+                # repaired (digest-identical image) or the session
+                # degrades with the IntegrityError on record — it never
+                # adapts silently wrong bytes.
+                report = self.resilient_adapt(app, ref=f"{app}:adapted")
+                self._adapted[app] = report.ref
+            else:
+                layout, dist_tag = self.extended_layout(app)
+                self._adapted[app] = system_side_adapt(
+                    self.system_engine, layout, self.system,
+                    recorder=self.recorder, flavor=self.flavor,
+                    ref=f"{app}:adapted", nodes=self.nodes,
+                )
         return self._adapted[app]
 
     def optimized_image(self, workload: str) -> str:
@@ -529,6 +563,7 @@ class ComtainerSession:
             ctx=self._resilience_ctx, recorder=self.recorder,
             lto=lto, pgo_workload=pgo_workload, flavor=self.flavor,
             ref=ref or f"{app}:resilient", nodes=self.nodes,
+            repair=self.repairer(app),
         )
         self.resilience_reports.append(report)
         return report

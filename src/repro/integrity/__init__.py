@@ -1,0 +1,135 @@
+"""Integrity & crash-consistency layer: typed corruption diagnostics.
+
+coMtainer's contract is that the extended image survives the
+user->registry->HPC-system round trip *byte-exact*: the cache layer of
+process models is the input to the system-side rebuild, so silently
+wrong bytes mean silently wrong adaptation.  This package makes every
+persistence and transfer path corruption-*detecting* (verified reads
+raising :class:`IntegrityError` instead of returning wrong bytes) and
+self-*healing* (quarantine + :class:`repro.integrity.repair.RepairEngine`
++ ``coMtainer fsck``).  See ``docs/RESILIENCE.md`` for the fault sites
+and repair semantics.
+
+This module is intentionally a leaf: it defines only the typed error and
+finding objects so low-level substrates (``repro.oci.blobs``) can import
+them without cycles.  The repair engine and fsck driver live in the
+``repair`` and ``fsck`` submodules and are re-exported lazily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+# Finding kinds, in rough order of severity.
+KIND_DIGEST_MISMATCH = "digest-mismatch"
+KIND_SIZE_MISMATCH = "size-mismatch"
+KIND_CHECKSUM_MISMATCH = "checksum-mismatch"
+KIND_UNPARSEABLE = "unparseable"
+KIND_MISSING = "missing"
+KIND_ORPHANED = "orphaned"
+KIND_QUARANTINED = "quarantined"
+
+
+@dataclass(frozen=True)
+class IntegrityFinding:
+    """One verified-integrity problem: what object, what kind, what detail.
+
+    ``digest`` identifies the object (a blob digest, or a layout-relative
+    path for on-disk files that are not content-addressed), ``kind`` is
+    one of the ``KIND_*`` constants, and ``detail`` is the human-readable
+    diagnosis (e.g. the digest the content *actually* hashes to).
+    """
+
+    digest: str
+    kind: str
+    detail: str = ""
+
+    def __str__(self) -> str:
+        text = f"blob {self.digest} {self.kind}"
+        if self.detail:
+            text += f": {self.detail}"
+        return text
+
+    def to_json(self) -> dict:
+        return {"digest": self.digest, "kind": self.kind, "detail": self.detail}
+
+
+class IntegrityError(Exception):
+    """Content failed verification against its declared digest.
+
+    Carries the *site* that detected the corruption (``blob.read``,
+    ``registry.pull``, ``layout.load``, ...), the declared ``digest`` and
+    the diagnostic ``detail`` so reports and repair engines can act on
+    typed data instead of parsing messages.  Deliberately **not**
+    transient: retrying a read of corrupted-at-rest content cannot
+    succeed, so recovery must come from quarantine + repair (or the
+    degradation ladder), never from the retry loop.
+    """
+
+    transient = False
+
+    def __init__(
+        self,
+        site: str,
+        digest: str = "",
+        detail: str = "",
+        finding: Optional[IntegrityFinding] = None,
+    ) -> None:
+        if finding is not None and not digest:
+            digest = finding.digest
+        if finding is not None and not detail:
+            detail = f"{finding.kind}: {finding.detail}" if finding.detail else finding.kind
+        message = f"integrity violation at {site}"
+        if digest:
+            message += f" ({digest})"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+        self.site = site
+        self.digest = digest
+        self.detail = detail
+        self.finding = finding
+
+
+def find_integrity_error(exc: BaseException) -> Optional[IntegrityError]:
+    """Walk an exception's cause/context chain for an :class:`IntegrityError`.
+
+    The rebuild pipeline wraps low-level errors (``ProgramError`` and
+    friends); the degradation ladder uses this to decide whether a failed
+    attempt was a data fault worth routing through the repair engine.
+    """
+    seen = set()
+    current: Optional[BaseException] = exc
+    while current is not None and id(current) not in seen:
+        if isinstance(current, IntegrityError):
+            return current
+        seen.add(id(current))
+        current = current.__cause__ or current.__context__
+    return None
+
+
+def __getattr__(name):
+    """Lazy re-exports of the heavier submodules (avoids import cycles:
+    ``repro.oci.blobs`` imports this package at module load)."""
+    from importlib import import_module
+
+    for module_name in ("repair", "fsck"):
+        module = import_module(f"{__name__}.{module_name}")
+        if hasattr(module, name):
+            return getattr(module, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "KIND_CHECKSUM_MISMATCH",
+    "KIND_DIGEST_MISMATCH",
+    "KIND_MISSING",
+    "KIND_ORPHANED",
+    "KIND_QUARANTINED",
+    "KIND_SIZE_MISMATCH",
+    "KIND_UNPARSEABLE",
+    "IntegrityError",
+    "IntegrityFinding",
+    "find_integrity_error",
+]

@@ -3,19 +3,37 @@
 A blob is either raw JSON bytes (configs, manifests) or a :class:`Layer`
 object (the simulated tarball).  Both expose digest/size/media-type, so the
 store behaves like an OCI blob directory.
+
+Reads are **verified**: :meth:`BlobStore.get` re-hashes content against
+its declared digest (memoized per digest, invalidated on every write) and
+raises a typed :class:`repro.integrity.IntegrityError` instead of ever
+returning silently wrong bytes.  Corrupt blobs can be quarantined — kept
+for forensics and repair, but unreachable through normal reads — by the
+integrity layer (:mod:`repro.integrity.repair`).
 """
 
 from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union
 
+from repro.integrity import (
+    KIND_DIGEST_MISMATCH,
+    KIND_QUARANTINED,
+    KIND_SIZE_MISMATCH,
+    IntegrityError,
+    IntegrityFinding,
+)
 from repro.oci import mediatypes
 from repro.oci.digest import digest_bytes
 from repro.oci.image import Descriptor
 from repro.oci.layer import Layer
 from repro.telemetry import NULL_TELEMETRY
+
+#: Process-wide default for :attr:`BlobStore.verify_reads`; the integrity
+#: overhead benchmark flips this to time the unverified baseline.
+VERIFY_READS_DEFAULT = True
 
 
 @dataclass(frozen=True)
@@ -57,6 +75,36 @@ class Blob:
         return json.loads(self.as_bytes().decode("utf-8"))
 
 
+def check_blob(blob: Blob) -> Optional[IntegrityFinding]:
+    """Recompute *blob*'s content identity against its descriptor.
+
+    Layer digests cover entry identities; content types with declared
+    digests (e.g. PaddedContent) are not recomputable from serialized
+    bytes, so for Layer payloads the stored object itself is verified.
+    Returns ``None`` when the blob is intact.
+    """
+    if isinstance(blob.payload, Layer):
+        actual = blob.payload.digest
+        if actual != blob.digest:
+            return IntegrityFinding(
+                digest=blob.digest, kind=KIND_DIGEST_MISMATCH,
+                detail=f"content hashes to {actual}",
+            )
+        return None
+    actual = digest_bytes(blob.payload)
+    if actual != blob.digest:
+        return IntegrityFinding(
+            digest=blob.digest, kind=KIND_DIGEST_MISMATCH,
+            detail=f"content hashes to {actual}",
+        )
+    if len(blob.payload) != blob.size:
+        return IntegrityFinding(
+            digest=blob.digest, kind=KIND_SIZE_MISMATCH,
+            detail=f"declared {blob.size} bytes, stored {len(blob.payload)}",
+        )
+    return None
+
+
 class BlobStore:
     """Digest-keyed blob map with descriptor-checked retrieval."""
 
@@ -64,11 +112,17 @@ class BlobStore:
         self._blobs: Dict[str, Blob] = {}
         #: Optional :class:`repro.resilience.faults.FaultInjector`; armed
         #: *before* any mutation so an injected fault can never leave a
-        #: truncated or half-written blob behind.
+        #: truncated or half-written blob behind.  Corruption faults are
+        #: the exception by design: they mutate the payload *during* the
+        #: put, modelling silent at-rest corruption.
         self.fault_injector = None
         #: Telemetry sink; counts bytes in/out and content-address cache
         #: hits (a put whose digest is already stored moved zero bytes).
         self.telemetry = NULL_TELEMETRY
+        #: Re-hash content on :meth:`get` (memoized per digest).
+        self.verify_reads = VERIFY_READS_DEFAULT
+        self._verified: set = set()
+        self._quarantine: Dict[str, Tuple[Blob, IntegrityFinding]] = {}
 
     def _arm(self, site: str, key: str) -> None:
         if self.fault_injector is not None:
@@ -85,6 +139,19 @@ class BlobStore:
 
     def put(self, blob: Blob) -> Descriptor:
         self._arm("blob.write", blob.digest)
+        inj = self.fault_injector
+        if inj is not None and inj.corrupting("blob.store"):
+            data = blob.as_bytes()
+            mutated = inj.corrupt("blob.store", blob.digest, data)
+            if mutated is not data:
+                # Silent at-rest corruption: the descriptor keeps claiming
+                # the original digest/size; only the payload is wrong.
+                blob = Blob(
+                    media_type=blob.media_type,
+                    digest=blob.digest,
+                    size=blob.size,
+                    payload=mutated,
+                )
         if self.telemetry.enabled:
             m = self.telemetry.metrics
             m.counter("oci_blob_writes_total").inc()
@@ -95,6 +162,7 @@ class BlobStore:
                 m.counter("oci_blob_bytes_written_total").inc(blob.size)
                 m.histogram("oci_blob_size_bytes").observe(blob.size)
         self._blobs[blob.digest] = blob
+        self._verified.discard(blob.digest)
         if self.telemetry.enabled:
             self.telemetry.metrics.gauge("oci_blob_store_blobs").set(len(self._blobs))
         return blob.descriptor()
@@ -105,12 +173,35 @@ class BlobStore:
     def put_layer(self, layer: Layer) -> Descriptor:
         return self.put(Blob.from_layer(layer))
 
-    def get(self, digest: str) -> Blob:
+    def get(self, digest: str, verify: Optional[bool] = None) -> Blob:
         self._arm("blob.read", digest)
+        if digest in self._quarantine:
+            finding = self._quarantine[digest][1]
+            raise IntegrityError(
+                site="blob.read",
+                digest=digest,
+                detail=f"blob is quarantined ({finding.kind}: {finding.detail})",
+                finding=finding,
+            )
         try:
             blob = self._blobs[digest]
         except KeyError:
             raise KeyError(f"blob not found: {digest}") from None
+        if verify is None:
+            verify = self.verify_reads
+        if verify and digest not in self._verified:
+            finding = check_blob(blob)
+            if finding is not None:
+                if self.telemetry.enabled:
+                    self.telemetry.metrics.counter(
+                        "integrity_corruptions_detected_total").inc()
+                    self.telemetry.event(
+                        "integrity.violation", site="blob.read",
+                        digest=digest, kind=finding.kind)
+                raise IntegrityError(site="blob.read", finding=finding)
+            self._verified.add(digest)
+            if self.telemetry.enabled:
+                self.telemetry.metrics.counter("integrity_verifications_total").inc()
         if self.telemetry.enabled:
             m = self.telemetry.metrics
             m.counter("oci_blob_reads_total").inc()
@@ -125,29 +216,62 @@ class BlobStore:
 
     def remove(self, digest: str) -> bool:
         """Drop a blob (garbage collection); True if it was present."""
+        self._verified.discard(digest)
         return self._blobs.pop(digest, None) is not None
 
     def total_size(self) -> int:
         return sum(blob.size for blob in self._blobs.values())
 
-    def verify_integrity(self) -> list:
-        """Recompute every blob's digest; returns a list of problems.
+    # ------------------------------------------------------------------
+    # quarantine (corrupt blobs kept for forensics/repair, unreadable)
+    # ------------------------------------------------------------------
 
-        A mismatch means the store holds truncated or corrupted content —
-        the invariant fault-injection sweeps assert can never happen,
-        because injectors arm *before* a put mutates the map.
+    def quarantine(self, digest: str, finding: Optional[IntegrityFinding] = None) -> bool:
+        """Move a blob out of the readable map into quarantine.
+
+        Quarantined blobs raise :class:`IntegrityError` on :meth:`get`
+        but remain inspectable via :meth:`quarantined_blob` so a repair
+        engine can diff them against a good replica.  Returns True if
+        the blob was present and is now quarantined.
         """
-        problems = []
-        for digest, blob in sorted(self._blobs.items()):
-            if isinstance(blob.payload, Layer):
-                # Layer digests cover entry identities; content types with
-                # declared digests (e.g. PaddedContent) are not recomputable
-                # from serialized bytes, so verify the stored object itself.
-                actual = blob.payload.digest
-            else:
-                actual = digest_bytes(blob.payload)
-            if actual != digest:
-                problems.append(f"blob {digest} content hashes to {actual}")
+        blob = self._blobs.pop(digest, None)
+        if blob is None:
+            return digest in self._quarantine
+        if finding is None:
+            finding = check_blob(blob) or IntegrityFinding(
+                digest=digest, kind=KIND_QUARANTINED, detail="quarantined by caller")
+        self._verified.discard(digest)
+        self._quarantine[digest] = (blob, finding)
+        if self.telemetry.enabled:
+            self.telemetry.metrics.counter("integrity_quarantined_total").inc()
+            self.telemetry.event("integrity.quarantined", digest=digest, kind=finding.kind)
+        return True
+
+    def quarantined(self) -> List[IntegrityFinding]:
+        """Findings for every quarantined blob, sorted by digest."""
+        return [self._quarantine[d][1] for d in sorted(self._quarantine)]
+
+    def quarantined_blob(self, digest: str) -> Optional[Blob]:
+        """The corrupt payload itself, for forensics; None if not held."""
+        entry = self._quarantine.get(digest)
+        return entry[0] if entry else None
+
+    def release_quarantine(self, digest: str) -> bool:
+        """Drop a quarantine entry (after a successful repair replaced it)."""
+        return self._quarantine.pop(digest, None) is not None
+
+    def verify_integrity(self) -> List[IntegrityFinding]:
+        """Recompute every active blob's identity; returns typed findings.
+
+        Bypasses the read-verification memo so a sweep always re-hashes.
+        Quarantined blobs are not re-reported here — they already carry
+        their finding (see :meth:`quarantined`).
+        """
+        problems: List[IntegrityFinding] = []
+        for digest in sorted(self._blobs):
+            finding = check_blob(self._blobs[digest])
+            if finding is not None:
+                problems.append(finding)
         return problems
 
     def copy_into(self, other: "BlobStore") -> int:

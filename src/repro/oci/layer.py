@@ -85,6 +85,15 @@ class LayerEntry:
             obj["mtime"] = self.mtime
             if isinstance(self.content, SyntheticContent):
                 obj["synthetic"] = {"seed": self.content.seed, "size": self.content.size}
+            elif hasattr(self.content, "pad") and hasattr(self.content, "payload"):
+                # PaddedContent serializes *structurally*: its digest covers
+                # (payload, pad), not the materialized bytes, so flattening
+                # to inline data would change the entry identity — and with
+                # it the layer digest — across a save/load round trip.
+                obj["padded"] = {
+                    "payload": base64.b64encode(self.content.payload).decode("ascii"),
+                    "pad": self.content.pad,
+                }
             else:
                 obj["data"] = base64.b64encode(self.content.read()).decode("ascii")
         elif self.kind == KIND_SYMLINK:
@@ -98,6 +107,12 @@ class LayerEntry:
             if "synthetic" in obj:
                 content: FileContent = SyntheticContent(
                     seed=obj["synthetic"]["seed"], declared_size=obj["synthetic"]["size"]
+                )
+            elif "padded" in obj:
+                from repro.toolchain.artifacts import PaddedContent
+
+                content = PaddedContent(
+                    base64.b64decode(obj["padded"]["payload"]), obj["padded"]["pad"]
                 )
             else:
                 content = InlineContent(base64.b64decode(obj.get("data", "")))

@@ -5,21 +5,41 @@ xxx.dist oci:./xxx.dist.oci`` creates one, the user-side ``coMtainer-build``
 adds a ``<tag>+coM`` manifest to its index, and the system-side
 ``coMtainer-rebuild`` adds ``<tag>+coMre``.  The layout can also be saved
 to / loaded from a real directory for inspection.
+
+On-disk persistence is crash-consistent: :meth:`OCILayout.save` stages
+everything in a sibling temp directory with a per-file checksum manifest
+(``checksums.json``) and atomically renames it into place, so readers
+never observe a half-written layout.  :meth:`OCILayout.load` verifies
+every file against that manifest (and every blob against its digest)
+and raises a typed :class:`repro.integrity.IntegrityError` on mismatch.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import shutil
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.integrity import (
+    KIND_CHECKSUM_MISMATCH,
+    KIND_DIGEST_MISMATCH,
+    KIND_MISSING,
+    KIND_UNPARSEABLE,
+    IntegrityError,
+    IntegrityFinding,
+)
 from repro.oci import mediatypes
 from repro.oci.apply import flatten_layers
-from repro.oci.blobs import Blob, BlobStore
+from repro.oci.blobs import Blob, BlobStore, check_blob
+from repro.oci.digest import digest_bytes
 from repro.oci.image import Descriptor, ImageConfig, Manifest
 from repro.oci.layer import Layer
 from repro.vfs import VirtualFilesystem
+
+#: File recording ``{relpath: sha256 digest}`` for every file a save wrote.
+CHECKSUM_MANIFEST = "checksums.json"
 
 
 @dataclass
@@ -37,6 +57,52 @@ class ResolvedImage:
     @property
     def total_layer_size(self) -> int:
         return self.manifest.total_layer_size
+
+    def verify(self) -> List[IntegrityFinding]:
+        """Merkle-style walk: manifest -> config -> layers.
+
+        Re-hashes the resolved config and every layer against the digests
+        the manifest declares, so one corrupt link anywhere in the tree
+        surfaces as a typed finding.
+        """
+        findings: List[IntegrityFinding] = []
+        actual_config = digest_bytes(self.config.to_bytes())
+        if actual_config != self.manifest.config.digest:
+            findings.append(
+                IntegrityFinding(
+                    digest=self.manifest.config.digest,
+                    kind=KIND_DIGEST_MISMATCH,
+                    detail=f"config hashes to {actual_config}",
+                )
+            )
+        if len(self.layers) != len(self.manifest.layers):
+            findings.append(
+                IntegrityFinding(
+                    digest=self.manifest.digest,
+                    kind=KIND_MISSING,
+                    detail=(
+                        f"manifest declares {len(self.manifest.layers)} layers, "
+                        f"resolved {len(self.layers)}"
+                    ),
+                )
+            )
+        for desc, layer in zip(self.manifest.layers, self.layers):
+            if layer.digest != desc.digest:
+                findings.append(
+                    IntegrityFinding(
+                        digest=desc.digest,
+                        kind=KIND_DIGEST_MISMATCH,
+                        detail=f"layer hashes to {layer.digest}",
+                    )
+                )
+        return findings
+
+    def check(self, site: str) -> "ResolvedImage":
+        """Raise :class:`IntegrityError` (first finding) if the tree is bad."""
+        findings = self.verify()
+        if findings:
+            raise IntegrityError(site=site, finding=findings[0])
+        return self
 
 
 class OCILayout:
@@ -143,7 +209,7 @@ class OCILayout:
 
     def audit(self) -> List[str]:
         """Layout invariants: no missing, truncated, or orphaned blobs."""
-        problems = self.blobs.verify_integrity()
+        problems = [str(f) for f in self.blobs.verify_integrity()]
         reachable = self.referenced_digests()
         for digest in reachable:
             if digest not in self.blobs:
@@ -165,41 +231,152 @@ class OCILayout:
         }
 
     def save(self, directory: str) -> None:
-        os.makedirs(os.path.join(directory, "blobs", "sha256"), exist_ok=True)
-        with open(os.path.join(directory, "oci-layout"), "w", encoding="utf-8") as fh:
-            json.dump({"imageLayoutVersion": "1.0.0"}, fh)
-        with open(os.path.join(directory, "index.json"), "w", encoding="utf-8") as fh:
-            json.dump(self.index_json(), fh, indent=2, sort_keys=True)
+        """Crash-consistent save: stage, checksum, atomic rename.
+
+        All files (including a ``checksums.json`` manifest recording the
+        sha256 of each file *as intended*) land in a sibling staging
+        directory first; only a fully-written staging dir is renamed into
+        place, with the previous layout kept aside until the swap
+        completes.  Corruption faults armed at ``layout.save`` mutate the
+        bytes after checksumming — exactly what a failing disk does — so
+        :meth:`load` can detect them.
+        """
+        directory = os.path.normpath(directory)
+        staged = directory + ".saving"
+        backup = directory + ".replaced"
+        inj = self.blobs.fault_injector
+        corrupting = inj is not None and inj.corrupting("layout.save")
+        files: Dict[str, bytes] = {
+            "oci-layout": json.dumps({"imageLayoutVersion": "1.0.0"}).encode("utf-8"),
+            "index.json": json.dumps(
+                self.index_json(), indent=2, sort_keys=True
+            ).encode("utf-8"),
+        }
         for digest in self.blobs.digests():
             blob = self.blobs.get(digest)
-            hexpart = digest.split(":", 1)[1]
-            path = os.path.join(directory, "blobs", "sha256", hexpart)
-            with open(path, "wb") as fh:
-                fh.write(blob.as_bytes())
+            files[f"blobs/sha256/{digest.split(':', 1)[1]}"] = blob.as_bytes()
+        manifest = {
+            "version": 1,
+            "files": {rel: digest_bytes(data) for rel, data in files.items()},
+        }
+        shutil.rmtree(staged, ignore_errors=True)
+        shutil.rmtree(backup, ignore_errors=True)
+        try:
+            os.makedirs(os.path.join(staged, "blobs", "sha256"))
+            for rel in sorted(files):
+                data = files[rel]
+                if corrupting:
+                    data = inj.corrupt("layout.save", rel, data)
+                with open(os.path.join(staged, *rel.split("/")), "wb") as fh:
+                    fh.write(data)
+            with open(
+                os.path.join(staged, CHECKSUM_MANIFEST), "w", encoding="utf-8"
+            ) as fh:
+                json.dump(manifest, fh, indent=2, sort_keys=True)
+            if os.path.exists(directory):
+                os.rename(directory, backup)
+            os.rename(staged, directory)
+        except BaseException:
+            shutil.rmtree(staged, ignore_errors=True)
+            if os.path.exists(backup) and not os.path.exists(directory):
+                os.rename(backup, directory)
+            raise
+        shutil.rmtree(backup, ignore_errors=True)
 
     @staticmethod
-    def load(directory: str) -> "OCILayout":
+    def load(directory: str, verify: bool = True) -> "OCILayout":
+        """Load a saved layout, verifying content unless *verify* is False.
+
+        With *verify* on (the default) every file is checked against the
+        ``checksums.json`` manifest when one exists, and every blob is
+        re-hashed against its filename digest; any mismatch raises a
+        typed :class:`IntegrityError` naming the offending file.  With
+        *verify* off, corrupt or unparseable blobs are loaded best-effort
+        (or skipped) so ``fsck`` can inspect a damaged layout.
+        """
+        checksums: Dict[str, str] = {}
+        manifest_path = os.path.join(directory, CHECKSUM_MANIFEST)
+        if os.path.exists(manifest_path):
+            try:
+                with open(manifest_path, encoding="utf-8") as fh:
+                    checksums = dict(json.load(fh).get("files", {}))
+            except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+                if verify:
+                    raise IntegrityError(
+                        site="layout.load",
+                        digest=CHECKSUM_MANIFEST,
+                        detail=f"checksum manifest unreadable: {exc}",
+                    ) from exc
+
+        def read_file(relpath: str) -> bytes:
+            with open(os.path.join(directory, *relpath.split("/")), "rb") as fh:
+                data = fh.read()
+            if verify and relpath in checksums:
+                actual = digest_bytes(data)
+                if actual != checksums[relpath]:
+                    raise IntegrityError(
+                        site="layout.load",
+                        finding=IntegrityFinding(
+                            digest=relpath,
+                            kind=KIND_CHECKSUM_MISMATCH,
+                            detail=(
+                                f"recorded {checksums[relpath]}, "
+                                f"content hashes to {actual}"
+                            ),
+                        ),
+                    )
+            return data
+
         layout = OCILayout()
-        with open(os.path.join(directory, "index.json"), encoding="utf-8") as fh:
-            index = json.load(fh)
+        index_data = read_file("index.json")
+        try:
+            index = json.loads(index_data.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise IntegrityError(
+                site="layout.load",
+                finding=IntegrityFinding(
+                    digest="index.json", kind=KIND_UNPARSEABLE, detail=str(exc)
+                ),
+            ) from exc
         layout.index = [Descriptor.from_json(d) for d in index.get("manifests", [])]
         blob_dir = os.path.join(directory, "blobs", "sha256")
         if os.path.isdir(blob_dir):
-            for name in os.listdir(blob_dir):
-                with open(os.path.join(blob_dir, name), "rb") as fh:
-                    data = fh.read()
+            for name in sorted(os.listdir(blob_dir)):
+                data = read_file(f"blobs/sha256/{name}")
+                declared = "sha256:" + name
                 media_type = _sniff_media_type(data)
                 if media_type == mediatypes.SIM_LAYER:
-                    layout.blobs.put(
-                        Blob(
-                            media_type=media_type,
-                            digest="sha256:" + name,
-                            size=Layer.from_bytes(data).size,
-                            payload=Layer.from_bytes(data),
-                        )
+                    try:
+                        layer = Layer.from_bytes(data)
+                    except Exception as exc:
+                        if verify:
+                            raise IntegrityError(
+                                site="layout.load",
+                                finding=IntegrityFinding(
+                                    digest=declared,
+                                    kind=KIND_UNPARSEABLE,
+                                    detail=f"layer blob unparseable: {exc}",
+                                ),
+                            ) from exc
+                        continue
+                    blob = Blob(
+                        media_type=media_type,
+                        digest=declared,
+                        size=layer.size,
+                        payload=layer,
                     )
                 else:
-                    layout.blobs.put_bytes(data, media_type)
+                    blob = Blob(
+                        media_type=media_type,
+                        digest=declared,
+                        size=len(data),
+                        payload=data,
+                    )
+                if verify:
+                    finding = check_blob(blob)
+                    if finding is not None:
+                        raise IntegrityError(site="layout.load", finding=finding)
+                layout.blobs.put(blob)
         return layout
 
 

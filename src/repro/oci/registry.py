@@ -7,10 +7,11 @@ end to end.
 
 from __future__ import annotations
 
+import difflib
 from typing import Dict, List, Optional, Tuple
 
 from repro.oci import mediatypes
-from repro.oci.blobs import BlobStore
+from repro.oci.blobs import Blob, BlobStore
 from repro.oci.image import ImageConfig, Manifest
 from repro.oci.layer import Layer
 from repro.oci.layout import OCILayout, ResolvedImage
@@ -25,8 +26,16 @@ class ImageNotFound(RegistryError, KeyError):
     """The requested reference has no manifest in this registry.
 
     Subclasses :class:`KeyError` for backwards compatibility with callers
-    that guarded ``pull`` with ``except KeyError``.
+    that guarded ``pull`` with ``except KeyError``.  When the repository
+    exists but the tag doesn't, ``suggestion`` holds the nearest existing
+    reference (``name:tag``) and the message says so.
     """
+
+    def __init__(self, message: str, suggestion: Optional[str] = None) -> None:
+        if suggestion:
+            message += f" (did you mean {suggestion!r}?)"
+        super().__init__(message)
+        self.suggestion = suggestion
 
     def __str__(self) -> str:   # KeyError would repr() the message
         return Exception.__str__(self)
@@ -83,10 +92,12 @@ class ImageRegistry:
         tele = self.telemetry
         if not tele.enabled:
             self._arm("registry.push", reference)
-            self.blobs.put_bytes(config.to_bytes(), mediatypes.IMAGE_CONFIG)
+            self._transfer(reference, "config",
+                           Blob.from_bytes(config.to_bytes(), mediatypes.IMAGE_CONFIG))
             for layer in layers:
-                self.blobs.put_layer(layer)
-            self.blobs.put_bytes(manifest.to_bytes(), mediatypes.IMAGE_MANIFEST)
+                self._transfer(reference, f"layer/{layer.digest}", Blob.from_layer(layer))
+            self._transfer(reference, "manifest",
+                           Blob.from_bytes(manifest.to_bytes(), mediatypes.IMAGE_MANIFEST))
             digest = manifest.digest
             self._manifests[(name, tag)] = digest
             return digest
@@ -94,10 +105,12 @@ class ImageRegistry:
             self._arm("registry.push", reference)
             config_bytes = config.to_bytes()
             manifest_bytes = manifest.to_bytes()
-            self.blobs.put_bytes(config_bytes, mediatypes.IMAGE_CONFIG)
+            self._transfer(reference, "config",
+                           Blob.from_bytes(config_bytes, mediatypes.IMAGE_CONFIG))
             for layer in layers:
-                self.blobs.put_layer(layer)
-            self.blobs.put_bytes(manifest_bytes, mediatypes.IMAGE_MANIFEST)
+                self._transfer(reference, f"layer/{layer.digest}", Blob.from_layer(layer))
+            self._transfer(reference, "manifest",
+                           Blob.from_bytes(manifest_bytes, mediatypes.IMAGE_MANIFEST))
             digest = manifest.digest
             self._manifests[(name, tag)] = digest
             pushed = (len(config_bytes) + len(manifest_bytes)
@@ -134,16 +147,52 @@ class ImageRegistry:
             m.counter("registry_pull_bytes_total").inc(pulled)
             return resolved
 
+    def _transfer(self, reference: str, label: str, blob: Blob) -> None:
+        """Store one blob of a push, subject to transfer-corruption faults.
+
+        A fired ``registry.transfer`` corruption keeps the *declared*
+        digest/size (that is what the wire protocol claims) but mutates
+        the payload, modelling a transfer that went bad undetected.
+        """
+        inj = self.fault_injector
+        if inj is not None and inj.corrupting("registry.transfer"):
+            data = blob.as_bytes()
+            mutated = inj.corrupt("registry.transfer", f"{reference}#{label}", data)
+            if mutated is not data:
+                blob = Blob(
+                    media_type=blob.media_type,
+                    digest=blob.digest,
+                    size=blob.size,
+                    payload=mutated,
+                )
+        self.blobs.put(blob)
+
+    def _nearest_tag(self, name: str, tag: str) -> Optional[str]:
+        """Nearest existing ``name:tag`` when the repo exists; else None."""
+        tags = self.tags(name)
+        if not tags:
+            return None
+        matches = difflib.get_close_matches(tag, tags, n=1, cutoff=0.0)
+        return f"{name}:{matches[0]}" if matches else None
+
     def _pull_inner(self, name: str, tag: str, reference: str) -> ResolvedImage:
         self._arm("registry.pull", reference)
         try:
             digest = self._manifests[(name, tag)]
         except KeyError:
-            raise ImageNotFound(f"image not found in registry: {reference!r}") from None
+            raise ImageNotFound(
+                f"image not found in registry: {reference!r}",
+                suggestion=self._nearest_tag(name, tag),
+            ) from None
         manifest = Manifest.from_json(self.blobs.get(digest).as_json())
         config = ImageConfig.from_json(self.blobs.get(manifest.config.digest).as_json())
         layers = [self.blobs.get_layer(ld.digest) for ld in manifest.layers]
-        return ResolvedImage(manifest=manifest, config=config, layers=layers)
+        resolved = ResolvedImage(manifest=manifest, config=config, layers=layers)
+        if self.blobs.verify_reads:
+            # Merkle walk: even content that individually hashed clean must
+            # chain manifest -> config -> layers before a pull returns it.
+            resolved.check("registry.pull")
+        return resolved
 
     def pull_to_layout(self, reference: str) -> OCILayout:
         _, tag = parse_reference(reference)
@@ -177,7 +226,7 @@ class ImageRegistry:
         Chaos tests assert this stays empty no matter where transfers were
         interrupted — a retried push must never strand partial state.
         """
-        problems = self.blobs.verify_integrity()
+        problems = [str(f) for f in self.blobs.verify_integrity()]
         reachable = self.referenced_digests()
         for digest in reachable:
             if digest not in self.blobs:

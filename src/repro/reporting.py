@@ -146,6 +146,9 @@ def render_resilience_report(report) -> str:
         ("failed nodes", len(report.failed_nodes)),
         ("fallback artifacts", len(report.fallback_paths)),
         ("journal-restored nodes", len(report.restored_nodes)),
+        ("corruptions detected", len(report.integrity_errors)),
+        ("blobs repaired", len(report.repaired_digests)),
+        ("blobs quarantined", len(report.quarantined_digests)),
         ("simulated backoff (s)", report.simulated_seconds),
     ]
     lines = [render_table((f"adaptation of {report.tag}", "value"), rows)]
@@ -163,6 +166,35 @@ def resilience_rows(reports) -> List[Tuple]:
         )
         for r in reports
     ]
+
+
+def fsck_rows(report) -> List[Tuple[str, object]]:
+    """(category, count/detail) rows for one ``coMtainer fsck`` pass."""
+    return [
+        ("scanned", report.scanned),
+        ("corrupt (initial)", len(report.initial_findings)),
+        ("corrupt (remaining)", len(report.findings)),
+        ("quarantined", len(report.quarantined)),
+        ("repaired", len(report.repaired)),
+        ("repair failures", len(report.failed)),
+        ("missing referenced", len(report.missing)),
+        ("orphaned", len(report.orphaned)),
+        ("verdict", "clean" if report.clean else "CORRUPT"),
+    ]
+
+
+def render_fsck_report(report) -> str:
+    """One :class:`repro.integrity.fsck.FsckReport` as aligned text."""
+    lines = [render_table((f"fsck {report.target}", "value"), fsck_rows(report))]
+    for finding in report.findings:
+        lines.append(f"  corrupt : {finding}")
+    for outcome in report.repaired:
+        lines.append(f"  repaired: {outcome.digest} (from {outcome.source})")
+    for outcome in report.failed:
+        lines.append(f"  FAILED  : {outcome.digest} ({outcome.detail})")
+    for digest in report.missing:
+        lines.append(f"  missing : {digest}")
+    return "\n".join(lines)
 
 
 # ---------------------------------------------------------------------------

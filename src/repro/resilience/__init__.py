@@ -21,13 +21,17 @@ from repro.resilience.degrade import (
 )
 from repro.resilience.faults import (
     ALL_SITES,
+    CORRUPTION_MODES,
+    CORRUPTION_SITES,
     EXEC_SITES,
     TRANSFER_SITES,
+    CorruptionSpec,
     FaultInjector,
     FaultSpec,
     InjectedFault,
     PersistentFault,
     TransientFault,
+    corrupt_payload,
 )
 from repro.resilience.journal import RebuildJournal, has_journal
 from repro.resilience.retry import (
@@ -41,8 +45,12 @@ from repro.resilience.retry import (
 
 __all__ = [
     "ALL_SITES",
+    "CORRUPTION_MODES",
+    "CORRUPTION_SITES",
     "EXEC_SITES",
     "TRANSFER_SITES",
+    "CorruptionSpec",
+    "corrupt_payload",
     "RUNG_FULL",
     "RUNG_GENERIC",
     "RUNG_ORDER",

@@ -29,6 +29,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.integrity import find_integrity_error
 from repro.resilience.faults import FaultInjector
 from repro.resilience.retry import (
     RetryPolicy,
@@ -145,6 +146,13 @@ class ResilienceReport:
     restored_nodes: List[str] = field(default_factory=list)
     faults_seen: Dict[str, int] = field(default_factory=dict)
     simulated_seconds: float = 0.0
+    #: Typed corruption detections hit during the session (str of each
+    #: :class:`repro.integrity.IntegrityError`), best rung first.
+    integrity_errors: List[str] = field(default_factory=list)
+    #: Digests the repair engine restored to a verified state.
+    repaired_digests: List[str] = field(default_factory=list)
+    #: Digests left quarantined (corrupt, no source could repair them).
+    quarantined_digests: List[str] = field(default_factory=list)
 
     def to_json(self) -> dict:
         return {
@@ -158,6 +166,9 @@ class ResilienceReport:
             "restored_nodes": list(self.restored_nodes),
             "faults_seen": dict(self.faults_seen),
             "simulated_seconds": self.simulated_seconds,
+            "integrity_errors": list(self.integrity_errors),
+            "repaired_digests": list(self.repaired_digests),
+            "quarantined_digests": list(self.quarantined_digests),
         }
 
     def summary(self) -> str:
@@ -168,6 +179,12 @@ class ResilienceReport:
             bits.append(f"{len(self.restored_nodes)} nodes resumed from journal")
         if self.retries:
             bits.append(f"{sum(self.retries.values())} retries")
+        if self.integrity_errors:
+            bits.append(f"{len(self.integrity_errors)} corruptions detected")
+        if self.repaired_digests:
+            bits.append(f"{len(self.repaired_digests)} blobs repaired")
+        if self.quarantined_digests:
+            bits.append(f"{len(self.quarantined_digests)} blobs quarantined")
         return "; ".join(bits)
 
 
@@ -201,13 +218,18 @@ def uninstall_resilience(registry=None, engines=()) -> None:
         engine.resilience = None
 
 
-def resilient_transfer(registry, layout, name, tags, ctx=None):
+def resilient_transfer(registry, layout, name, tags, ctx=None, repair=None):
     """Push *tags* of *layout* through *registry* and pull them back.
 
     This is the distribution step of Figure 5 (user side -> repository ->
     system side).  Under a permissive context every push and pull is
     retried on transient transfer errors; under a strict (or absent)
     context the behaviour is the plain one-shot transfer.
+
+    A pull that fails on a typed ``IntegrityError`` (the transfer
+    corrupted a blob in the registry) is self-healing in permissive mode:
+    the push *source* layout still holds the pristine bytes, so the
+    corrupt registry blobs are repaired from it and the pull retried once.
     """
     from repro.oci.layout import OCILayout
 
@@ -226,7 +248,27 @@ def resilient_transfer(registry, layout, name, tags, ctx=None):
             resolved = pull()
         else:
             ctx.retry(push, site="registry.push")
-            resolved = ctx.retry(pull, site="registry.pull")
+            try:
+                resolved = ctx.retry(pull, site="registry.pull")
+            except Exception as exc:
+                if find_integrity_error(exc) is None:
+                    raise
+                from repro.integrity.repair import RepairEngine
+
+                engine = repair or RepairEngine().add_layout(
+                    layout, label="push-source"
+                )
+                outcomes = [
+                    engine.repair_blob(registry.blobs, finding.digest, ctx=ctx)
+                    for finding in registry.blobs.verify_integrity()
+                ]
+                if not any(o.repaired for o in outcomes):
+                    raise
+                logger.warning(
+                    "transfer of %s corrupted %d registry blobs; repaired "
+                    "from push source", reference, len(outcomes),
+                )
+                resolved = ctx.retry(pull, site="registry.pull")
         remote.add_manifest(resolved.manifest, resolved.config, resolved.layers, tag=tag)
     return remote
 
@@ -275,6 +317,34 @@ def _redirect_only(engine, layout, dist_tag, system, flavor, ref, ctx) -> str:
         engine.remove_container(ctr.name)
 
 
+def _note_integrity(report, exc, layout, repair, ctx, tele) -> bool:
+    """Record a typed corruption behind *exc*; attempt repair if possible.
+
+    Returns True when the repair engine restored at least one blob (the
+    caller should retry the failed rung once — the data fault is gone).
+    """
+    ierr = find_integrity_error(exc)
+    if ierr is None:
+        return False
+    report.integrity_errors.append(str(ierr))
+    tele.event("integrity.detected", site=ierr.site, digest=ierr.digest,
+               detail=ierr.detail)
+    if tele.enabled:
+        tele.metrics.counter("resilience_integrity_errors_total").inc()
+    if repair is None:
+        return False
+    outcomes = repair.repair_layout(layout, ctx=ctx)
+    fixed = [o.digest for o in outcomes
+             if o.repaired and o.detail != "already intact"]
+    report.repaired_digests.extend(fixed)
+    report.quarantined_digests = [
+        f.digest for f in layout.blobs.quarantined()
+    ]
+    if fixed:
+        logger.warning("repaired %d corrupt blobs after %s", len(fixed), ierr)
+    return bool(fixed)
+
+
 def adapt_with_resilience(
     engine,
     layout,
@@ -286,12 +356,16 @@ def adapt_with_resilience(
     flavor: str = "vendor",
     ref: Optional[str] = None,
     nodes: int = 16,
+    repair=None,
 ) -> ResilienceReport:
     """System-side adaptation that always terminates with a runnable image.
 
     With a strict (or absent) context this is exactly
     :func:`repro.core.workflow.system_side_adapt` — errors propagate.
     With a permissive context the ladder walks rungs until one holds.
+    When a :class:`repro.integrity.repair.RepairEngine` is supplied, a
+    rung that fails on a typed ``IntegrityError`` gets one repair pass
+    over the layout and one retry before the ladder descends.
     """
     from repro.core import workflow as wf
     from repro.core.cache.storage import decode_rebuild, find_dist_tag
@@ -330,15 +404,29 @@ def adapt_with_resilience(
                 extra_rebuild_args=extra_args,
             )
 
-        try:
-            adapted_ref = ctx.retry(run_attempt, site="adapt")
-            degraded_options = (attempt_lto, attempt_pgo) != (lto, pgo_workload)
+        for repair_round in range(2):
+            try:
+                adapted_ref = ctx.retry(run_attempt, site="adapt")
+                degraded_options = (attempt_lto, attempt_pgo) != (lto, pgo_workload)
+                break
+            except Exception as exc:
+                fixed = _note_integrity(
+                    report, exc, layout,
+                    repair if repair_round == 0 else None, ctx, tele,
+                )
+                if fixed:
+                    report.reasons.append(
+                        f"{label} hit corruption, repaired and retrying: {exc}"
+                    )
+                    continue
+                report.reasons.append(f"{label} failed: {exc}")
+                tele.event("degradation.attempt_failed", tag=dist_tag,
+                           label=label, error=str(exc))
+                logger.warning("%s of %s failed, degrading: %s",
+                               label, dist_tag, exc)
+                break
+        if adapted_ref is not None:
             break
-        except Exception as exc:
-            report.reasons.append(f"{label} failed: {exc}")
-            tele.event("degradation.attempt_failed", tag=dist_tag,
-                       label=label, error=str(exc))
-            logger.warning("%s of %s failed, degrading: %s", label, dist_tag, exc)
 
     if adapted_ref is not None:
         meta = decode_rebuild(layout, dist_tag)[0]
@@ -356,6 +444,7 @@ def adapt_with_resilience(
             )
             report.rung = RUNG_REDIRECT_ONLY
         except Exception as exc:
+            _note_integrity(report, exc, layout, repair, ctx, tele)
             report.reasons.append(f"redirect-only failed: {exc}")
             tele.event("degradation.attempt_failed", tag=dist_tag,
                        label="redirect-only", error=str(exc))

@@ -27,6 +27,27 @@ faults — a registry that has permanently lost the extended image leaves no
 image at all to degrade to, which is outside the paper's fault model (the
 extended image *by construction* carries a runnable generic dist image).
 
+A third family models *data* faults rather than operation failures:
+**corruption** faults mutate payload bytes flowing through a persistence
+site instead of raising.  They are consulted through
+:meth:`FaultInjector.corrupt` at four sites —
+
+====================  =====================================================
+site                  consulted by
+====================  =====================================================
+``blob.store``        :meth:`repro.oci.blobs.BlobStore.put`
+``registry.transfer`` :meth:`repro.oci.registry.ImageRegistry.push`
+``layout.save``       :meth:`repro.oci.layout.OCILayout.save` (per file)
+``journal.append``    :meth:`repro.resilience.journal.RebuildJournal.flush`
+====================  =====================================================
+
+— in three modes: ``bitflip`` (one flipped bit), ``truncate`` (content
+strictly shorter than declared) and ``torn`` (an interrupted write: the
+prefix lands, the tail is garbage of the original length).  Corruption is
+silent by design; detection is the job of the verified-read layer
+(:mod:`repro.integrity`), which re-hashes content against its declared
+digest and raises a typed ``IntegrityError``.
+
 Everything is derived from a single integer seed through one private
 ``random.Random`` stream, so a chaos sweep replays identically run to run
 as long as the (single-threaded, simulated) pipeline arms the same sites
@@ -49,6 +70,14 @@ TRANSFER_SITES = frozenset({"registry.push", "registry.pull", "blob.read", "blob
 EXEC_SITES = frozenset({"container.run", "rebuild.node"})
 
 ALL_SITES = TRANSFER_SITES | EXEC_SITES
+
+#: Sites where payload bytes can be silently corrupted in flight/at rest.
+CORRUPTION_SITES = frozenset(
+    {"blob.store", "registry.transfer", "layout.save", "journal.append"}
+)
+
+#: The corruption fault family, in seeded-pick order.
+CORRUPTION_MODES = ("bitflip", "truncate", "torn")
 
 
 class InjectedFault(Exception):
@@ -100,12 +129,54 @@ class FaultSpec:
 
 
 @dataclass
+class CorruptionSpec:
+    """A scripted corruption: mutate bytes at *site* whenever *match*
+    occurs in the key.
+
+    ``mode`` is one of :data:`CORRUPTION_MODES`; ``times`` bounds how
+    often the spec fires (negative means forever).  Scripted corruptions
+    are checked before the seeded random stream, so tests can target one
+    specific blob digest or file path.
+    """
+
+    site: str
+    mode: str = "bitflip"
+    match: str = ""
+    times: int = 1
+
+
+@dataclass
 class FaultRecord:
     """One fired fault, for post-hoc inspection."""
 
     site: str
     key: str
     kind: str
+
+
+def corrupt_payload(data: bytes, mode: str, rng: random.Random) -> bytes:
+    """Apply one corruption *mode* to *data*; always returns different bytes.
+
+    ``bitflip`` flips a single seeded bit, ``truncate`` drops a seeded
+    number of trailing bytes (strictly shorter, possibly empty), and
+    ``torn`` models an interrupted write: the seeded prefix survives, the
+    tail of the original length is filler (so declared sizes still match
+    but content does not).
+    """
+    if not data:
+        return data
+    if mode == "bitflip":
+        i = rng.randrange(len(data))
+        return data[:i] + bytes([data[i] ^ (1 << rng.randrange(8))]) + data[i + 1:]
+    if mode == "truncate":
+        return data[: rng.randrange(len(data))]
+    if mode == "torn":
+        cut = rng.randrange(1, len(data)) if len(data) > 1 else 0
+        mutated = data[:cut] + b"\x00" * (len(data) - cut)
+        if mutated == data:   # the original tail was already zeros
+            mutated = data[:cut] + b"\xff" * (len(data) - cut)
+        return mutated
+    raise ValueError(f"unknown corruption mode {mode!r}")
 
 
 class FaultInjector:
@@ -119,6 +190,9 @@ class FaultInjector:
         sites: frozenset = ALL_SITES,
         max_burst: int = 2,
         specs: Optional[List[FaultSpec]] = None,
+        corruption_rate: float = 0.0,
+        corruption_sites: frozenset = CORRUPTION_SITES,
+        corruptions: Optional[List[CorruptionSpec]] = None,
     ) -> None:
         self.seed = seed
         self.rate = rate
@@ -126,6 +200,9 @@ class FaultInjector:
         self.sites = frozenset(sites)
         self.max_burst = max_burst
         self.specs: List[FaultSpec] = list(specs or [])
+        self.corruption_rate = corruption_rate
+        self.corruption_sites = frozenset(corruption_sites)
+        self.corruptions: List[CorruptionSpec] = list(corruptions or [])
         self.enabled = True
         self.log: List[FaultRecord] = []
         #: Telemetry recorder; fired faults land a ``fault.fired`` event
@@ -190,6 +267,54 @@ class FaultInjector:
         # get through eventually.
         self._bursts[ident] = self._rng.randint(1, self.max_burst) - 1
         self._fire(site, key, "transient")
+
+    # ------------------------------------------------------------------
+    # corruption faults (silent data mutation; see repro.integrity)
+    # ------------------------------------------------------------------
+
+    def corrupting(self, site: str) -> bool:
+        """Cheap precheck: could :meth:`corrupt` ever mutate at *site*?
+
+        Persistence paths call this before serializing payloads, so an
+        injector armed only for operation faults costs nothing extra.
+        """
+        if not self.enabled:
+            return False
+        if any(spec.site == site and spec.times != 0 for spec in self.corruptions):
+            return True
+        return self.corruption_rate > 0.0 and site in self.corruption_sites
+
+    def corrupt(self, site: str, key: str, data: bytes) -> bytes:
+        """Maybe corrupt payload bytes flowing through *site*.
+
+        Returns *data* itself (same object) when nothing fires, so callers
+        can use an identity check to skip re-wrapping.  Fired corruptions
+        are recorded in the log as ``corrupt-<mode>`` and never raise —
+        silent wrongness is the whole point of the fault family.
+        """
+        if not self.enabled or not data:
+            return data
+        mode: Optional[str] = None
+        for spec in self.corruptions:
+            if spec.site != site or spec.match not in key or spec.times == 0:
+                continue
+            if spec.times > 0:
+                spec.times -= 1
+            mode = spec.mode
+            break
+        if mode is None:
+            if (site in self.corruption_sites and self.corruption_rate > 0.0
+                    and self._rng.random() < self.corruption_rate):
+                mode = CORRUPTION_MODES[self._rng.randrange(len(CORRUPTION_MODES))]
+            else:
+                return data
+        mutated = corrupt_payload(data, mode, self._rng)
+        self.log.append(FaultRecord(site=site, key=key, kind=f"corrupt-{mode}"))
+        if self.telemetry.enabled:
+            self.telemetry.event("fault.corrupted", site=site, key=key, mode=mode)
+            self.telemetry.metrics.counter(
+                "resilience_corruptions_injected_total").inc()
+        return mutated
 
     # ------------------------------------------------------------------
 

@@ -14,21 +14,25 @@ index through a descriptor that carries the
 ``layout.tags()``, ``find_dist_tag`` and registry pushes, yet survives
 ``layout.save()``/``load()`` round trips.
 
-Journal blob format (``application/vnd.comtainer.rebuild-journal.v1+json``)::
+Journal blob format (``application/vnd.comtainer.rebuild-journal.v1+json``)
+is **JSONL** — one header line plus one self-contained line per node::
 
-    {
-      "version": 1,
-      "dist_tag": "<app>.dist",
-      "nodes": {
-        "<node-id>": {
-          "digest":  "<transformed-command digest>",
-          "path":    "/src/main.o",
-          "mode":    493,
-          "content": {"kind": "padded", "payload": "<base64>", "pad": 81920}
-        },
-        ...
-      }
-    }
+    {"dist_tag": "<app>.dist", "version": 2}
+    {"node": "<id>", "digest": "...", "path": "/src/main.o", "mode": 493,
+     "content": {"kind": "padded", "payload": "<base64>", "pad": 81920},
+     "content_digest": "sha256:..."}
+    ...
+
+The line-oriented format exists for crash consistency: a torn or
+bit-flipped journal write damages *lines*, not the whole document, so a
+resume salvages every parseable entry instead of crashing on
+``json.loads`` — unparseable or structurally invalid lines are counted
+in :attr:`RebuildJournal.torn_entries_dropped` and recompiled.  Each
+line also records its reconstructed content's digest: a flipped bit
+inside a base64 payload can survive both the JSON parse and the
+structural check, so an entry is only reused when its content hashes to
+what was checkpointed.  Version-1 journals (one JSON dict) are still
+read.
 
 Content is serialized *structurally* — a compiler artifact is a small JSON
 payload plus a declared whitespace pad, and synthetic bulk content is just
@@ -57,7 +61,94 @@ from repro.oci.layout import OCILayout
 from repro.toolchain.artifacts import PaddedContent
 from repro.vfs.content import FileContent, InlineContent, SyntheticContent
 
-JOURNAL_VERSION = 1
+JOURNAL_VERSION = 2
+
+_ENTRY_KEYS = ("digest", "path", "mode", "content")
+#: Persisted per entry; ``content_digest`` is optional for v1 compat.
+_STORE_KEYS = _ENTRY_KEYS + ("content_digest",)
+_CONTENT_KINDS = frozenset({"padded", "synthetic", "inline"})
+
+
+def _valid_entry(entry: object) -> bool:
+    """Structural check for one journal line before trusting it."""
+    if not isinstance(entry, dict) or not isinstance(entry.get("node"), str):
+        return False
+    if not all(key in entry for key in _ENTRY_KEYS):
+        return False
+    if not isinstance(entry["digest"], str) or not isinstance(entry["path"], str):
+        return False
+    if not isinstance(entry["mode"], int):
+        return False
+    content = entry["content"]
+    return isinstance(content, dict) and content.get("kind") in _CONTENT_KINDS
+
+
+def _content_intact(entry: dict) -> bool:
+    """Reconstruct the entry's content and check it against its recorded
+    digest.
+
+    A flipped bit inside a base64 payload survives the structural check —
+    and may even still *decode* — so the line is only trusted when the
+    rebuilt content hashes to what was recorded at checkpoint time.
+    Entries without a recorded content digest (version-1 journals) only
+    need to decode.
+    """
+    try:
+        content = _decode_content(entry["content"])
+    except Exception:
+        return False
+    expected = entry.get("content_digest")
+    try:
+        return expected is None or content.digest == expected
+    except Exception:
+        return False
+
+
+def _parse_journal(data: bytes) -> Tuple[Dict[str, dict], int]:
+    """Salvage (nodes, dropped_line_count) from journal bytes.
+
+    Tolerates torn/partial trailing entries and flipped bits: every line
+    that fails to decode, parse, or validate is dropped (and counted) and
+    the rest of the journal is still used.
+    """
+    lines = data.split(b"\n")
+    dropped = 0
+    start = 0
+    try:
+        header = json.loads(lines[0].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        header = None
+        dropped += 1
+        start = 1
+    else:
+        if isinstance(header, dict) and header.get("version") == 1:
+            # Version-1 journal: the whole payload is one dict.
+            nodes = header.get("nodes", {})
+            good = {
+                nid: entry
+                for nid, entry in nodes.items()
+                if _valid_entry({"node": nid, **entry})
+                and _content_intact(entry)
+            } if isinstance(nodes, dict) else {}
+            bad = len(nodes) - len(good) if isinstance(nodes, dict) else 1
+            return good, bad
+        start = 1
+    nodes: Dict[str, dict] = {}
+    for raw in lines[start:]:
+        if not raw.strip(b" \t\r\x00"):
+            continue
+        try:
+            entry = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            dropped += 1
+            continue
+        if not _valid_entry(entry) or not _content_intact(entry):
+            dropped += 1
+            continue
+        nodes[entry["node"]] = {
+            key: entry[key] for key in _STORE_KEYS if key in entry
+        }
+    return nodes, dropped
 
 
 def _encode_content(content: FileContent) -> dict:
@@ -103,13 +194,16 @@ class RebuildJournal:
         self.layout = layout
         self.dist_tag = dist_tag
         self._nodes: Dict[str, dict] = {}
+        #: Journal lines dropped during load because they were torn,
+        #: bit-flipped, or structurally invalid; those nodes recompile.
+        self.torn_entries_dropped = 0
         desc = _find_descriptor(layout, dist_tag)
         if desc is not None:
             blob = layout.blobs.try_get(desc.digest)
             if blob is not None:
-                payload = json.loads(blob.as_bytes().decode("utf-8"))
-                if payload.get("version") == JOURNAL_VERSION:
-                    self._nodes = dict(payload.get("nodes", {}))
+                self._nodes, self.torn_entries_dropped = _parse_journal(
+                    blob.as_bytes()
+                )
 
     # -- queries -----------------------------------------------------------
 
@@ -137,6 +231,7 @@ class RebuildJournal:
             "path": path,
             "mode": mode,
             "content": _encode_content(content),
+            "content_digest": content.digest,
         }
 
     def flush(self) -> None:
@@ -144,12 +239,23 @@ class RebuildJournal:
         old = _find_descriptor(self.layout, self.dist_tag)
         if old is not None:
             _drop_descriptor(self.layout, old)
-        payload = {
-            "version": JOURNAL_VERSION,
-            "dist_tag": self.dist_tag,
-            "nodes": self._nodes,
-        }
-        data = json.dumps(payload, sort_keys=True).encode("utf-8")
+        lines = [
+            json.dumps(
+                {"version": JOURNAL_VERSION, "dist_tag": self.dist_tag},
+                sort_keys=True,
+            )
+        ]
+        for node_id in sorted(self._nodes):
+            lines.append(
+                json.dumps({"node": node_id, **self._nodes[node_id]}, sort_keys=True)
+            )
+        data = ("\n".join(lines) + "\n").encode("utf-8")
+        inj = self.layout.blobs.fault_injector
+        if inj is not None and inj.corrupting("journal.append"):
+            # The digest below is computed over whatever bytes actually
+            # landed, so the blob store stays self-consistent; the damage
+            # surfaces as dropped lines on the next resume.
+            data = inj.corrupt("journal.append", self.dist_tag, data)
         desc = self.layout.blobs.put_bytes(data, mediatypes.REBUILD_JOURNAL)
         self.layout.index.append(
             Descriptor(
