@@ -8,6 +8,7 @@
 #   make metrics - traced adaptation; Prometheus-style metrics dump
 #   make telemetry-bench - the NullTelemetry happy-path overhead check
 #   make integrity-bench - the verified-reads happy-path overhead check
+#   make parallel-bench - wavefront makespan scaling + artifact-cache reuse
 #   make fsck-demo - save a layout, corrupt it on disk, detect and repair
 
 PYTHON ?= python
@@ -17,7 +18,7 @@ CLI     = PYTHONPATH=src $(PYTHON) -m repro.cli
 TRACE_APP ?= lammps
 
 .PHONY: test chaos bench resilience-bench trace metrics telemetry-bench \
-        integrity-bench fsck-demo
+        integrity-bench parallel-bench fsck-demo
 
 test:
 	$(PYTEST) -x -q
@@ -43,6 +44,9 @@ telemetry-bench:
 
 integrity-bench:
 	$(PYTEST) benchmarks/bench_integrity_overhead.py -q -s
+
+parallel-bench:
+	$(PYTEST) benchmarks/bench_parallel_rebuild.py -q -s
 
 fsck-demo:
 	PYTHONPATH=src $(PYTHON) examples/fsck_demo.py

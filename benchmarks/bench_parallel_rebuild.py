@@ -1,0 +1,169 @@
+"""Parallel rebuild — wavefront makespan scaling and artifact-cache reuse.
+
+Three checks on the scheduler work:
+
+* simulated makespan scales with ``--jobs``: the lammps rebuild at
+  ``--jobs=8`` must finish in at most half the ``--jobs=1`` simulated
+  time (the graph is wide: one wavefront holds every translation unit);
+* a warm artifact cache turns the second cold rebuild of the same image
+  into pure cache service — zero executed compile nodes;
+* the machinery costs (almost) nothing when unused: a ``--jobs=1``
+  rebuild with the cache enabled stays within 5% wall-clock of
+  ``--no-cache``.
+"""
+
+import re
+import time
+
+import pytest
+
+from repro.apps import get_app
+from repro.containers import ContainerEngine
+from repro.core.cache.artifacts import attach_artifact_cache, publish_artifact_cache
+from repro.core.cache.storage import decode_rebuild, extended_tag
+from repro.core.frontend.build import IO_MOUNT
+from repro.core.images import install_system_side_images, sysenv_ref
+from repro.core.workflow import build_extended_image
+from repro.oci.layout import OCILayout
+from repro.oci.registry import ImageRegistry
+from repro.perf import attach_perf
+from repro.reporting import render_table
+from repro.sysmodel import X86_CLUSTER
+
+ROUNDS = 5
+JOBS_SWEEP = (1, 2, 4, 8)
+
+_SCHEDULE = re.compile(
+    r"schedule jobs=(?P<jobs>\d+) wavefronts=(?P<waves>\d+) "
+    r"width=(?P<width>\d+) makespan=(?P<makespan>[\d.]+)s "
+    r"serial=(?P<serial>[\d.]+)s speedup=(?P<speedup>[\d.]+)x"
+)
+
+
+def _fresh_copy(layout, dist_tag):
+    fresh = OCILayout()
+    for tag in (dist_tag, extended_tag(dist_tag)):
+        resolved = layout.resolve(tag)
+        fresh.add_manifest(resolved.manifest, resolved.config, resolved.layers,
+                           tag=tag)
+    return fresh
+
+
+def _rebuild(engine, layout, args):
+    ctr = engine.from_image(sysenv_ref("x86"), name="par-bench",
+                            mounts={IO_MOUNT: layout})
+    try:
+        return engine.run(ctr, ["coMtainer-rebuild"] + args).check().stdout
+    finally:
+        engine.remove_container("par-bench")
+
+
+def _schedule_stats(stdout):
+    match = _SCHEDULE.search(stdout)
+    assert match, f"no schedule line in: {stdout!r}"
+    return {key: float(val) for key, val in match.groupdict().items()}
+
+
+def _setup():
+    user = ContainerEngine(arch="amd64")
+    layout, dist_tag = build_extended_image(user, get_app("lammps"))
+    engine = ContainerEngine(arch="amd64")
+    attach_perf(engine, X86_CLUSTER)
+    install_system_side_images(engine, X86_CLUSTER)
+    return engine, layout, dist_tag
+
+
+def test_makespan_scales_with_jobs(benchmark, emit):
+    engine, layout, dist_tag = _setup()
+    rows, stats = [], {}
+    for jobs in JOBS_SWEEP:
+        fresh = _fresh_copy(layout, dist_tag)
+        out = _rebuild(engine, fresh,
+                       ["--adapter=vendor", "--no-cache", f"--jobs={jobs}"])
+        s = stats[jobs] = _schedule_stats(out)
+        rows.append((jobs, int(s["waves"]), int(s["width"]),
+                     f"{s['makespan']:.3f}", f"{s['serial']:.3f}",
+                     f"{s['speedup']:.2f}x"))
+    emit("parallel_rebuild_makespan",
+         render_table(["jobs", "wavefronts", "max width", "makespan (s)",
+                       "serial (s)", "speedup"], rows))
+
+    # Serial work is jobs-independent; only its packing changes.
+    serials = {s["serial"] for s in stats.values()}
+    assert len(serials) == 1
+    assert stats[1]["makespan"] == pytest.approx(stats[1]["serial"])
+    # Acceptance: 8 workers at least halve the simulated rebuild time.
+    assert stats[8]["makespan"] * 2 <= stats[1]["makespan"], (
+        f"jobs=8 makespan {stats[8]['makespan']:.3f}s is not 2x better "
+        f"than jobs=1 {stats[1]['makespan']:.3f}s"
+    )
+
+    benchmark.pedantic(
+        _rebuild,
+        args=(engine, _fresh_copy(layout, dist_tag),
+              ["--adapter=vendor", "--no-cache", "--jobs=8"]),
+        rounds=1, iterations=1,
+    )
+
+
+def test_warm_cache_skips_every_compile(emit):
+    engine, layout, dist_tag = _setup()
+
+    cold = _fresh_copy(layout, dist_tag)
+    t0 = time.perf_counter()
+    _rebuild(engine, cold, ["--adapter=vendor"])
+    cold_s = time.perf_counter() - t0
+    cold_meta = decode_rebuild(cold, dist_tag)[0]
+
+    registry = ImageRegistry()
+    assert publish_artifact_cache(registry, "repro/lammps", cold, dist_tag)
+    warm = _fresh_copy(layout, dist_tag)
+    assert attach_artifact_cache(warm, registry, "repro/lammps", dist_tag)
+    t0 = time.perf_counter()
+    _rebuild(engine, warm, ["--adapter=vendor"])
+    warm_s = time.perf_counter() - t0
+    warm_meta = decode_rebuild(warm, dist_tag)[0]
+
+    rows = [
+        ("cold", f"{cold_s:.4f}", len(cold_meta["executed_nodes"]),
+         len(cold_meta["cache_hits"])),
+        ("warm (shared cache)", f"{warm_s:.4f}",
+         len(warm_meta["executed_nodes"]), len(warm_meta["cache_hits"])),
+    ]
+    emit("parallel_rebuild_cache",
+         render_table(["rebuild", "seconds", "executed", "cache hits"], rows))
+
+    assert warm_meta["executed_nodes"] == []
+    assert len(warm_meta["cache_hits"]) == len(warm_meta["node_commands"])
+
+
+def test_scheduler_and_cache_overhead(emit):
+    engine, layout, dist_tag = _setup()
+
+    def best_of(args):
+        best, meta = None, None
+        for _ in range(ROUNDS):
+            fresh = _fresh_copy(layout, dist_tag)
+            t0 = time.perf_counter()
+            _rebuild(engine, fresh, args)
+            elapsed = time.perf_counter() - t0
+            if best is None or elapsed < best:
+                best, meta = elapsed, decode_rebuild(fresh, dist_tag)[0]
+        return best, meta
+
+    plain, meta_plain = best_of(["--adapter=vendor", "--no-cache"])
+    cached, meta_cached = best_of(["--adapter=vendor"])
+    overhead = cached / plain - 1.0
+    rows = [
+        ("--no-cache", f"{plain:.4f}", "-"),
+        ("cache enabled", f"{cached:.4f}", f"{overhead:+.1%}"),
+    ]
+    emit("parallel_rebuild_overhead",
+         render_table(["jobs=1 rebuild", "seconds (best of 5)", "overhead"],
+                      rows))
+
+    assert meta_plain["executed_nodes"] == meta_cached["executed_nodes"]
+    assert overhead < 0.05, (
+        f"cache bookkeeping costs {overhead:.1%} on a cold jobs=1 rebuild "
+        f"(plain {plain:.4f}s vs cached {cached:.4f}s)"
+    )

@@ -3,7 +3,7 @@
 Subcommands::
 
     comtainer-demo schemes  <workload> [--system x86|arm]   # Figure 9 row
-    comtainer-demo adapt    <app>      [--system ...] [--lto] [--pgo WKLD]
+    comtainer-demo adapt    <app>      [--system ...] [--lto] [--pgo WKLD] [--jobs N]
     comtainer-demo trace    <app>      [--out trace.json]  # traced adapt
     comtainer-demo analyze  <app>                          # process models
     comtainer-demo crossisa <app>      [--target aarch64]  # Figure 11 row
@@ -43,10 +43,11 @@ def _wants_telemetry(args: argparse.Namespace) -> bool:
                 or args.command == "trace")
 
 
-def _session(system_key: str, telemetry=None):
+def _session(system_key: str, telemetry=None, jobs: int = 1):
     from repro.core.workflow import ComtainerSession
 
-    return ComtainerSession(system=SYSTEMS[system_key], telemetry=telemetry)
+    return ComtainerSession(system=SYSTEMS[system_key], telemetry=telemetry,
+                            jobs=jobs)
 
 
 def cmd_schemes(args: argparse.Namespace) -> int:
@@ -76,6 +77,7 @@ def cmd_adapt(args: argparse.Namespace) -> int:
     ref = system_side_adapt(
         engine, layout, system, recorder=recorder,
         lto=args.lto, pgo_workload=args.pgo, ref=f"{args.app}:adapted",
+        jobs=args.jobs,
     )
     print(f"adapted image: {ref}")
     print(f"layout tags  : {layout.tags()}")
@@ -86,7 +88,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
     """A traced end-to-end adaptation plus the measured stage breakdown."""
     from repro.reporting import render_table, telemetry_stage_rows
 
-    session = _session(args.system, telemetry=args.telemetry)
+    session = _session(args.system, telemetry=args.telemetry, jobs=args.jobs)
     ref = session.adapt(args.app, workload=args.workload)
     print(f"adapted image: {ref}")
     print()
@@ -220,6 +222,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--system", choices=sorted(SYSTEMS), default="x86")
     p.add_argument("--lto", action="store_true")
     p.add_argument("--pgo", metavar="WORKLOAD", default=None)
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="parallel rebuild workers (simulated makespan)")
     p.set_defaults(fn=cmd_adapt)
 
     p = sub.add_parser("trace", help="traced adaptation + stage breakdown")
@@ -229,6 +233,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run the optimized (LTO+PGO) pipeline for WORKLOAD")
     p.add_argument("--out", metavar="FILE", default=None,
                    help="write Chrome trace-event JSON to FILE")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="parallel rebuild workers (simulated makespan)")
     p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("analyze", help="show an app's process models")

@@ -3,13 +3,29 @@
 from repro.core.backend.rebuild import RebuildError, rebuild_in_container
 from repro.core.backend.redirect import redirect_in_container
 from repro.core.backend.replacement import apply_replacements, install_runtime
+from repro.core.backend.scheduler import (
+    CommandGroup,
+    RebuildPlan,
+    ScheduleReport,
+    WaveStats,
+    compute_wavefronts,
+    lpt_schedule,
+    plan_command_groups,
+)
 from repro.core.backend.verify import VerificationReport, verify_redirected_image
 
 __all__ = [
+    "CommandGroup",
     "RebuildError",
+    "RebuildPlan",
+    "ScheduleReport",
     "VerificationReport",
+    "WaveStats",
     "apply_replacements",
+    "compute_wavefronts",
     "install_runtime",
+    "lpt_schedule",
+    "plan_command_groups",
     "rebuild_in_container",
     "redirect_in_container",
     "verify_redirected_image",

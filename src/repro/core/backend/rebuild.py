@@ -5,6 +5,15 @@ extended image's layout mounted.  Decodes the cache, plans package
 replacement, prepares the environment, re-executes the (transformed)
 build graph with the system's native toolchain, and appends the rebuild
 layer as the ``<tag>+coMre`` manifest.
+
+The graph is executed through the wavefront scheduler
+(:mod:`repro.core.backend.scheduler`): commands are deduplicated into
+groups, layered into dependency wavefronts, and simulated time is charged
+as the per-wavefront *makespan* over ``--jobs`` workers.  Execution order
+is jobs-independent, so the rebuilt layer digest never depends on the
+worker count.  A :class:`repro.core.cache.artifacts.RebuildArtifactCache`
+can serve compiles whose transformed command and input contents match a
+previous rebuild — warm PGO loops, repeated adapts, other cluster nodes.
 """
 
 from __future__ import annotations
@@ -15,11 +24,18 @@ from repro.containers.container import Container, ProgramError
 from repro.integrity import IntegrityError
 from repro.core.adapters.base import RebuildOptions, SystemAdapter
 from repro.core.backend.replacement import apply_replacements, install_runtime
+from repro.core.backend.scheduler import (
+    ScheduleReport,
+    WaveStats,
+    command_digest,
+    lpt_schedule,
+    plan_command_groups,
+)
+from repro.core.cache.artifacts import RebuildArtifactCache, cache_key
 from repro.core.cache.storage import (
     CacheError,
     add_rebuild_manifest,
     decode_cache,
-    decode_rebuild,
     decode_rebuild_nodes,
     encode_rebuild_layer,
     find_dist_tag,
@@ -36,12 +52,7 @@ class RebuildError(Exception):
 
 
 def _command_digest(argv: List[str], cwd: str) -> str:
-    import hashlib
-    import json as _json
-
-    return hashlib.sha256(
-        _json.dumps([argv, cwd], sort_keys=True).encode()
-    ).hexdigest()[:24]
+    return command_digest(argv, cwd)
 
 
 def rebuild_in_container(
@@ -54,8 +65,12 @@ def rebuild_in_container(
     previous: Optional[Tuple[Dict[str, str], Dict[str, FileContent]]] = None,
     journal=None,
     fallback_fs=None,
-) -> Tuple[dict, Dict[str, FileContent], Dict[str, int], Dict[str, FileContent]]:
-    """Execute the transformed build; returns (meta, files, modes, node_files).
+    jobs: int = 1,
+    artifact_cache: Optional[RebuildArtifactCache] = None,
+) -> Tuple[dict, Dict[str, FileContent], Dict[str, int], Dict[str, FileContent],
+           ScheduleReport]:
+    """Execute the transformed build; returns
+    ``(meta, files, modes, node_files, schedule)``.
 
     *previous* is a prior rebuild's (node command digests, node outputs):
     nodes whose transformed command is unchanged reuse their previous
@@ -68,9 +83,15 @@ def rebuild_in_container(
     transformed command digest still matches, instead of recompiling.
 
     *fallback_fs* (the extended image's filesystem) enables per-node
-    graceful degradation: a node that keeps failing is skipped and its
-    dist artifact falls back to the generic build from the cache layer.
+    graceful degradation: a node that keeps failing is skipped (its
+    dependents are poisoned, its wavefront peers are not) and its dist
+    artifact falls back to the generic build from the cache layer.
     Without it (the default) any node failure raises — strict behaviour.
+
+    *jobs* is the simulated worker count: it only changes the charged
+    makespan and the schedule report, never the execution order or the
+    produced bytes.  *artifact_cache* serves content-addressed compile
+    results from earlier rebuilds; hits execute nothing.
     """
     models = models.clone()   # adapters operate on independent copies (§4.2)
     fs = container.fs
@@ -79,6 +100,7 @@ def rebuild_in_container(
     rctx = getattr(engine, "resilience", None)
     injector = getattr(engine, "fault_injector", None)
     tele = engine.telemetry
+    jobs = max(1, int(jobs))
 
     # 1. Package replacement plan + environment preparation.
     plan = adapter.plan_replacements(models.image, pool)
@@ -89,29 +111,6 @@ def rebuild_in_container(
     for path, content in sources.items():
         fs.write_file(path, content, create_parents=True)
 
-    # 3. Re-execute the build graph, dependencies first, transformed.
-    # One command can produce several nodes (multi-source compiles), so
-    # commands are deduplicated; LTO scope is command-granular — a command
-    # is in scope when any of its output nodes is.
-    executed: List[str] = []
-    reused: List[str] = []
-    restored: List[str] = []
-    failed_nodes: List[str] = []
-    reused_set: set = set()
-    node_commands: Dict[str, str] = {}
-    prev_commands, prev_outputs = previous if previous is not None else ({}, {})
-    # Original command identity ->
-    # ("executed"|"reused"|"restored"|"failed", transformed digest).
-    command_status: Dict[tuple, Tuple[str, str]] = {}
-    scope = set(options.lto_scope or [])
-
-    # All output nodes of each command, so journal checkpoints cover every
-    # sibling of a multi-source compile.
-    siblings: Dict[tuple, List] = {}
-    for n in models.graph:
-        if n.step is not None:
-            siblings.setdefault((tuple(n.step.argv), n.step.cwd), []).append(n)
-
     # PGO profile *data* is a build input: salt the command digests with
     # its content so new profile bytes at the same path invalidate reuse.
     profile_salt = ""
@@ -120,44 +119,72 @@ def rebuild_in_container(
         if isinstance(profile_node, RegularFile):
             profile_salt = profile_node.content.digest
 
-    def restore_output(node_path: str) -> None:
-        fs.write_file(node_path, prev_outputs[node_path],
-                      mode=0o755, create_parents=True)
+    def source_size(path: str) -> int:
+        node = fs.try_get_node(path)
+        return node.content.size if isinstance(node, RegularFile) else 0
 
-    for node in models.graph.topo_order():
-        if node.step is None:
-            continue
-        key = (tuple(node.step.argv), node.step.cwd)
-        if key in command_status:
-            # A sibling output of an already-handled multi-source command.
-            status, digest = command_status[key]
-            node_commands[node.id] = digest
-            if status == "reused" and node.path in prev_outputs:
-                restore_output(node.path)
-            if status == "reused":
-                reused.append(node.id)
-                reused_set.add(node.id)
-            elif status == "restored":
-                restored.append(node.id)
-                reused_set.add(node.id)
-            elif status == "failed":
-                failed_nodes.append(node.id)
-            else:
-                executed.append(node.id)
-            continue
-        scope_id = node.id
-        if scope and node.id not in scope:
-            for sibling in models.graph:
-                if sibling.step is not None and (
-                    tuple(sibling.step.argv), sibling.step.cwd
-                ) == key and sibling.id in scope:
-                    scope_id = sibling.id
-                    break
-        step = adapter.transform_step(node.step, options, node_id=scope_id)
-        digest = _command_digest(
-            step.argv + ([profile_salt] if profile_salt else []), step.cwd
-        )
-        node_commands[node.id] = digest
+    # 3. Plan: dedup commands into groups (one command can produce several
+    # nodes — multi-source compiles; LTO scope is command-granular), layer
+    # the group DAG into dependency wavefronts, cost each group.
+    build_plan = plan_command_groups(
+        models.graph, adapter, options,
+        profile_salt=profile_salt, source_size=source_size,
+    )
+
+    executed: List[str] = []
+    reused: List[str] = []
+    restored: List[str] = []
+    failed_nodes: List[str] = []
+    cache_hits: List[str] = []
+    reused_set: set = set()
+    node_commands: Dict[str, str] = {}
+    prev_commands, prev_outputs = previous if previous is not None else ({}, {})
+    failed_keys: set = set()   # command keys that failed (poison dependents)
+    report = ScheduleReport(
+        jobs=jobs,
+        critical_path_seconds=build_plan.critical_path_seconds,
+        groups_total=len(build_plan.groups),
+    )
+
+    def group_cache_key(group) -> Optional[str]:
+        """Content address: transformed digest + every input's bytes."""
+        dep_digests = []
+        for dep in group.dep_ids:
+            dep_node = models.graph.try_get(dep)
+            if dep_node is None:
+                continue
+            dep_file = fs.try_get_node(dep_node.path)
+            if not isinstance(dep_file, RegularFile):
+                return None   # an input is missing; the cache can't vouch
+            dep_digests.append((dep_node.path, dep_file.content.digest))
+        return cache_key(group.digest, dep_digests)
+
+    def checkpoint(group, digest: str) -> None:
+        for n in group.nodes:
+            out = fs.try_get_node(n.path)
+            if isinstance(out, RegularFile):
+                journal.record(n.id, digest, n.path, out.content, out.mode)
+        journal.flush()
+
+    def resolve_group(group) -> Optional[float]:
+        """Run one command group; returns its simulated cost when it
+        actually executed, else ``None`` (reused/restored/cached/failed).
+
+        The resolution order — poison check, journal restore, previous
+        reuse, artifact cache, execute — is deterministic and identical
+        for every ``jobs`` value.
+        """
+        digest = group.digest
+        for node_id in group.node_ids:
+            node_commands[node_id] = digest
+        # A failed command poisons its dependents: their inputs will never
+        # exist, so they fail without execution (and without consuming the
+        # wavefront's retry budget).  Peers in the same wavefront are
+        # untouched.  failed_keys is only populated under --fallback.
+        if any(dep_key in failed_keys for dep_key in group.dep_groups):
+            failed_nodes.extend(group.node_ids)
+            failed_keys.add(group.key)
+            return None
         # Reusable only when the transformed command is unchanged AND every
         # produced dependency was itself reused — an unchanged `ar` command
         # over re-compiled objects must re-run (its inputs differ).
@@ -165,7 +192,7 @@ def rebuild_in_container(
             (dep_node := models.graph.try_get(dep)) is None
             or not dep_node.is_produced
             or dep in reused_set
-            for dep in node.deps
+            for dep in group.dep_ids
         )
         # Checkpointed by an interrupted previous run?  Restore from the
         # journal instead of recompiling — but only when the transformed
@@ -173,36 +200,51 @@ def rebuild_in_container(
         if (
             journal is not None
             and deps_unchanged
-            and all(journal.digest_of(s.id) == digest for s in siblings[key])
+            and all(journal.digest_of(n.id) == digest for n in group.nodes)
         ):
-            for s in siblings[key]:
-                content, mode = journal.output_for(s.id)
-                fs.write_file(s.path, content, mode=mode, create_parents=True)
-            restored.append(node.id)
-            reused_set.add(node.id)
-            command_status[key] = ("restored", digest)
-            continue
+            for n in group.nodes:
+                content, mode = journal.output_for(n.id)
+                fs.write_file(n.path, content, mode=mode, create_parents=True)
+            restored.extend(group.node_ids)
+            reused_set.update(group.node_ids)
+            return None
+        first = group.nodes[0]
         if (
             deps_unchanged
-            and prev_commands.get(node.id) == digest
-            and node.path in prev_outputs
+            and prev_commands.get(first.id) == digest
+            and first.path in prev_outputs
         ):
-            restore_output(node.path)
-            reused.append(node.id)
-            reused_set.add(node.id)
-            command_status[key] = ("reused", digest)
-            continue
+            for n in group.nodes:
+                if n.path in prev_outputs:
+                    fs.write_file(n.path, prev_outputs[n.path],
+                                  mode=0o755, create_parents=True)
+            reused.extend(group.node_ids)
+            reused_set.update(group.node_ids)
+            return None
+        key = None
+        if artifact_cache is not None:
+            key = group_cache_key(group)
+            hit = artifact_cache.lookup(key) if key is not None else None
+            if hit is not None:
+                for _, path, content, mode in hit:
+                    fs.write_file(path, content, mode=mode, create_parents=True)
+                cache_hits.extend(group.node_ids)
+                if journal is not None:
+                    checkpoint(group, digest)
+                return None
+        step = group.step
         fs.makedirs(step.cwd)
         env = container.environment()
         env.update(step.env)
 
-        def run_once(step=step, node=node, env=env):
+        def run_once():
             if injector is not None:
-                injector.arm("rebuild.node", node.id)
+                injector.arm("rebuild.node", first.id)
             result = engine.exec_in(container, step.argv, env=env, cwd=step.cwd)
             if not result.ok:
                 raise RebuildError(
-                    f"rebuild of {node.id} failed: {result.stderr or result.stdout}"
+                    f"rebuild of {first.id} failed: "
+                    f"{result.stderr or result.stdout}"
                 )
 
         def run_node():
@@ -217,8 +259,8 @@ def rebuild_in_container(
                 # every sibling output of a multi-source compile.
                 with tele.span(
                     "rebuild.node",
-                    node=node.id,
-                    nodes=[s.id for s in siblings[key]],
+                    node=first.id,
+                    nodes=group.node_ids,
                     command=step.argv[0] if step.argv else "",
                 ):
                     run_node()
@@ -227,19 +269,60 @@ def rebuild_in_container(
         except Exception:
             if fallback_fs is None:
                 raise
-            failed_nodes.append(node.id)
-            command_status[key] = ("failed", digest)
-            continue
-        executed.append(node.id)
-        command_status[key] = ("executed", digest)
+            failed_nodes.extend(group.node_ids)
+            failed_keys.add(group.key)
+            return None
+        executed.extend(group.node_ids)
         if journal is not None:
-            for s in siblings[key]:
-                out = fs.try_get_node(s.path)
-                if isinstance(out, RegularFile):
-                    journal.record(s.id, digest, s.path, out.content, out.mode)
-            journal.flush()
+            checkpoint(group, digest)
+        if artifact_cache is not None and key is not None:
+            outputs = [
+                (n.id, n.path, out.content, out.mode)
+                for n in group.nodes
+                if isinstance(out := fs.try_get_node(n.path), RegularFile)
+            ]
+            if outputs:
+                artifact_cache.store(key, outputs)
+        return group.cost
 
-    # 4. Collect rebuilt artifacts for every BUILD file of the dist image.
+    # 4. Execute wavefront by wavefront.  Simulated time per wavefront is
+    # the LPT makespan of its *executed* groups over `jobs` workers.
+    for wave_index, wave in enumerate(build_plan.waves):
+        wave_costs: List[float] = []
+        if tele.enabled:
+            with tele.span(
+                "rebuild.wavefront", index=wave_index, width=len(wave)
+            ) as wave_span:
+                for group in wave:
+                    cost = resolve_group(group)
+                    if cost is not None:
+                        wave_costs.append(cost)
+                makespan, _ = lpt_schedule(wave_costs, jobs)
+                if makespan > 0.0:
+                    tele.charge(makespan)
+                wave_span.set("executed", len(wave_costs))
+                wave_span.set("makespan_seconds", makespan)
+                tele.metrics.histogram("rebuild_wavefront_width").observe(
+                    len(wave)
+                )
+        else:
+            for group in wave:
+                cost = resolve_group(group)
+                if cost is not None:
+                    wave_costs.append(cost)
+            makespan, _ = lpt_schedule(wave_costs, jobs)
+        report.waves.append(WaveStats(
+            index=wave_index,
+            width=len(wave),
+            executed=len(wave_costs),
+            makespan=makespan,
+            busy=sum(wave_costs),
+        ))
+        report.makespan_seconds += makespan
+        report.serial_seconds += sum(wave_costs)
+    report.groups_executed = sum(w.executed for w in report.waves)
+
+    # 5. Collect rebuilt artifacts for every BUILD file of the dist image.
     files: Dict[str, FileContent] = {}
     modes: Dict[str, int] = {}
     fallback_paths: List[str] = []
@@ -277,11 +360,27 @@ def rebuild_in_container(
         m.counter("rebuild_nodes_reused_total").inc(len(reused))
         m.counter("rebuild_nodes_restored_total").inc(len(restored))
         m.counter("rebuild_nodes_failed_total").inc(len(failed_nodes))
+        m.counter("rebuild_nodes_cache_hits_total").inc(len(cache_hits))
+        m.gauge("rebuild_schedule_jobs").set(jobs)
+        m.gauge("rebuild_schedule_wavefronts").set(len(report.waves))
+        m.gauge("rebuild_schedule_max_width").set(report.max_width)
+        m.gauge("rebuild_schedule_makespan_seconds").set(report.makespan_seconds)
+        m.gauge("rebuild_schedule_serial_seconds").set(report.serial_seconds)
+        m.gauge("rebuild_schedule_critical_path_seconds").set(
+            report.critical_path_seconds
+        )
+        m.gauge("rebuild_schedule_speedup").set(report.speedup)
+        m.gauge("rebuild_worker_utilization").set(report.utilization)
         for node_id in reused:
             tele.event("rebuild.node_reused", node=node_id)
         for node_id in restored:
             tele.event("rebuild.node_restored", node=node_id)
+        for node_id in cache_hits:
+            tele.event("rebuild.node_cache_hit", node=node_id)
 
+    # The schedule report stays OUT of meta: meta bytes feed the rebuild
+    # layer digest, which must be identical for every --jobs value.  The
+    # lists below are resolution-ordered, which is jobs-independent.
     meta = {
         "adapter": adapter.name,
         "system": adapter.system.key,
@@ -296,8 +395,9 @@ def rebuild_in_container(
         "failed_nodes": failed_nodes,
         "fallback_paths": fallback_paths,
         "journal_restored": restored,
+        "cache_hits": cache_hits,
     }
-    return meta, files, modes, node_files
+    return meta, files, modes, node_files, report
 
 
 def comtainer_rebuild_entry(ctx) -> int:
@@ -335,16 +435,24 @@ def comtainer_rebuild_entry(ctx) -> int:
     # The extended image carries the generic dist content, so it doubles
     # as the per-node fallback source under --fallback.
     fallback_fs = resolved.filesystem() if flags["fallback"] else None
+    artifact_cache = (
+        RebuildArtifactCache(layout, dist_tag) if flags["cache"] else None
+    )
     previous = decode_rebuild_nodes(layout, dist_tag)
     try:
-        meta, files, modes, node_files = rebuild_in_container(
+        meta, files, modes, node_files, schedule = rebuild_in_container(
             ctx.engine, ctx.container, models, sources, adapter, options,
             previous=previous, journal=journal, fallback_fs=fallback_fs,
+            jobs=flags["jobs"], artifact_cache=artifact_cache,
         )
     except RebuildError as exc:
         raise ProgramError(f"coMtainer-rebuild: {exc}")
     layer = encode_rebuild_layer(meta, files, modes, node_files=node_files)
     tag = add_rebuild_manifest(layout, dist_tag, layer)
+    if artifact_cache is not None:
+        # Persisted only after a *successful* rebuild: an aborted run must
+        # leave the layout exactly as the journal/fault machinery expects.
+        artifact_cache.flush()
     if journal is not None:
         # A completed rebuild supersedes its checkpoints; from here the
         # +coMre node outputs are the incremental-reuse source.
@@ -354,6 +462,12 @@ def comtainer_rebuild_entry(ctx) -> int:
         f"({len(meta['reused_nodes'])} reused) "
         f"with adapter {adapter.name!r}, tagged {tag}"
     )
+    ctx.writeline(f"coMtainer-rebuild: {schedule.summary_line()}")
+    if meta["cache_hits"]:
+        ctx.writeline(
+            f"coMtainer-rebuild: {len(meta['cache_hits'])} nodes served "
+            "from the artifact cache"
+        )
     if meta["journal_restored"]:
         ctx.writeline(
             f"coMtainer-rebuild: resumed {len(meta['journal_restored'])} "
@@ -372,10 +486,12 @@ def comtainer_rebuild_entry(ctx) -> int:
     return 0
 
 
-def _parse_args(args: List[str]) -> Tuple[RebuildOptions, str, Dict[str, bool]]:
+def _parse_args(args: List[str]) -> Tuple[RebuildOptions, str, Dict[str, object]]:
     options = RebuildOptions()
     adapter_name = "vendor"
-    flags = {"journal": False, "fallback": False}
+    flags: Dict[str, object] = {
+        "journal": False, "fallback": False, "cache": True, "jobs": 1,
+    }
     i = 0
     while i < len(args):
         arg = args[i]
@@ -385,6 +501,20 @@ def _parse_args(args: List[str]) -> Tuple[RebuildOptions, str, Dict[str, bool]]:
             flags["journal"] = True
         elif arg == "--fallback":
             flags["fallback"] = True
+        elif arg == "--no-cache":
+            flags["cache"] = False
+        elif arg.startswith("--jobs="):
+            value = arg.split("=", 1)[1]
+            try:
+                flags["jobs"] = int(value)
+            except ValueError:
+                raise ProgramError(
+                    f"coMtainer-rebuild: bad --jobs value {value!r}"
+                )
+            if flags["jobs"] < 1:
+                raise ProgramError(
+                    f"coMtainer-rebuild: bad --jobs value {value!r}"
+                )
         elif arg.startswith("--lto-scope="):
             options.lto = True
             options.lto_scope = [s for s in arg.split("=", 1)[1].split(",") if s]

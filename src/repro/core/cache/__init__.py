@@ -1,5 +1,12 @@
 """Cache storage: the extra OCI layer carrying build-time data."""
 
+from repro.core.cache.artifacts import (
+    RebuildArtifactCache,
+    attach_artifact_cache,
+    cache_key,
+    has_artifact_cache,
+    publish_artifact_cache,
+)
 from repro.core.cache.storage import (
     CACHE_ROOT,
     CacheError,
@@ -16,6 +23,11 @@ from repro.core.cache.storage import (
 __all__ = [
     "CACHE_ROOT",
     "CacheError",
+    "RebuildArtifactCache",
+    "attach_artifact_cache",
+    "cache_key",
+    "has_artifact_cache",
+    "publish_artifact_cache",
     "add_cache_manifest",
     "add_rebuild_manifest",
     "decode_cache",

@@ -1,0 +1,261 @@
+"""Content-addressed rebuild artifact cache.
+
+``coMtainer-rebuild`` pays for the same compiles over and over: the PGO
+loop rebuilds the whole graph twice (instrument, then use), repeated
+``ComtainerSession.adapt`` calls on the same system re-execute commands
+whose inputs did not change, and every node of a cluster redoes work the
+first node already did.  The incremental-reuse path in the rebuilder only
+survives *within one dist layout lineage* — this cache survives across
+rebuilds and, through the registry, across layouts.
+
+Cache entries are **content-addressed**: the key is a digest over the
+transformed-command digest (adapter + options + PGO profile salt already
+folded in) plus the ``(path, content-digest)`` of every *produced* input
+the command consumes.  If any upstream object changed, the key changes —
+so a hit is only possible when the command would have produced the exact
+same bytes.  Values are the command's sibling outputs, serialized
+structurally (the journal's ``_encode_content``), each carrying its
+content digest: a hit whose reconstructed bytes do not hash back to the
+recorded digest is treated as a miss, so a cache corrupted in registry
+transfer degrades to recompilation, never to wrong artifacts.
+
+The cache is persisted like the journal: a single JSON blob in the
+layout's blob store, registered through an index descriptor carrying the
+``io.comtainer.artifact-cache=<dist-tag>`` annotation and no ref name —
+invisible to tags and image pushes, but surviving save/load and ``gc``.
+:func:`publish_artifact_cache` / :func:`attach_artifact_cache` move the
+blob through an :class:`~repro.oci.registry.ImageRegistry`, which is how
+warm compiles reach other sessions and other cluster nodes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.oci import mediatypes
+from repro.oci.image import Descriptor
+from repro.oci.layout import OCILayout
+from repro.resilience.journal import _decode_content, _encode_content
+from repro.vfs.content import FileContent
+
+CACHE_VERSION = 1
+
+_OUTPUT_KEYS = ("node", "path", "mode", "content", "content_digest")
+
+
+def cache_key(command_digest: str, dep_digests: Iterable[Tuple[str, str]]) -> str:
+    """Content address of one command execution.
+
+    *dep_digests* are ``(path, content-digest)`` pairs of the command's
+    produced inputs; they are sorted here so the key does not depend on
+    dependency-visit order.
+    """
+    material = json.dumps(
+        [command_digest, sorted(dep_digests)], sort_keys=True
+    ).encode()
+    return hashlib.sha256(material).hexdigest()[:32]
+
+
+def _find_descriptor(layout: OCILayout, dist_tag: str) -> Optional[Descriptor]:
+    for desc in layout.index:
+        if desc.annotations.get(mediatypes.ANNOTATION_COMTAINER_ARTIFACTS) == dist_tag:
+            return desc
+    return None
+
+
+def _drop_descriptor(layout: OCILayout, desc: Descriptor) -> None:
+    layout.index = [d for d in layout.index if d is not desc]
+    if not any(d.digest == desc.digest for d in layout.index):
+        layout.blobs.remove(desc.digest)
+
+
+def _valid_output(output: object) -> bool:
+    if not isinstance(output, dict):
+        return False
+    if not all(key in output for key in _OUTPUT_KEYS):
+        return False
+    return (
+        isinstance(output["node"], str)
+        and isinstance(output["path"], str)
+        and isinstance(output["mode"], int)
+        and isinstance(output["content"], dict)
+        and isinstance(output["content_digest"], str)
+    )
+
+
+def _parse_entries(data: bytes) -> Dict[str, List[dict]]:
+    """Defensively parse cache bytes; anything malformed parses to empty.
+
+    A cache is pure optimization — a corrupted blob (torn write, registry
+    transfer fault) must degrade to recompilation, never to an error.
+    """
+    try:
+        doc = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        return {}
+    if not isinstance(doc, dict) or doc.get("version") != CACHE_VERSION:
+        return {}
+    entries = doc.get("entries")
+    if not isinstance(entries, dict):
+        return {}
+    good: Dict[str, List[dict]] = {}
+    for key, outputs in entries.items():
+        if not isinstance(key, str) or not isinstance(outputs, list):
+            continue
+        if outputs and all(_valid_output(o) for o in outputs):
+            good[key] = outputs
+    return good
+
+
+class RebuildArtifactCache:
+    """Cross-rebuild compile cache bound to one layout and dist tag."""
+
+    def __init__(self, layout: OCILayout, dist_tag: str) -> None:
+        self.layout = layout
+        self.dist_tag = dist_tag
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self._entries: Dict[str, List[dict]] = {}
+        self._dirty = False
+        desc = _find_descriptor(layout, dist_tag)
+        if desc is not None:
+            blob = layout.blobs.try_get(desc.digest)
+            if blob is not None:
+                self._entries = _parse_entries(blob.as_bytes())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    # -- lookup / store ----------------------------------------------------
+
+    def lookup(self, key: str) -> Optional[List[Tuple[str, str, FileContent, int]]]:
+        """Decoded ``(node_id, path, content, mode)`` outputs for *key*.
+
+        Every output's reconstructed content must hash back to its
+        recorded digest; any mismatch turns the whole entry into a miss
+        (and evicts it), so corruption costs a recompile, not integrity.
+        """
+        outputs = self._entries.get(key)
+        if outputs is None:
+            self.misses += 1
+            return None
+        decoded: List[Tuple[str, str, FileContent, int]] = []
+        for output in outputs:
+            try:
+                content = _decode_content(output["content"])
+                intact = content.digest == output["content_digest"]
+            except Exception:
+                intact = False
+            if not intact:
+                del self._entries[key]
+                self._dirty = True
+                self.misses += 1
+                return None
+            decoded.append(
+                (output["node"], output["path"], content, output["mode"])
+            )
+        self.hits += 1
+        return decoded
+
+    def store(
+        self, key: str, outputs: Sequence[Tuple[str, str, FileContent, int]]
+    ) -> None:
+        self._entries[key] = [
+            {
+                "node": node_id,
+                "path": path,
+                "mode": mode,
+                "content": _encode_content(content),
+                "content_digest": content.digest,
+            }
+            for node_id, path, content, mode in outputs
+        ]
+        self._dirty = True
+        self.stores += 1
+
+    def merge_entries(self, entries: Dict[str, List[dict]]) -> int:
+        """Adopt parsed entries from another cache blob; returns adds."""
+        added = 0
+        for key, outputs in entries.items():
+            if key not in self._entries:
+                self._entries[key] = outputs
+                added += 1
+        if added:
+            self._dirty = True
+        return added
+
+    # -- persistence -------------------------------------------------------
+
+    def flush(self) -> None:
+        """Persist into the layout, replacing any previous cache blob."""
+        if not self._dirty and _find_descriptor(self.layout, self.dist_tag):
+            return
+        old = _find_descriptor(self.layout, self.dist_tag)
+        if old is not None:
+            _drop_descriptor(self.layout, old)
+        if not self._entries:
+            self._dirty = False
+            return
+        data = json.dumps(
+            {"version": CACHE_VERSION, "entries": self._entries},
+            sort_keys=True,
+        ).encode("utf-8")
+        desc = self.layout.blobs.put_bytes(data, mediatypes.REBUILD_ARTIFACTS)
+        self.layout.index.append(
+            Descriptor(
+                media_type=desc.media_type,
+                digest=desc.digest,
+                size=desc.size,
+                annotations={
+                    mediatypes.ANNOTATION_COMTAINER_ARTIFACTS: self.dist_tag
+                },
+            )
+        )
+        self._dirty = False
+
+    def clear(self) -> None:
+        desc = _find_descriptor(self.layout, self.dist_tag)
+        if desc is not None:
+            _drop_descriptor(self.layout, desc)
+        self._entries = {}
+        self._dirty = False
+
+
+def has_artifact_cache(layout: OCILayout, dist_tag: str) -> bool:
+    return _find_descriptor(layout, dist_tag) is not None
+
+
+def publish_artifact_cache(registry, repository: str, layout: OCILayout,
+                           dist_tag: str) -> bool:
+    """Push the layout's artifact-cache blob to *registry* for sharing."""
+    desc = _find_descriptor(layout, dist_tag)
+    if desc is None:
+        return False
+    blob = layout.blobs.try_get(desc.digest)
+    if blob is None:
+        return False
+    registry.put_artifact_cache(repository, blob)
+    return True
+
+
+def attach_artifact_cache(layout: OCILayout, registry, repository: str,
+                          dist_tag: str) -> int:
+    """Merge the registry's shared cache for *repository* into *layout*.
+
+    Returns how many entries were adopted (0 when the registry has no
+    cache or the blob fails to parse — both degrade silently, a shared
+    cache is best-effort).
+    """
+    blob = registry.get_artifact_cache(repository)
+    if blob is None:
+        return 0
+    entries = _parse_entries(blob.as_bytes())
+    if not entries:
+        return 0
+    cache = RebuildArtifactCache(layout, dist_tag)
+    added = cache.merge_entries(entries)
+    cache.flush()
+    return added

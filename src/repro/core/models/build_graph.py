@@ -168,26 +168,49 @@ class BuildGraph:
     # ------------------------------------------------------------------
 
     def topo_order(self) -> List[BuildNode]:
-        """Dependencies-first ordering; raises :class:`GraphError` on cycles."""
+        """Dependencies-first ordering; raises :class:`GraphError` on cycles.
+
+        Iterative depth-first search with an explicit frame stack — a
+        dependency chain as deep as the graph must not hit Python's
+        recursion limit (deep single-chain graphs are legal builds).
+        """
         state: Dict[str, int] = {}       # 0=unvisited 1=visiting 2=done
         order: List[BuildNode] = []
-
-        def visit(node_id: str, chain: List[str]) -> None:
-            mark = state.get(node_id, 0)
-            if mark == 2:
-                return
-            if mark == 1:
-                raise GraphError(f"cycle involving {node_id!r}: {chain}")
-            state[node_id] = 1
-            node = self._nodes.get(node_id)
-            if node is not None:
-                for dep in node.deps:
-                    visit(dep, chain + [node_id])
-                order.append(node)
-            state[node_id] = 2
-
-        for node_id in sorted(self._nodes):
-            visit(node_id, [])
+        for root_id in sorted(self._nodes):
+            if state.get(root_id, 0) == 2:
+                continue
+            # Each frame is (node_id, iterator over remaining deps);
+            # the ids on the stack are the current visiting chain.
+            stack: List[list] = [[root_id, None]]
+            while stack:
+                frame = stack[-1]
+                node_id, deps_iter = frame
+                if deps_iter is None:
+                    if state.get(node_id, 0) == 2:
+                        stack.pop()
+                        continue
+                    state[node_id] = 1
+                    node = self._nodes.get(node_id)
+                    deps_iter = iter(node.deps) if node is not None else iter(())
+                    frame[1] = deps_iter
+                descended = False
+                for dep in deps_iter:
+                    mark = state.get(dep, 0)
+                    if mark == 2:
+                        continue
+                    if mark == 1:
+                        chain = [frame_id for frame_id, _ in stack]
+                        raise GraphError(f"cycle involving {dep!r}: {chain}")
+                    stack.append([dep, None])
+                    descended = True
+                    break
+                if descended:
+                    continue
+                node = self._nodes.get(node_id)
+                if node is not None:
+                    order.append(node)
+                state[node_id] = 2
+                stack.pop()
         return order
 
     def validate(self) -> None:

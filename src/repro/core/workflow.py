@@ -26,6 +26,10 @@ from repro.core.backend.replacement import (
     install_runtime,
     replacements_for_packages,
 )
+from repro.core.cache.artifacts import (
+    attach_artifact_cache,
+    publish_artifact_cache,
+)
 from repro.core.cache.storage import extended_tag, find_dist_tag
 from repro.core.frontend.build import IO_MOUNT
 from repro.core.images import (
@@ -125,9 +129,12 @@ def _run_rebuild(
     args: List[str],
     profile_bytes: Optional[bytes] = None,
     extra_args: Optional[List[str]] = None,
+    jobs: int = 1,
 ) -> None:
     if extra_args:
         args = args + list(extra_args)
+    if jobs != 1:
+        args = args + [f"--jobs={jobs}"]
     with engine.telemetry.span("rebuild", system=system.key, flavor=flavor):
         ctr = engine.from_image(
             sysenv_ref(system.key, flavor), name="comt-rebuild",
@@ -162,6 +169,30 @@ def _run_redirect(
         return ref
 
 
+_VENDOR_MPIRUN_PATHS = ("/opt/intel/bin/mpirun", "/opt/phytium/bin/mpirun")
+
+#: Launcher probe results by image layer identity.  The probe walks the
+#: image filesystem; the PGO loop alone repeats it twice per adaptation,
+#: and layer digests fully determine the answer.
+_mpirun_memo: Dict[tuple, str] = {}
+
+
+def _vendor_mpirun(engine: ContainerEngine, image_ref: str) -> str:
+    """The vendor ``mpirun`` path inside *image_ref* (or plain ``mpirun``)."""
+    key = engine.image(image_ref).layer_key()
+    hit = _mpirun_memo.get(key)
+    if hit is not None:
+        return hit
+    fs = engine.image_filesystem(image_ref)
+    launcher = "mpirun"
+    for candidate in _VENDOR_MPIRUN_PATHS:
+        if fs.exists(candidate):
+            launcher = candidate
+            break
+    _mpirun_memo[key] = launcher
+    return launcher
+
+
 def run_workload(
     engine: ContainerEngine,
     image_ref: str,
@@ -177,13 +208,7 @@ def run_workload(
     argv: List[str] = []
     if input_name:
         argv = ["-in", f"/app/share/in.{input_name}"]
-    launcher = "mpirun"
-    if vendor_mpirun:
-        fs = engine.image_filesystem(image_ref)
-        for candidate in ("/opt/intel/bin/mpirun", "/opt/phytium/bin/mpirun"):
-            if fs.exists(candidate):
-                launcher = candidate
-                break
+    launcher = _vendor_mpirun(engine, image_ref) if vendor_mpirun else "mpirun"
     tele = engine.telemetry
     with tele.span("workload", workload=workload_name, image=image_ref,
                    nodes=nodes) as span:
@@ -222,6 +247,7 @@ def system_side_adapt(
     ref: Optional[str] = None,
     nodes: int = 16,
     extra_rebuild_args: Optional[List[str]] = None,
+    jobs: int = 1,
 ) -> str:
     """Rebuild + redirect an extended image for *system*.
 
@@ -229,7 +255,9 @@ def system_side_adapt(
     instrumented rebuild -> redirect -> profiling run -> final rebuild
     with the gathered profile.  *extra_rebuild_args* are appended to
     every ``coMtainer-rebuild`` invocation (the resilience layer passes
-    ``--journal`` / ``--fallback`` through here).
+    ``--journal`` / ``--fallback`` through here).  *jobs* is the rebuild
+    worker count (``coMtainer-rebuild --jobs``); it changes simulated
+    rebuild time, never the produced image.
     """
     install_system_side_images(engine, system, flavor)
     dist_tag = find_dist_tag(layout)
@@ -242,17 +270,12 @@ def system_side_adapt(
             raise WorkflowError("PGO loop needs a perf recorder on the engine")
         _run_rebuild(engine, layout, system, flavor,
                      base_args + ["--pgo=instrument"],
-                     extra_args=extra_rebuild_args)
+                     extra_args=extra_rebuild_args, jobs=jobs)
         instr_ref = _run_redirect(engine, layout, system, ref=f"{ref}.instrumented")
         # Profiling run: execute the instrumented binary on the system.
         app_name, _, input_name = pgo_workload.partition(".")
         spec = get_app(app_name)
-        launcher = "mpirun"
-        instr_fs = engine.image_filesystem(instr_ref)
-        for candidate in ("/opt/intel/bin/mpirun", "/opt/phytium/bin/mpirun"):
-            if instr_fs.exists(candidate):
-                launcher = candidate
-                break
+        launcher = _vendor_mpirun(engine, instr_ref)
         instr_ctr = engine.from_image(instr_ref, name="pgo-profile-run")
         try:
             argv = ["-in", f"/app/share/in.{input_name}"] if input_name else []
@@ -269,10 +292,11 @@ def system_side_adapt(
         finally:
             engine.remove_container(instr_ctr.name)
         _run_rebuild(engine, layout, system, flavor, base_args,
-                     profile_bytes=profile_bytes, extra_args=extra_rebuild_args)
+                     profile_bytes=profile_bytes, extra_args=extra_rebuild_args,
+                     jobs=jobs)
     else:
         _run_rebuild(engine, layout, system, flavor, base_args,
-                     extra_args=extra_rebuild_args)
+                     extra_args=extra_rebuild_args, jobs=jobs)
 
     return _run_redirect(engine, layout, system, ref=ref)
 
@@ -402,6 +426,14 @@ class ComtainerSession:
     system: SystemModel = X86_CLUSTER
     flavor: str = "vendor"
     nodes: int = 16
+    #: Simulated rebuild worker count, threaded into every
+    #: ``coMtainer-rebuild --jobs``.  Changes makespan, never bytes.
+    jobs: int = 1
+    #: Share the rebuild artifact cache through the registry: publish it
+    #: after each adaptation and attach any published cache before a
+    #: rebuild — same-adapter rebuilds on other sessions/nodes hit warm
+    #: compiles.  Off by default (sharing is a policy decision).
+    share_cache: bool = False
     user_engine: ContainerEngine = None
     system_engine: ContainerEngine = None
     registry: ImageRegistry = None
@@ -476,8 +508,20 @@ class ComtainerSession:
                     self.registry, layout, f"repro/{app}",
                     (dist_tag, extended_tag(dist_tag)), ctx=self._resilience_ctx,
                 )
+            if self.share_cache:
+                # Warm this layout from any cache a previous session (or
+                # another cluster node) published for the same app.
+                attach_artifact_cache(
+                    remote, self.registry, f"repro/{app}", dist_tag
+                )
             self._layouts[app] = (remote, dist_tag)
         return self._layouts[app]
+
+    def _publish_cache(self, app: str, layout: OCILayout, dist_tag: str) -> None:
+        if self.share_cache:
+            publish_artifact_cache(
+                self.registry, f"repro/{app}", layout, dist_tag
+            )
 
     def repairer(self, app: str) -> RepairEngine:
         """Repair sources for *app*, best first: registry replica, the
@@ -530,8 +574,9 @@ class ComtainerSession:
                 self._adapted[app] = system_side_adapt(
                     self.system_engine, layout, self.system,
                     recorder=self.recorder, flavor=self.flavor,
-                    ref=f"{app}:adapted", nodes=self.nodes,
+                    ref=f"{app}:adapted", nodes=self.nodes, jobs=self.jobs,
                 )
+                self._publish_cache(app, layout, dist_tag)
         return self._adapted[app]
 
     def optimized_image(self, workload: str) -> str:
@@ -542,7 +587,9 @@ class ComtainerSession:
                 self.system_engine, layout, self.system,
                 recorder=self.recorder, lto=True, pgo_workload=workload,
                 flavor=self.flavor, ref=f"{workload}:optimized", nodes=self.nodes,
+                jobs=self.jobs,
             )
+            self._publish_cache(app, layout, dist_tag)
         return self._optimized[workload]
 
     def resilient_adapt(
@@ -557,14 +604,15 @@ class ComtainerSession:
         With a strict (or no) session policy this is a plain
         :func:`system_side_adapt` reported at the ``full`` rung.
         """
-        layout, _dist_tag = self.extended_layout(app)
+        layout, dist_tag = self.extended_layout(app)
         report = adapt_with_resilience(
             self.system_engine, layout, self.system,
             ctx=self._resilience_ctx, recorder=self.recorder,
             lto=lto, pgo_workload=pgo_workload, flavor=self.flavor,
             ref=ref or f"{app}:resilient", nodes=self.nodes,
-            repair=self.repairer(app),
+            repair=self.repairer(app), jobs=self.jobs,
         )
+        self._publish_cache(app, layout, dist_tag)
         self.resilience_reports.append(report)
         return report
 

@@ -15,6 +15,10 @@ SIM_LAYER = "application/vnd.repro.sim-layer.v1+json"
 #: alongside the cache layer in the layout's blob store; never pushed as
 #: a taggable image).
 REBUILD_JOURNAL = "application/vnd.comtainer.rebuild-journal.v1+json"
+#: Content-addressed rebuild artifact cache: compiled outputs keyed by
+#: transformed-command digest + produced-input digests, shareable across
+#: rebuilds (PGO instrument→use, repeated adapts, other cluster nodes).
+REBUILD_ARTIFACTS = "application/vnd.comtainer.rebuild-artifacts.v1+json"
 
 # Annotation keys (OCI standard + coMtainer extensions).
 ANNOTATION_REF_NAME = "org.opencontainers.image.ref.name"
@@ -22,6 +26,7 @@ ANNOTATION_CREATED = "org.opencontainers.image.created"
 ANNOTATION_COMTAINER_KIND = "io.comtainer.kind"
 ANNOTATION_COMTAINER_BASE = "io.comtainer.base-manifest"
 ANNOTATION_COMTAINER_JOURNAL = "io.comtainer.journal"
+ANNOTATION_COMTAINER_ARTIFACTS = "io.comtainer.artifact-cache"
 ANNOTATION_COMTAINER_RUNG = "io.comtainer.resilience-rung"
 
 # Tag suffixes used by the paper's workflow (Artifact Description B.2):

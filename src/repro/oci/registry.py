@@ -65,6 +65,9 @@ class ImageRegistry:
     def __init__(self) -> None:
         self.blobs = BlobStore()
         self._manifests: Dict[Tuple[str, str], str] = {}  # (name, tag) -> digest
+        #: Shared rebuild artifact caches, one per repository: name -> blob
+        #: digest (``application/vnd.comtainer.rebuild-artifacts.v1+json``).
+        self._artifact_caches: Dict[str, str] = {}
         #: Optional :class:`repro.resilience.faults.FaultInjector`; armed on
         #: push/pull so chaos tests can exercise transfer failures.
         self.fault_injector = None
@@ -204,11 +207,34 @@ class ImageRegistry:
     def exists(self, reference: str) -> bool:
         return parse_reference(reference) in self._manifests
 
+    # -- shared artifact caches --------------------------------------------
+
+    def put_artifact_cache(self, repository: str, blob: Blob) -> str:
+        """Publish a rebuild artifact cache for *repository* (replacing
+        any previous one), so other sessions and cluster nodes can warm
+        their rebuilds from it."""
+        old = self._artifact_caches.get(repository)
+        self._transfer(repository, "artifact-cache", blob)
+        self._artifact_caches[repository] = blob.digest
+        if old is not None and old != blob.digest:
+            if old not in self.referenced_digests() and old in self.blobs:
+                self.blobs.remove(old)
+        m = self.telemetry.metrics
+        m.counter("registry_artifact_cache_publishes_total").inc()
+        return blob.digest
+
+    def get_artifact_cache(self, repository: str) -> Optional[Blob]:
+        digest = self._artifact_caches.get(repository)
+        if digest is None:
+            return None
+        return self.blobs.try_get(digest)
+
     # -- invariants --------------------------------------------------------
 
     def referenced_digests(self) -> set:
-        """Every blob digest reachable from a tagged manifest."""
-        refs: set = set()
+        """Every blob digest reachable from a tagged manifest or a
+        published artifact cache."""
+        refs: set = set(self._artifact_caches.values())
         for digest in self._manifests.values():
             refs.add(digest)
             blob = self.blobs.try_get(digest)

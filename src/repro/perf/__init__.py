@@ -10,6 +10,7 @@ scheme orderings, approximate improvement factors, and the outliers
 regression, LULESH's communication blow-up on 16 AArch64 nodes).
 """
 
+from repro.perf.buildcost import command_cost_seconds, estimate_node_bytes
 from repro.perf.model import predict_time, scheme_ratio
 from repro.perf.provenance import BinaryTraits, traits_from_executable
 from repro.perf.runtime import PerfRecorder, attach_perf
@@ -23,6 +24,8 @@ __all__ = [
     "WORKLOADS",
     "WorkloadProfile",
     "attach_perf",
+    "command_cost_seconds",
+    "estimate_node_bytes",
     "get_workload",
     "predict_time",
     "scheme_ratio",

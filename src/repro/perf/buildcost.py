@@ -1,0 +1,98 @@
+"""Per-command rebuild cost model for the parallel scheduler.
+
+The runtime perf model (:mod:`repro.perf.model`) predicts *execution*
+time of a built binary; this module predicts *build* time of one
+transformed command, so the wavefront scheduler can charge simulated
+rebuild time as a makespan instead of a serial sum.
+
+The model is deliberately simple and fully deterministic:
+
+* a compile command costs a base latency plus a per-byte rate over its
+  source inputs (a 2.4 MiB translation-unit group dominates a 4 KiB one);
+* an archive (``ar``) is cheap I/O over its member estimate;
+* a link pays a base plus a smaller per-byte rate over its inputs, with
+  a large multiplier under LTO (whole-program optimization happens at
+  link time) and smaller ones under PGO instrumentation/use.
+
+Input sizes for produced dependencies are *estimates* derived from the
+transitive source bytes (the real object does not exist at planning
+time); :data:`OBJECT_DENSITY` mirrors the artifact size model's
+bytes-per-source-byte calibration.  Costs must never depend on ``--jobs``
+or on execution order — they are charged, not measured.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Dict
+
+if TYPE_CHECKING:   # import only for annotations: repro.core imports this
+    from repro.core.models.build_graph import BuildGraph
+
+#: Estimated produced-artifact bytes per transitive source byte (mirrors
+#: the -O2/-O3 band of ``repro.toolchain.artifacts.BYTES_PER_SOURCE_BYTE``).
+OBJECT_DENSITY = 0.44
+
+COMPILE_BASE_SECONDS = 0.35
+COMPILE_SECONDS_PER_MIB = 2.2
+ARCHIVE_BASE_SECONDS = 0.08
+ARCHIVE_SECONDS_PER_MIB = 0.15
+LINK_BASE_SECONDS = 0.25
+LINK_SECONDS_PER_MIB = 0.6
+
+LTO_COMPILE_FACTOR = 1.15    # -flto adds IR emission work per TU
+LTO_LINK_FACTOR = 2.5        # whole-program optimization at link time
+PGO_INSTRUMENT_FACTOR = 1.10
+PGO_USE_FACTOR = 1.20
+
+_MIB = 1024.0 * 1024.0
+
+
+def estimate_node_bytes(
+    graph: "BuildGraph", source_size: Callable[[str], int]
+) -> Dict[str, int]:
+    """Estimated byte size of every node, dependencies first.
+
+    Leaf (non-produced) nodes are sized by *source_size* (a lookup into
+    the cached sources; unknown paths count as zero).  Produced nodes are
+    estimated from their dependency estimates: objects shrink by
+    :data:`OBJECT_DENSITY`, archives and executables aggregate their
+    inputs.  Deterministic and independent of execution.
+    """
+    sizes: Dict[str, int] = {}
+    for node in graph.topo_order():
+        if node.step is None:
+            sizes[node.id] = max(0, int(source_size(node.path)))
+            continue
+        total = sum(sizes.get(dep, 0) for dep in node.deps)
+        if node.step.is_archiver:
+            sizes[node.id] = total
+        elif node.kind == "object":
+            sizes[node.id] = int(total * OBJECT_DENSITY)
+        else:                       # link products aggregate their inputs
+            sizes[node.id] = total
+    return sizes
+
+
+def command_cost_seconds(
+    step,
+    input_bytes: int,
+    lto: bool = False,
+    pgo: str = "off",
+) -> float:
+    """Simulated seconds one transformed command takes on a free worker."""
+    mib = max(0, input_bytes) / _MIB
+    if step.is_archiver:
+        return ARCHIVE_BASE_SECONDS + mib * ARCHIVE_SECONDS_PER_MIB
+    if "-c" not in step.argv:   # no compile-only flag: a link command
+        cost = LINK_BASE_SECONDS + mib * LINK_SECONDS_PER_MIB
+        if lto:
+            cost *= LTO_LINK_FACTOR
+    else:
+        cost = COMPILE_BASE_SECONDS + mib * COMPILE_SECONDS_PER_MIB
+        if lto:
+            cost *= LTO_COMPILE_FACTOR
+    if pgo == "instrument":
+        cost *= PGO_INSTRUMENT_FACTOR
+    elif pgo == "use":
+        cost *= PGO_USE_FACTOR
+    return cost

@@ -357,6 +357,7 @@ def adapt_with_resilience(
     ref: Optional[str] = None,
     nodes: int = 16,
     repair=None,
+    jobs: int = 1,
 ) -> ResilienceReport:
     """System-side adaptation that always terminates with a runnable image.
 
@@ -379,6 +380,7 @@ def adapt_with_resilience(
         report.ref = wf.system_side_adapt(
             engine, layout, system, recorder=recorder, lto=lto,
             pgo_workload=pgo_workload, flavor=flavor, ref=ref, nodes=nodes,
+            jobs=jobs,
         )
         report.rung = RUNG_FULL
         return report
@@ -401,7 +403,7 @@ def adapt_with_resilience(
             return wf.system_side_adapt(
                 engine, layout, system, recorder=recorder, lto=a_lto,
                 pgo_workload=a_pgo, flavor=flavor, ref=ref, nodes=nodes,
-                extra_rebuild_args=extra_args,
+                extra_rebuild_args=extra_args, jobs=jobs,
             )
 
         for repair_round in range(2):
