@@ -9,6 +9,7 @@
 #   make telemetry-bench - the NullTelemetry happy-path overhead check
 #   make integrity-bench - the verified-reads happy-path overhead check
 #   make parallel-bench - wavefront makespan scaling + artifact-cache reuse
+#   make fleet-bench - worker-fleet no-fault overhead vs the slot scheduler
 #   make fsck-demo - save a layout, corrupt it on disk, detect and repair
 
 PYTHON ?= python
@@ -18,7 +19,7 @@ CLI     = PYTHONPATH=src $(PYTHON) -m repro.cli
 TRACE_APP ?= lammps
 
 .PHONY: test chaos bench resilience-bench trace metrics telemetry-bench \
-        integrity-bench parallel-bench fsck-demo
+        integrity-bench parallel-bench fleet-bench fsck-demo
 
 test:
 	$(PYTEST) -x -q
@@ -47,6 +48,9 @@ integrity-bench:
 
 parallel-bench:
 	$(PYTEST) benchmarks/bench_parallel_rebuild.py -q -s
+
+fleet-bench:
+	$(PYTEST) benchmarks/bench_fleet_overhead.py -q -s
 
 fsck-demo:
 	PYTHONPATH=src $(PYTHON) examples/fsck_demo.py

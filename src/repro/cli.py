@@ -3,7 +3,9 @@
 Subcommands::
 
     comtainer-demo schemes  <workload> [--system x86|arm]   # Figure 9 row
-    comtainer-demo adapt    <app>      [--system ...] [--lto] [--pgo WKLD] [--jobs N]
+    comtainer-demo adapt    <app>      [--system ...] [--lto] [--pgo WKLD]
+                                       [--jobs N] [--no-speculate]
+                                       [--max-worker-failures N]
     comtainer-demo trace    <app>      [--out trace.json]  # traced adapt
     comtainer-demo analyze  <app>                          # process models
     comtainer-demo crossisa <app>      [--target aarch64]  # Figure 11 row
@@ -43,11 +45,13 @@ def _wants_telemetry(args: argparse.Namespace) -> bool:
                 or args.command == "trace")
 
 
-def _session(system_key: str, telemetry=None, jobs: int = 1):
+def _session(system_key: str, telemetry=None, jobs: int = 1,
+             speculate: bool = True, max_worker_failures: int = 3):
     from repro.core.workflow import ComtainerSession
 
     return ComtainerSession(system=SYSTEMS[system_key], telemetry=telemetry,
-                            jobs=jobs)
+                            jobs=jobs, speculate=speculate,
+                            max_worker_failures=max_worker_failures)
 
 
 def cmd_schemes(args: argparse.Namespace) -> int:
@@ -77,7 +81,8 @@ def cmd_adapt(args: argparse.Namespace) -> int:
     ref = system_side_adapt(
         engine, layout, system, recorder=recorder,
         lto=args.lto, pgo_workload=args.pgo, ref=f"{args.app}:adapted",
-        jobs=args.jobs,
+        jobs=args.jobs, speculate=args.speculate,
+        max_worker_failures=args.max_worker_failures,
     )
     print(f"adapted image: {ref}")
     print(f"layout tags  : {layout.tags()}")
@@ -88,7 +93,9 @@ def cmd_trace(args: argparse.Namespace) -> int:
     """A traced end-to-end adaptation plus the measured stage breakdown."""
     from repro.reporting import render_table, telemetry_stage_rows
 
-    session = _session(args.system, telemetry=args.telemetry, jobs=args.jobs)
+    session = _session(args.system, telemetry=args.telemetry, jobs=args.jobs,
+                       speculate=args.speculate,
+                       max_worker_failures=args.max_worker_failures)
     ref = session.adapt(args.app, workload=args.workload)
     print(f"adapted image: {ref}")
     print()
@@ -224,6 +231,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--pgo", metavar="WORKLOAD", default=None)
     p.add_argument("--jobs", type=int, default=1, metavar="N",
                    help="parallel rebuild workers (simulated makespan)")
+    p.add_argument("--speculate", dest="speculate", action="store_true",
+                   default=True,
+                   help="speculatively duplicate straggler groups (default)")
+    p.add_argument("--no-speculate", dest="speculate", action="store_false",
+                   help="disable speculative re-execution of stragglers")
+    p.add_argument("--max-worker-failures", type=int, default=3, metavar="N",
+                   help="flaky strikes before a rebuild worker is blacklisted")
     p.set_defaults(fn=cmd_adapt)
 
     p = sub.add_parser("trace", help="traced adaptation + stage breakdown")
@@ -235,6 +249,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write Chrome trace-event JSON to FILE")
     p.add_argument("--jobs", type=int, default=1, metavar="N",
                    help="parallel rebuild workers (simulated makespan)")
+    p.add_argument("--speculate", dest="speculate", action="store_true",
+                   default=True,
+                   help="speculatively duplicate straggler groups (default)")
+    p.add_argument("--no-speculate", dest="speculate", action="store_false",
+                   help="disable speculative re-execution of stragglers")
+    p.add_argument("--max-worker-failures", type=int, default=3, metavar="N",
+                   help="flaky strikes before a rebuild worker is blacklisted")
     p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("analyze", help="show an app's process models")

@@ -14,6 +14,16 @@ is jobs-independent, so the rebuilt layer digest never depends on the
 worker count.  A :class:`repro.core.cache.artifacts.RebuildArtifactCache`
 can serve compiles whose transformed command and input contents match a
 previous rebuild — warm PGO loops, repeated adapts, other cluster nodes.
+
+Each wavefront is dispatched onto a simulated worker fleet
+(:mod:`repro.resilience.fleet`) in three phases: *resolve* (poison /
+journal / previous / cache decisions, in deterministic wavefront order),
+*simulate* (the fleet timeline decides which groups complete and what the
+wave costs, absorbing injected worker crashes, stragglers and flakes via
+lease expiry, reassignment and speculation), then *execute* (each
+completed group runs exactly once, again in wavefront order).  Faults can
+therefore reshape simulated time but never bytes: the rebuilt layer is
+byte-identical under any seeded worker fault pattern and any ``--jobs``.
 """
 
 from __future__ import annotations
@@ -28,9 +38,9 @@ from repro.core.backend.scheduler import (
     ScheduleReport,
     WaveStats,
     command_digest,
-    lpt_schedule,
     plan_command_groups,
 )
+from repro.resilience.fleet import FleetExhaustedError, WorkerFleet
 from repro.core.cache.artifacts import RebuildArtifactCache, cache_key
 from repro.core.cache.storage import (
     CacheError,
@@ -67,6 +77,8 @@ def rebuild_in_container(
     fallback_fs=None,
     jobs: int = 1,
     artifact_cache: Optional[RebuildArtifactCache] = None,
+    speculate: bool = True,
+    max_worker_failures: int = 3,
 ) -> Tuple[dict, Dict[str, FileContent], Dict[str, int], Dict[str, FileContent],
            ScheduleReport]:
     """Execute the transformed build; returns
@@ -92,6 +104,13 @@ def rebuild_in_container(
     makespan and the schedule report, never the execution order or the
     produced bytes.  *artifact_cache* serves content-addressed compile
     results from earlier rebuilds; hits execute nothing.
+
+    *speculate* enables duplicate execution of detected stragglers on the
+    worker fleet (first completion wins); *max_worker_failures* is the
+    flaky-strike budget before a worker is blacklisted.  Both shape only
+    the simulated timeline.  When injected worker faults kill or
+    blacklist every worker, :class:`FleetExhaustedError` is raised after
+    journaling leases for the unfinished groups.
     """
     models = models.clone()   # adapters operate on independent copies (§4.2)
     fs = container.fs
@@ -166,13 +185,15 @@ def rebuild_in_container(
                 journal.record(n.id, digest, n.path, out.content, out.mode)
         journal.flush()
 
-    def resolve_group(group) -> Optional[float]:
-        """Run one command group; returns its simulated cost when it
-        actually executed, else ``None`` (reused/restored/cached/failed).
+    exec_keys: Dict[tuple, Optional[str]] = {}   # group key -> cache key
+
+    def resolve_group(group) -> bool:
+        """Decide one command group's fate; returns ``True`` when it must
+        actually execute (else it was reused/restored/cached/poisoned).
 
         The resolution order — poison check, journal restore, previous
         reuse, artifact cache, execute — is deterministic and identical
-        for every ``jobs`` value.
+        for every ``jobs`` value and every worker fault pattern.
         """
         digest = group.digest
         for node_id in group.node_ids:
@@ -184,7 +205,7 @@ def rebuild_in_container(
         if any(dep_key in failed_keys for dep_key in group.dep_groups):
             failed_nodes.extend(group.node_ids)
             failed_keys.add(group.key)
-            return None
+            return False
         # Reusable only when the transformed command is unchanged AND every
         # produced dependency was itself reused — an unchanged `ar` command
         # over re-compiled objects must re-run (its inputs differ).
@@ -207,7 +228,7 @@ def rebuild_in_container(
                 fs.write_file(n.path, content, mode=mode, create_parents=True)
             restored.extend(group.node_ids)
             reused_set.update(group.node_ids)
-            return None
+            return False
         first = group.nodes[0]
         if (
             deps_unchanged
@@ -220,7 +241,7 @@ def rebuild_in_container(
                                   mode=0o755, create_parents=True)
             reused.extend(group.node_ids)
             reused_set.update(group.node_ids)
-            return None
+            return False
         key = None
         if artifact_cache is not None:
             key = group_cache_key(group)
@@ -231,7 +252,14 @@ def rebuild_in_container(
                 cache_hits.extend(group.node_ids)
                 if journal is not None:
                     checkpoint(group, digest)
-                return None
+                return False
+        exec_keys[group.key] = key
+        return True
+
+    def execute_group(group) -> None:
+        """Really run one command group the fleet simulation completed."""
+        digest = group.digest
+        first = group.nodes[0]
         step = group.step
         fs.makedirs(step.cwd)
         env = container.environment()
@@ -271,10 +299,11 @@ def rebuild_in_container(
                 raise
             failed_nodes.extend(group.node_ids)
             failed_keys.add(group.key)
-            return None
+            return
         executed.extend(group.node_ids)
         if journal is not None:
             checkpoint(group, digest)
+        key = exec_keys.get(group.key)
         if artifact_cache is not None and key is not None:
             outputs = [
                 (n.id, n.path, out.content, out.mode)
@@ -283,43 +312,104 @@ def rebuild_in_container(
             ]
             if outputs:
                 artifact_cache.store(key, outputs)
-        return group.cost
 
-    # 4. Execute wavefront by wavefront.  Simulated time per wavefront is
-    # the LPT makespan of its *executed* groups over `jobs` workers.
-    for wave_index, wave in enumerate(build_plan.waves):
-        wave_costs: List[float] = []
-        if tele.enabled:
-            with tele.span(
-                "rebuild.wavefront", index=wave_index, width=len(wave)
-            ) as wave_span:
-                for group in wave:
-                    cost = resolve_group(group)
-                    if cost is not None:
-                        wave_costs.append(cost)
-                makespan, _ = lpt_schedule(wave_costs, jobs)
-                if makespan > 0.0:
-                    tele.charge(makespan)
-                wave_span.set("executed", len(wave_costs))
-                wave_span.set("makespan_seconds", makespan)
-                tele.metrics.histogram("rebuild_wavefront_width").observe(
-                    len(wave)
+    # 4. Dispatch wavefront by wavefront onto the worker fleet.  Per wave:
+    # resolve (deterministic order), simulate (the fleet decides which
+    # groups complete and what the wave costs under injected worker
+    # faults), execute (each completed group, once, in wavefront order).
+    fleet = WorkerFleet(
+        jobs=jobs, injector=injector, telemetry=tele, speculate=speculate,
+        max_worker_failures=max_worker_failures,
+    )
+    report.fleet = fleet.stats
+    if journal is not None:
+        stale = journal.leases()
+        if stale:
+            # A previous rebuild died mid-wavefront with these groups in
+            # flight.  Their outputs were never checkpointed, so they
+            # simply re-execute below; surface and clear the evidence.
+            report.stale_leases = len(stale)
+            if tele.enabled:
+                tele.event("fleet.stale_leases", count=len(stale))
+            journal.clear_leases()
+
+    def dispatch_wave(wave_index: int, wave) -> Tuple[float, int, float]:
+        pending = [group for group in wave if resolve_group(group)]
+        outcome = fleet.run_wave(
+            wave_index, [(g.digest, g.cost) for g in pending]
+        )
+        if journal is not None and pending:
+            # Leases go durable before any group of the wave executes, so
+            # a crash mid-wavefront leaves exact in-flight evidence; each
+            # group's own checkpoint clears its lease again.
+            for g in pending:
+                journal.record_lease(
+                    g.digest, outcome.owners.get(g.digest, ""), wave_index,
+                    nodes=g.node_ids, expires=fleet.clock.now,
                 )
-        else:
-            for group in wave:
-                cost = resolve_group(group)
-                if cost is not None:
-                    wave_costs.append(cost)
-            makespan, _ = lpt_schedule(wave_costs, jobs)
-        report.waves.append(WaveStats(
-            index=wave_index,
-            width=len(wave),
-            executed=len(wave_costs),
-            makespan=makespan,
-            busy=sum(wave_costs),
-        ))
-        report.makespan_seconds += makespan
-        report.serial_seconds += sum(wave_costs)
+            journal.flush()
+        completed = 0
+        busy = 0.0
+        for g in pending:
+            if g.digest in outcome.completed:
+                if journal is not None:
+                    journal.clear_lease(g.digest)
+                execute_group(g)
+                completed += 1
+                busy += g.cost
+        if outcome.exhausted:
+            raise FleetExhaustedError(wave_index, outcome.pending, fleet.stats)
+        return outcome.makespan, completed, busy
+
+    try:
+        for wave_index, wave in enumerate(build_plan.waves):
+            if tele.enabled:
+                with tele.span(
+                    "rebuild.wavefront", index=wave_index, width=len(wave)
+                ) as wave_span:
+                    makespan, completed, busy = dispatch_wave(wave_index, wave)
+                    if makespan > 0.0:
+                        tele.charge(makespan)
+                    wave_span.set("executed", completed)
+                    wave_span.set("makespan_seconds", makespan)
+                    tele.metrics.histogram("rebuild_wavefront_width").observe(
+                        len(wave)
+                    )
+            else:
+                makespan, completed, busy = dispatch_wave(wave_index, wave)
+            report.waves.append(WaveStats(
+                index=wave_index,
+                width=len(wave),
+                executed=completed,
+                makespan=makespan,
+                busy=busy,
+            ))
+            report.makespan_seconds += makespan
+            report.serial_seconds += busy
+    finally:
+        # Fleet accounting must survive exhaustion: the degradation
+        # ladder reads it off the engine to populate the resilience
+        # report's worker stats (accumulating across the ladder's
+        # attempts — adapt_with_resilience resets it first).
+        stats = fleet.stats
+        prior = getattr(engine, "fleet_stats", None)
+        engine.fleet_stats = stats if prior is None else prior.merge(stats)
+        if tele.enabled:
+            m = tele.metrics
+            m.counter("fleet_worker_crashes_total").inc(stats.crashes)
+            m.counter("fleet_reassignments_total").inc(stats.reassignments)
+            m.counter("fleet_straggles_detected_total").inc(stats.straggles)
+            m.counter("fleet_lease_expirations_total").inc(
+                stats.lease_expirations
+            )
+            m.counter("fleet_speculative_launches_total").inc(
+                stats.speculative_launches
+            )
+            m.counter("fleet_speculative_wins_total").inc(
+                stats.speculative_wins
+            )
+            m.gauge("fleet_workers_alive").set(stats.workers_alive)
+            m.gauge("fleet_blacklisted_workers").set(len(stats.blacklisted))
     report.groups_executed = sum(w.executed for w in report.waves)
 
     # 5. Collect rebuilt artifacts for every BUILD file of the dist image.
@@ -444,6 +534,8 @@ def comtainer_rebuild_entry(ctx) -> int:
             ctx.engine, ctx.container, models, sources, adapter, options,
             previous=previous, journal=journal, fallback_fs=fallback_fs,
             jobs=flags["jobs"], artifact_cache=artifact_cache,
+            speculate=flags["speculate"],
+            max_worker_failures=flags["max_worker_failures"],
         )
     except RebuildError as exc:
         raise ProgramError(f"coMtainer-rebuild: {exc}")
@@ -463,6 +555,15 @@ def comtainer_rebuild_entry(ctx) -> int:
         f"with adapter {adapter.name!r}, tagged {tag}"
     )
     ctx.writeline(f"coMtainer-rebuild: {schedule.summary_line()}")
+    # The fleet line is separate from the schedule line so `speedup=...x`
+    # stays the schedule line's tail (stdout consumers parse it).
+    if schedule.fleet is not None and schedule.fleet.any_faults:
+        ctx.writeline(f"coMtainer-rebuild: {schedule.fleet.summary_line()}")
+    if schedule.stale_leases:
+        ctx.writeline(
+            f"coMtainer-rebuild: cleared {schedule.stale_leases} stale "
+            "worker leases (previous rebuild died mid-wavefront)"
+        )
     if meta["cache_hits"]:
         ctx.writeline(
             f"coMtainer-rebuild: {len(meta['cache_hits'])} nodes served "
@@ -491,6 +592,7 @@ def _parse_args(args: List[str]) -> Tuple[RebuildOptions, str, Dict[str, object]
     adapter_name = "vendor"
     flags: Dict[str, object] = {
         "journal": False, "fallback": False, "cache": True, "jobs": 1,
+        "speculate": True, "max_worker_failures": 3,
     }
     i = 0
     while i < len(args):
@@ -503,6 +605,22 @@ def _parse_args(args: List[str]) -> Tuple[RebuildOptions, str, Dict[str, object]
             flags["fallback"] = True
         elif arg == "--no-cache":
             flags["cache"] = False
+        elif arg == "--speculate":
+            flags["speculate"] = True
+        elif arg == "--no-speculate":
+            flags["speculate"] = False
+        elif arg.startswith("--max-worker-failures="):
+            value = arg.split("=", 1)[1]
+            try:
+                flags["max_worker_failures"] = int(value)
+            except ValueError:
+                raise ProgramError(
+                    f"coMtainer-rebuild: bad --max-worker-failures value {value!r}"
+                )
+            if flags["max_worker_failures"] < 1:
+                raise ProgramError(
+                    f"coMtainer-rebuild: bad --max-worker-failures value {value!r}"
+                )
         elif arg.startswith("--jobs="):
             value = arg.split("=", 1)[1]
             try:

@@ -101,6 +101,13 @@ class ScheduleReport:
     critical_path_seconds: float = 0.0
     groups_total: int = 0
     groups_executed: int = 0
+    #: Fleet accounting (:class:`repro.resilience.fleet.FleetStats`) when
+    #: the rebuild ran on the worker fleet; jobs-dependent, so — like the
+    #: rest of the report — never serialized into meta.
+    fleet: Optional[object] = None
+    #: Stale lease records found on a ``--journal`` resume: groups a
+    #: previous rebuild had in flight when it died mid-wavefront.
+    stale_leases: int = 0
 
     @property
     def max_width(self) -> int:
@@ -108,13 +115,18 @@ class ScheduleReport:
 
     @property
     def speedup(self) -> float:
-        if self.makespan_seconds <= 0.0:
+        # A plan with nothing to execute (fully cached, fully journaled,
+        # or empty) has no meaningful ratio; report the vacuous 1.0
+        # instead of dividing by a zero makespan.
+        if self.groups_executed == 0 or self.makespan_seconds <= 0.0:
             return 1.0
         return self.serial_seconds / self.makespan_seconds
 
     @property
     def utilization(self) -> float:
         """Busy worker-seconds over provisioned worker-seconds."""
+        if self.groups_executed == 0:
+            return 1.0   # vacuous: no work was provisioned for
         capacity = self.jobs * self.makespan_seconds
         if capacity <= 0.0:
             return 1.0
@@ -132,6 +144,8 @@ class ScheduleReport:
             "utilization": self.utilization,
             "groups_total": self.groups_total,
             "groups_executed": self.groups_executed,
+            "fleet": self.fleet.to_json() if self.fleet is not None else None,
+            "stale_leases": self.stale_leases,
             "waves": [w.to_json() for w in self.waves],
         }
 

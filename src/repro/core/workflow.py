@@ -130,11 +130,17 @@ def _run_rebuild(
     profile_bytes: Optional[bytes] = None,
     extra_args: Optional[List[str]] = None,
     jobs: int = 1,
+    speculate: bool = True,
+    max_worker_failures: int = 3,
 ) -> None:
     if extra_args:
         args = args + list(extra_args)
     if jobs != 1:
         args = args + [f"--jobs={jobs}"]
+    if not speculate:
+        args = args + ["--no-speculate"]
+    if max_worker_failures != 3:
+        args = args + [f"--max-worker-failures={max_worker_failures}"]
     with engine.telemetry.span("rebuild", system=system.key, flavor=flavor):
         ctr = engine.from_image(
             sysenv_ref(system.key, flavor), name="comt-rebuild",
@@ -248,6 +254,8 @@ def system_side_adapt(
     nodes: int = 16,
     extra_rebuild_args: Optional[List[str]] = None,
     jobs: int = 1,
+    speculate: bool = True,
+    max_worker_failures: int = 3,
 ) -> str:
     """Rebuild + redirect an extended image for *system*.
 
@@ -257,7 +265,10 @@ def system_side_adapt(
     every ``coMtainer-rebuild`` invocation (the resilience layer passes
     ``--journal`` / ``--fallback`` through here).  *jobs* is the rebuild
     worker count (``coMtainer-rebuild --jobs``); it changes simulated
-    rebuild time, never the produced image.
+    rebuild time, never the produced image.  *speculate* /
+    *max_worker_failures* tune the rebuild worker fleet (straggler
+    speculation and the flaky-worker blacklist threshold) — like *jobs*,
+    simulated time only.
     """
     install_system_side_images(engine, system, flavor)
     dist_tag = find_dist_tag(layout)
@@ -270,7 +281,9 @@ def system_side_adapt(
             raise WorkflowError("PGO loop needs a perf recorder on the engine")
         _run_rebuild(engine, layout, system, flavor,
                      base_args + ["--pgo=instrument"],
-                     extra_args=extra_rebuild_args, jobs=jobs)
+                     extra_args=extra_rebuild_args, jobs=jobs,
+                     speculate=speculate,
+                     max_worker_failures=max_worker_failures)
         instr_ref = _run_redirect(engine, layout, system, ref=f"{ref}.instrumented")
         # Profiling run: execute the instrumented binary on the system.
         app_name, _, input_name = pgo_workload.partition(".")
@@ -293,10 +306,13 @@ def system_side_adapt(
             engine.remove_container(instr_ctr.name)
         _run_rebuild(engine, layout, system, flavor, base_args,
                      profile_bytes=profile_bytes, extra_args=extra_rebuild_args,
-                     jobs=jobs)
+                     jobs=jobs, speculate=speculate,
+                     max_worker_failures=max_worker_failures)
     else:
         _run_rebuild(engine, layout, system, flavor, base_args,
-                     extra_args=extra_rebuild_args, jobs=jobs)
+                     extra_args=extra_rebuild_args, jobs=jobs,
+                     speculate=speculate,
+                     max_worker_failures=max_worker_failures)
 
     return _run_redirect(engine, layout, system, ref=ref)
 
@@ -429,6 +445,11 @@ class ComtainerSession:
     #: Simulated rebuild worker count, threaded into every
     #: ``coMtainer-rebuild --jobs``.  Changes makespan, never bytes.
     jobs: int = 1
+    #: Speculatively re-execute detected straggler groups on the rebuild
+    #: worker fleet (first completion wins).  Simulated time only.
+    speculate: bool = True
+    #: Flaky-attempt strikes before a rebuild worker is blacklisted.
+    max_worker_failures: int = 3
     #: Share the rebuild artifact cache through the registry: publish it
     #: after each adaptation and attach any published cache before a
     #: rebuild — same-adapter rebuilds on other sessions/nodes hit warm
@@ -575,6 +596,8 @@ class ComtainerSession:
                     self.system_engine, layout, self.system,
                     recorder=self.recorder, flavor=self.flavor,
                     ref=f"{app}:adapted", nodes=self.nodes, jobs=self.jobs,
+                    speculate=self.speculate,
+                    max_worker_failures=self.max_worker_failures,
                 )
                 self._publish_cache(app, layout, dist_tag)
         return self._adapted[app]
@@ -587,7 +610,8 @@ class ComtainerSession:
                 self.system_engine, layout, self.system,
                 recorder=self.recorder, lto=True, pgo_workload=workload,
                 flavor=self.flavor, ref=f"{workload}:optimized", nodes=self.nodes,
-                jobs=self.jobs,
+                jobs=self.jobs, speculate=self.speculate,
+                max_worker_failures=self.max_worker_failures,
             )
             self._publish_cache(app, layout, dist_tag)
         return self._optimized[workload]
@@ -611,6 +635,8 @@ class ComtainerSession:
             lto=lto, pgo_workload=pgo_workload, flavor=self.flavor,
             ref=ref or f"{app}:resilient", nodes=self.nodes,
             repair=self.repairer(app), jobs=self.jobs,
+            speculate=self.speculate,
+            max_worker_failures=self.max_worker_failures,
         )
         self._publish_cache(app, layout, dist_tag)
         self.resilience_reports.append(report)

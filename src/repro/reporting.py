@@ -126,6 +126,12 @@ def render_adaptation_report(telemetry) -> str:
         ("rebuild nodes restored", int(m.value("rebuild_nodes_restored_total"))),
         ("rebuild nodes failed", int(m.value("rebuild_nodes_failed_total"))),
         ("retries", int(m.value("resilience_retries_total"))),
+        ("worker crashes", int(m.value("fleet_worker_crashes_total"))),
+        ("lease reassignments", int(m.value("fleet_reassignments_total"))),
+        ("speculative wins",
+         f"{int(m.value('fleet_speculative_wins_total'))}/"
+         f"{int(m.value('fleet_speculative_launches_total'))}"),
+        ("workers blacklisted", int(m.value("fleet_blacklisted_workers"))),
         ("events logged", len(telemetry.events)),
     ]
     lines.append("")
@@ -151,6 +157,16 @@ def render_resilience_report(report) -> str:
         ("blobs quarantined", len(report.quarantined_digests)),
         ("simulated backoff (s)", report.simulated_seconds),
     ]
+    stats = report.worker_stats
+    if stats:
+        rows.extend([
+            ("worker crashes", int(stats.get("crashes", 0))),
+            ("group reassignments", int(stats.get("reassignments", 0))),
+            ("speculative wins",
+             f"{int(stats.get('speculative_wins', 0))}/"
+             f"{int(stats.get('speculative_launches', 0))}"),
+            ("workers blacklisted", len(stats.get("blacklisted", ()))),
+        ])
     lines = [render_table((f"adaptation of {report.tag}", "value"), rows)]
     for reason in report.reasons:
         lines.append(f"  degraded: {reason}")

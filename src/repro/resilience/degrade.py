@@ -7,14 +7,17 @@ extended image by construction contains a runnable generic dist image, so
 there is always *something* to serve; the ladder makes the fallback
 explicit and reportable instead of an unhandled exception:
 
-    rung 1  full           rebuild with every requested optimization
-                           (native toolchain, LTO, PGO loop), redirect
-    rung 2  partial        rebuild with per-node fallback to the generic
-                           artifact and/or optimizations dropped, redirect
-    rung 3  redirect-only  no rebuild; generic binaries with the system's
-                           optimized runtime libraries linked in via
-                           compat symlinks (library-only adaptation)
-    rung 4  generic        the untouched dist image from the layout
+    rung 1  full            rebuild with every requested optimization
+                            (native toolchain, LTO, PGO loop), redirect
+    rung 2  partial         rebuild with per-node fallback to the generic
+                            artifact and/or optimizations dropped, redirect
+    rung 3  fleet-exhausted the parallel worker fleet died (every worker
+                            crashed or was blacklisted); the rebuild was
+                            re-run serially on a fresh single worker
+    rung 4  redirect-only   no rebuild; generic binaries with the system's
+                            optimized runtime libraries linked in via
+                            compat symlinks (library-only adaptation)
+    rung 5  generic         the untouched dist image from the layout
 
 Every session ends on some rung with a runnable image and a
 :class:`ResilienceReport` naming the rung and why each higher rung was
@@ -31,6 +34,7 @@ from typing import Dict, List, Optional
 
 from repro.integrity import find_integrity_error
 from repro.resilience.faults import FaultInjector
+from repro.resilience.fleet import find_fleet_exhausted
 from repro.resilience.retry import (
     RetryPolicy,
     RetryStats,
@@ -43,11 +47,13 @@ logger = logging.getLogger("repro.resilience")
 
 RUNG_FULL = "full"
 RUNG_PARTIAL = "partial"
+RUNG_FLEET_EXHAUSTED = "fleet-exhausted"
 RUNG_REDIRECT_ONLY = "redirect-only"
 RUNG_GENERIC = "generic"
 
 #: Best to worst; every resilient session terminates on exactly one.
-RUNG_ORDER = (RUNG_FULL, RUNG_PARTIAL, RUNG_REDIRECT_ONLY, RUNG_GENERIC)
+RUNG_ORDER = (RUNG_FULL, RUNG_PARTIAL, RUNG_FLEET_EXHAUSTED,
+              RUNG_REDIRECT_ONLY, RUNG_GENERIC)
 
 #: Default retry policy for permissive sessions.  Transient faults have
 #: bounded per-key bursts, but a composite operation (one push touches
@@ -153,6 +159,10 @@ class ResilienceReport:
     repaired_digests: List[str] = field(default_factory=list)
     #: Digests left quarantined (corrupt, no source could repair them).
     quarantined_digests: List[str] = field(default_factory=list)
+    #: Worker-fleet accounting accumulated over the session's rebuilds
+    #: (:meth:`repro.resilience.fleet.FleetStats.to_json` shape): crashes,
+    #: reassignments, speculative wins, blacklisted workers, ...
+    worker_stats: Dict[str, object] = field(default_factory=dict)
 
     def to_json(self) -> dict:
         return {
@@ -169,6 +179,7 @@ class ResilienceReport:
             "integrity_errors": list(self.integrity_errors),
             "repaired_digests": list(self.repaired_digests),
             "quarantined_digests": list(self.quarantined_digests),
+            "worker_stats": dict(self.worker_stats),
         }
 
     def summary(self) -> str:
@@ -185,6 +196,15 @@ class ResilienceReport:
             bits.append(f"{len(self.repaired_digests)} blobs repaired")
         if self.quarantined_digests:
             bits.append(f"{len(self.quarantined_digests)} blobs quarantined")
+        ws = self.worker_stats
+        if ws.get("crashes"):
+            bits.append(f"{ws['crashes']} worker crashes")
+        if ws.get("reassignments"):
+            bits.append(f"{ws['reassignments']} group reassignments")
+        if ws.get("speculative_wins"):
+            bits.append(f"{ws['speculative_wins']} speculative wins")
+        if ws.get("blacklisted"):
+            bits.append(f"{len(ws['blacklisted'])} workers blacklisted")
         return "; ".join(bits)
 
 
@@ -358,6 +378,8 @@ def adapt_with_resilience(
     nodes: int = 16,
     repair=None,
     jobs: int = 1,
+    speculate: bool = True,
+    max_worker_failures: int = 3,
 ) -> ResilienceReport:
     """System-side adaptation that always terminates with a runnable image.
 
@@ -366,7 +388,11 @@ def adapt_with_resilience(
     With a permissive context the ladder walks rungs until one holds.
     When a :class:`repro.integrity.repair.RepairEngine` is supplied, a
     rung that fails on a typed ``IntegrityError`` gets one repair pass
-    over the layout and one retry before the ladder descends.
+    over the layout and one retry before the ladder descends.  A parallel
+    rebuild (``jobs > 1``) whose worker fleet is exhausted by injected
+    worker faults gets exactly one serial retry on a fresh single-worker
+    fleet before optimizations are dropped; success through that retry
+    lands on the ``fleet-exhausted`` rung.
     """
     from repro.core import workflow as wf
     from repro.core.cache.storage import decode_rebuild, find_dist_tag
@@ -380,7 +406,8 @@ def adapt_with_resilience(
         report.ref = wf.system_side_adapt(
             engine, layout, system, recorder=recorder, lto=lto,
             pgo_workload=pgo_workload, flavor=flavor, ref=ref, nodes=nodes,
-            jobs=jobs,
+            jobs=jobs, speculate=speculate,
+            max_worker_failures=max_worker_failures,
         )
         report.rung = RUNG_FULL
         return report
@@ -391,25 +418,39 @@ def adapt_with_resilience(
     if ctx.policy.fallback:
         extra_args.append("--fallback")
 
-    # Rungs 1-2: rebuild + redirect.  First with the requested
-    # optimizations, then (if those were the problem) a plain rebuild.
-    attempts = [(lto, pgo_workload, "optimized rebuild")]
+    # Fleet accounting accumulates across every rebuild the ladder runs
+    # (see rebuild_in_container's merge); start the session from zero.
+    engine.fleet_stats = None
+
+    # Rungs 1-3: rebuild + redirect.  First with the requested
+    # optimizations, then — if a parallel worker fleet died — once more
+    # serially, then (if the optimizations were the problem) plain.
+    attempts = [(lto, pgo_workload, "optimized rebuild", jobs)]
     if lto or pgo_workload is not None:
-        attempts.append((False, None, "plain rebuild"))
+        attempts.append((False, None, "plain rebuild", jobs))
     adapted_ref = None
     degraded_options = False
-    for attempt_lto, attempt_pgo, label in attempts:
-        def run_attempt(a_lto=attempt_lto, a_pgo=attempt_pgo):
+    serial_fleet_added = False
+    used_serial_fleet = False
+    index = 0
+    while index < len(attempts):
+        attempt_lto, attempt_pgo, label, attempt_jobs = attempts[index]
+        index += 1
+
+        def run_attempt(a_lto=attempt_lto, a_pgo=attempt_pgo,
+                        a_jobs=attempt_jobs):
             return wf.system_side_adapt(
                 engine, layout, system, recorder=recorder, lto=a_lto,
                 pgo_workload=a_pgo, flavor=flavor, ref=ref, nodes=nodes,
-                extra_rebuild_args=extra_args, jobs=jobs,
+                extra_rebuild_args=extra_args, jobs=a_jobs,
+                speculate=speculate, max_worker_failures=max_worker_failures,
             )
 
         for repair_round in range(2):
             try:
                 adapted_ref = ctx.retry(run_attempt, site="adapt")
                 degraded_options = (attempt_lto, attempt_pgo) != (lto, pgo_workload)
+                used_serial_fleet = attempt_jobs == 1 and attempt_jobs != jobs
                 break
             except Exception as exc:
                 fixed = _note_integrity(
@@ -421,6 +462,28 @@ def adapt_with_resilience(
                         f"{label} hit corruption, repaired and retrying: {exc}"
                     )
                     continue
+                exhausted = find_fleet_exhausted(exc)
+                if (exhausted is not None and attempt_jobs > 1
+                        and not serial_fleet_added):
+                    # The parallel fleet died; a fresh serial fleet can
+                    # still finish the same rebuild (resuming from the
+                    # journal), so try that before dropping optimizations.
+                    serial_fleet_added = True
+                    attempts.insert(
+                        index, (attempt_lto, attempt_pgo,
+                                "serial-fleet rebuild", 1)
+                    )
+                    report.reasons.append(
+                        f"{label} exhausted the worker fleet, retrying "
+                        f"serially: {exc}"
+                    )
+                    tele.event("degradation.fleet_exhausted", tag=dist_tag,
+                               wave=exhausted.wave_index,
+                               pending=len(exhausted.pending))
+                    logger.warning(
+                        "%s of %s exhausted the worker fleet, retrying "
+                        "serially: %s", label, dist_tag, exc)
+                    break
                 report.reasons.append(f"{label} failed: {exc}")
                 tele.event("degradation.attempt_failed", tag=dist_tag,
                            label=label, error=str(exc))
@@ -437,7 +500,10 @@ def adapt_with_resilience(
         report.fallback_paths = list(meta.get("fallback_paths", []))
         report.restored_nodes = list(meta.get("journal_restored", []))
         degraded = bool(report.failed_nodes or report.fallback_paths) or degraded_options
-        report.rung = RUNG_PARTIAL if degraded else RUNG_FULL
+        if used_serial_fleet:
+            report.rung = RUNG_FLEET_EXHAUSTED
+        else:
+            report.rung = RUNG_PARTIAL if degraded else RUNG_FULL
     else:
         # Rung 3: redirect-only (library-only adaptation, no rebuild).
         try:
@@ -463,6 +529,9 @@ def adapt_with_resilience(
     # Abandoned recovery attempts must not strand partial state.
     layout.gc()
     report.retries = dict(ctx.stats.retries)
+    fleet_stats = getattr(engine, "fleet_stats", None)
+    if fleet_stats is not None:
+        report.worker_stats = fleet_stats.to_json()
     if ctx.injector is not None:
         report.faults_seen = ctx.injector.summary()
     report.simulated_seconds = ctx.clock.now

@@ -48,6 +48,27 @@ silent by design; detection is the job of the verified-read layer
 (:mod:`repro.integrity`), which re-hashes content against its declared
 digest and raises a typed ``IntegrityError``.
 
+A fourth family models *worker* faults: the simulated rebuild fleet
+(:mod:`repro.resilience.fleet`) consults :meth:`FaultInjector.worker_event`
+once per (worker, group, attempt) at three sites —
+
+====================  =====================================================
+site                  meaning
+====================  =====================================================
+``worker.crash``      the worker dies mid-group; its lease expires
+``worker.straggle``   the attempt runs ``straggle_factor`` times too long
+``worker.flaky``      the attempt burns its cost, then fails (a strike)
+====================  =====================================================
+
+— with keys like ``w3/<group digest>#<attempt>``.  Worker events never
+raise: the fleet owns the recovery semantics (reassignment, speculation,
+blacklisting), so the injector only answers "does this attempt misbehave?".
+Scripted :class:`FaultSpec` entries are checked first (``kind`` is ignored
+for worker sites; ``times < 0`` fires forever), then the seeded per-site
+rates (``worker_crash_rate`` etc.).  When every worker rate is zero and no
+worker specs exist, a consultation costs no random draw — so existing
+seeded sweeps replay identically with the fleet in place.
+
 Everything is derived from a single integer seed through one private
 ``random.Random`` stream, so a chaos sweep replays identically run to run
 as long as the (single-threaded, simulated) pipeline arms the same sites
@@ -57,7 +78,7 @@ in the same order.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.oci.registry import TransientTransferError
@@ -78,6 +99,9 @@ CORRUPTION_SITES = frozenset(
 
 #: The corruption fault family, in seeded-pick order.
 CORRUPTION_MODES = ("bitflip", "truncate", "torn")
+
+#: Worker fault family, consulted by the rebuild fleet (never raises).
+WORKER_SITES = frozenset({"worker.crash", "worker.straggle", "worker.flaky"})
 
 
 class InjectedFault(Exception):
@@ -193,6 +217,9 @@ class FaultInjector:
         corruption_rate: float = 0.0,
         corruption_sites: frozenset = CORRUPTION_SITES,
         corruptions: Optional[List[CorruptionSpec]] = None,
+        worker_crash_rate: float = 0.0,
+        worker_straggle_rate: float = 0.0,
+        worker_flaky_rate: float = 0.0,
     ) -> None:
         self.seed = seed
         self.rate = rate
@@ -203,6 +230,9 @@ class FaultInjector:
         self.corruption_rate = corruption_rate
         self.corruption_sites = frozenset(corruption_sites)
         self.corruptions: List[CorruptionSpec] = list(corruptions or [])
+        self.worker_crash_rate = worker_crash_rate
+        self.worker_straggle_rate = worker_straggle_rate
+        self.worker_flaky_rate = worker_flaky_rate
         self.enabled = True
         self.log: List[FaultRecord] = []
         #: Telemetry recorder; fired faults land a ``fault.fired`` event
@@ -212,8 +242,30 @@ class FaultInjector:
         #: (site, key) -> remaining transient failures; 0 means immune.
         self._bursts: Dict[Tuple[str, str], int] = {}
         self._persistent: Set[Tuple[str, str]] = set()
+        self._disarmed: Set[str] = set()
+        # Snapshots so reset() can restore scripted specs whose remaining
+        # `times` counters were consumed by a previous sweep iteration,
+        # and the constructed rates for any reset() argument left unset.
+        self._initial_specs = [replace(s) for s in self.specs]
+        self._initial_corruptions = [replace(c) for c in self.corruptions]
+        self._initial_rates = {
+            "seed": seed,
+            "rate": rate,
+            "persistent_rate": persistent_rate,
+            "corruption_rate": corruption_rate,
+            "worker_crash_rate": worker_crash_rate,
+            "worker_straggle_rate": worker_straggle_rate,
+            "worker_flaky_rate": worker_flaky_rate,
+        }
 
     # ------------------------------------------------------------------
+
+    def _worker_rate(self, site: str) -> float:
+        if site == "worker.crash":
+            return self.worker_crash_rate
+        if site == "worker.straggle":
+            return self.worker_straggle_rate
+        return self.worker_flaky_rate
 
     def _fire(self, site: str, key: str, kind: str) -> None:
         self.log.append(FaultRecord(site=site, key=key, kind=kind))
@@ -228,7 +280,7 @@ class FaultInjector:
 
     def arm(self, site: str, key: str = "") -> None:
         """Raise an :class:`InjectedFault` if this operation should fail."""
-        if not self.enabled:
+        if not self.enabled or site in self._disarmed:
             return
         if self.telemetry.enabled:
             self.telemetry.event("fault.armed", site=site, key=key)
@@ -269,6 +321,43 @@ class FaultInjector:
         self._fire(site, key, "transient")
 
     # ------------------------------------------------------------------
+    # worker faults (consulted by the rebuild fleet; never raise)
+    # ------------------------------------------------------------------
+
+    def worker_event(self, site: str, key: str = "") -> bool:
+        """Should this (worker, group, attempt) misbehave at *site*?
+
+        Unlike :meth:`arm` this never raises — the fleet owns recovery
+        (reassignment, speculation, blacklisting); the injector only
+        decides.  Scripted specs fire first (their ``kind`` is ignored;
+        negative ``times`` fires forever), then the seeded per-site rate.
+        An inert site (zero rate, no matching specs) consumes no random
+        draw, so pre-fleet seeded sweeps replay identically.
+        """
+        if site not in WORKER_SITES:
+            raise ValueError(f"not a worker fault site: {site!r}")
+        if not self.enabled or site in self._disarmed:
+            return False
+        fired = False
+        for spec in self.specs:
+            if spec.site != site or spec.match not in key or spec.times == 0:
+                continue
+            if spec.times > 0:
+                spec.times -= 1
+            fired = True
+            break
+        if not fired:
+            rate = self._worker_rate(site)
+            if rate <= 0.0 or self._rng.random() >= rate:
+                return False
+        self.log.append(FaultRecord(site=site, key=key, kind="worker"))
+        if self.telemetry.enabled:
+            self.telemetry.event("fault.worker", site=site, key=key)
+            self.telemetry.metrics.counter(
+                "resilience_worker_faults_total").inc()
+        return True
+
+    # ------------------------------------------------------------------
     # corruption faults (silent data mutation; see repro.integrity)
     # ------------------------------------------------------------------
 
@@ -278,7 +367,7 @@ class FaultInjector:
         Persistence paths call this before serializing payloads, so an
         injector armed only for operation faults costs nothing extra.
         """
-        if not self.enabled:
+        if not self.enabled or site in self._disarmed:
             return False
         if any(spec.site == site and spec.times != 0 for spec in self.corruptions):
             return True
@@ -292,7 +381,7 @@ class FaultInjector:
         are recorded in the log as ``corrupt-<mode>`` and never raise —
         silent wrongness is the whole point of the fault family.
         """
-        if not self.enabled or not data:
+        if not self.enabled or not data or site in self._disarmed:
             return data
         mode: Optional[str] = None
         for spec in self.corruptions:
@@ -315,6 +404,80 @@ class FaultInjector:
             self.telemetry.metrics.counter(
                 "resilience_corruptions_injected_total").inc()
         return mutated
+
+    # ------------------------------------------------------------------
+    # sweep controls
+    # ------------------------------------------------------------------
+
+    def disarm(self, site: str) -> None:
+        """Make *site* inert: neither scripted nor seeded faults fire there.
+
+        Chaos sweeps use this to silence one site mid-scenario (e.g. the
+        final workload check after a faulty rebuild) without rebuilding
+        the injector and without disturbing the seeded stream consumed by
+        the still-armed sites.
+        """
+        self._disarmed.add(site)
+
+    def rearm(self, site: str) -> None:
+        """Undo a previous :meth:`disarm`."""
+        self._disarmed.discard(site)
+
+    def reset(
+        self,
+        seed: Optional[int] = None,
+        rate: Optional[float] = None,
+        persistent_rate: Optional[float] = None,
+        corruption_rate: Optional[float] = None,
+        worker_crash_rate: Optional[float] = None,
+        worker_straggle_rate: Optional[float] = None,
+        worker_flaky_rate: Optional[float] = None,
+    ) -> "FaultInjector":
+        """Return the injector to its constructed state, optionally with
+        new rates or a new seed.
+
+        Any rate (or the seed) left unset reverts to its constructed
+        value — a shared sweep injector cannot leak one iteration's rates
+        into the next.  Restores the scripted spec snapshots (including
+        consumed ``times`` counters), reseeds the random stream, and
+        clears burst/persistent memory, the fired-fault log, and every
+        :meth:`disarm`.  Chaos sweeps call this between iterations
+        instead of constructing a fresh injector per (seed, rate) point.
+        Returns ``self`` so sweep loops can write
+        ``run(injector.reset(seed=s, rate=r))``.
+        """
+        initial = self._initial_rates
+        self.seed = initial["seed"] if seed is None else seed
+        self.rate = initial["rate"] if rate is None else rate
+        self.persistent_rate = (
+            initial["persistent_rate"] if persistent_rate is None
+            else persistent_rate
+        )
+        self.corruption_rate = (
+            initial["corruption_rate"] if corruption_rate is None
+            else corruption_rate
+        )
+        self.worker_crash_rate = (
+            initial["worker_crash_rate"] if worker_crash_rate is None
+            else worker_crash_rate
+        )
+        self.worker_straggle_rate = (
+            initial["worker_straggle_rate"] if worker_straggle_rate is None
+            else worker_straggle_rate
+        )
+        self.worker_flaky_rate = (
+            initial["worker_flaky_rate"] if worker_flaky_rate is None
+            else worker_flaky_rate
+        )
+        self.specs = [replace(s) for s in self._initial_specs]
+        self.corruptions = [replace(c) for c in self._initial_corruptions]
+        self.enabled = True
+        self.log = []
+        self._rng = random.Random(f"comtainer-faults:{self.seed}")
+        self._bursts = {}
+        self._persistent = set()
+        self._disarmed = set()
+        return self
 
     # ------------------------------------------------------------------
 

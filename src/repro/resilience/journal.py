@@ -47,6 +47,19 @@ options and PGO profile salt), so a resume with different rebuild options
 recompiles instead of resurrecting stale outputs.  On a fully successful
 rebuild the journal is cleared — the ``+coMre`` manifest's node outputs
 take over as the incremental-reuse source.
+
+The journal also carries **lease lines** for the worker fleet
+(:mod:`repro.resilience.fleet`)::
+
+    {"lease": "<group digest>", "worker": "w2", "wave": 3,
+     "nodes": ["obj1", "obj2"], "expires": 41.5}
+
+A lease line is flushed *before* a wavefront's groups execute and removed
+by the group's own checkpoint, so a rebuild that dies mid-wavefront (a
+crashed worker exhausting the fleet, an operator interrupt) leaves
+durable evidence of exactly which groups were in flight.  The next
+``--journal`` resume surfaces and clears them; their outputs were never
+checkpointed, so those groups — and only those — re-execute.
 """
 
 from __future__ import annotations
@@ -104,16 +117,28 @@ def _content_intact(entry: dict) -> bool:
         return False
 
 
-def _parse_journal(data: bytes) -> Tuple[Dict[str, dict], int]:
-    """Salvage (nodes, dropped_line_count) from journal bytes.
+def _valid_lease(entry: object) -> bool:
+    """Structural check for one lease line before trusting it."""
+    if not isinstance(entry, dict) or not isinstance(entry.get("lease"), str):
+        return False
+    return isinstance(entry.get("worker"), str) and isinstance(
+        entry.get("wave"), int
+    )
+
+
+def _parse_journal(data: bytes) -> Tuple[Dict[str, dict], Dict[str, dict], int]:
+    """Salvage (nodes, leases, dropped_line_count) from journal bytes.
 
     Tolerates torn/partial trailing entries and flipped bits: every line
     that fails to decode, parse, or validate is dropped (and counted) and
-    the rest of the journal is still used.
+    the rest of the journal is still used.  Lease lines (in-flight group
+    ownership from a rebuild that died mid-wavefront) are collected
+    separately, keyed on group digest.
     """
     lines = data.split(b"\n")
     dropped = 0
     start = 0
+    leases: Dict[str, dict] = {}
     try:
         header = json.loads(lines[0].decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError):
@@ -131,7 +156,7 @@ def _parse_journal(data: bytes) -> Tuple[Dict[str, dict], int]:
                 and _content_intact(entry)
             } if isinstance(nodes, dict) else {}
             bad = len(nodes) - len(good) if isinstance(nodes, dict) else 1
-            return good, bad
+            return good, {}, bad
         start = 1
     nodes: Dict[str, dict] = {}
     for raw in lines[start:]:
@@ -142,13 +167,19 @@ def _parse_journal(data: bytes) -> Tuple[Dict[str, dict], int]:
         except (UnicodeDecodeError, json.JSONDecodeError):
             dropped += 1
             continue
+        if isinstance(entry, dict) and "lease" in entry:
+            if _valid_lease(entry):
+                leases[entry["lease"]] = entry
+            else:
+                dropped += 1
+            continue
         if not _valid_entry(entry) or not _content_intact(entry):
             dropped += 1
             continue
         nodes[entry["node"]] = {
             key: entry[key] for key in _STORE_KEYS if key in entry
         }
-    return nodes, dropped
+    return nodes, leases, dropped
 
 
 def _encode_content(content: FileContent) -> dict:
@@ -194,6 +225,7 @@ class RebuildJournal:
         self.layout = layout
         self.dist_tag = dist_tag
         self._nodes: Dict[str, dict] = {}
+        self._leases: Dict[str, dict] = {}
         #: Journal lines dropped during load because they were torn,
         #: bit-flipped, or structurally invalid; those nodes recompile.
         self.torn_entries_dropped = 0
@@ -201,8 +233,8 @@ class RebuildJournal:
         if desc is not None:
             blob = layout.blobs.try_get(desc.digest)
             if blob is not None:
-                self._nodes, self.torn_entries_dropped = _parse_journal(
-                    blob.as_bytes()
+                self._nodes, self._leases, self.torn_entries_dropped = (
+                    _parse_journal(blob.as_bytes())
                 )
 
     # -- queries -----------------------------------------------------------
@@ -221,7 +253,40 @@ class RebuildJournal:
         entry = self._nodes[node_id]
         return _decode_content(entry["content"]), entry["mode"]
 
+    def leases(self) -> Dict[str, dict]:
+        """In-flight group leases, keyed on group digest.
+
+        Non-empty only when a previous rebuild died mid-wavefront: those
+        groups were dispatched but never checkpointed, so a resume must
+        re-execute them (and only them).
+        """
+        return dict(self._leases)
+
     # -- mutation ----------------------------------------------------------
+
+    def record_lease(
+        self, digest: str, worker: str, wave: int,
+        nodes: Optional[List[str]] = None, expires: float = 0.0,
+    ) -> None:
+        """Note that *worker* holds the group *digest* for *wave*.
+
+        Durable only after the next :meth:`flush`; the fleet dispatch
+        flushes leases before any group of the wave executes, so a crash
+        mid-wavefront leaves exact in-flight evidence in the layout.
+        """
+        self._leases[digest] = {
+            "lease": digest,
+            "worker": worker,
+            "wave": wave,
+            "nodes": list(nodes or []),
+            "expires": expires,
+        }
+
+    def clear_lease(self, digest: str) -> None:
+        self._leases.pop(digest, None)
+
+    def clear_leases(self) -> None:
+        self._leases = {}
 
     def record(
         self, node_id: str, digest: str, path: str, content: FileContent, mode: int
@@ -245,6 +310,8 @@ class RebuildJournal:
                 sort_keys=True,
             )
         ]
+        for digest in sorted(self._leases):
+            lines.append(json.dumps(self._leases[digest], sort_keys=True))
         for node_id in sorted(self._nodes):
             lines.append(
                 json.dumps({"node": node_id, **self._nodes[node_id]}, sort_keys=True)
@@ -274,6 +341,7 @@ class RebuildJournal:
         if desc is not None:
             _drop_descriptor(self.layout, desc)
         self._nodes = {}
+        self._leases = {}
 
 
 def has_journal(layout: OCILayout, dist_tag: str) -> bool:

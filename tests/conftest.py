@@ -5,6 +5,7 @@ whole substrates (filesystem trees, layer stacks) whose first-run import
 and warm-up costs trip the default 200 ms deadline spuriously.
 """
 
+import pytest
 from hypothesis import HealthCheck, settings
 
 settings.register_profile(
@@ -13,3 +14,17 @@ settings.register_profile(
     suppress_health_check=[HealthCheck.too_slow],
 )
 settings.load_profile("repro")
+
+
+@pytest.fixture(scope="session")
+def chaos_injector():
+    """One :class:`FaultInjector` shared by an entire chaos sweep.
+
+    Sweep iterations reconfigure it with
+    ``injector.reset(seed=..., rate=...)`` instead of constructing a
+    fresh injector per (seed, rate) point; ``disarm(site)`` silences one
+    site mid-scenario without disturbing the seeded stream.
+    """
+    from repro.resilience import FaultInjector
+
+    return FaultInjector()

@@ -1,0 +1,326 @@
+"""Worker-fleet chaos: digest equivalence, crash resume, ladder rung.
+
+The acceptance bar for the fault-tolerant fleet: rebuilt-layer digests
+must be byte-identical under **any** seeded worker fault pattern and any
+``--jobs`` value (faults reshape simulated time, never bytes); a crash
+mid-wavefront followed by a ``--journal`` resume must complete without
+re-executing journaled groups; and exhausting the whole fleet must land
+the degradation ladder on the documented ``fleet-exhausted`` rung, with
+the worker stats surfaced in every report.
+"""
+
+import pytest
+
+from repro.apps import APPS, get_app
+from repro.containers import ContainerEngine
+from repro.core.adapters.base import RebuildOptions
+from repro.core.adapters.builtin import get_adapter
+from repro.core.backend.scheduler import plan_command_groups
+from repro.core.cache.storage import decode_cache, decode_rebuild, extended_tag
+from repro.core.frontend.build import IO_MOUNT
+from repro.core.images import install_system_side_images, sysenv_ref
+from repro.core.workflow import ComtainerSession, build_extended_image
+from repro.oci.layout import OCILayout
+from repro.oci.registry import ImageRegistry
+from repro.perf import attach_perf
+from repro.reporting import render_adaptation_report, render_resilience_report
+from repro.resilience import (
+    RUNG_FLEET_EXHAUSTED,
+    FaultInjector,
+    FaultSpec,
+    FleetExhaustedError,
+    RebuildJournal,
+    ResiliencePolicy,
+    adapt_with_resilience,
+    has_journal,
+    install_resilience,
+    resilient_transfer,
+    uninstall_resilience,
+)
+from repro.sysmodel import X86_CLUSTER
+from repro.telemetry import Telemetry
+
+pytestmark = pytest.mark.chaos
+
+ALL_APPS = sorted(APPS)
+JOBS_SWEEP = (2, 8)
+PATTERNS = ("crash", "straggle", "flaky")
+
+
+@pytest.fixture(scope="module")
+def system_engine():
+    engine = ContainerEngine(arch="amd64")
+    install_system_side_images(engine, X86_CLUSTER)
+    attach_perf(engine, X86_CLUSTER)
+    return engine
+
+
+@pytest.fixture(scope="module")
+def extended_images():
+    user = ContainerEngine(arch="amd64")
+    built = {}
+
+    def get(app):
+        if app not in built:
+            built[app] = build_extended_image(user, get_app(app))
+        return built[app]
+
+    return get
+
+
+@pytest.fixture(scope="module")
+def baselines(system_engine, extended_images):
+    """Fault-free ``jobs=1`` rebuilt-layer digest + meta, per app."""
+    cache = {}
+
+    def get(app):
+        if app not in cache:
+            layout, dist_tag = _fresh_copy(extended_images(app))
+            _rebuild(system_engine, layout, ["--adapter=vendor", "--jobs=1"])
+            cache[app] = (
+                _rebuilt_layer_digest(layout, dist_tag),
+                decode_rebuild(layout, dist_tag)[0],
+            )
+        return cache[app]
+
+    return get
+
+
+def _fresh_copy(extended):
+    layout, dist_tag = extended
+    fresh = OCILayout()
+    for tag in (dist_tag, extended_tag(dist_tag)):
+        resolved = layout.resolve(tag)
+        fresh.add_manifest(resolved.manifest, resolved.config,
+                           resolved.layers, tag=tag)
+    return fresh, dist_tag
+
+
+def _rebuild(engine, layout, args, name="fleet-rb"):
+    ctr = engine.from_image(sysenv_ref("x86"), name=name,
+                            mounts={IO_MOUNT: layout})
+    try:
+        return engine.run(ctr, ["coMtainer-rebuild"] + args).check().stdout
+    finally:
+        engine.remove_container(name)
+
+
+def _rebuilt_layer_digest(layout, dist_tag):
+    from repro.core.cache.storage import rebuilt_tag
+
+    return layout.resolve(rebuilt_tag(dist_tag)).layers[-1].digest
+
+
+def _pattern_injector(pattern, chaos_injector, seed):
+    if pattern == "crash":
+        # Scripted: exactly one worker dies (deterministically, on the
+        # very first assignment), so even jobs=2 keeps a survivor.
+        return FaultInjector(
+            specs=[FaultSpec(site="worker.crash", match="", times=1)]
+        )
+    if pattern == "straggle":
+        return chaos_injector.reset(seed=seed, worker_straggle_rate=0.5)
+    return chaos_injector.reset(seed=seed, worker_flaky_rate=0.4)
+
+
+def _pattern_args(pattern):
+    # Flaky attempts only burn time; with a large strike budget the fleet
+    # can never blacklist itself into exhaustion.
+    return ["--max-worker-failures=99"] if pattern == "flaky" else []
+
+
+class TestDigestEquivalenceUnderChaos:
+    @pytest.mark.parametrize("app", ALL_APPS)
+    @pytest.mark.parametrize("jobs", JOBS_SWEEP)
+    @pytest.mark.parametrize("pattern", PATTERNS)
+    def test_rebuilt_bytes_survive_worker_faults(
+        self, app, jobs, pattern, system_engine, extended_images,
+        baselines, chaos_injector,
+    ):
+        base_digest, base_meta = baselines(app)
+        layout, dist_tag = _fresh_copy(extended_images(app))
+        seed = ALL_APPS.index(app) * len(JOBS_SWEEP) + jobs
+        system_engine.fault_injector = _pattern_injector(
+            pattern, chaos_injector, seed
+        )
+        try:
+            _rebuild(
+                system_engine, layout,
+                ["--adapter=vendor", f"--jobs={jobs}", "--speculate"]
+                + _pattern_args(pattern),
+            )
+        finally:
+            system_engine.fault_injector = None
+        # Faults reshape simulated time, never bytes.
+        assert _rebuilt_layer_digest(layout, dist_tag) == base_digest
+        meta = decode_rebuild(layout, dist_tag)[0]
+        assert meta["executed_nodes"] == base_meta["executed_nodes"]
+        assert meta["node_commands"] == base_meta["node_commands"]
+        assert meta["failed_nodes"] == []
+
+    def test_sweep_actually_exercises_worker_faults(
+        self, system_engine, extended_images, chaos_injector
+    ):
+        """Guard against silently-inert worker sites: high rates on one
+        app must fire every fault family and print the fleet line."""
+        fired = {}
+        for pattern, site in (("crash", "worker.crash"),
+                              ("straggle", "worker.straggle"),
+                              ("flaky", "worker.flaky")):
+            layout, _ = _fresh_copy(extended_images("hpccg"))
+            if pattern == "crash":
+                injector = _pattern_injector(pattern, chaos_injector, 0)
+            else:
+                injector = chaos_injector.reset(
+                    seed=1, worker_straggle_rate=0.9
+                ) if pattern == "straggle" else chaos_injector.reset(
+                    seed=1, worker_flaky_rate=0.6
+                )
+            system_engine.fault_injector = injector
+            try:
+                out = _rebuild(
+                    system_engine, layout,
+                    ["--adapter=vendor", "--jobs=8"] + _pattern_args(pattern),
+                )
+            finally:
+                system_engine.fault_injector = None
+            fired[pattern] = len(injector.fired(site))
+            assert "fleet jobs=8" in out
+        assert all(count > 0 for count in fired.values()), fired
+
+
+class TestWorkerCrashJournalResume:
+    def test_resume_after_crash_mid_wavefront_reexecutes_nothing_done(
+        self, system_engine, extended_images
+    ):
+        """A crash that exhausts the fleet mid-wavefront (jobs=2, with
+        speculation on) leaves leases in the journal; the resume clears
+        them and re-executes only the never-checkpointed groups."""
+        from repro.sysmodel import system_for_arch
+
+        extended = extended_images("hpccg")
+        layout, dist_tag = _fresh_copy(extended)
+        models, _, _ = decode_cache(layout, dist_tag)
+        # The final wavefront's (link) group digest, computed exactly the
+        # way the rebuild plans it — every compile wave completes first.
+        adapter = get_adapter("vendor", system_for_arch("amd64"))
+        plan = plan_command_groups(models.graph, adapter, RebuildOptions())
+        link_group = plan.waves[-1][0]
+        link_nodes = set(link_group.node_ids)
+
+        system_engine.fault_injector = FaultInjector(specs=[
+            FaultSpec(site="worker.crash", match=link_group.digest, times=-1)
+        ])
+        ctr1 = system_engine.from_image(sysenv_ref("x86"), name="fleet-res1",
+                                        mounts={IO_MOUNT: layout})
+        try:
+            with pytest.raises(FleetExhaustedError) as excinfo:
+                system_engine.run(
+                    ctr1, ["coMtainer-rebuild", "--adapter=vendor",
+                           "--journal", "--jobs=2", "--speculate"]
+                )
+        finally:
+            system_engine.fault_injector = None
+            system_engine.remove_container("fleet-res1")
+        assert excinfo.value.pending == [link_group.digest]
+
+        # The journal holds every completed group's checkpoint AND the
+        # lease of the in-flight link group.
+        assert has_journal(layout, dist_tag)
+        journal = RebuildJournal(layout, dist_tag)
+        completed = set(journal.node_ids())
+        assert completed and not (completed & link_nodes)
+        leases = journal.leases()
+        assert set(leases) == {link_group.digest}
+        assert leases[link_group.digest]["nodes"] == link_group.node_ids
+        run1_cmds = {
+            argv for name, argv in system_engine.exec_log
+            if name == "fleet-res1" and argv[0] != "coMtainer-rebuild"
+        }
+        assert run1_cmds, "run 1 should have executed the compile waves"
+
+        # Resume without faults: stale leases are surfaced and cleared,
+        # and zero already-completed groups re-execute.
+        system_engine.reset_exec_log()
+        out = _rebuild(system_engine, layout,
+                       ["--adapter=vendor", "--journal", "--jobs=2"],
+                       name="fleet-res2")
+        assert "cleared 1 stale worker leases" in out
+        run2_cmds = {
+            argv for name, argv in system_engine.exec_log
+            if name == "fleet-res2" and argv[0] != "coMtainer-rebuild"
+        }
+        assert run2_cmds
+        assert run1_cmds.isdisjoint(run2_cmds)
+        meta = decode_rebuild(layout, dist_tag)[0]
+        assert set(meta["journal_restored"]) == completed
+        assert link_nodes <= set(meta["executed_nodes"])
+        assert not (set(meta["executed_nodes"]) & completed)
+        assert not has_journal(layout, dist_tag)
+        assert layout.audit() == []
+
+
+class TestFleetExhaustedRung:
+    def test_exhaustion_lands_on_fleet_exhausted_rung(self):
+        """Killing every parallel worker degrades to exactly one serial
+        retry; success there is the ``fleet-exhausted`` rung, and the
+        worker stats surface in the report and its renderings."""
+        user = ContainerEngine(arch="amd64")
+        layout, dist_tag = build_extended_image(user, get_app("hpccg"))
+        engine = ContainerEngine(arch="amd64")
+        install_system_side_images(engine, X86_CLUSTER)
+        recorder = attach_perf(engine, X86_CLUSTER)
+        registry = ImageRegistry()
+        # Two scripted crashes: at jobs=2 the first two assignments of
+        # wave 0 kill both workers; the serial retry's fresh fleet runs
+        # with the spec budget already consumed.
+        injector = FaultInjector(
+            specs=[FaultSpec(site="worker.crash", match="", times=2)]
+        )
+        policy = ResiliencePolicy.permissive(seed=0, injector=injector)
+        ctx = install_resilience(policy, registry=registry, engines=[engine])
+        try:
+            remote = resilient_transfer(
+                registry, layout, "repro/hpccg",
+                (dist_tag, extended_tag(dist_tag)), ctx,
+            )
+            report = adapt_with_resilience(
+                engine, remote, X86_CLUSTER, ctx, recorder=recorder,
+                ref="fleetex:adapted", jobs=2,
+            )
+        finally:
+            uninstall_resilience(registry=registry, engines=[engine])
+        assert report.rung == RUNG_FLEET_EXHAUSTED
+        assert report.ref is not None
+        assert any("worker fleet" in reason for reason in report.reasons)
+        assert report.worker_stats["crashes"] == 2
+        assert report.worker_stats["reassignments"] == 2
+        assert report.worker_stats["exhausted_waves"] == 1
+        summary = report.summary()
+        assert "2 worker crashes" in summary
+        assert "2 group reassignments" in summary
+        rendered = render_resilience_report(report)
+        assert "worker crashes" in rendered
+        assert report.to_json()["worker_stats"]["crashes"] == 2
+
+
+class TestAdaptationReportFleetRows:
+    def test_fleet_counters_surface_in_adaptation_report(self):
+        tele = Telemetry()
+        session = ComtainerSession(telemetry=tele, jobs=2)
+        session.system_engine.fault_injector = FaultInjector(
+            specs=[FaultSpec(site="worker.crash", match="", times=1)]
+        )
+        try:
+            assert session.adapted_image("hpccg")
+        finally:
+            session.system_engine.fault_injector = None
+        m = tele.metrics
+        assert m.value("fleet_worker_crashes_total") == 1
+        assert m.value("fleet_reassignments_total") == 1
+        assert m.value("fleet_lease_expirations_total") == 1
+        text = render_adaptation_report(tele)
+        assert "worker crashes" in text
+        assert "lease reassignments" in text
+        assert "speculative wins" in text
+        assert "workers blacklisted" in text

@@ -61,14 +61,19 @@ def system_engine():
     return engine, recorder
 
 
-def _chaos_run(extended, system_engine, seed, rate, persistent_rate,
+def _chaos_run(extended, system_engine, injector, seed, rate, persistent_rate,
                lto=False, pgo_workload=None, ref=None):
-    """One full pipeline run under fault injection; returns the report."""
+    """One full pipeline run under fault injection; returns the report.
+
+    *injector* is the sweep-shared :class:`FaultInjector` (the session
+    ``chaos_injector`` fixture): each iteration reconfigures it with
+    ``reset`` instead of constructing a fresh one.
+    """
     layout, dist_tag = extended
     engine, recorder = system_engine
     registry = ImageRegistry()
-    injector = FaultInjector(seed=seed, rate=rate,
-                             persistent_rate=persistent_rate)
+    injector = injector.reset(seed=seed, rate=rate,
+                              persistent_rate=persistent_rate)
     # The default permissive retry policy is provisioned for composite
     # transfers (many blobs, each with a bounded transient burst), so no
     # custom policy is needed even under heavy fault rates.
@@ -101,33 +106,37 @@ def _chaos_run(extended, system_engine, seed, rate, persistent_rate,
 
 class TestChaosSweep:
     @pytest.mark.parametrize("seed", SWEEP_SEEDS)
-    def test_every_seed_lands_on_a_rung(self, extended, system_engine, seed):
-        _chaos_run(extended, system_engine, seed,
+    def test_every_seed_lands_on_a_rung(self, extended, system_engine,
+                                        chaos_injector, seed):
+        _chaos_run(extended, system_engine, chaos_injector, seed,
                    rate=0.15, persistent_rate=0.25,
                    ref=f"chaos{seed}:adapted")
 
     @pytest.mark.parametrize("seed", HEAVY_SEEDS)
-    def test_heavy_faults_still_terminate(self, extended, system_engine, seed):
+    def test_heavy_faults_still_terminate(self, extended, system_engine,
+                                          chaos_injector, seed):
         """High fault pressure pushes runs down the ladder, never off it."""
-        _chaos_run(extended, system_engine, seed,
+        _chaos_run(extended, system_engine, chaos_injector, seed,
                    rate=0.5, persistent_rate=0.6, lto=True,
                    ref=f"heavy{seed}:adapted")
 
     @pytest.mark.parametrize("seed", PGO_SEEDS)
-    def test_pgo_loop_under_faults(self, extended, system_engine, seed):
+    def test_pgo_loop_under_faults(self, extended, system_engine,
+                                   chaos_injector, seed):
         """The multi-stage PGO feedback loop degrades gracefully too."""
-        _chaos_run(extended, system_engine, seed,
+        _chaos_run(extended, system_engine, chaos_injector, seed,
                    rate=0.3, persistent_rate=0.5,
                    lto=True, pgo_workload="hpccg",
                    ref=f"pgo{seed}:adapted")
 
-    def test_sweep_actually_exercises_faults(self, extended, system_engine):
+    def test_sweep_actually_exercises_faults(self, extended, system_engine,
+                                             chaos_injector):
         """Guard against a silently disarmed injector: across a small
         sweep, faults must fire and retries must be recorded."""
         fired = 0
         retried = 0
         for seed in range(8):
-            report = _chaos_run(extended, system_engine, seed,
+            report = _chaos_run(extended, system_engine, chaos_injector, seed,
                                 rate=0.4, persistent_rate=0.3,
                                 ref=f"sanity{seed}:adapted")
             fired += sum(report.faults_seen.values())

@@ -149,6 +149,27 @@ class TestArtifactCacheIntegration:
         assert warm.audit() == []
         assert registry.audit() == []
 
+    def test_warm_cache_at_parallel_jobs_reports_unity_speedup(
+        self, system_engine, extended_images
+    ):
+        """A fully warm cache executes zero groups: the schedule line must
+        report speedup=1.00x, not a 0/0 artifact (regression guard for
+        ScheduleReport.speedup/utilization on empty-executed plans)."""
+        extended = extended_images("lulesh")
+        cold, dist_tag = _fresh_copy(extended)
+        _rebuild(system_engine, cold, ["--adapter=vendor"])
+        registry = ImageRegistry()
+        assert publish_artifact_cache(registry, "repro/lulesh", cold, dist_tag)
+
+        warm, _ = _fresh_copy(extended)
+        assert attach_artifact_cache(warm, registry, "repro/lulesh", dist_tag)
+        out = _rebuild(system_engine, warm, ["--adapter=vendor", "--jobs=8"])
+        meta = decode_rebuild(warm, dist_tag)[0]
+        assert meta["executed_nodes"] == []
+        line = next(l for l in out.splitlines() if "schedule jobs=8" in l)
+        assert line.rstrip().endswith("speedup=1.00x")
+        assert float(line.rsplit("speedup=", 1)[1].rstrip("x")) == 1.0
+
     def test_option_change_misses_cache(self, system_engine, extended_images):
         extended = extended_images("minife")
         cold, dist_tag = _fresh_copy(extended)
