@@ -1,7 +1,9 @@
 # Convenience targets for the coMtainer reproduction.
 #
 #   make test    - the tier-1 test suite (includes the chaos sweeps)
-#   make chaos   - only the randomized fault-injection sweeps
+#   make chaos   - randomized fault-injection sweeps (minus federation)
+#   make federation-chaos - federation-tier chaos sweeps only
+#   make federation-test - all federated-registry tests
 #   make bench   - regenerate the evaluation tables / benchmarks
 #   make resilience-bench - just the resilience happy-path overhead check
 #   make trace   - traced adaptation; Chrome trace JSON + span tree
@@ -10,6 +12,7 @@
 #   make integrity-bench - the verified-reads happy-path overhead check
 #   make parallel-bench - wavefront makespan scaling + artifact-cache reuse
 #   make fleet-bench - worker-fleet no-fault overhead vs the slot scheduler
+#   make federation-bench - incremental mirror-sync bytes-on-wire vs naive push
 #   make fsck-demo - save a layout, corrupt it on disk, detect and repair
 
 PYTHON ?= python
@@ -18,14 +21,23 @@ CLI     = PYTHONPATH=src $(PYTHON) -m repro.cli
 
 TRACE_APP ?= lammps
 
-.PHONY: test chaos bench resilience-bench trace metrics telemetry-bench \
-        integrity-bench parallel-bench fleet-bench fsck-demo
+.PHONY: test chaos federation-chaos federation-test bench resilience-bench \
+        trace metrics telemetry-bench integrity-bench parallel-bench \
+        fleet-bench federation-bench fsck-demo
 
 test:
 	$(PYTEST) -x -q
 
+# The marker split bounds each chaos invocation's runtime: the original
+# sweeps and the federation sweeps can run (and time out) independently.
 chaos:
-	$(PYTEST) -m chaos -q
+	$(PYTEST) -m "chaos and not federation" -q
+
+federation-chaos:
+	$(PYTEST) -m "chaos and federation" -q
+
+federation-test:
+	$(PYTEST) -m federation -q
 
 bench:
 	$(PYTEST) benchmarks -q -s
@@ -51,6 +63,9 @@ parallel-bench:
 
 fleet-bench:
 	$(PYTEST) benchmarks/bench_fleet_overhead.py -q -s
+
+federation-bench:
+	$(PYTEST) benchmarks/bench_federation_sync.py -q -s
 
 fsck-demo:
 	PYTHONPATH=src $(PYTHON) examples/fsck_demo.py

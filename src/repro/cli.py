@@ -11,6 +11,9 @@ Subcommands::
     comtainer-demo crossisa <app>      [--target aarch64]  # Figure 11 row
     comtainer-demo inspect  <app>      [--extended]        # layer stack
     comtainer-demo fsck     <dir>      [--repair] [--source DIR] [--app APP]
+                                       [--federation]
+    comtainer-demo mirror   sync|status <app> [--mirrors N] [--fault-rate R]
+                                       [--seed S] [--chunk-size BYTES]
     comtainer-demo tables                                  # Tables 1 & 2
 
 Global flags: ``--trace`` prints the span tree after the command,
@@ -162,13 +165,29 @@ def cmd_inspect(args: argparse.Namespace) -> int:
 def cmd_fsck(args: argparse.Namespace) -> int:
     """Verify a saved OCI layout directory; with ``--repair``, heal it.
 
+    With ``--federation`` the path is treated as the origin and every
+    ``--source`` directory as a replica: each member is scanned (and,
+    with ``--repair``, healed from the others) and replica divergence
+    from the origin is audited.
+
     Exit code 0 means every object verified (possibly after repair);
-    1 means unrepaired corruption remains.
+    1 means unrepaired corruption or divergence remains.
     """
     from repro.integrity.fsck import fsck_directory
     from repro.integrity.repair import RepairEngine
     from repro.oci.layout import OCILayout
     from repro.reporting import render_fsck_report
+
+    if args.federation:
+        from repro.integrity.fsck import fsck_federation_directories
+        from repro.reporting import render_federation_fsck_report
+
+        report = fsck_federation_directories(
+            args.path, list(args.source), repair=args.repair,
+            telemetry=args.telemetry,
+        )
+        print(render_federation_fsck_report(report))
+        return report.exit_code
 
     repair = None
     if args.repair:
@@ -191,6 +210,65 @@ def cmd_fsck(args: argparse.Namespace) -> int:
     report = fsck_directory(args.path, repair=repair, telemetry=args.telemetry)
     print(render_fsck_report(report))
     return report.exit_code
+
+
+def cmd_mirror(args: argparse.Namespace) -> int:
+    """``mirror sync``/``mirror status``: fan an app's extended image out
+    to N edge mirrors through the incremental sync engine.
+
+    With ``--fault-rate`` the transfer path runs under seeded chaos
+    (transient aborts + in-flight chunk corruption); syncs are retried
+    until every mirror converges, exercising the resumable ledger.  Exit
+    code 0 means every mirror ended digest-identical with the origin.
+    """
+    from repro.apps import get_app
+    from repro.containers import ContainerEngine
+    from repro.core.workflow import build_extended_image
+    from repro.federation import DEFAULT_CHUNK_SIZE, FederatedRegistry
+    from repro.reporting import render_federation_status, render_sync_reports
+    from repro.resilience.faults import FaultInjector
+
+    user = ContainerEngine(arch="amd64")
+    layout, dist_tag = build_extended_image(user, get_app(args.app))
+    injector = None
+    if args.fault_rate > 0:
+        injector = FaultInjector(
+            seed=args.seed, rate=args.fault_rate,
+            corruption_rate=args.fault_rate / 2,
+            sites=frozenset({"mirror.sync", "transfer.chunk"}),
+            corruption_sites=frozenset({"transfer.chunk"}),
+        )
+    fed = FederatedRegistry(
+        injector=injector, telemetry=args.telemetry,
+        chunk_size=args.chunk_size or DEFAULT_CHUNK_SIZE,
+    )
+    fed.push_layout(f"{args.app}:dist", layout, tag=dist_tag)
+    for i in range(args.mirrors):
+        fed.add_mirror(f"edge-{i}")
+
+    if args.action == "sync":
+        reports = {}
+        for name in sorted(fed.mirrors):
+            for _ in range(200):
+                try:
+                    reports[name] = fed.sync_mirror(name)
+                    break
+                except Exception as exc:
+                    logging.getLogger("repro.cli").info(
+                        "sync of %s interrupted, resuming: %s", name, exc)
+        print(render_sync_reports(reports.values()))
+        print()
+    print(render_federation_status(fed))
+    problems = {n: p for n, p in fed.audit().items() if p}
+    if args.action == "sync":
+        if problems:
+            for name in sorted(problems):
+                for problem in problems[name]:
+                    print(f"  {name}: {problem}")
+            return 1
+        print(f"all {len(fed.mirrors)} mirrors converged "
+              f"(origin generation {fed.generation})")
+    return 0
 
 
 def cmd_tables(args: argparse.Namespace) -> int:
@@ -283,7 +361,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--app", default=None,
                    help="app whose extended image is regenerated as a "
                         "last-resort repair source")
+    p.add_argument("--federation", action="store_true",
+                   help="treat PATH as the origin and every --source as a "
+                        "replica; audit (and with --repair, heal) replica "
+                        "divergence")
     p.set_defaults(fn=cmd_fsck)
+
+    p = sub.add_parser(
+        "mirror",
+        help="federated registry demo: sync N edge mirrors and show status",
+    )
+    p.add_argument("action", choices=["sync", "status"])
+    p.add_argument("app")
+    p.add_argument("--mirrors", type=int, default=3, metavar="N",
+                   help="edge mirrors to fan the origin out to (default 3)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="fault-injection seed (with --fault-rate)")
+    p.add_argument("--fault-rate", type=float, default=0.0, metavar="R",
+                   help="transient fault rate at mirror.sync/transfer.chunk "
+                        "(corruption injected at R/2)")
+    p.add_argument("--chunk-size", type=int, default=None, metavar="BYTES",
+                   help="transfer chunk size (default 64 KiB)")
+    p.set_defaults(fn=cmd_mirror)
 
     p = sub.add_parser("tables", help="print Tables 1 and 2")
     p.set_defaults(fn=cmd_tables)

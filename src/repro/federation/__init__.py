@@ -1,0 +1,38 @@
+"""Federated registry tier (origin + edge mirrors).
+
+See :mod:`repro.federation.registry` for the topology,
+:mod:`repro.federation.sync` for the manifest-first incremental sync
+protocol, and :mod:`repro.federation.ledger` for the chunk-level
+transfer ledger that makes syncs resumable.
+"""
+
+from repro.federation.ledger import LEDGER_VERSION, TransferLedger
+from repro.federation.registry import (
+    FederatedRegistry,
+    FederationError,
+    Mirror,
+    MirrorStatus,
+)
+from repro.federation.sync import (
+    DEFAULT_BANDWIDTH,
+    DEFAULT_CHUNK_SIZE,
+    STAGE_ATTEMPTS,
+    SyncEngine,
+    SyncReport,
+    chunk_spans,
+)
+
+__all__ = [
+    "DEFAULT_BANDWIDTH",
+    "DEFAULT_CHUNK_SIZE",
+    "LEDGER_VERSION",
+    "STAGE_ATTEMPTS",
+    "FederatedRegistry",
+    "FederationError",
+    "Mirror",
+    "MirrorStatus",
+    "SyncEngine",
+    "SyncReport",
+    "TransferLedger",
+    "chunk_spans",
+]

@@ -1,0 +1,185 @@
+"""The transfer ledger: durable chunk-level progress of a mirror sync.
+
+A mirror sync moves blobs in fixed-size chunks.  The ledger records, per
+in-flight blob, which chunks have landed in the staging area and what
+each received chunk hashed to — so a sync that crashes (or is aborted by
+an injected ``mirror.sync``/``transfer.chunk`` fault) resumes mid-blob:
+the next attempt re-hashes the staged bytes against the ledger, keeps
+every chunk that still verifies, and fetches only the rest.
+
+Like the v2 rebuild journal the serialized form is **JSONL** — one
+header line plus one self-contained line per recorded chunk::
+
+    {"kind": "transfer-ledger", "version": 1, "mirror": "edge-0"}
+    {"blob": "sha256:...", "index": 0, "digest": "sha256:...",
+     "offset": 0, "length": 65536, "size": 180224, "chunk_size": 65536}
+    ...
+
+The line-oriented format is the crash-consistency mechanism: a torn or
+bit-flipped ledger write damages *lines*, not the whole document, so
+:meth:`TransferLedger.from_bytes` salvages every parseable entry and
+counts the rest in :attr:`torn_entries_dropped` — those chunks simply
+re-transfer.  Ledger flushes ride the existing ``journal.append``
+corruption site (the ledger *is* a journal), keyed
+``transfer-ledger:<mirror>`` so scripted corruptions can target it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Tuple
+
+LEDGER_VERSION = 1
+
+_CHUNK_KEYS = ("blob", "index", "digest", "offset", "length", "size", "chunk_size")
+
+
+def _valid_chunk(entry: object) -> bool:
+    """Structural check for one ledger line before trusting it."""
+    if not isinstance(entry, dict):
+        return False
+    if not isinstance(entry.get("blob"), str) or not isinstance(
+        entry.get("digest"), str
+    ):
+        return False
+    for key in ("index", "offset", "length", "size", "chunk_size"):
+        if not isinstance(entry.get(key), int) or entry[key] < 0:
+            return False
+    if entry["chunk_size"] <= 0 or entry["length"] > entry["chunk_size"]:
+        return False
+    return entry["offset"] + entry["length"] <= entry["size"]
+
+
+class TransferLedger:
+    """Chunk-completion journal for one mirror's staging area."""
+
+    def __init__(self, mirror: str = "") -> None:
+        self.mirror = mirror
+        #: blob digest -> {chunk index -> chunk record dict}
+        self._chunks: Dict[str, Dict[int, dict]] = {}
+        #: Ledger lines dropped during load (torn, flipped, invalid);
+        #: those chunks re-transfer on the resumed sync.
+        self.torn_entries_dropped = 0
+
+    # -- queries -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return sum(len(chunks) for chunks in self._chunks.values())
+
+    def blobs(self) -> List[str]:
+        return sorted(self._chunks)
+
+    def chunks(self, blob_digest: str) -> Dict[int, dict]:
+        """Recorded chunk entries of one blob, keyed on chunk index."""
+        return dict(self._chunks.get(blob_digest, {}))
+
+    def chunk_digest(self, blob_digest: str, index: int) -> Optional[str]:
+        entry = self._chunks.get(blob_digest, {}).get(index)
+        return entry["digest"] if entry else None
+
+    # -- mutation ----------------------------------------------------------
+
+    def record_chunk(
+        self,
+        blob_digest: str,
+        index: int,
+        digest: str,
+        offset: int,
+        length: int,
+        size: int,
+        chunk_size: int,
+    ) -> None:
+        """Note that chunk *index* of *blob_digest* landed hashing to
+        *digest*.  Durable only after the next :meth:`to_bytes` flush."""
+        self._chunks.setdefault(blob_digest, {})[index] = {
+            "blob": blob_digest,
+            "index": index,
+            "digest": digest,
+            "offset": offset,
+            "length": length,
+            "size": size,
+            "chunk_size": chunk_size,
+        }
+
+    def discard_chunk(self, blob_digest: str, index: int) -> None:
+        """Drop one chunk record (it failed verification; re-fetch it)."""
+        chunks = self._chunks.get(blob_digest)
+        if chunks is not None:
+            chunks.pop(index, None)
+            if not chunks:
+                del self._chunks[blob_digest]
+
+    def discard_blob(self, blob_digest: str) -> None:
+        """Drop every record of one blob (it was promoted, or abandoned)."""
+        self._chunks.pop(blob_digest, None)
+
+    def clear(self) -> None:
+        self._chunks = {}
+
+    # -- persistence -------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        """Serialize as JSONL (header + one line per recorded chunk)."""
+        lines = [
+            json.dumps(
+                {
+                    "kind": "transfer-ledger",
+                    "version": LEDGER_VERSION,
+                    "mirror": self.mirror,
+                },
+                sort_keys=True,
+            )
+        ]
+        for blob_digest in sorted(self._chunks):
+            for index in sorted(self._chunks[blob_digest]):
+                entry = self._chunks[blob_digest][index]
+                lines.append(
+                    json.dumps(
+                        {key: entry[key] for key in _CHUNK_KEYS}, sort_keys=True
+                    )
+                )
+        return ("\n".join(lines) + "\n").encode("utf-8")
+
+    @staticmethod
+    def from_bytes(data: bytes, mirror: str = "") -> "TransferLedger":
+        """Salvage a ledger from serialized bytes.
+
+        Every line that fails to decode, parse, or validate is dropped
+        (and counted in :attr:`torn_entries_dropped`); the rest of the
+        ledger is still used, so one flipped bit costs one chunk's worth
+        of re-transfer, never a full restart.
+        """
+        ledger = TransferLedger(mirror=mirror)
+        lines = data.split(b"\n")
+        start = 0
+        try:
+            header = json.loads(lines[0].decode("utf-8"))
+            if not (
+                isinstance(header, dict)
+                and header.get("kind") == "transfer-ledger"
+            ):
+                ledger.torn_entries_dropped += 1
+            elif not mirror:
+                ledger.mirror = str(header.get("mirror", ""))
+            start = 1
+        except (IndexError, UnicodeDecodeError, json.JSONDecodeError):
+            ledger.torn_entries_dropped += 1
+            start = 1
+        for raw in lines[start:]:
+            if not raw.strip(b" \t\r\x00"):
+                continue
+            try:
+                entry = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                ledger.torn_entries_dropped += 1
+                continue
+            if not _valid_chunk(entry):
+                ledger.torn_entries_dropped += 1
+                continue
+            ledger._chunks.setdefault(entry["blob"], {})[entry["index"]] = {
+                key: entry[key] for key in _CHUNK_KEYS
+            }
+        return ledger
+
+
+__all__ = ["LEDGER_VERSION", "TransferLedger"]

@@ -1,0 +1,375 @@
+"""Federated registry tier: one origin, N edge mirrors.
+
+The :class:`FederatedRegistry` wraps the existing in-memory
+:class:`~repro.oci.registry.ImageRegistry` with a replication topology:
+
+* the **origin** is authoritative — every push lands there and bumps a
+  monotonic *generation* counter;
+* each :class:`Mirror` is a full :class:`ImageRegistry` of its own with
+  a chunk-level :class:`TransferLedger` and a shadow staging area, kept
+  convergent by the :class:`~repro.federation.sync.SyncEngine`'s
+  manifest-first incremental sync;
+* **pulls fail over**: origin first, then mirrors nearest-fresh-first.
+  A mirror whose content lags the origin (or whose ``mirror.stale``
+  probe fires) is skipped for references it would serve stale;
+* **mirrors are repair sources**: every mirror registers as a
+  :class:`~repro.integrity.repair.RegistrySource`, so a corrupted origin
+  blob self-heals from any replica holding a verified copy.
+
+Staleness is tracked as *generations behind*: the origin's generation at
+the mirror's last successful sync versus the origin's generation now.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.federation.ledger import TransferLedger
+from repro.federation.sync import (
+    DEFAULT_BANDWIDTH,
+    DEFAULT_CHUNK_SIZE,
+    SyncEngine,
+    SyncReport,
+)
+from repro.integrity import IntegrityError
+from repro.oci.layout import ResolvedImage
+from repro.oci.registry import ImageNotFound, ImageRegistry, RegistryError
+from repro.resilience.faults import InjectedFault
+from repro.resilience.retry import SimulatedClock
+from repro.telemetry import NULL_TELEMETRY
+
+
+class FederationError(RegistryError):
+    """No member of the federation could serve the request."""
+
+
+class Mirror:
+    """One edge replica: registry + transfer ledger + staging shadow area."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.registry = ImageRegistry()
+        self.ledger = TransferLedger(mirror=name)
+        #: Last flushed serialization of the ledger (what would be on
+        #: disk); :meth:`reload_ledger` re-parses it, as a crash would.
+        self.ledger_bytes: bytes = self.ledger.to_bytes()
+        #: Shadow staging area: blob digest -> partially received bytes.
+        #: Nothing here is ever served; promotion copies verified bytes
+        #: into :attr:`registry`.
+        self.staging: Dict[str, bytearray] = {}
+        #: Origin generation captured at the last successful sync;
+        #: -1 means never synced.
+        self.synced_generation = -1
+        self.syncs = 0
+        self.last_sync_seconds: Optional[float] = None
+
+    def reload_ledger(self) -> int:
+        """Simulate a restart: drop in-memory ledger state and salvage
+        the last flushed bytes.  Returns the number of torn/invalid
+        lines dropped (those chunks will simply re-transfer)."""
+        self.ledger = TransferLedger.from_bytes(self.ledger_bytes, mirror=self.name)
+        return self.ledger.torn_entries_dropped
+
+    def crash(self) -> int:
+        """Simulate a hard crash mid-sync: staging survives (it is the
+        on-disk shadow area) but all volatile state resets and the
+        ledger reloads from its last flush."""
+        return self.reload_ledger()
+
+
+@dataclass
+class MirrorStatus:
+    """One row of ``coMtainer mirror status``."""
+
+    name: str
+    generations_behind: int
+    references: int
+    blobs: int
+    ledger_chunks: int
+    in_flight_blobs: int
+    syncs: int
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "generations_behind": self.generations_behind,
+            "references": self.references,
+            "blobs": self.blobs,
+            "ledger_chunks": self.ledger_chunks,
+            "in_flight_blobs": self.in_flight_blobs,
+            "syncs": self.syncs,
+        }
+
+
+class FederatedRegistry:
+    """Origin + mirrors with incremental sync, failover, and repair."""
+
+    def __init__(
+        self,
+        origin: Optional[ImageRegistry] = None,
+        injector=None,
+        telemetry=NULL_TELEMETRY,
+        clock: Optional[SimulatedClock] = None,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        bandwidth: float = DEFAULT_BANDWIDTH,
+    ) -> None:
+        self.origin = origin if origin is not None else ImageRegistry()
+        self.injector = injector
+        self.telemetry = telemetry
+        self.mirrors: Dict[str, Mirror] = {}
+        #: Bumped on every origin mutation; mirrors record the generation
+        #: they last converged to, giving a staleness measure that does
+        #: not depend on wall-clock time.
+        self.generation = 0
+        self.engine = SyncEngine(
+            self.origin,
+            injector=injector,
+            telemetry=telemetry,
+            clock=clock,
+            chunk_size=chunk_size,
+            bandwidth=bandwidth,
+        )
+
+    @property
+    def clock(self) -> SimulatedClock:
+        return self.engine.clock
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+
+    def add_mirror(self, name: str) -> Mirror:
+        if name in self.mirrors:
+            raise FederationError(f"mirror already registered: {name!r}")
+        mirror = Mirror(name)
+        self.mirrors[name] = mirror
+        if self.telemetry.enabled:
+            self.telemetry.metrics.gauge("federation_mirrors").set(len(self.mirrors))
+        return mirror
+
+    def mirror(self, name: str) -> Mirror:
+        try:
+            return self.mirrors[name]
+        except KeyError:
+            raise FederationError(f"no such mirror: {name!r}") from None
+
+    def generations_behind(self, mirror: Mirror) -> int:
+        if mirror.synced_generation < 0:
+            return self.generation + 1
+        return max(0, self.generation - mirror.synced_generation)
+
+    def _freshest_first(self) -> List[Mirror]:
+        return sorted(
+            self.mirrors.values(),
+            key=lambda m: (self.generations_behind(m), m.name),
+        )
+
+    # ------------------------------------------------------------------
+    # origin writes (bump the generation)
+    # ------------------------------------------------------------------
+
+    def push(self, reference, manifest, config, layers) -> str:
+        digest = self.origin.push(reference, manifest, config, layers)
+        self.generation += 1
+        return digest
+
+    def push_layout(self, reference, layout, tag=None) -> str:
+        digest = self.origin.push_layout(reference, layout, tag=tag)
+        self.generation += 1
+        return digest
+
+    def put_artifact_cache(self, repository: str, blob) -> str:
+        digest = self.origin.put_artifact_cache(repository, blob)
+        self.generation += 1
+        return digest
+
+    # ------------------------------------------------------------------
+    # sync
+    # ------------------------------------------------------------------
+
+    def sync_mirror(self, name: str, ctx=None) -> SyncReport:
+        """Sync one mirror; with a :class:`ResilienceContext` the whole
+        attempt retries under the ``mirror.sync`` site (the ledger makes
+        retried attempts cheap — only unfinished chunks re-transfer)."""
+        mirror = self.mirror(name)
+        target_generation = self.generation
+        if ctx is not None:
+            report = ctx.retry(
+                lambda: self.engine.sync(mirror), site="mirror.sync"
+            )
+        else:
+            report = self.engine.sync(mirror)
+        mirror.synced_generation = max(mirror.synced_generation, target_generation)
+        if self.telemetry.enabled:
+            self.telemetry.metrics.gauge(
+                "federation_max_generations_behind"
+            ).set(max(
+                (self.generations_behind(m) for m in self.mirrors.values()),
+                default=0,
+            ))
+        return report
+
+    def sync_all(self, ctx=None) -> Dict[str, SyncReport]:
+        return {
+            name: self.sync_mirror(name, ctx=ctx)
+            for name in sorted(self.mirrors)
+        }
+
+    # ------------------------------------------------------------------
+    # reads: origin -> nearest-fresh-mirror failover
+    # ------------------------------------------------------------------
+
+    def pull(self, reference: str) -> ResolvedImage:
+        """Pull with failover.
+
+        The origin is authoritative: an :class:`ImageNotFound` from it is
+        final (a mirror serving the tag would be serving a deleted or
+        never-pushed reference).  Transfer and integrity failures fail
+        over to mirrors, freshest first; a mirror is skipped when it does
+        not hold the tag at the origin's digest (stale) or when its
+        ``mirror.stale`` probe fires (simulating a replica whose
+        metadata view lags its own content).
+        """
+        tele = self.telemetry
+        expected = self.origin.manifest_digest(reference)
+        errors: List[str] = []
+        try:
+            return self.origin.pull(reference)
+        except ImageNotFound:
+            raise
+        except (RegistryError, IntegrityError, InjectedFault) as exc:
+            errors.append(f"origin: {exc}")
+        for mirror in self._freshest_first():
+            if expected is not None:
+                if mirror.registry.manifest_digest(reference) != expected:
+                    errors.append(f"{mirror.name}: stale or missing reference")
+                    continue
+            elif not mirror.registry.exists(reference):
+                errors.append(f"{mirror.name}: reference not replicated")
+                continue
+            inj = self.injector
+            if inj is not None and inj.probe(
+                "mirror.stale", f"{mirror.name}/{reference}"
+            ):
+                errors.append(f"{mirror.name}: stale probe fired")
+                if tele.enabled:
+                    tele.metrics.counter("federation_stale_skips_total").inc()
+                continue
+            try:
+                resolved = mirror.registry.pull(reference)
+            except (RegistryError, IntegrityError, InjectedFault) as exc:
+                errors.append(f"{mirror.name}: {exc}")
+                continue
+            if tele.enabled:
+                tele.metrics.counter("federation_failover_pulls_total").inc()
+                tele.event(
+                    "federation.failover", reference=reference,
+                    served_by=mirror.name,
+                )
+            return resolved
+        raise FederationError(
+            f"no federation member could serve {reference!r}: "
+            + "; ".join(errors)
+        )
+
+    # ------------------------------------------------------------------
+    # repair integration
+    # ------------------------------------------------------------------
+
+    def repair_sources(self) -> List:
+        """Mirrors as :class:`RegistrySource`s, freshest first, so the
+        PR 3 repair engine restores corrupted origin blobs from the
+        nearest-fresh replica holding a verified copy."""
+        from repro.integrity.repair import RegistrySource
+
+        return [
+            RegistrySource(m.registry, label=f"mirror:{m.name}")
+            for m in self._freshest_first()
+        ]
+
+    def repair_engine(self, telemetry=None):
+        from repro.integrity.repair import RepairEngine
+
+        engine = RepairEngine(
+            telemetry=telemetry if telemetry is not None else self.telemetry
+        )
+        engine.sources.extend(self.repair_sources())
+        return engine
+
+    # ------------------------------------------------------------------
+    # convergence / audit
+    # ------------------------------------------------------------------
+
+    def converged(self, mirror: Mirror) -> bool:
+        """True when *mirror* is digest-identical to the origin: same
+        catalogue, same artifact caches, every referenced blob stored
+        byte-equal."""
+        return not self.divergences(mirror)
+
+    def divergences(self, mirror: Mirror) -> List[str]:
+        """Human-readable divergences of one mirror from the origin."""
+        problems: List[str] = []
+        origin_map = self.origin.manifest_map()
+        mirror_map = mirror.registry.manifest_map()
+        for ref in sorted(origin_map):
+            theirs = mirror_map.get(ref)
+            if theirs is None:
+                problems.append(f"missing reference {ref}")
+            elif theirs != origin_map[ref]:
+                problems.append(
+                    f"divergent reference {ref}: origin {origin_map[ref]},"
+                    f" mirror {theirs}"
+                )
+        for ref in sorted(set(mirror_map) - set(origin_map)):
+            problems.append(f"extra reference {ref}")
+        for repo in self.origin.repositories():
+            blob = self.origin.get_artifact_cache(repo)
+            if blob is None:
+                continue
+            theirs = mirror.registry.get_artifact_cache(repo)
+            if theirs is None or theirs.digest != blob.digest:
+                problems.append(f"divergent artifact cache for {repo}")
+        for digest in sorted(self.origin.referenced_digests()):
+            ours = self.origin.blobs.try_get(digest)
+            theirs = mirror.registry.blobs.try_get(digest)
+            if ours is None:
+                continue   # origin damage is the audit's job, not sync's
+            if theirs is None:
+                problems.append(f"missing blob {digest}")
+            elif theirs.as_bytes() != ours.as_bytes():
+                problems.append(f"divergent blob {digest}")
+        return problems
+
+    def audit(self) -> Dict[str, List[str]]:
+        """Replica-divergence audit: mirror name -> problems (the
+        federation half of ``coMtainer fsck --federation``)."""
+        return {
+            name: self.divergences(self.mirrors[name])
+            for name in sorted(self.mirrors)
+        }
+
+    def status_rows(self) -> List[MirrorStatus]:
+        rows = []
+        for name in sorted(self.mirrors):
+            mirror = self.mirrors[name]
+            rows.append(
+                MirrorStatus(
+                    name=name,
+                    generations_behind=self.generations_behind(mirror),
+                    references=len(mirror.registry.manifest_map()),
+                    blobs=len(mirror.registry.blobs),
+                    ledger_chunks=len(mirror.ledger),
+                    in_flight_blobs=len(mirror.staging),
+                    syncs=mirror.syncs,
+                )
+            )
+        return rows
+
+
+__all__ = [
+    "FederatedRegistry",
+    "FederationError",
+    "Mirror",
+    "MirrorStatus",
+]

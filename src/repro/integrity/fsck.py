@@ -17,7 +17,7 @@ from __future__ import annotations
 import json
 import os
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.integrity import (
     KIND_CHECKSUM_MISMATCH,
@@ -26,7 +26,7 @@ from repro.integrity import (
     IntegrityError,
     IntegrityFinding,
 )
-from repro.integrity.repair import RepairEngine, RepairOutcome
+from repro.integrity.repair import LayoutSource, RepairEngine, RepairOutcome
 from repro.oci.digest import digest_bytes
 from repro.oci.layout import CHECKSUM_MANIFEST, OCILayout
 from repro.telemetry import NULL_TELEMETRY
@@ -198,4 +198,194 @@ def fsck_directory(
     return report
 
 
-__all__ = ["FsckReport", "fsck_directory", "fsck_layout"]
+# ---------------------------------------------------------------------------
+# federation mode: audit (and repair) replica divergence
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FederationFsckReport:
+    """``coMtainer fsck --federation``: origin + per-replica integrity
+    plus the cross-replica divergence audit."""
+
+    origin: FsckReport
+    replicas: Dict[str, FsckReport] = field(default_factory=dict)
+    #: replica name -> human-readable divergences from the origin
+    #: (missing/extra/divergent references, artifact caches, blobs).
+    divergences: Dict[str, List[str]] = field(default_factory=dict)
+
+    @property
+    def clean(self) -> bool:
+        return (
+            self.origin.clean
+            and all(r.clean for r in self.replicas.values())
+            and not any(self.divergences.values())
+        )
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.clean else 1
+
+    def to_json(self) -> dict:
+        return {
+            "clean": self.clean,
+            "origin": self.origin.to_json(),
+            "replicas": {
+                name: report.to_json()
+                for name, report in sorted(self.replicas.items())
+            },
+            "divergences": {
+                name: list(problems)
+                for name, problems in sorted(self.divergences.items())
+            },
+        }
+
+
+def fsck_federation(
+    federation,
+    repair: bool = False,
+    ctx=None,
+    telemetry=NULL_TELEMETRY,
+) -> FederationFsckReport:
+    """Audit a live :class:`~repro.federation.registry.FederatedRegistry`.
+
+    Every member's blob store is scanned (:func:`fsck_layout` is
+    duck-typed over ``.blobs`` + ``.referenced_digests()``, which
+    registries share with layouts), then replica divergence from the
+    origin is reported.  With ``repair=True`` each member self-heals
+    from the *other* members: the origin from its mirrors (freshest
+    first), each mirror from the origin.
+    """
+    origin_repair = federation.repair_engine(telemetry) if repair else None
+    report = FederationFsckReport(
+        origin=fsck_layout(
+            federation.origin, repair=origin_repair, ctx=ctx,
+            telemetry=telemetry, target="origin",
+        )
+    )
+    for name in sorted(federation.mirrors):
+        mirror = federation.mirrors[name]
+        mirror_repair = None
+        if repair:
+            mirror_repair = RepairEngine(telemetry=telemetry)
+            mirror_repair.add_registry(federation.origin, label="origin")
+            for source in federation.repair_sources():
+                if source.registry is not mirror.registry:
+                    mirror_repair.sources.append(source)
+        report.replicas[name] = fsck_layout(
+            mirror.registry, repair=mirror_repair, ctx=ctx,
+            telemetry=telemetry, target=f"mirror:{name}",
+        )
+    report.divergences = federation.audit()
+    if telemetry.enabled:
+        telemetry.event(
+            "integrity.fsck_federation",
+            replicas=len(report.replicas),
+            divergent=sum(1 for p in report.divergences.values() if p),
+            clean=report.clean,
+        )
+    return report
+
+
+def _layout_divergences(origin, replica) -> List[str]:
+    """Divergences of one saved replica layout from the origin layout
+    (same shape as :meth:`FederatedRegistry.divergences`)."""
+    problems: List[str] = []
+    origin_map = origin.manifest_map()
+    replica_map = replica.manifest_map()
+    for ref in sorted(origin_map):
+        theirs = replica_map.get(ref)
+        if theirs is None:
+            problems.append(f"missing reference {ref}")
+        elif theirs != origin_map[ref]:
+            problems.append(
+                f"divergent reference {ref}: origin {origin_map[ref]},"
+                f" replica {theirs}"
+            )
+    for ref in sorted(set(replica_map) - set(origin_map)):
+        problems.append(f"extra reference {ref}")
+    for digest in sorted(origin.referenced_digests()):
+        ours = origin.blobs.try_get(digest)
+        theirs = replica.blobs.try_get(digest)
+        if ours is None:
+            continue   # origin damage is its own fsck's finding
+        if theirs is None:
+            problems.append(f"missing blob {digest}")
+        elif theirs.as_bytes() != ours.as_bytes():
+            problems.append(f"divergent blob {digest}")
+    return problems
+
+
+def fsck_federation_directories(
+    origin_path: str,
+    replica_paths: List[str],
+    repair: bool = False,
+    ctx=None,
+    telemetry=NULL_TELEMETRY,
+) -> FederationFsckReport:
+    """``coMtainer fsck <origin> --federation --source <replica>...`` on
+    saved layout directories.
+
+    Each directory is scanned like :func:`fsck_directory`; with repair,
+    every member heals from the others (the origin from replicas in the
+    given order, each replica from the origin first) and repaired
+    directories are atomically rewritten and re-verified.  Divergence is
+    then reported against the origin's post-repair state.
+    """
+
+    def best_effort_load(path: str):
+        try:
+            return OCILayout.load(path, verify=False)
+        except (IntegrityError, OSError):
+            return None
+
+    replica_layouts = {path: best_effort_load(path) for path in replica_paths}
+
+    origin_repair = None
+    if repair:
+        origin_repair = RepairEngine(telemetry=telemetry)
+        for path, layout in replica_layouts.items():
+            if layout is not None:
+                origin_repair.add_layout(layout, label=f"replica:{path}")
+    report = FederationFsckReport(
+        origin=fsck_directory(
+            origin_path, repair=origin_repair, ctx=ctx, telemetry=telemetry
+        )
+    )
+    origin_layout = best_effort_load(origin_path)
+
+    for path in replica_paths:
+        replica_repair = None
+        if repair:
+            replica_repair = RepairEngine(telemetry=telemetry)
+            if origin_layout is not None:
+                replica_repair.add_layout(origin_layout, label="origin")
+            for other, layout in replica_layouts.items():
+                if other != path and layout is not None:
+                    replica_repair.sources.append(
+                        LayoutSource(layout, label=f"replica:{other}")
+                    )
+        report.replicas[path] = fsck_directory(
+            path, repair=replica_repair, ctx=ctx, telemetry=telemetry
+        )
+        # Divergence against the (possibly just repaired) on-disk state.
+        replica_layout = best_effort_load(path)
+        if origin_layout is None:
+            report.divergences[path] = ["origin layout unreadable"]
+        elif replica_layout is None:
+            report.divergences[path] = ["replica layout unreadable"]
+        else:
+            report.divergences[path] = _layout_divergences(
+                origin_layout, replica_layout
+            )
+    return report
+
+
+__all__ = [
+    "FederationFsckReport",
+    "FsckReport",
+    "fsck_directory",
+    "fsck_federation",
+    "fsck_federation_directories",
+    "fsck_layout",
+]

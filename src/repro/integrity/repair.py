@@ -133,6 +133,14 @@ class RepairEngine:
         self.sources.append(RegenerationSource(factory, label=label))
         return self
 
+    def add_federation(self, federation) -> "RepairEngine":
+        """Register every mirror of a
+        :class:`~repro.federation.registry.FederatedRegistry` as a repair
+        source, freshest replica first — a corrupted origin blob then
+        self-heals from whichever mirror still holds a verified copy."""
+        self.sources.extend(federation.repair_sources())
+        return self
+
     # ------------------------------------------------------------------
 
     def repair_blob(self, store, digest: str, ctx=None) -> RepairOutcome:

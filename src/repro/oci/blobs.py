@@ -167,6 +167,44 @@ class BlobStore:
             self.telemetry.metrics.gauge("oci_blob_store_blobs").set(len(self._blobs))
         return blob.descriptor()
 
+    def put_verified(self, blob: Blob, attempts: int = 3) -> Descriptor:
+        """Store *blob* and prove the stored copy re-hashes clean.
+
+        A hostile injector can corrupt the write itself (``blob.store``),
+        so promotion paths that must never leave bad bytes behind —
+        mirror sync, repair — re-read and re-hash after the put, retrying
+        up to *attempts* times before raising a typed
+        :class:`IntegrityError` with the surviving finding.
+        """
+        finding = None
+        for _ in range(max(1, attempts)):
+            desc = self.put(blob)
+            stored = self._blobs.get(blob.digest)
+            finding = check_blob(stored) if stored is not None else IntegrityFinding(
+                digest=blob.digest, kind=KIND_DIGEST_MISMATCH,
+                detail="blob vanished during verified put",
+            )
+            if finding is None:
+                self._verified.add(blob.digest)
+                return desc
+            self._verified.discard(blob.digest)
+        raise IntegrityError(site="blob.write", finding=finding)
+
+    def missing_of(self, digests) -> List[str]:
+        """The subset of *digests* not stored intact (absent, quarantined,
+        or failing re-hash), in sorted order.
+
+        The mirror-sync diff uses this to fetch only what a replica
+        actually lacks; a blob present but corrupt counts as missing so
+        an incremental sync also heals rotten replicas.
+        """
+        missing = []
+        for digest in digests:
+            blob = self._blobs.get(digest)
+            if blob is None or check_blob(blob) is not None:
+                missing.append(digest)
+        return sorted(missing)
+
     def put_bytes(self, data: bytes, media_type: str) -> Descriptor:
         return self.put(Blob.from_bytes(data, media_type))
 

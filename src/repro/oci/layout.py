@@ -160,6 +160,19 @@ class OCILayout:
             d.annotations.get(mediatypes.ANNOTATION_REF_NAME) == tag for d in self.index
         )
 
+    def manifest_map(self) -> Dict[str, str]:
+        """``tag -> manifest digest`` for every tagged index entry.
+
+        Shares its shape with :meth:`ImageRegistry.manifest_map`, so the
+        federation fsck can diff a saved layout against registry replicas
+        (and layouts against each other) through one protocol.
+        """
+        return {
+            d.annotations[mediatypes.ANNOTATION_REF_NAME]: d.digest
+            for d in self.index
+            if mediatypes.ANNOTATION_REF_NAME in d.annotations
+        }
+
     # ------------------------------------------------------------------
     # resolution
     # ------------------------------------------------------------------
@@ -188,7 +201,13 @@ class OCILayout:
             blob = self.blobs.try_get(desc.digest)
             if blob is None:
                 continue
-            manifest = Manifest.from_json(blob.as_json())
+            try:
+                manifest = Manifest.from_json(blob.as_json())
+            except (ValueError, KeyError, TypeError):
+                # A corrupted manifest blob: its own digest stays
+                # referenced (so fsck/repair target it); the closure
+                # becomes reachable again once it is restored.
+                continue
             refs.add(manifest.config.digest)
             refs.update(ld.digest for ld in manifest.layers)
         return refs

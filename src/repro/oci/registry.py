@@ -84,6 +84,40 @@ class ImageRegistry:
     def tags(self, name: str) -> List[str]:
         return sorted(tag for (n, tag) in self._manifests if n == name)
 
+    def manifest_map(self) -> Dict[str, str]:
+        """``name:tag -> manifest digest`` for every tagged manifest.
+
+        A metadata read, not a transfer: like :meth:`exists` it never
+        arms the fault injector, so mirror-sync diffing and federation
+        audits can enumerate the catalogue without consuming scripted
+        faults intended for real pulls.
+        """
+        return {
+            f"{name}:{tag}": digest
+            for (name, tag), digest in self._manifests.items()
+        }
+
+    def manifest_digest(self, reference: str) -> Optional[str]:
+        """Digest the reference's tag points at; None when absent.
+
+        Fault-transparent (see :meth:`exists`).
+        """
+        return self._manifests.get(parse_reference(reference))
+
+    def tag_manifest(self, reference: str, digest: str) -> None:
+        """Point *reference* at an already-stored manifest blob.
+
+        The verify-then-promote step of a mirror sync stages and verifies
+        every blob first, then flips tags with this metadata-only write —
+        so a torn sync can never leave a tag pointing at bytes the mirror
+        does not hold intact.
+        """
+        if digest not in self.blobs:
+            raise RegistryError(
+                f"cannot tag {reference!r}: manifest blob {digest} not stored"
+            )
+        self._manifests[parse_reference(reference)] = digest
+
     def push(
         self,
         reference: str,
@@ -205,6 +239,16 @@ class ImageRegistry:
         return layout
 
     def exists(self, reference: str) -> bool:
+        """True when the reference's tag is present.
+
+        **Fault-transparent by contract**: an existence probe must never
+        arm ``registry.pull`` (or any other injector site).  A probe that
+        consumed a scripted fault would skew chaos sweeps — the fault a
+        test aimed at the real pull would be eaten by the probe and the
+        sweep would silently stop exercising the retry path.  Guarded by
+        a regression test; keep any future probe helpers on this side of
+        the line.
+        """
         return parse_reference(reference) in self._manifests
 
     # -- shared artifact caches --------------------------------------------
@@ -240,7 +284,12 @@ class ImageRegistry:
             blob = self.blobs.try_get(digest)
             if blob is None:
                 continue
-            manifest = Manifest.from_json(blob.as_json())
+            try:
+                manifest = Manifest.from_json(blob.as_json())
+            except (ValueError, KeyError, TypeError):
+                # A corrupted manifest blob: keep it referenced so
+                # fsck/repair target it; skip the unreadable closure.
+                continue
             refs.add(manifest.config.digest)
             refs.update(ld.digest for ld in manifest.layers)
         return refs

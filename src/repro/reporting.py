@@ -149,6 +149,7 @@ def render_resilience_report(report) -> str:
         ("rung", report.rung),
         ("image", report.ref or "-"),
         ("retries", sum(report.retries.values())),
+        ("retry budgets exhausted", sum(report.retry_exhaustions.values())),
         ("failed nodes", len(report.failed_nodes)),
         ("fallback artifacts", len(report.fallback_paths)),
         ("journal-restored nodes", len(report.restored_nodes)),
@@ -168,6 +169,10 @@ def render_resilience_report(report) -> str:
             ("workers blacklisted", len(stats.get("blacklisted", ()))),
         ])
     lines = [render_table((f"adaptation of {report.tag}", "value"), rows)]
+    for site in sorted(report.retry_exhaustions):
+        lines.append(
+            f"  exhausted: {site} x{report.retry_exhaustions[site]}"
+        )
     for reason in report.reasons:
         lines.append(f"  degraded: {reason}")
     return "\n".join(lines)
@@ -210,6 +215,71 @@ def render_fsck_report(report) -> str:
         lines.append(f"  FAILED  : {outcome.digest} ({outcome.detail})")
     for digest in report.missing:
         lines.append(f"  missing : {digest}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Federation (docs/RESILIENCE.md — registry tier)
+# ---------------------------------------------------------------------------
+
+def sync_report_rows(reports) -> List[Tuple]:
+    """(mirror, refs, blobs, chunks fetched/resumed/corrupt, bytes, s)
+    rows for a batch of :class:`repro.federation.sync.SyncReport`."""
+    rows = []
+    for r in reports:
+        rows.append((
+            r.mirror,
+            "up to date" if r.up_to_date else ", ".join(r.references_promoted),
+            r.blobs_fetched,
+            f"{r.chunks_fetched}/{r.chunks_resumed}/{r.chunks_corrupted}",
+            r.bytes_on_wire,
+            r.simulated_seconds,
+        ))
+    return rows
+
+
+def render_sync_reports(reports) -> str:
+    return render_table(
+        ("mirror", "promoted", "blobs",
+         "chunks f/r/c", "bytes on wire", "sim s"),
+        sync_report_rows(reports),
+    )
+
+
+def federation_status_rows(federation) -> List[Tuple]:
+    """``coMtainer mirror status`` rows for one federation."""
+    return [
+        (
+            s.name, s.generations_behind, s.references, s.blobs,
+            s.ledger_chunks, s.in_flight_blobs, s.syncs,
+        )
+        for s in federation.status_rows()
+    ]
+
+
+def render_federation_status(federation) -> str:
+    return render_table(
+        ("mirror", "behind", "refs", "blobs",
+         "ledger chunks", "in-flight", "syncs"),
+        federation_status_rows(federation),
+    )
+
+
+def render_federation_fsck_report(report) -> str:
+    """One :class:`repro.integrity.fsck.FederationFsckReport` as text."""
+    lines = [render_fsck_report(report.origin)]
+    for name in sorted(report.replicas):
+        lines.append("")
+        lines.append(render_fsck_report(report.replicas[name]))
+    lines.append("")
+    divergent = {n: p for n, p in report.divergences.items() if p}
+    if not divergent:
+        lines.append("federation: every replica converged with the origin")
+    else:
+        lines.append(f"federation: {len(divergent)} replica(s) DIVERGENT")
+        for name in sorted(divergent):
+            for problem in divergent[name]:
+                lines.append(f"  {name}: {problem}")
     return "\n".join(lines)
 
 

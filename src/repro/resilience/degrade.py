@@ -147,6 +147,10 @@ class ResilienceReport:
     #: Why each abandoned higher rung failed, best rung first.
     reasons: List[str] = field(default_factory=list)
     retries: Dict[str, int] = field(default_factory=dict)
+    #: Retry budgets burnt to the end, keyed on site (the report-table
+    #: view of the per-site exhaustion histograms in the metrics
+    #: registry, ``resilience_retry_exhaustion_attempts_<site>``).
+    retry_exhaustions: Dict[str, int] = field(default_factory=dict)
     failed_nodes: List[str] = field(default_factory=list)
     fallback_paths: List[str] = field(default_factory=list)
     restored_nodes: List[str] = field(default_factory=list)
@@ -171,6 +175,7 @@ class ResilienceReport:
             "ref": self.ref,
             "reasons": list(self.reasons),
             "retries": dict(self.retries),
+            "retry_exhaustions": dict(self.retry_exhaustions),
             "failed_nodes": list(self.failed_nodes),
             "fallback_paths": list(self.fallback_paths),
             "restored_nodes": list(self.restored_nodes),
@@ -529,6 +534,7 @@ def adapt_with_resilience(
     # Abandoned recovery attempts must not strand partial state.
     layout.gc()
     report.retries = dict(ctx.stats.retries)
+    report.retry_exhaustions = ctx.stats.exhausted_by_site()
     fleet_stats = getattr(engine, "fleet_stats", None)
     if fleet_stats is not None:
         report.worker_stats = fleet_stats.to_json()

@@ -12,6 +12,9 @@ site                  armed by
 ``blob.write``        :meth:`repro.oci.blobs.BlobStore.put`
 ``container.run``     :meth:`repro.containers.engine.ContainerEngine.run`
 ``rebuild.node``      each compile-node execution in ``coMtainer-rebuild``
+``mirror.sync``       :meth:`repro.federation.sync.SyncEngine.sync` (per
+                      mirror-sync attempt)
+``transfer.chunk``    each chunk of a resumable mirror blob transfer
 ====================  =====================================================
 
 Faults come in two kinds.  **Transient** faults model network hiccups and
@@ -69,6 +72,13 @@ rates (``worker_crash_rate`` etc.).  When every worker rate is zero and no
 worker specs exist, a consultation costs no random draw — so existing
 seeded sweeps replay identically with the fleet in place.
 
+A fifth family models *staleness* probes for the federated registry tier
+(:mod:`repro.federation`): :meth:`FaultInjector.probe` answers boolean
+questions that never raise, currently only at ``mirror.stale`` — "must
+this failover candidate be treated as stale?".  Scripted specs fire
+first (``kind`` ignored, ``times < 0`` forever), then the seeded
+``mirror_stale_rate``; an inert site consumes no random draw.
+
 Everything is derived from a single integer seed through one private
 ``random.Random`` stream, so a chaos sweep replays identically run to run
 as long as the (single-threaded, simulated) pipeline arms the same sites
@@ -85,7 +95,14 @@ from repro.oci.registry import TransientTransferError
 from repro.telemetry import NULL_TELEMETRY
 
 #: Sites that model data transfer; faults here are always transient.
-TRANSFER_SITES = frozenset({"registry.push", "registry.pull", "blob.read", "blob.write"})
+#: ``mirror.sync`` is armed once per mirror-sync attempt and
+#: ``transfer.chunk`` once per chunk of a resumable blob transfer
+#: (:mod:`repro.federation.sync`), so a fault there models a replication
+#: link dropping mid-stream.
+TRANSFER_SITES = frozenset({
+    "registry.push", "registry.pull", "blob.read", "blob.write",
+    "mirror.sync", "transfer.chunk",
+})
 
 #: Sites that model execution; faults here may be persistent.
 EXEC_SITES = frozenset({"container.run", "rebuild.node"})
@@ -93,8 +110,11 @@ EXEC_SITES = frozenset({"container.run", "rebuild.node"})
 ALL_SITES = TRANSFER_SITES | EXEC_SITES
 
 #: Sites where payload bytes can be silently corrupted in flight/at rest.
+#: ``transfer.chunk`` corruption mutates one chunk of a resumable mirror
+#: sync in flight — the verify-then-promote pass catches it in staging.
 CORRUPTION_SITES = frozenset(
-    {"blob.store", "registry.transfer", "layout.save", "journal.append"}
+    {"blob.store", "registry.transfer", "layout.save", "journal.append",
+     "transfer.chunk"}
 )
 
 #: The corruption fault family, in seeded-pick order.
@@ -102,6 +122,12 @@ CORRUPTION_MODES = ("bitflip", "truncate", "torn")
 
 #: Worker fault family, consulted by the rebuild fleet (never raises).
 WORKER_SITES = frozenset({"worker.crash", "worker.straggle", "worker.flaky"})
+
+#: Probe fault family: boolean consultations that never raise.  The
+#: federated pull ladder asks ``mirror.stale`` per (mirror, reference)
+#: when considering a failover candidate; a fired probe means the mirror
+#: must be treated as stale and skipped.
+PROBE_SITES = frozenset({"mirror.stale"})
 
 
 class InjectedFault(Exception):
@@ -220,6 +246,7 @@ class FaultInjector:
         worker_crash_rate: float = 0.0,
         worker_straggle_rate: float = 0.0,
         worker_flaky_rate: float = 0.0,
+        mirror_stale_rate: float = 0.0,
     ) -> None:
         self.seed = seed
         self.rate = rate
@@ -233,6 +260,7 @@ class FaultInjector:
         self.worker_crash_rate = worker_crash_rate
         self.worker_straggle_rate = worker_straggle_rate
         self.worker_flaky_rate = worker_flaky_rate
+        self.mirror_stale_rate = mirror_stale_rate
         self.enabled = True
         self.log: List[FaultRecord] = []
         #: Telemetry recorder; fired faults land a ``fault.fired`` event
@@ -256,6 +284,7 @@ class FaultInjector:
             "worker_crash_rate": worker_crash_rate,
             "worker_straggle_rate": worker_straggle_rate,
             "worker_flaky_rate": worker_flaky_rate,
+            "mirror_stale_rate": mirror_stale_rate,
         }
 
     # ------------------------------------------------------------------
@@ -358,6 +387,45 @@ class FaultInjector:
         return True
 
     # ------------------------------------------------------------------
+    # probe faults (boolean consultations; never raise)
+    # ------------------------------------------------------------------
+
+    def probe(self, site: str, key: str = "") -> bool:
+        """Should this consultation at *site* report a degraded answer?
+
+        Used by the federated pull ladder (``mirror.stale``): a fired
+        probe marks the keyed failover candidate stale, so the pull
+        skips it instead of serving outdated bytes.  Never raises —
+        staleness is a policy answer, not an operation failure.
+        Scripted specs fire first (``kind`` ignored; negative ``times``
+        fires forever), then the seeded ``mirror_stale_rate``.  An inert
+        site (zero rate, no matching specs) consumes no random draw.
+        """
+        if site not in PROBE_SITES:
+            raise ValueError(f"not a probe fault site: {site!r}")
+        if not self.enabled or site in self._disarmed:
+            return False
+        fired = False
+        for spec in self.specs:
+            if spec.site != site or spec.match not in key or spec.times == 0:
+                continue
+            if spec.times > 0:
+                spec.times -= 1
+            fired = True
+            break
+        if not fired:
+            if self.mirror_stale_rate <= 0.0:
+                return False
+            if self._rng.random() >= self.mirror_stale_rate:
+                return False
+        self.log.append(FaultRecord(site=site, key=key, kind="probe"))
+        if self.telemetry.enabled:
+            self.telemetry.event("fault.probe", site=site, key=key)
+            self.telemetry.metrics.counter(
+                "resilience_probe_faults_total").inc()
+        return True
+
+    # ------------------------------------------------------------------
     # corruption faults (silent data mutation; see repro.integrity)
     # ------------------------------------------------------------------
 
@@ -432,6 +500,7 @@ class FaultInjector:
         worker_crash_rate: Optional[float] = None,
         worker_straggle_rate: Optional[float] = None,
         worker_flaky_rate: Optional[float] = None,
+        mirror_stale_rate: Optional[float] = None,
     ) -> "FaultInjector":
         """Return the injector to its constructed state, optionally with
         new rates or a new seed.
@@ -468,6 +537,10 @@ class FaultInjector:
         self.worker_flaky_rate = (
             initial["worker_flaky_rate"] if worker_flaky_rate is None
             else worker_flaky_rate
+        )
+        self.mirror_stale_rate = (
+            initial["mirror_stale_rate"] if mirror_stale_rate is None
+            else mirror_stale_rate
         )
         self.specs = [replace(s) for s in self._initial_specs]
         self.corruptions = [replace(c) for c in self._initial_corruptions]

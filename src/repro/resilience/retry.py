@@ -73,6 +73,14 @@ class RetryStats:
     def note_exhausted(self, site: str) -> None:
         self.exhausted.append(site)
 
+    def exhausted_by_site(self) -> Dict[str, int]:
+        """Exhaustion counts keyed on site (the report-table view of the
+        per-site ``resilience_retry_exhaustion_attempts_*`` histograms)."""
+        out: Dict[str, int] = {}
+        for site in self.exhausted:
+            out[site] = out.get(site, 0) + 1
+        return out
+
     @property
     def total_retries(self) -> int:
         return sum(self.retries.values())
@@ -115,10 +123,22 @@ def retry_call(
                 if stats is not None:
                     stats.note_exhausted(site)
                 if telemetry is not None:
+                    from repro.telemetry.metrics import (
+                        ATTEMPT_BUCKETS,
+                        metric_site,
+                    )
+
                     telemetry.event("retry.exhausted", site=site,
                                     attempts=attempt + 1, error=str(exc))
                     telemetry.metrics.counter(
                         "resilience_retries_exhausted_total").inc()
+                    # Per-site exhaustion histogram: which sites burn
+                    # through their budget, and after how many attempts.
+                    telemetry.metrics.histogram(
+                        "resilience_retry_exhaustion_attempts_"
+                        + metric_site(site),
+                        buckets=ATTEMPT_BUCKETS,
+                    ).observe(attempt + 1)
                 logger.warning("retry budget exhausted at %s after %d attempts",
                                site, attempt + 1)
                 raise

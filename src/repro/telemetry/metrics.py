@@ -16,6 +16,17 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
     1 << 10, 1 << 14, 1 << 18, 1 << 22, 1 << 26,
 )
 
+#: Buckets for attempt-count histograms (e.g. the per-site
+#: ``resilience_retry_exhaustion_attempts_*`` family): powers of two up
+#: to well past any configured :class:`RetryPolicy.max_attempts`.
+ATTEMPT_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+def metric_site(site: str) -> str:
+    """Fold an injector site name into a Prometheus-legal name part
+    (``registry.pull`` -> ``registry_pull``)."""
+    return site.replace(".", "_").replace("-", "_").replace("/", "_")
+
 
 class MetricError(Exception):
     pass

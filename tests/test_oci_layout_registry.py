@@ -145,3 +145,138 @@ class TestRegistry:
         registry.push_layout("lab/app:dist", layout, tag="dist")
         pulled = registry.pull_to_layout("lab/app:dist")
         assert pulled.resolve("dist").manifest.digest == manifest.digest
+
+
+class TestCorruptManifestTraversal:
+    """``referenced_digests`` must flag — not crash on — a manifest blob
+    whose bytes no longer parse (e.g. a bit flip landing in the JSON)."""
+
+    def _rot(self, store, digest):
+        blob = store.try_get(digest)
+        bad = bytearray(blob.as_bytes())
+        bad[len(bad) // 2] ^= 0xFF
+        store._blobs[digest] = Blob(
+            media_type=blob.media_type, digest=digest,
+            size=blob.size, payload=bytes(bad),
+        )
+        store._verified.discard(digest)
+
+    def test_registry_skips_unparseable_manifest_closure(self):
+        registry = ImageRegistry()
+        manifest, config, layer = _make_image()
+        registry.push("lab/app:1.0", manifest, config, [layer])
+        self._rot(registry.blobs, manifest.digest)
+        refs = registry.referenced_digests()
+        assert manifest.digest in refs          # still a repair target
+        assert registry.audit()                 # loudly unhealthy, no crash
+
+    def test_layout_repairable_after_manifest_rot(self):
+        from repro.integrity.repair import LayoutSource, RepairEngine
+
+        pristine, damaged = OCILayout(), OCILayout()
+        manifest, config, layer = _make_image()
+        for layout in (pristine, damaged):
+            layout.add_manifest(manifest, config, [layer], tag="app:dist")
+        self._rot(damaged.blobs, manifest.digest)
+        engine = RepairEngine().add_layout(pristine, label="pristine")
+        outcomes = engine.repair_layout(damaged)
+        assert any(o.digest == manifest.digest and o.repaired for o in outcomes)
+        assert damaged.audit() == []
+        assert damaged.referenced_digests() == pristine.referenced_digests()
+
+
+class TestNearestTagSuggestion:
+    def _registry(self):
+        registry = ImageRegistry()
+        for tag in ("1.0", "1.1", "2.0-rc1"):
+            manifest, config, layer = _make_image(tag.encode())
+            registry.push(f"lab/app:{tag}", manifest, config, [layer])
+        return registry
+
+    def test_close_typo_suggested(self):
+        registry = self._registry()
+        with pytest.raises(KeyError) as excinfo:
+            registry.pull("lab/app:2.0rc1")
+        assert excinfo.value.suggestion == "lab/app:2.0-rc1"
+        assert "did you mean" in str(excinfo.value)
+
+    def test_distant_tag_still_suggests_something(self):
+        registry = self._registry()
+        with pytest.raises(KeyError) as excinfo:
+            registry.pull("lab/app:9.9")
+        suggestion = excinfo.value.suggestion
+        assert suggestion is not None
+        assert registry.exists(suggestion)     # always an existing ref
+
+    def test_unknown_repository_has_no_suggestion(self):
+        registry = self._registry()
+        with pytest.raises(KeyError) as excinfo:
+            registry.pull("lab/other:1.0")
+        assert excinfo.value.suggestion is None
+
+    def test_nearest_tag_helper_direct(self):
+        registry = self._registry()
+        assert registry._nearest_tag("lab/app", "1.2") in (
+            "lab/app:1.0", "lab/app:1.1",
+        )
+        assert registry._nearest_tag("lab/none", "x") is None
+
+
+class TestArtifactCacheUnderFaults:
+    def _cache_blob(self, payload=b'{"artifacts": ["a.o", "b.o"]}'):
+        return Blob.from_bytes(payload, "application/json")
+
+    def test_roundtrip_plain(self):
+        registry = ImageRegistry()
+        blob = self._cache_blob()
+        assert registry.put_artifact_cache("lab/app", blob) == blob.digest
+        got = registry.get_artifact_cache("lab/app")
+        assert got is not None and got.digest == blob.digest
+        assert registry.get_artifact_cache("lab/none") is None
+
+    def test_roundtrip_survives_transient_faults_with_retry(self):
+        from repro.resilience import FaultInjector, FaultSpec
+        from repro.resilience.retry import (
+            RetryPolicy, SimulatedClock, retry_call,
+        )
+
+        registry = ImageRegistry()
+        inj = FaultInjector(
+            specs=[FaultSpec(site="blob.write", times=2)]
+        )
+        registry.blobs.fault_injector = inj
+        blob = self._cache_blob()
+        clock = SimulatedClock()
+        retry_call(
+            lambda: registry.put_artifact_cache("lab/app", blob),
+            policy=RetryPolicy(max_attempts=4), clock=clock,
+            site="registry.push",
+        )
+        got = registry.get_artifact_cache("lab/app")
+        assert got is not None and got.digest == blob.digest
+        assert clock.now > 0.0           # backoff was charged, not slept
+
+    def test_corrupted_transfer_detected_and_replaced(self):
+        from repro.oci.blobs import check_blob
+        from repro.resilience import CorruptionSpec, FaultInjector
+
+        registry = ImageRegistry()
+        registry.fault_injector = FaultInjector(
+            corruptions=[CorruptionSpec(site="registry.transfer", times=1)]
+        )
+        blob = self._cache_blob()
+        registry.put_artifact_cache("lab/app", blob)
+        stored = registry.get_artifact_cache("lab/app")
+        assert check_blob(stored) is not None   # silent rot, detectable
+        # The verified-put promotion path replaces it with good bytes.
+        registry.blobs.put_verified(blob)
+        assert check_blob(registry.get_artifact_cache("lab/app")) is None
+
+    def test_replacing_cache_gcs_unreferenced_old_blob(self):
+        registry = ImageRegistry()
+        old = self._cache_blob(b'{"v": 1}')
+        new = self._cache_blob(b'{"v": 2}')
+        registry.put_artifact_cache("lab/app", old)
+        registry.put_artifact_cache("lab/app", new)
+        assert old.digest not in registry.blobs
+        assert registry.get_artifact_cache("lab/app").digest == new.digest
