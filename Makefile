@@ -9,6 +9,8 @@
 #   make trace   - traced adaptation; Chrome trace JSON + span tree
 #   make metrics - traced adaptation; Prometheus-style metrics dump
 #   make telemetry-bench - the NullTelemetry happy-path overhead check
+#   make obs-bench - control-plane (sampler+rules+profiler) overhead check
+#   make health  - component health demo: chaos adaptation + stale mirror
 #   make integrity-bench - the verified-reads happy-path overhead check
 #   make parallel-bench - wavefront makespan scaling + artifact-cache reuse
 #   make fleet-bench - worker-fleet no-fault overhead vs the slot scheduler
@@ -22,8 +24,8 @@ CLI     = PYTHONPATH=src $(PYTHON) -m repro.cli
 TRACE_APP ?= lammps
 
 .PHONY: test chaos federation-chaos federation-test bench resilience-bench \
-        trace metrics telemetry-bench integrity-bench parallel-bench \
-        fleet-bench federation-bench fsck-demo
+        trace metrics telemetry-bench obs-bench health integrity-bench \
+        parallel-bench fleet-bench federation-bench fsck-demo
 
 test:
 	$(PYTEST) -x -q
@@ -54,6 +56,12 @@ metrics:
 
 telemetry-bench:
 	$(PYTEST) benchmarks/bench_telemetry_overhead.py -q -s
+
+obs-bench:
+	$(PYTEST) benchmarks/bench_telemetry_overhead.py::test_controlplane_overhead -q -s
+
+health:
+	$(CLI) health $(TRACE_APP) --fault-rate 0.3 --seed 3 --stale-mirrors 1 || true
 
 integrity-bench:
 	$(PYTEST) benchmarks/bench_integrity_overhead.py -q -s

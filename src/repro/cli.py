@@ -14,11 +14,18 @@ Subcommands::
                                        [--federation]
     comtainer-demo mirror   sync|status <app> [--mirrors N] [--fault-rate R]
                                        [--seed S] [--chunk-size BYTES]
+    comtainer-demo health   <app>      [--system ...] [--jobs N]
+                                       [--mirrors N] [--stale-mirrors N]
+                                       [--fault-rate R] [--seed S]
+                                       [--cadence S] [--top K]
     comtainer-demo tables                                  # Tables 1 & 2
 
 Global flags: ``--trace`` prints the span tree after the command,
 ``--trace-out FILE`` writes Chrome trace-event JSON, ``--metrics`` dumps
-the Prometheus-style metrics registry, and ``-v``/``-q`` raise/lower the
+the Prometheus-style metrics registry (plus alert states when the
+control plane ran), ``--slo`` samples metrics and evaluates the built-in
+SLO rules during any command, ``--profile-out FILE`` writes the cost
+profiler's collapsed-stack text, and ``-v``/``-q`` raise/lower the
 stdlib-logging level (default WARNING).
 """
 
@@ -45,7 +52,12 @@ def configure_logging(verbose: int = 0, quiet: int = 0) -> int:
 
 def _wants_telemetry(args: argparse.Namespace) -> bool:
     return bool(args.trace or args.trace_out or args.metrics
-                or args.command == "trace")
+                or args.slo or args.profile_out
+                or args.command in ("trace", "health"))
+
+
+def _wants_controlplane(args: argparse.Namespace) -> bool:
+    return bool(args.slo or args.profile_out or args.command == "health")
 
 
 def _session(system_key: str, telemetry=None, jobs: int = 1,
@@ -271,6 +283,85 @@ def cmd_mirror(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_health(args: argparse.Namespace) -> int:
+    """``coMtainer health``: one adaptation + mirror fan-out under the
+    observability control plane, scored into per-component statuses.
+
+    The run adapts *app* on ``--jobs`` rebuild workers (optionally under
+    seeded worker chaos via ``--fault-rate``), then pushes the extended
+    image through a federated registry with ``--mirrors`` edges of which
+    ``--stale-mirrors`` are deliberately left behind the origin.  The
+    sampled series drive the built-in SLO rules; alerts, component
+    health, and the hot-path cost profile are printed.  Exit code 0
+    means every component scored healthy (or unknown), 1 otherwise.
+    """
+    from repro.apps import get_app
+    from repro.containers import ContainerEngine
+    from repro.core.workflow import build_extended_image, system_side_adapt
+    from repro.federation import FederatedRegistry
+    from repro.perf import attach_perf
+    from repro.reporting import (
+        render_alerts,
+        render_health_report,
+        render_hot_paths,
+    )
+    from repro.resilience.faults import FaultInjector
+    from repro.resilience.fleet import FleetExhaustedError
+    from repro.telemetry import install_telemetry
+
+    system = SYSTEMS[args.system]
+    user = ContainerEngine(arch=system.arch)
+    engine = ContainerEngine(arch=system.arch)
+    if args.fault_rate > 0:
+        engine.fault_injector = FaultInjector(
+            seed=args.seed,
+            worker_crash_rate=args.fault_rate,
+            worker_flaky_rate=args.fault_rate,
+        )
+    install_telemetry(args.telemetry, engines=[user, engine])
+    layout, dist_tag = build_extended_image(user, get_app(args.app))
+    recorder = attach_perf(engine, system)
+    failures = {}
+    ref = None
+    try:
+        ref = system_side_adapt(
+            engine, layout, system, recorder=recorder,
+            ref=f"{args.app}:adapted", jobs=args.jobs,
+        )
+    except FleetExhaustedError as exc:
+        # Chaos killed every rebuild worker: that IS a health finding,
+        # not a crash — score it and keep reporting.
+        failures["fleet"] = f"rebuild aborted: {exc}"
+
+    fed = FederatedRegistry(telemetry=args.telemetry)
+    fed.push_layout(f"{args.app}:dist", layout, tag=dist_tag)
+    for i in range(args.mirrors):
+        fed.add_mirror(f"edge-{i}")
+    stale = {f"edge-{i}" for i in range(min(args.stale_mirrors, args.mirrors))}
+    if stale:
+        # Extra origin generations the stale mirrors will never see, so
+        # they land past the staleness SLO (never-synced lag is
+        # generation+1).
+        for _ in range(2):
+            fed.push_layout(f"{args.app}:dist", layout, tag=dist_tag)
+    for name in sorted(fed.mirrors):
+        if name not in stale:
+            fed.sync_mirror(name)
+
+    controlplane = args.telemetry.controlplane
+    controlplane.finalize()
+    report = controlplane.health(federation=fed, audit=True,
+                                 failures=failures)
+    print(f"adapted image: {ref if ref else '(rebuild failed)'}")
+    print()
+    print(render_health_report(report))
+    print()
+    print(render_alerts(controlplane.rules))
+    print()
+    print(render_hot_paths(controlplane.profiler, k=args.top))
+    return report.exit_code
+
+
 def cmd_tables(args: argparse.Namespace) -> int:
     from repro.reporting import render_table, table1_rows, table2_rows
 
@@ -295,6 +386,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write Chrome trace-event JSON to FILE")
     parser.add_argument("--metrics", action="store_true",
                         help="print the Prometheus-style metrics dump")
+    parser.add_argument("--slo", action="store_true",
+                        help="sample metrics on the control-plane cadence "
+                             "and evaluate the built-in SLO rules")
+    parser.add_argument("--profile-out", metavar="FILE", default=None,
+                        help="write the cost profiler's collapsed-stack "
+                             "text (phase as leaf frame, ns values) to FILE")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("schemes", help="measure a workload under all schemes")
@@ -384,6 +481,28 @@ def build_parser() -> argparse.ArgumentParser:
                    help="transfer chunk size (default 64 KiB)")
     p.set_defaults(fn=cmd_mirror)
 
+    p = sub.add_parser(
+        "health",
+        help="adaptation + mirror fan-out scored into component health",
+    )
+    p.add_argument("app")
+    p.add_argument("--system", choices=sorted(SYSTEMS), default="x86")
+    p.add_argument("--jobs", type=int, default=2, metavar="N",
+                   help="parallel rebuild workers (default 2)")
+    p.add_argument("--mirrors", type=int, default=2, metavar="N",
+                   help="edge mirrors to fan the origin out to (default 2)")
+    p.add_argument("--stale-mirrors", type=int, default=0, metavar="N",
+                   help="mirrors deliberately left behind the origin")
+    p.add_argument("--fault-rate", type=float, default=0.0, metavar="R",
+                   help="seeded rebuild-worker crash/flake rate")
+    p.add_argument("--seed", type=int, default=0,
+                   help="fault-injection seed (with --fault-rate)")
+    p.add_argument("--cadence", type=float, default=None, metavar="S",
+                   help="sampling cadence in simulated seconds")
+    p.add_argument("--top", type=int, default=10, metavar="K",
+                   help="hot-path rows to print (default 10)")
+    p.set_defaults(fn=cmd_health)
+
     p = sub.add_parser("tables", help="print Tables 1 and 2")
     p.set_defaults(fn=cmd_tables)
     return parser
@@ -401,7 +520,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     configure_logging(verbose=args.verbose, quiet=args.quiet)
     args.telemetry = Telemetry() if _wants_telemetry(args) else NULL_TELEMETRY
+    if _wants_controlplane(args):
+        from repro.telemetry import ControlPlane
+
+        cadence = getattr(args, "cadence", None)
+        if cadence is None and args.command == "health":
+            cadence = 0.5
+        kwargs = {} if cadence is None else {"cadence": cadence}
+        ControlPlane(args.telemetry, **kwargs)
     rc = args.fn(args)
+    controlplane = args.telemetry.controlplane
+    if controlplane is not None:
+        controlplane.finalize()
     if args.trace:
         print()
         print(render_span_tree(args.telemetry))
@@ -410,9 +540,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         with open(trace_out, "w", encoding="utf-8") as fh:
             fh.write(chrome_trace_json(args.telemetry))
         print(f"trace written: {trace_out}")
+    if args.profile_out:
+        with open(args.profile_out, "w", encoding="utf-8") as fh:
+            fh.write(controlplane.profiler.collapsed_stack())
+        print(f"profile written: {args.profile_out}")
+    if args.slo and args.command != "health":
+        from repro.reporting import render_alerts
+
+        print()
+        print(render_alerts(controlplane.rules))
     if args.metrics:
         print()
         print(prometheus_text(args.telemetry.metrics), end="")
+        if controlplane is not None:
+            print(controlplane.rules.alerts_text(), end="")
     return rc
 
 

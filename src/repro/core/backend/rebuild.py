@@ -284,12 +284,20 @@ def rebuild_in_container(
         try:
             if tele.enabled:
                 # One span per executed compile command; `nodes` names
-                # every sibling output of a multi-source compile.
+                # every sibling output of a multi-source compile.  The
+                # phase attribute steers the cost profiler: archive and
+                # driver-link commands are link time, `-c` compiles are
+                # compile time.
+                if step.is_archiver or "-c" not in step.argv:
+                    phase = "link"
+                else:
+                    phase = "compile"
                 with tele.span(
                     "rebuild.node",
                     node=first.id,
                     nodes=group.node_ids,
                     command=step.argv[0] if step.argv else "",
+                    phase=phase,
                 ):
                     run_node()
             else:
@@ -375,6 +383,12 @@ def rebuild_in_container(
                     tele.metrics.histogram("rebuild_wavefront_width").observe(
                         len(wave)
                     )
+                    if tele.controlplane is not None:
+                        # The fleet already advanced the sampler by this
+                        # wave's makespan; the scheduler just flushes any
+                        # overdue samples so per-wave counter updates are
+                        # observed at wavefront granularity.
+                        tele.controlplane.poll()
             else:
                 makespan, completed, busy = dispatch_wave(wave_index, wave)
             report.waves.append(WaveStats(
@@ -395,8 +409,11 @@ def rebuild_in_container(
         prior = getattr(engine, "fleet_stats", None)
         engine.fleet_stats = stats if prior is None else prior.merge(stats)
         if tele.enabled:
+            # Crashes, workers-alive and blacklist gauges are recorded
+            # per wave by WorkerFleet.run_wave (the control plane's
+            # series need them mid-run); only the whole-run counters
+            # land here.
             m = tele.metrics
-            m.counter("fleet_worker_crashes_total").inc(stats.crashes)
             m.counter("fleet_reassignments_total").inc(stats.reassignments)
             m.counter("fleet_straggles_detected_total").inc(stats.straggles)
             m.counter("fleet_lease_expirations_total").inc(
@@ -408,8 +425,6 @@ def rebuild_in_container(
             m.counter("fleet_speculative_wins_total").inc(
                 stats.speculative_wins
             )
-            m.gauge("fleet_workers_alive").set(stats.workers_alive)
-            m.gauge("fleet_blacklisted_workers").set(len(stats.blacklisted))
     report.groups_executed = sum(w.executed for w in report.waves)
 
     # 5. Collect rebuilt artifacts for every BUILD file of the dist image.
@@ -526,7 +541,8 @@ def comtainer_rebuild_entry(ctx) -> int:
     # as the per-node fallback source under --fallback.
     fallback_fs = resolved.filesystem() if flags["fallback"] else None
     artifact_cache = (
-        RebuildArtifactCache(layout, dist_tag) if flags["cache"] else None
+        RebuildArtifactCache(layout, dist_tag, telemetry=ctx.engine.telemetry)
+        if flags["cache"] else None
     )
     previous = decode_rebuild_nodes(layout, dist_tag)
     try:

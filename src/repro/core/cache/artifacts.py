@@ -38,6 +38,7 @@ from repro.oci import mediatypes
 from repro.oci.image import Descriptor
 from repro.oci.layout import OCILayout
 from repro.resilience.journal import _decode_content, _encode_content
+from repro.telemetry import NULL_TELEMETRY
 from repro.vfs.content import FileContent
 
 CACHE_VERSION = 1
@@ -112,12 +113,15 @@ def _parse_entries(data: bytes) -> Dict[str, List[dict]]:
 class RebuildArtifactCache:
     """Cross-rebuild compile cache bound to one layout and dist tag."""
 
-    def __init__(self, layout: OCILayout, dist_tag: str) -> None:
+    def __init__(self, layout: OCILayout, dist_tag: str,
+                 telemetry=NULL_TELEMETRY) -> None:
         self.layout = layout
         self.dist_tag = dist_tag
+        self.telemetry = telemetry or NULL_TELEMETRY
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.evictions = 0
         self._entries: Dict[str, List[dict]] = {}
         self._dirty = False
         desc = _find_descriptor(layout, dist_tag)
@@ -128,6 +132,18 @@ class RebuildArtifactCache:
 
     def __len__(self) -> int:
         return len(self._entries)
+
+    def _count(self, name: str) -> None:
+        """Bump one cache counter and refresh the derived hit-ratio gauge."""
+        if not self.telemetry.enabled:
+            return
+        m = self.telemetry.metrics
+        m.counter(name).inc()
+        lookups = self.hits + self.misses
+        if lookups:
+            m.gauge("rebuild_artifact_cache_hit_ratio").set(
+                self.hits / lookups
+            )
 
     # -- lookup / store ----------------------------------------------------
 
@@ -141,6 +157,7 @@ class RebuildArtifactCache:
         outputs = self._entries.get(key)
         if outputs is None:
             self.misses += 1
+            self._count("rebuild_artifact_cache_misses_total")
             return None
         decoded: List[Tuple[str, str, FileContent, int]] = []
         for output in outputs:
@@ -153,11 +170,15 @@ class RebuildArtifactCache:
                 del self._entries[key]
                 self._dirty = True
                 self.misses += 1
+                self.evictions += 1
+                self._count("rebuild_artifact_cache_misses_total")
+                self._count("rebuild_artifact_cache_evictions_total")
                 return None
             decoded.append(
                 (output["node"], output["path"], content, output["mode"])
             )
         self.hits += 1
+        self._count("rebuild_artifact_cache_hits_total")
         return decoded
 
     def store(
@@ -175,6 +196,7 @@ class RebuildArtifactCache:
         ]
         self._dirty = True
         self.stores += 1
+        self._count("rebuild_artifact_cache_stores_total")
 
     def merge_entries(self, entries: Dict[str, List[dict]]) -> int:
         """Adopt parsed entries from another cache blob; returns adds."""

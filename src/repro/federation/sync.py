@@ -146,7 +146,13 @@ class SyncEngine:
 
     def _charge(self, nbytes: int) -> None:
         if self.bandwidth > 0:
-            self.clock.sleep(nbytes / self.bandwidth)
+            seconds = nbytes / self.bandwidth
+            self.clock.sleep(seconds)
+            controlplane = self.telemetry.controlplane
+            if controlplane is not None:
+                # Each chunk's transfer time advances the sampler, so a
+                # long sync is observable while it runs, not just after.
+                controlplane.advance(seconds)
 
     # ------------------------------------------------------------------
     # diff

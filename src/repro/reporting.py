@@ -119,8 +119,19 @@ def render_adaptation_report(telemetry) -> str:
     lines.append(render_table(["transfer", "ops", "bytes"], transfer_rows))
 
     hit_ratio = hits / writes if writes else 0.0
+    artifact_hits = int(m.value("rebuild_artifact_cache_hits_total"))
+    artifact_lookups = artifact_hits + int(
+        m.value("rebuild_artifact_cache_misses_total")
+    )
+    artifact_ratio = artifact_hits / artifact_lookups if artifact_lookups else 0.0
     summary_rows = [
         ("blob cache hit ratio", f"{hit_ratio:.1%}"),
+        ("artifact cache hits",
+         f"{artifact_hits}/{artifact_lookups} ({artifact_ratio:.1%})"),
+        ("artifact cache stores",
+         int(m.value("rebuild_artifact_cache_stores_total"))),
+        ("artifact cache evictions",
+         int(m.value("rebuild_artifact_cache_evictions_total"))),
         ("rebuild nodes executed", int(m.value("rebuild_nodes_executed_total"))),
         ("rebuild nodes reused", int(m.value("rebuild_nodes_reused_total"))),
         ("rebuild nodes restored", int(m.value("rebuild_nodes_restored_total"))),
@@ -136,6 +147,63 @@ def render_adaptation_report(telemetry) -> str:
     ]
     lines.append("")
     lines.append(render_table(["adaptation", "value"], summary_rows))
+
+    controlplane = getattr(telemetry, "controlplane", None)
+    if controlplane is not None and controlplane.rules.history:
+        lines.append("")
+        lines.append(render_alerts(controlplane.rules))
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Observability control plane: alerts, health, hot paths
+# (docs/OBSERVABILITY.md)
+# ---------------------------------------------------------------------------
+
+def render_alerts(rules_engine) -> str:
+    """One :class:`repro.telemetry.controlplane.RulesEngine`'s alert
+    history as aligned text (firing first, then resolved, in fire order)."""
+    rows = rules_engine.alert_rows()
+    if not rows:
+        return "(no alerts fired)"
+    return render_table(
+        ("alert", "component", "severity", "state", "value",
+         "fired", "resolved"),
+        rows,
+    )
+
+
+def health_status_rows(report) -> List[Tuple[str, str, str]]:
+    """``coMtainer health`` rows for one
+    :class:`repro.telemetry.controlplane.HealthReport`."""
+    return report.status_rows()
+
+
+def render_health_report(report) -> str:
+    return render_table(
+        ("component", "status", "evidence"), health_status_rows(report)
+    )
+
+
+def hot_path_rows(profiler, k: int = 10) -> List[Tuple[str, str, float, str]]:
+    """(stack, phase, seconds, share) top-K rows for one
+    :class:`repro.telemetry.controlplane.CostProfiler`."""
+    return [
+        (stack, phase, seconds, f"{share:.1%}")
+        for stack, phase, seconds, share in profiler.hot_rows(k)
+    ]
+
+
+def render_hot_paths(profiler, k: int = 10) -> str:
+    rows = hot_path_rows(profiler, k)
+    if not rows:
+        return "(no cost attributed)"
+    lines = [render_table(("hot path", "phase", "simulated s", "share"), rows)]
+    phase_rows = sorted(
+        profiler.phase_totals().items(), key=lambda kv: -kv[1]
+    )
+    lines.append("")
+    lines.append(render_table(("phase", "simulated s"), phase_rows))
     return "\n".join(lines)
 
 
@@ -143,8 +211,13 @@ def render_adaptation_report(telemetry) -> str:
 # Resilience reports (docs/RESILIENCE.md)
 # ---------------------------------------------------------------------------
 
-def render_resilience_report(report) -> str:
-    """One :class:`repro.resilience.ResilienceReport` as aligned text."""
+def render_resilience_report(report, telemetry=None) -> str:
+    """One :class:`repro.resilience.ResilienceReport` as aligned text.
+
+    With *telemetry* (an active recorder carrying a control plane), SLO
+    alerts that fired during the adaptation are appended, so the
+    degradation story and the alert story read side by side.
+    """
     rows = [
         ("rung", report.rung),
         ("image", report.ref or "-"),
@@ -175,6 +248,10 @@ def render_resilience_report(report) -> str:
         )
     for reason in report.reasons:
         lines.append(f"  degraded: {reason}")
+    controlplane = getattr(telemetry, "controlplane", None)
+    if controlplane is not None:
+        for alert in controlplane.rules.history:
+            lines.append(f"  alert   : {alert.describe()}")
     return "\n".join(lines)
 
 

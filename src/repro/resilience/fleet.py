@@ -349,6 +349,7 @@ class WorkerFleet:
         digests; the caller raises :class:`FleetExhaustedError`.
         """
         outcome = WaveOutcome(index=index)
+        crashes_before = self.stats.crashes
         free: Dict[str, float] = {w.wid: 0.0 for w in self.workers}
         wave_busy: Dict[str, float] = {w.wid: 0.0 for w in self.workers}
         # LPT rank order; requeued attempts join the back of the queue.
@@ -501,10 +502,36 @@ class WorkerFleet:
                         busy_seconds=wave_busy[w.wid], alive=w.alive,
                     ):
                         pass
+            # Per-wave accounting so the control plane's series see
+            # crashes and fleet shrinkage as they happen, not only at
+            # end-of-rebuild.
+            m = self.telemetry.metrics
+            wave_crashes = self.stats.crashes - crashes_before
+            if wave_crashes:
+                m.counter("fleet_worker_crashes_total").inc(wave_crashes)
+            m.gauge("fleet_workers_alive").set(self.stats.workers_alive)
+            m.gauge("fleet_blacklisted_workers").set(
+                len(self.stats.blacklisted)
+            )
+            if outcome.makespan > 0.0:
+                # Per-wave utilization: crash lease-timeouts and
+                # straggler drag show up here wave by wave, which is
+                # what the control plane's fleet-utilization series
+                # (and its SLO rule) watch.
+                self.telemetry.metrics.gauge("fleet_wave_utilization").set(
+                    sum(wave_busy.values())
+                    / (outcome.makespan * len(self.workers))
+                )
         # Advance the fleet clock so later waves' leases carry absolute
         # simulated times.
         if outcome.makespan > 0.0:
             self.clock.sleep(outcome.makespan)
+            controlplane = self.telemetry.controlplane
+            if controlplane is not None:
+                # The heartbeat/lease timeline is the fleet's notion of
+                # wall progress; feed it to the sampler so series advance
+                # with simulated time, never wall time.
+                controlplane.advance(outcome.makespan)
         return outcome
 
     def summary_line(self) -> str:

@@ -8,6 +8,18 @@ layer: substrates (engines, registries, blob stores) carry a
 in and :func:`uninstall_telemetry` restores the default.
 """
 
+from repro.telemetry.controlplane import (
+    DEFAULT_RULES,
+    Alert,
+    ControlPlane,
+    CostProfiler,
+    HealthReport,
+    RulesEngine,
+    SloRule,
+    TimeSeriesSampler,
+    install_controlplane,
+    score_health,
+)
 from repro.telemetry.export import (
     chrome_trace,
     chrome_trace_json,
@@ -55,23 +67,33 @@ def uninstall_telemetry(registry=None, engines=()) -> None:
 
 __all__ = [
     "DEFAULT_BUCKETS",
+    "DEFAULT_RULES",
     "EVENT_LOG_CAP",
     "NULL_TELEMETRY",
+    "Alert",
+    "ControlPlane",
+    "CostProfiler",
     "Counter",
     "Event",
     "Gauge",
+    "HealthReport",
     "Histogram",
     "MetricError",
     "MetricsRegistry",
     "NullMetricsRegistry",
     "NullTelemetry",
+    "RulesEngine",
+    "SloRule",
     "Span",
     "Telemetry",
     "TelemetryClock",
+    "TimeSeriesSampler",
     "chrome_trace",
     "chrome_trace_json",
+    "install_controlplane",
     "install_telemetry",
     "prometheus_text",
     "render_span_tree",
+    "score_health",
     "uninstall_telemetry",
 ]

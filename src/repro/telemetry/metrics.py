@@ -9,6 +9,7 @@ buckets are fixed at creation (bounded — observing can never allocate).
 
 from __future__ import annotations
 
+import hashlib
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 #: Default histogram buckets, tuned for blob/layer byte sizes.
@@ -22,10 +23,35 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
 ATTEMPT_BUCKETS: Tuple[float, ...] = (1, 2, 4, 8, 16, 32, 64, 128)
 
 
+#: folded name -> the first site that claimed it (collision detection).
+_FOLDED_OWNERS: Dict[str, str] = {}
+#: site -> its resolved metric name part (stable for a site's lifetime).
+_RESOLVED_SITES: Dict[str, str] = {}
+
+
 def metric_site(site: str) -> str:
     """Fold an injector site name into a Prometheus-legal name part
-    (``registry.pull`` -> ``registry_pull``)."""
-    return site.replace(".", "_").replace("-", "_").replace("/", "_")
+    (``registry.pull`` -> ``registry_pull``).
+
+    Folding is lossy: ``mirror.sync`` and ``mirror_sync`` both fold to
+    ``mirror_sync``, which would silently merge two distinct sites into
+    one instrument family.  The first site to claim a folded name keeps
+    it; any *different* site folding to the same name gets a short
+    content-hash suffix, so the two can never merge.  The mapping is
+    stable per site for the process lifetime.
+    """
+    resolved = _RESOLVED_SITES.get(site)
+    if resolved is not None:
+        return resolved
+    folded = site.replace(".", "_").replace("-", "_").replace("/", "_")
+    owner = _FOLDED_OWNERS.setdefault(folded, site)
+    if owner == site:
+        name = folded
+    else:
+        digest = hashlib.sha256(site.encode("utf-8")).hexdigest()[:6]
+        name = f"{folded}_{digest}"
+    _RESOLVED_SITES[site] = name
+    return name
 
 
 class MetricError(Exception):

@@ -135,6 +135,14 @@ class Telemetry:
 
     enabled = True
 
+    #: The observability control plane attached to this recorder, if any
+    #: (:class:`repro.telemetry.controlplane.ControlPlane` installs
+    #: itself here).  Hook sites in the fleet, sync engine and scheduler
+    #: guard on this being non-None, so a bare recorder stays cheap.
+    controlplane = None
+    #: Span-boundary cost profiler (also installed by the control plane).
+    profiler = None
+
     def __init__(self, clock: Optional[TelemetryClock] = None) -> None:
         self.clock = clock or TelemetryClock()
         self.metrics = MetricsRegistry()
@@ -163,12 +171,16 @@ class Telemetry:
         else:
             self.roots.append(span)
         self._stack.append(span)
+        if self.profiler is not None:
+            self.profiler.enter(span, span.start)
         return span
 
     def end_span(self, span: Span, status: Optional[str] = None) -> None:
         if status is not None:
             span.status = status
         span.end = self.clock.step()
+        if self.profiler is not None:
+            self.profiler.exit(span, span.end)
         # Tolerate mis-nested ends (an abandoned child after an exception):
         # pop everything above the span being ended.
         while self._stack and self._stack[-1] is not span:
@@ -224,6 +236,9 @@ class Telemetry:
         self._stack.clear()
         self.metrics = MetricsRegistry()
         self.clock = TelemetryClock()
+        # A fresh clock invalidates any attached control plane's marks.
+        self.controlplane = None
+        self.profiler = None
 
 
 class _NullSpan:
@@ -262,6 +277,8 @@ class NullTelemetry:
 
     enabled = False
     current = None
+    controlplane = None
+    profiler = None
 
     def __init__(self) -> None:
         self.metrics = NullMetricsRegistry()

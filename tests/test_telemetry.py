@@ -257,3 +257,71 @@ class TestExport:
 
     def test_prometheus_text_empty_registry(self):
         assert prometheus_text(MetricsRegistry()) == "# (no metrics recorded)\n"
+
+
+class TestExportEdgeCases:
+    def test_histogram_overflow_lands_in_inf_bucket_only(self):
+        m = MetricsRegistry()
+        h = m.histogram("h", buckets=(1.0, 10.0))
+        h.observe(5.0)
+        h.observe(1e12)        # beyond every finite bound
+        text = prometheus_text(m)
+        assert 'h_bucket{le="1"} 0' in text
+        assert 'h_bucket{le="10"} 1' in text
+        assert 'h_bucket{le="+Inf"} 2' in text
+        assert "h_count 2" in text
+
+    def test_zero_length_span_exports_with_zero_duration(self):
+        tele = Telemetry()
+        span = tele.start_span("instant")
+        tele.end_span(span)
+        doc = chrome_trace(tele)
+        (event,) = [e for e in doc["traceEvents"] if e["name"] == "instant"]
+        assert event["ph"] == "X"
+        # One clock tick start->end; never negative, json-clean.
+        assert 0 <= event["dur"] <= 10
+        json.loads(chrome_trace_json(tele))
+
+    def test_unicode_attributes_survive_the_trace_round_trip(self):
+        tele = Telemetry()
+        with tele.span("build", app="héllo-wörld", note="步骤①"):
+            tele.event("fault.armed", key="ключ")
+        doc = json.loads(chrome_trace_json(tele))
+        args = {e["name"]: e["args"] for e in doc["traceEvents"]}
+        assert args["build"]["app"] == "héllo-wörld"
+        assert args["build"]["note"] == "步骤①"
+        assert args["fault.armed"]["key"] == "ключ"
+
+    def test_unicode_never_breaks_span_tree_rendering(self):
+        tele = Telemetry()
+        with tele.span("build", app="héllo-wörld"):
+            pass
+        assert "héllo-wörld" in render_span_tree(tele)
+
+
+class TestMetricSiteFolding:
+    def test_distinct_sites_never_fold_to_the_same_name(self):
+        from repro.telemetry.metrics import metric_site
+
+        # "mirror.sync" and "mirror_sync" both fold to "mirror_sync":
+        # the second-comer must get a disambiguated name, not silently
+        # share the first one's instruments.
+        dotted = metric_site("mirror.sync")
+        flat = metric_site("mirror_sync")
+        assert dotted != flat
+
+    def test_resolution_is_stable_across_repeat_calls(self):
+        from repro.telemetry.metrics import metric_site
+
+        first = metric_site("transfer.chunk")
+        assert metric_site("transfer.chunk") == first
+        collided = metric_site("transfer/chunk")
+        assert metric_site("transfer/chunk") == collided
+        assert collided != first
+
+    def test_folded_names_stay_prometheus_legal(self):
+        from repro.telemetry.metrics import metric_site
+        import re
+
+        for site in ("a.b", "a-b", "a/b", "a_b"):
+            assert re.fullmatch(r"[a-zA-Z_][a-zA-Z0-9_]*", metric_site(site))
