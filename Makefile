@@ -1,9 +1,13 @@
 # Convenience targets for the coMtainer reproduction.
 #
 #   make test    - the tier-1 test suite (includes the chaos sweeps)
-#   make chaos   - randomized fault-injection sweeps (minus federation)
+#   make chaos   - randomized fault-injection sweeps (minus federation/service)
 #   make federation-chaos - federation-tier chaos sweeps only
 #   make federation-test - all federated-registry tests
+#   make service-test - all multi-tenant adaptation-service tests
+#   make service-chaos - service-tier chaos sweeps only
+#   make service-bench - service throughput/latency/dedup benchmark
+#   make serve   - multi-tenant service demo: noisy tenant + seeded chaos
 #   make bench   - regenerate the evaluation tables / benchmarks
 #   make resilience-bench - just the resilience happy-path overhead check
 #   make trace   - traced adaptation; Chrome trace JSON + span tree
@@ -23,7 +27,8 @@ CLI     = PYTHONPATH=src $(PYTHON) -m repro.cli
 
 TRACE_APP ?= lammps
 
-.PHONY: test chaos federation-chaos federation-test bench resilience-bench \
+.PHONY: test chaos federation-chaos federation-test service-test \
+        service-chaos service-bench serve bench resilience-bench \
         trace metrics telemetry-bench obs-bench health integrity-bench \
         parallel-bench fleet-bench federation-bench fsck-demo
 
@@ -31,15 +36,29 @@ test:
 	$(PYTEST) -x -q
 
 # The marker split bounds each chaos invocation's runtime: the original
-# sweeps and the federation sweeps can run (and time out) independently.
+# sweeps, the federation sweeps, and the service sweeps can run (and
+# time out) independently.
 chaos:
-	$(PYTEST) -m "chaos and not federation" -q
+	$(PYTEST) -m "chaos and not federation and not service" -q
 
 federation-chaos:
 	$(PYTEST) -m "chaos and federation" -q
 
 federation-test:
 	$(PYTEST) -m federation -q
+
+service-test:
+	$(PYTEST) -m service -q
+
+service-chaos:
+	$(PYTEST) -m "chaos and service" -q
+
+service-bench:
+	$(PYTEST) benchmarks/bench_service_throughput.py -q -s
+
+serve:
+	$(CLI) serve --tenants 3 --requests 3 --noisy --fault-rate 0.05 \
+	    --seed 5 --mirrors 1
 
 bench:
 	$(PYTEST) benchmarks -q -s

@@ -18,6 +18,9 @@ Subcommands::
                                        [--mirrors N] [--stale-mirrors N]
                                        [--fault-rate R] [--seed S]
                                        [--cadence S] [--top K]
+    comtainer-demo serve    [--tenants N] [--requests N] [--workers N]
+                            [--noisy] [--fault-rate R] [--seed S]
+                            [--deadline S] [--mirrors N]   # service demo
     comtainer-demo tables                                  # Tables 1 & 2
 
 Global flags: ``--trace`` prints the span tree after the command,
@@ -85,6 +88,12 @@ def cmd_adapt(args: argparse.Namespace) -> int:
     from repro.core.workflow import build_extended_image, system_side_adapt
     from repro.containers import ContainerEngine
     from repro.perf import attach_perf
+    from repro.reporting import render_resilience_report
+    from repro.resilience import find_deadline_exceeded
+    from repro.resilience.degrade import (
+        RUNG_DEADLINE_EXCEEDED,
+        ResilienceReport,
+    )
     from repro.telemetry import install_telemetry
 
     system = SYSTEMS[args.system]
@@ -93,12 +102,29 @@ def cmd_adapt(args: argparse.Namespace) -> int:
     install_telemetry(args.telemetry, engines=[user, engine])
     layout, dist_tag = build_extended_image(user, get_app(args.app))
     recorder = attach_perf(engine, system)
-    ref = system_side_adapt(
-        engine, layout, system, recorder=recorder,
-        lto=args.lto, pgo_workload=args.pgo, ref=f"{args.app}:adapted",
-        jobs=args.jobs, speculate=args.speculate,
-        max_worker_failures=args.max_worker_failures,
-    )
+    # With a deadline the rebuild runs journaled, so a cancellation
+    # leaves a resumable checkpoint instead of lost work.
+    extra = ["--journal"] if args.deadline is not None else None
+    try:
+        ref = system_side_adapt(
+            engine, layout, system, recorder=recorder,
+            lto=args.lto, pgo_workload=args.pgo, ref=f"{args.app}:adapted",
+            jobs=args.jobs, speculate=args.speculate,
+            max_worker_failures=args.max_worker_failures,
+            extra_rebuild_args=extra, deadline=args.deadline,
+        )
+    except Exception as exc:
+        blown = find_deadline_exceeded(exc)
+        if blown is None:
+            raise
+        report = ResilienceReport(
+            tag=dist_tag, rung=RUNG_DEADLINE_EXCEEDED, ref=None,
+            deadline_exceeded=str(blown),
+            reasons=[f"adaptation cancelled: {blown}"],
+        )
+        print(render_resilience_report(report, telemetry=args.telemetry))
+        print("journal checkpoint kept: re-run to resume the rebuild")
+        return 1
     print(f"adapted image: {ref}")
     print(f"layout tags  : {layout.tags()}")
     return 0
@@ -362,6 +388,84 @@ def cmd_health(args: argparse.Namespace) -> int:
     return report.exit_code
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``coMtainer serve``: a seeded multi-tenant chaos workload through
+    the adaptation service.
+
+    ``--tenants`` tenants submit ``--requests`` requests each, arrival
+    times and priorities drawn deterministically from ``--seed``, over
+    an app pool small enough to exercise the shared cache's single-
+    flight dedup.  ``--noisy`` makes tenant 0 submit at 10x the fair
+    rate (the WFQ scheduler contains the damage); ``--fault-rate``
+    arms seeded transfer/worker faults so the circuit breakers and the
+    degradation ladder have something to do.  Exit code 1 when any
+    admitted request is lost (never expected), else 0.
+    """
+    import random as _random
+
+    from repro.reporting import render_service_report
+    from repro.resilience import FaultInjector
+    from repro.service import (
+        PRIORITY_BATCH,
+        PRIORITY_HIGH,
+        PRIORITY_NORMAL,
+        AdaptationService,
+        TERMINAL_STATUSES,
+    )
+
+    system = SYSTEMS[args.system]
+    injector = None
+    if args.fault_rate > 0:
+        injector = FaultInjector(
+            seed=args.seed,
+            rate=args.fault_rate,
+            worker_crash_rate=args.fault_rate / 2,
+            worker_flaky_rate=args.fault_rate / 2,
+        )
+    service = AdaptationService(
+        system=system,
+        workers=args.workers,
+        seed=args.seed,
+        injector=injector,
+        queue_capacity=args.queue_capacity,
+        telemetry=args.telemetry if args.telemetry.enabled else None,
+    )
+    apps = [a.strip() for a in args.apps.split(",") if a.strip()]
+    rng = _random.Random(f"comtainer-serve:{args.seed}")
+    for i in range(args.tenants):
+        service.add_tenant(
+            f"tenant-{i}",
+            weight=2.0 if i == 0 else 1.0,
+            max_workers=max(1, args.workers // 2),
+        )
+    if args.mirrors:
+        for i in range(args.mirrors):
+            service.add_mirror(f"edge-{i}")
+    priorities = (PRIORITY_HIGH, PRIORITY_NORMAL, PRIORITY_NORMAL,
+                  PRIORITY_BATCH)
+    for i in range(args.tenants):
+        count = args.requests * (10 if args.noisy and i == 0 else 1)
+        for _ in range(count):
+            service.submit(
+                f"tenant-{i}",
+                rng.choice(apps),
+                at=rng.uniform(0.0, args.duration),
+                priority=rng.choice(priorities),
+                deadline=args.deadline,
+            )
+    report = service.run()
+    print(render_service_report(report, telemetry=service.telemetry))
+    submitted = sum(t["submitted"] for t in report.tenants.values())
+    lost = submitted - len(report.outcomes)
+    untyped = [o for o in report.outcomes if o.status not in TERMINAL_STATUSES]
+    if lost or untyped:
+        print(f"LOST REQUESTS: {lost} unaccounted, {len(untyped)} untyped")
+        return 1
+    print(f"\nall {submitted} admitted requests accounted for "
+          f"({report.summary()})")
+    return 0
+
+
 def cmd_tables(args: argparse.Namespace) -> int:
     from repro.reporting import render_table, table1_rows, table2_rows
 
@@ -413,6 +517,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable speculative re-execution of stragglers")
     p.add_argument("--max-worker-failures", type=int, default=3, metavar="N",
                    help="flaky strikes before a rebuild worker is blacklisted")
+    p.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
+                   help="simulated-seconds budget per rebuild; a miss is "
+                        "reported as deadline_exceeded (journal resumable), "
+                        "not a traceback")
     p.set_defaults(fn=cmd_adapt)
 
     p = sub.add_parser("trace", help="traced adaptation + stage breakdown")
@@ -502,6 +610,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--top", type=int, default=10, metavar="K",
                    help="hot-path rows to print (default 10)")
     p.set_defaults(fn=cmd_health)
+
+    p = sub.add_parser(
+        "serve",
+        help="multi-tenant adaptation service under a seeded chaos workload",
+    )
+    p.add_argument("--system", choices=sorted(SYSTEMS), default="x86")
+    p.add_argument("--tenants", type=int, default=3, metavar="N",
+                   help="tenants submitting work (default 3)")
+    p.add_argument("--requests", type=int, default=4, metavar="N",
+                   help="requests per tenant (default 4)")
+    p.add_argument("--workers", type=int, default=8, metavar="N",
+                   help="global rebuild worker pool (default 8)")
+    p.add_argument("--queue-capacity", type=int, default=16, metavar="N",
+                   help="admission queue capacity (default 16)")
+    p.add_argument("--duration", type=float, default=60.0, metavar="S",
+                   help="arrival window in simulated seconds (default 60)")
+    p.add_argument("--deadline", type=float, default=None, metavar="S",
+                   help="per-request deadline in simulated seconds")
+    p.add_argument("--apps", default="minimd,hpccg,comd", metavar="A,B,...",
+                   help="app pool arrivals draw from")
+    p.add_argument("--noisy", action="store_true",
+                   help="tenant 0 submits at 10x the fair rate")
+    p.add_argument("--mirrors", type=int, default=0, metavar="N",
+                   help="federation mirrors synced after completions")
+    p.add_argument("--fault-rate", type=float, default=0.0, metavar="R",
+                   help="seeded transient transfer/worker fault rate")
+    p.add_argument("--seed", type=int, default=0,
+                   help="workload and fault-injection seed")
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("tables", help="print Tables 1 and 2")
     p.set_defaults(fn=cmd_tables)

@@ -79,6 +79,7 @@ def rebuild_in_container(
     artifact_cache: Optional[RebuildArtifactCache] = None,
     speculate: bool = True,
     max_worker_failures: int = 3,
+    deadline: Optional[float] = None,
 ) -> Tuple[dict, Dict[str, FileContent], Dict[str, int], Dict[str, FileContent],
            ScheduleReport]:
     """Execute the transformed build; returns
@@ -111,6 +112,12 @@ def rebuild_in_container(
     the simulated timeline.  When injected worker faults kill or
     blacklist every worker, :class:`FleetExhaustedError` is raised after
     journaling leases for the unfinished groups.
+
+    *deadline* is a simulated-seconds budget for this rebuild, checked
+    against the fleet clock between wavefronts: a blown budget raises
+    :class:`repro.resilience.DeadlineExceededError` after the completed
+    wave's checkpoints landed, so a journaled rebuild resumes from where
+    the deadline cut it off.
     """
     models = models.clone()   # adapters operate on independent copies (§4.2)
     fs = container.fs
@@ -371,6 +378,24 @@ def rebuild_in_container(
 
     try:
         for wave_index, wave in enumerate(build_plan.waves):
+            if deadline is not None and fleet.clock.now >= deadline:
+                # Cancelled cleanly between wavefronts: every completed
+                # group is checkpointed (journal resumable), no group of
+                # this wave has started.
+                from repro.resilience.deadline import DeadlineExceededError
+
+                if tele.enabled:
+                    tele.event("rebuild.deadline_exceeded",
+                               wave=wave_index, spent=fleet.clock.now,
+                               budget=deadline)
+                    tele.metrics.counter(
+                        "rebuild_deadline_exceeded_total").inc()
+                if journal is not None:
+                    journal.flush()
+                raise DeadlineExceededError(
+                    spent=fleet.clock.now, budget=deadline,
+                    site="rebuild.wave", wave_index=wave_index,
+                )
             if tele.enabled:
                 with tele.span(
                     "rebuild.wavefront", index=wave_index, width=len(wave)
@@ -552,6 +577,7 @@ def comtainer_rebuild_entry(ctx) -> int:
             jobs=flags["jobs"], artifact_cache=artifact_cache,
             speculate=flags["speculate"],
             max_worker_failures=flags["max_worker_failures"],
+            deadline=flags["deadline"],
         )
     except RebuildError as exc:
         raise ProgramError(f"coMtainer-rebuild: {exc}")
@@ -608,7 +634,7 @@ def _parse_args(args: List[str]) -> Tuple[RebuildOptions, str, Dict[str, object]
     adapter_name = "vendor"
     flags: Dict[str, object] = {
         "journal": False, "fallback": False, "cache": True, "jobs": 1,
-        "speculate": True, "max_worker_failures": 3,
+        "speculate": True, "max_worker_failures": 3, "deadline": None,
     }
     i = 0
     while i < len(args):
@@ -648,6 +674,18 @@ def _parse_args(args: List[str]) -> Tuple[RebuildOptions, str, Dict[str, object]
             if flags["jobs"] < 1:
                 raise ProgramError(
                     f"coMtainer-rebuild: bad --jobs value {value!r}"
+                )
+        elif arg.startswith("--deadline="):
+            value = arg.split("=", 1)[1]
+            try:
+                flags["deadline"] = float(value)
+            except ValueError:
+                raise ProgramError(
+                    f"coMtainer-rebuild: bad --deadline value {value!r}"
+                )
+            if flags["deadline"] <= 0:
+                raise ProgramError(
+                    f"coMtainer-rebuild: bad --deadline value {value!r}"
                 )
         elif arg.startswith("--lto-scope="):
             options.lto = True

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+from collections import OrderedDict
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.oci import mediatypes
@@ -261,6 +262,114 @@ def publish_artifact_cache(registry, repository: str, layout: OCILayout,
         return False
     registry.put_artifact_cache(repository, blob)
     return True
+
+
+def read_cache_entries(layout: OCILayout, dist_tag: str) -> Dict[str, List[dict]]:
+    """The parsed artifact-cache entries persisted in *layout* (maybe {}).
+
+    Defensive like :func:`_parse_entries`: a missing or corrupt blob
+    reads as an empty cache, never as an error.
+    """
+    desc = _find_descriptor(layout, dist_tag)
+    if desc is None:
+        return {}
+    blob = layout.blobs.try_get(desc.digest)
+    if blob is None:
+        return {}
+    return _parse_entries(blob.as_bytes())
+
+
+def seed_cache_entries(layout: OCILayout, dist_tag: str,
+                       entries: Dict[str, List[dict]],
+                       telemetry=NULL_TELEMETRY) -> int:
+    """Merge *entries* into the layout's persisted cache; returns adds."""
+    if not entries:
+        return 0
+    cache = RebuildArtifactCache(layout, dist_tag, telemetry=telemetry)
+    added = cache.merge_entries(entries)
+    cache.flush()
+    return added
+
+
+class SharedArtifactCache:
+    """Capacity-bounded cross-tenant pool of rebuild artifact entries.
+
+    The per-layout :class:`RebuildArtifactCache` only survives within one
+    layout lineage (or, through the registry, one repository).  The
+    adaptation service instead keeps a single in-memory *pool* of entries
+    shared by every tenant: a completed rebuild's entries are absorbed
+    into the pool (:meth:`absorb_layout`), and each rebuild about to run
+    is seeded from it (:meth:`seed_layout`) — identical compile work
+    crosses tenant boundaries exactly once.
+
+    The pool is LRU-bounded at *capacity* entries.  Eviction is safe by
+    construction: a layout that was already seeded keeps its own copy of
+    every entry, and lookups verify content digests — so evicting (or
+    corrupting) a pool entry can only ever cost a recompile, never digest
+    equality of an in-flight request's output.
+    """
+
+    def __init__(self, capacity: int = 512, telemetry=NULL_TELEMETRY) -> None:
+        self.capacity = max(1, int(capacity))
+        self.telemetry = telemetry or NULL_TELEMETRY
+        self._entries: "OrderedDict[str, List[dict]]" = OrderedDict()
+        self.seeded = 0     # entries pushed into layouts
+        self.absorbed = 0   # entries adopted from layouts
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def _observe(self, counter: Optional[str] = None, by: int = 1) -> None:
+        if not self.telemetry.enabled:
+            return
+        m = self.telemetry.metrics
+        if counter is not None and by:
+            m.counter(counter).inc(by)
+        m.gauge("service_shared_cache_entries").set(len(self._entries))
+
+    def absorb_layout(self, layout: OCILayout, dist_tag: str) -> int:
+        """Adopt the layout's persisted entries into the pool (LRU fresh).
+
+        Returns how many entries were new to the pool.
+        """
+        adopted = 0
+        for key, outputs in read_cache_entries(layout, dist_tag).items():
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                continue
+            self._entries[key] = outputs
+            adopted += 1
+        self.absorbed += adopted
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            self._observe("service_shared_cache_evictions_total")
+        self._observe("service_shared_cache_absorbed_total", by=adopted)
+        return adopted
+
+    def seed_layout(self, layout: OCILayout, dist_tag: str) -> int:
+        """Warm a layout's cache from the pool before its rebuild runs."""
+        if not self._entries:
+            return 0
+        added = seed_cache_entries(
+            layout, dist_tag, dict(self._entries), telemetry=self.telemetry
+        )
+        self.seeded += added
+        self._observe("service_shared_cache_seeded_total", by=added)
+        return added
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+            "seeded": self.seeded,
+            "absorbed": self.absorbed,
+            "evictions": self.evictions,
+        }
 
 
 def attach_artifact_cache(layout: OCILayout, registry, repository: str,

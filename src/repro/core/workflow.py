@@ -132,6 +132,7 @@ def _run_rebuild(
     jobs: int = 1,
     speculate: bool = True,
     max_worker_failures: int = 3,
+    deadline: Optional[float] = None,
 ) -> None:
     if extra_args:
         args = args + list(extra_args)
@@ -141,6 +142,8 @@ def _run_rebuild(
         args = args + ["--no-speculate"]
     if max_worker_failures != 3:
         args = args + [f"--max-worker-failures={max_worker_failures}"]
+    if deadline is not None:
+        args = args + [f"--deadline={deadline}"]
     with engine.telemetry.span("rebuild", system=system.key, flavor=flavor):
         ctr = engine.from_image(
             sysenv_ref(system.key, flavor), name="comt-rebuild",
@@ -256,6 +259,7 @@ def system_side_adapt(
     jobs: int = 1,
     speculate: bool = True,
     max_worker_failures: int = 3,
+    deadline: Optional[float] = None,
 ) -> str:
     """Rebuild + redirect an extended image for *system*.
 
@@ -268,7 +272,10 @@ def system_side_adapt(
     rebuild time, never the produced image.  *speculate* /
     *max_worker_failures* tune the rebuild worker fleet (straggler
     speculation and the flaky-worker blacklist threshold) — like *jobs*,
-    simulated time only.
+    simulated time only.  *deadline* is a simulated-seconds budget per
+    rebuild phase; a blown budget raises the typed
+    :class:`repro.resilience.DeadlineExceededError` with the journal
+    left resumable.
     """
     install_system_side_images(engine, system, flavor)
     dist_tag = find_dist_tag(layout)
@@ -283,7 +290,8 @@ def system_side_adapt(
                      base_args + ["--pgo=instrument"],
                      extra_args=extra_rebuild_args, jobs=jobs,
                      speculate=speculate,
-                     max_worker_failures=max_worker_failures)
+                     max_worker_failures=max_worker_failures,
+                     deadline=deadline)
         instr_ref = _run_redirect(engine, layout, system, ref=f"{ref}.instrumented")
         # Profiling run: execute the instrumented binary on the system.
         app_name, _, input_name = pgo_workload.partition(".")
@@ -307,12 +315,14 @@ def system_side_adapt(
         _run_rebuild(engine, layout, system, flavor, base_args,
                      profile_bytes=profile_bytes, extra_args=extra_rebuild_args,
                      jobs=jobs, speculate=speculate,
-                     max_worker_failures=max_worker_failures)
+                     max_worker_failures=max_worker_failures,
+                     deadline=deadline)
     else:
         _run_rebuild(engine, layout, system, flavor, base_args,
                      extra_args=extra_rebuild_args, jobs=jobs,
                      speculate=speculate,
-                     max_worker_failures=max_worker_failures)
+                     max_worker_failures=max_worker_failures,
+                     deadline=deadline)
 
     return _run_redirect(engine, layout, system, ref=ref)
 
@@ -622,6 +632,7 @@ class ComtainerSession:
         lto: bool = False,
         pgo_workload: Optional[str] = None,
         ref: Optional[str] = None,
+        deadline: Optional[float] = None,
     ) -> ResilienceReport:
         """Adapt an app down the degradation ladder; returns the report.
 
@@ -637,6 +648,7 @@ class ComtainerSession:
             repair=self.repairer(app), jobs=self.jobs,
             speculate=self.speculate,
             max_worker_failures=self.max_worker_failures,
+            deadline=deadline,
         )
         self._publish_cache(app, layout, dist_tag)
         self.resilience_reports.append(report)

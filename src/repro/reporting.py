@@ -231,6 +231,8 @@ def render_resilience_report(report, telemetry=None) -> str:
         ("blobs quarantined", len(report.quarantined_digests)),
         ("simulated backoff (s)", report.simulated_seconds),
     ]
+    if report.deadline_exceeded:
+        rows.insert(2, ("deadline_exceeded", report.deadline_exceeded))
     stats = report.worker_stats
     if stats:
         rows.extend([
@@ -242,10 +244,17 @@ def render_resilience_report(report, telemetry=None) -> str:
             ("workers blacklisted", len(stats.get("blacklisted", ()))),
         ])
     lines = [render_table((f"adaptation of {report.tag}", "value"), rows)]
-    for site in sorted(report.retry_exhaustions):
-        lines.append(
-            f"  exhausted: {site} x{report.retry_exhaustions[site]}"
-        )
+    causes = getattr(report, "retry_exhaustion_causes", None)
+    if causes:
+        # Causes are keyed ``site/cause`` (attempt cap vs. time budget),
+        # so the two exhaustion modes show as distinct rows.
+        for key in sorted(causes):
+            lines.append(f"  exhausted: {key} x{causes[key]}")
+    else:
+        for site in sorted(report.retry_exhaustions):
+            lines.append(
+                f"  exhausted: {site} x{report.retry_exhaustions[site]}"
+            )
     for reason in report.reasons:
         lines.append(f"  degraded: {reason}")
     controlplane = getattr(telemetry, "controlplane", None)
@@ -264,6 +273,63 @@ def resilience_rows(reports) -> List[Tuple]:
         )
         for r in reports
     ]
+
+
+def service_tenant_rows(report) -> List[Tuple]:
+    """(tenant, submitted, done, degraded, rejected, deadline, p50, p99)
+    rows for one :class:`repro.service.ServiceReport`."""
+    return [
+        (
+            t["tenant"], t["submitted"], t["completed"], t["degraded"],
+            t["rejected"], t["deadline_exceeded"], t["p50"], t["p99"],
+        )
+        for t in report.tenants.values()
+    ]
+
+
+def render_service_report(report, telemetry=None) -> str:
+    """One :class:`repro.service.ServiceReport` as aligned text.
+
+    Per-tenant outcome/latency rows, then the shared-infrastructure
+    story: breakers (with their transition history), queue pressure,
+    the cross-tenant cache, and — with *telemetry* carrying a control
+    plane — the SLO alerts that fired during the run.
+    """
+    counts = report.by_status()
+    lines = [render_table(
+        ("tenant", "submitted", "completed", "degraded", "rejected",
+         "deadline", "p50 (s)", "p99 (s)"),
+        service_tenant_rows(report),
+    )]
+    lines.append("")
+    lines.append(render_table(("service", "value"), [
+        ("requests", len(report.outcomes)),
+        ("completed", counts.get("completed", 0)),
+        ("degraded", counts.get("degraded", 0)),
+        ("rejected", counts.get("rejected", 0)),
+        ("deadline-exceeded", counts.get("deadline-exceeded", 0)),
+        ("deduped in flight", report.deduped_requests),
+        ("shared-cache dedup", f"{report.dedup_ratio:.1%}"),
+        ("queue peak depth",
+         f"{report.queue['peak_depth']}/{report.queue['capacity']}"),
+        ("queue shed", report.queue["shed"]),
+        ("queue displaced", report.queue["displaced"]),
+        ("mirror syncs", f"{report.mirror_syncs} "
+                         f"({report.mirror_sync_failures} failed)"),
+        ("simulated seconds", report.simulated_seconds),
+    ]))
+    for name in sorted(report.breakers):
+        breaker = report.breakers[name]
+        lines.append(f"  breaker : {name} {breaker['state']}"
+                     f" ({breaker['calls']} calls,"
+                     f" {breaker['rejections']} fail-fast)")
+        for hop in breaker["transitions"]:
+            lines.append(f"    t={hop['t']:.1f}s {hop['from']} -> {hop['to']}")
+    controlplane = getattr(telemetry, "controlplane", None)
+    if controlplane is not None:
+        for alert in controlplane.rules.history:
+            lines.append(f"  alert   : {alert.describe()}")
+    return "\n".join(lines)
 
 
 def fsck_rows(report) -> List[Tuple[str, object]]:

@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.integrity import find_integrity_error
+from repro.resilience.deadline import find_deadline_exceeded
 from repro.resilience.faults import FaultInjector
 from repro.resilience.fleet import find_fleet_exhausted
 from repro.resilience.retry import (
@@ -54,6 +55,12 @@ RUNG_GENERIC = "generic"
 #: Best to worst; every resilient session terminates on exactly one.
 RUNG_ORDER = (RUNG_FULL, RUNG_PARTIAL, RUNG_FLEET_EXHAUSTED,
               RUNG_REDIRECT_ONLY, RUNG_GENERIC)
+
+#: Terminal *cancellation* outcome, deliberately outside RUNG_ORDER: a
+#: blown per-request deadline stops the ladder (descending would spend
+#: more of a budget that is already gone).  The journal holds every
+#: checkpointed group, so a later request resumes the rebuild.
+RUNG_DEADLINE_EXCEEDED = "deadline-exceeded"
 
 #: Default retry policy for permissive sessions.  Transient faults have
 #: bounded per-key bursts, but a composite operation (one push touches
@@ -149,8 +156,11 @@ class ResilienceReport:
     retries: Dict[str, int] = field(default_factory=dict)
     #: Retry budgets burnt to the end, keyed on site (the report-table
     #: view of the per-site exhaustion histograms in the metrics
-    #: registry, ``resilience_retry_exhaustion_attempts_<site>``).
+    #: registry, ``resilience_retry_exhaustion_attempts_<site>_<cause>``).
     retry_exhaustions: Dict[str, int] = field(default_factory=dict)
+    #: Exhaustions keyed ``site/cause`` — whether the attempt cap or the
+    #: simulated-time budget was the binding constraint.
+    retry_exhaustion_causes: Dict[str, int] = field(default_factory=dict)
     failed_nodes: List[str] = field(default_factory=list)
     fallback_paths: List[str] = field(default_factory=list)
     restored_nodes: List[str] = field(default_factory=list)
@@ -167,6 +177,10 @@ class ResilienceReport:
     #: (:meth:`repro.resilience.fleet.FleetStats.to_json` shape): crashes,
     #: reassignments, speculative wins, blacklisted workers, ...
     worker_stats: Dict[str, object] = field(default_factory=dict)
+    #: Set (to the typed error's message) when the session was cancelled
+    #: on a blown per-request deadline; the rung is then
+    #: :data:`RUNG_DEADLINE_EXCEEDED` and ``ref`` is None.
+    deadline_exceeded: Optional[str] = None
 
     def to_json(self) -> dict:
         return {
@@ -176,6 +190,7 @@ class ResilienceReport:
             "reasons": list(self.reasons),
             "retries": dict(self.retries),
             "retry_exhaustions": dict(self.retry_exhaustions),
+            "retry_exhaustion_causes": dict(self.retry_exhaustion_causes),
             "failed_nodes": list(self.failed_nodes),
             "fallback_paths": list(self.fallback_paths),
             "restored_nodes": list(self.restored_nodes),
@@ -185,10 +200,13 @@ class ResilienceReport:
             "repaired_digests": list(self.repaired_digests),
             "quarantined_digests": list(self.quarantined_digests),
             "worker_stats": dict(self.worker_stats),
+            "deadline_exceeded": self.deadline_exceeded,
         }
 
     def summary(self) -> str:
         bits = [f"{self.tag}: rung={self.rung} ref={self.ref}"]
+        if self.deadline_exceeded:
+            bits.append(self.deadline_exceeded)
         if self.fallback_paths:
             bits.append(f"{len(self.fallback_paths)} artifacts fell back to generic")
         if self.restored_nodes:
@@ -342,6 +360,16 @@ def _redirect_only(engine, layout, dist_tag, system, flavor, ref, ctx) -> str:
         engine.remove_container(ctr.name)
 
 
+def redirect_only_adapt(engine, layout, dist_tag, system, flavor, ref, ctx) -> str:
+    """Public entry to the redirect-only rung.
+
+    The adaptation service's load-shedding ladder enters the degradation
+    ladder *here* directly (skipping the rebuild rungs on purpose) when
+    shedding a low-priority request under queue pressure.
+    """
+    return _redirect_only(engine, layout, dist_tag, system, flavor, ref, ctx)
+
+
 def _note_integrity(report, exc, layout, repair, ctx, tele) -> bool:
     """Record a typed corruption behind *exc*; attempt repair if possible.
 
@@ -385,6 +413,7 @@ def adapt_with_resilience(
     jobs: int = 1,
     speculate: bool = True,
     max_worker_failures: int = 3,
+    deadline: Optional[float] = None,
 ) -> ResilienceReport:
     """System-side adaptation that always terminates with a runnable image.
 
@@ -398,6 +427,12 @@ def adapt_with_resilience(
     worker faults gets exactly one serial retry on a fresh single-worker
     fleet before optimizations are dropped; success through that retry
     lands on the ``fleet-exhausted`` rung.
+
+    *deadline* (simulated seconds per rebuild phase) makes a blown
+    budget *terminal*: the ladder stops with
+    ``rung == RUNG_DEADLINE_EXCEEDED``, ``ref`` None, and the journal
+    resumable — it never descends, because every lower rung would spend
+    more of a budget that is already gone.
     """
     from repro.core import workflow as wf
     from repro.core.cache.storage import decode_rebuild, find_dist_tag
@@ -412,7 +447,7 @@ def adapt_with_resilience(
             engine, layout, system, recorder=recorder, lto=lto,
             pgo_workload=pgo_workload, flavor=flavor, ref=ref, nodes=nodes,
             jobs=jobs, speculate=speculate,
-            max_worker_failures=max_worker_failures,
+            max_worker_failures=max_worker_failures, deadline=deadline,
         )
         report.rung = RUNG_FULL
         return report
@@ -449,6 +484,7 @@ def adapt_with_resilience(
                 pgo_workload=a_pgo, flavor=flavor, ref=ref, nodes=nodes,
                 extra_rebuild_args=extra_args, jobs=a_jobs,
                 speculate=speculate, max_worker_failures=max_worker_failures,
+                deadline=deadline,
             )
 
         for repair_round in range(2):
@@ -458,6 +494,20 @@ def adapt_with_resilience(
                 used_serial_fleet = attempt_jobs == 1 and attempt_jobs != jobs
                 break
             except Exception as exc:
+                blown = find_deadline_exceeded(exc)
+                if blown is not None:
+                    # Terminal cancellation, not degradation: stop the
+                    # ladder with the journal resumable.
+                    report.deadline_exceeded = str(blown)
+                    report.rung = RUNG_DEADLINE_EXCEEDED
+                    report.reasons.append(f"{label} cancelled: {blown}")
+                    tele.event("degradation.deadline_exceeded",
+                               tag=dist_tag, label=label,
+                               spent=blown.spent, budget=blown.budget)
+                    logger.warning("%s of %s cancelled on deadline: %s",
+                                   label, dist_tag, blown)
+                    index = len(attempts)
+                    break
                 fixed = _note_integrity(
                     report, exc, layout,
                     repair if repair_round == 0 else None, ctx, tele,
@@ -509,7 +559,7 @@ def adapt_with_resilience(
             report.rung = RUNG_FLEET_EXHAUSTED
         else:
             report.rung = RUNG_PARTIAL if degraded else RUNG_FULL
-    else:
+    elif report.deadline_exceeded is None:
         # Rung 3: redirect-only (library-only adaptation, no rebuild).
         try:
             report.ref = _redirect_only(
@@ -535,6 +585,7 @@ def adapt_with_resilience(
     layout.gc()
     report.retries = dict(ctx.stats.retries)
     report.retry_exhaustions = ctx.stats.exhausted_by_site()
+    report.retry_exhaustion_causes = ctx.stats.exhausted_by_cause()
     fleet_stats = getattr(engine, "fleet_stats", None)
     if fleet_stats is not None:
         report.worker_stats = fleet_stats.to_json()

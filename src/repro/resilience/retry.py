@@ -30,6 +30,14 @@ class RetryBudgetExhausted(Exception):
     """The retry budget ran out before the operation succeeded."""
 
 
+#: Exhaustion causes: the attempt cap was the binding constraint vs. the
+#: simulated-time budget running out first.  Distinct causes get distinct
+#: ``metric_site`` instrument rows — an operator tunes ``max_attempts``
+#: for the one and ``budget_seconds`` for the other.
+CAUSE_ATTEMPTS = "attempts"
+CAUSE_BUDGET = "budget"
+
+
 @dataclass
 class SimulatedClock:
     """Monotonic simulated time; ``sleep`` advances instead of blocking."""
@@ -62,16 +70,32 @@ class RetryPolicy:
 
 @dataclass
 class RetryStats:
-    """Retry bookkeeping, aggregated per site for the resilience report."""
+    """Retry bookkeeping, aggregated per site for the resilience report.
+
+    *scope* attributes the spend to one tenant/request of the adaptation
+    service (empty for standalone sessions); :meth:`merge` folds scoped
+    per-request stats into a tenant- or service-wide aggregate, so retry
+    budget accounting stays attributable end to end.
+    """
 
     retries: Dict[str, int] = field(default_factory=dict)
     exhausted: List[str] = field(default_factory=list)
+    #: ``tenant/request`` (or any caller-chosen label) this spend belongs to.
+    scope: str = ""
+    #: Simulated backoff seconds charged per site.
+    spend: Dict[str, float] = field(default_factory=dict)
+    #: ``(site, cause)`` of each exhaustion, in order (parallel to
+    #: ``exhausted``; cause is CAUSE_ATTEMPTS or CAUSE_BUDGET).
+    exhaustion_causes: List[tuple] = field(default_factory=list)
 
-    def note_retry(self, site: str) -> None:
+    def note_retry(self, site: str, delay: float = 0.0) -> None:
         self.retries[site] = self.retries.get(site, 0) + 1
+        if delay:
+            self.spend[site] = self.spend.get(site, 0.0) + delay
 
-    def note_exhausted(self, site: str) -> None:
+    def note_exhausted(self, site: str, cause: str = CAUSE_ATTEMPTS) -> None:
         self.exhausted.append(site)
+        self.exhaustion_causes.append((site, cause))
 
     def exhausted_by_site(self) -> Dict[str, int]:
         """Exhaustion counts keyed on site (the report-table view of the
@@ -81,9 +105,31 @@ class RetryStats:
             out[site] = out.get(site, 0) + 1
         return out
 
+    def exhausted_by_cause(self) -> Dict[str, int]:
+        """Exhaustion counts keyed ``site/cause`` — attempt-cap and
+        time-budget exhaustions reported as distinct rows."""
+        out: Dict[str, int] = {}
+        for site, cause in self.exhaustion_causes:
+            key = f"{site}/{cause}"
+            out[key] = out.get(key, 0) + 1
+        return out
+
+    def merge(self, other: "RetryStats") -> None:
+        """Fold *other* (a scoped per-request stats) into this aggregate."""
+        for site, count in other.retries.items():
+            self.retries[site] = self.retries.get(site, 0) + count
+        for site, seconds in other.spend.items():
+            self.spend[site] = self.spend.get(site, 0.0) + seconds
+        self.exhausted.extend(other.exhausted)
+        self.exhaustion_causes.extend(other.exhaustion_causes)
+
     @property
     def total_retries(self) -> int:
         return sum(self.retries.values())
+
+    @property
+    def total_spend(self) -> float:
+        return sum(self.spend.values())
 
 
 def is_transient(exc: BaseException) -> bool:
@@ -120,8 +166,9 @@ def retry_call(
             out_of_attempts = attempt + 1 >= policy.max_attempts
             out_of_budget = spent + delay > policy.budget_seconds
             if out_of_attempts or out_of_budget:
+                cause = CAUSE_ATTEMPTS if out_of_attempts else CAUSE_BUDGET
                 if stats is not None:
-                    stats.note_exhausted(site)
+                    stats.note_exhausted(site, cause=cause)
                 if telemetry is not None:
                     from repro.telemetry.metrics import (
                         ATTEMPT_BUCKETS,
@@ -129,23 +176,28 @@ def retry_call(
                     )
 
                     telemetry.event("retry.exhausted", site=site,
-                                    attempts=attempt + 1, error=str(exc))
+                                    attempts=attempt + 1, cause=cause,
+                                    error=str(exc))
                     telemetry.metrics.counter(
                         "resilience_retries_exhausted_total").inc()
-                    # Per-site exhaustion histogram: which sites burn
-                    # through their budget, and after how many attempts.
+                    telemetry.metrics.counter(
+                        f"resilience_retries_exhausted_{cause}_total").inc()
+                    # Per-site-and-cause exhaustion histogram: which sites
+                    # burn out, after how many attempts, and whether the
+                    # attempt cap or the time budget was the binding
+                    # constraint (they are tuned independently).
                     telemetry.metrics.histogram(
                         "resilience_retry_exhaustion_attempts_"
-                        + metric_site(site),
+                        + metric_site(site) + "_" + cause,
                         buckets=ATTEMPT_BUCKETS,
                     ).observe(attempt + 1)
-                logger.warning("retry budget exhausted at %s after %d attempts",
-                               site, attempt + 1)
+                logger.warning("retry %s exhausted at %s after %d attempts",
+                               cause, site, attempt + 1)
                 raise
             clock.sleep(delay)
             spent += delay
             if stats is not None:
-                stats.note_retry(site)
+                stats.note_retry(site, delay=delay)
             if telemetry is not None:
                 telemetry.event("retry.attempt", site=site,
                                 attempt=attempt + 1, delay=delay,

@@ -1,0 +1,82 @@
+"""Multi-tenant adaptation service (admission, bulkheads, breakers).
+
+See ``docs/SERVICE.md`` for the service model: admission control and
+weighted-fair queuing, per-tenant bulkheads and retry budgets, circuit
+breakers around shared dependencies, deadline propagation, load
+shedding down the degradation ladder, and the shared cross-tenant
+artifact cache with single-flight dedup — all on one simulated
+timeline, deterministic under a seed.
+"""
+
+from repro.service.admission import (
+    MODE_FULL,
+    MODE_GENERIC,
+    MODE_REDIRECT_ONLY,
+    PRIORITY_BATCH,
+    PRIORITY_HIGH,
+    PRIORITY_NORMAL,
+    PRIORITY_ORDER,
+    SHED_LADDER,
+    AdmissionQueue,
+    TokenBucket,
+    priority_rank,
+)
+from repro.service.breaker import (
+    STATE_CLOSED,
+    STATE_HALF_OPEN,
+    STATE_OPEN,
+    CircuitBreaker,
+)
+from repro.service.errors import (
+    CircuitOpenError,
+    ServiceError,
+    ServiceOverloadError,
+)
+from repro.service.service import (
+    DISPATCH_OVERHEAD,
+    SERVICE_RETRY,
+    STATUS_COMPLETED,
+    STATUS_DEADLINE_EXCEEDED,
+    STATUS_DEGRADED,
+    STATUS_REJECTED,
+    TERMINAL_STATUSES,
+    AdaptationRequest,
+    AdaptationService,
+    RequestOutcome,
+    ServiceReport,
+    TenantState,
+    percentile,
+)
+
+__all__ = [
+    "DISPATCH_OVERHEAD",
+    "MODE_FULL",
+    "MODE_GENERIC",
+    "MODE_REDIRECT_ONLY",
+    "PRIORITY_BATCH",
+    "PRIORITY_HIGH",
+    "PRIORITY_NORMAL",
+    "PRIORITY_ORDER",
+    "SERVICE_RETRY",
+    "SHED_LADDER",
+    "STATE_CLOSED",
+    "STATE_HALF_OPEN",
+    "STATE_OPEN",
+    "STATUS_COMPLETED",
+    "STATUS_DEADLINE_EXCEEDED",
+    "STATUS_DEGRADED",
+    "STATUS_REJECTED",
+    "TERMINAL_STATUSES",
+    "AdaptationRequest",
+    "AdaptationService",
+    "AdmissionQueue",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "RequestOutcome",
+    "ServiceError",
+    "ServiceOverloadError",
+    "ServiceReport",
+    "TenantState",
+    "TokenBucket",
+    "percentile",
+]

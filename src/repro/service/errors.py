@@ -1,0 +1,59 @@
+"""Typed errors of the multi-tenant adaptation service.
+
+Everything a caller can hit is typed and carries enough structure to
+react programmatically: overload rejections quote a ``retry_after``
+(simulated seconds until capacity is plausibly available), circuit
+rejections quote the dependency and when its breaker will half-open.
+String matching is never required.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class ServiceError(Exception):
+    """Base class for adaptation-service errors."""
+
+
+class ServiceOverloadError(ServiceError):
+    """An admission rejection: the service is shedding this request.
+
+    ``reason`` is one of the admission layer's stable labels
+    (``queue-full``, ``rate-limited``, ``displaced``); ``retry_after``
+    is the simulated-seconds hint after which resubmission is expected
+    to be admitted.
+    """
+
+    def __init__(self, tenant: str, reason: str,
+                 retry_after: float = 0.0) -> None:
+        self.tenant = tenant
+        self.reason = reason
+        self.retry_after = float(retry_after)
+        super().__init__(
+            f"service overloaded for tenant {tenant!r}: {reason} "
+            f"(retry after {self.retry_after:.1f}s)"
+        )
+
+
+class CircuitOpenError(ServiceError):
+    """A shared dependency's circuit breaker is open (fail-fast).
+
+    Raised instead of attempting the call; ``retry_after`` is when the
+    breaker moves to half-open and will admit a probe.
+    """
+
+    def __init__(self, dependency: str, retry_after: float = 0.0,
+                 detail: Optional[str] = None) -> None:
+        self.dependency = dependency
+        self.retry_after = float(retry_after)
+        message = (
+            f"circuit open for dependency {dependency!r} "
+            f"(half-open in {self.retry_after:.1f}s)"
+        )
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+
+
+__all__ = ["CircuitOpenError", "ServiceError", "ServiceOverloadError"]

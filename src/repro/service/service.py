@@ -1,0 +1,962 @@
+"""The multi-tenant adaptation service: one shared system side, many users.
+
+An HPC centre runs *one* adaptation pipeline and every research group
+(tenant) submits extended images to it.  :class:`AdaptationService`
+wraps the single-session workflow of :mod:`repro.core.workflow` in the
+server-side machinery such a deployment needs, all on a **pure
+timeline**: a discrete-event loop over one
+:class:`~repro.resilience.retry.SimulatedClock`, zero wall-clock
+anywhere, deterministic under a seed.  Faults and load reshape *when*
+things finish, never *what bytes* they produce — the same invariant the
+rest of the reproduction holds.
+
+The moving parts, each its own module:
+
+* admission (:mod:`repro.service.admission`) — bounded queue, priority
+  classes, weighted-fair queuing across tenants, token-bucket rate
+  limits, watermark-based load shedding down the degradation ladder
+  (full -> redirect-only -> generic) and displacement before a typed
+  :class:`~repro.service.errors.ServiceOverloadError`.
+* bulkheads — per-tenant caps on concurrent rebuild fleet workers plus
+  a global worker pool: a tenant can exhaust its own compartment, never
+  the ship.
+* circuit breakers (:mod:`repro.service.breaker`) — around the origin
+  registry, the worker fleet and the federation mirrors; an open
+  breaker routes around the dependency (local-replica transfer,
+  redirect-only adaptation, skipped mirror sync) instead of queueing
+  behind it.
+* deadlines — a request's remaining budget is threaded into the rebuild
+  (``--deadline``); a blown budget is a clean typed cancellation with
+  the journal resumable, and queued requests whose deadline expires are
+  cancelled before ever starting.
+* retry budgets — each request runs under its own scoped
+  :class:`~repro.resilience.retry.RetryStats`, merged into per-tenant
+  aggregates; a tenant's simulated-backoff budget caps how much retry
+  time its requests may burn service-wide.
+* shared artifact cache
+  (:class:`~repro.core.cache.artifacts.SharedArtifactCache`) — one
+  capacity-bounded LRU pool of compile outputs across all tenants, with
+  single-flight dedup: concurrent identical rebuild work runs once, the
+  followers re-dispatch against the leader-warmed pool.
+
+Every *admitted* request terminates in exactly one of four typed
+outcomes — ``completed``, ``degraded``, ``rejected`` (displacement) or
+``deadline-exceeded`` — and the final :class:`ServiceReport` accounts
+for all of them; no request is ever lost.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.apps import get_app
+from repro.containers.engine import ContainerEngine
+from repro.core.cache.artifacts import SharedArtifactCache
+from repro.core.cache.storage import decode_rebuild, extended_tag
+from repro.core.images import install_system_side_images, install_user_side_images
+from repro.core.workflow import build_extended_image
+from repro.oci.layout import OCILayout
+from repro.oci.registry import ImageRegistry
+from repro.perf.runtime import attach_perf
+from repro.resilience import (
+    RUNG_DEADLINE_EXCEEDED,
+    RUNG_FLEET_EXHAUSTED,
+    RUNG_FULL,
+    RUNG_GENERIC,
+    RUNG_REDIRECT_ONLY,
+    ResilienceContext,
+    ResiliencePolicy,
+    RetryPolicy,
+    RetryStats,
+    SimulatedClock,
+    adapt_with_resilience,
+    redirect_only_adapt,
+    resilient_transfer,
+)
+from repro.service.admission import (
+    MODE_FULL,
+    MODE_GENERIC,
+    MODE_REDIRECT_ONLY,
+    PRIORITY_NORMAL,
+    AdmissionQueue,
+    TokenBucket,
+    priority_rank,
+)
+from repro.service.breaker import STATE_OPEN, CircuitBreaker
+from repro.service.errors import CircuitOpenError, ServiceError, ServiceOverloadError
+from repro.sysmodel import SystemModel, X86_CLUSTER
+from repro.telemetry import Telemetry, install_telemetry
+
+STATUS_COMPLETED = "completed"
+STATUS_DEGRADED = "degraded"
+STATUS_REJECTED = "rejected"
+STATUS_DEADLINE_EXCEEDED = "deadline-exceeded"
+
+#: Every terminal state an admitted request can reach.
+TERMINAL_STATUSES = (
+    STATUS_COMPLETED, STATUS_DEGRADED, STATUS_REJECTED,
+    STATUS_DEADLINE_EXCEEDED,
+)
+
+#: Default retry policy for service requests: modest attempts so a
+#: genuinely sick dependency *fails* (feeding the circuit breaker)
+#: instead of being absorbed by the single-session PERMISSIVE_RETRY's
+#: near-infinite patience.
+SERVICE_RETRY = RetryPolicy(max_attempts=4, budget_seconds=120.0)
+
+#: Simulated seconds of fixed per-dispatch overhead (scheduling,
+#: container setup); keeps zero-cost cache-warm requests from finishing
+#: in literally zero time.
+DISPATCH_OVERHEAD = 0.05
+
+
+def percentile(values: List[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 1]); 0.0 for an empty list."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    index = max(0, min(len(ordered) - 1, int(q * len(ordered) + 0.999999) - 1))
+    return ordered[index]
+
+
+@dataclass
+class AdaptationRequest:
+    """One tenant's ask: adapt *app* for the service's system."""
+
+    tenant: str
+    app: str
+    priority: str = PRIORITY_NORMAL
+    #: End-to-end budget in simulated seconds from ``submit_at``; what is
+    #: left at dispatch becomes the rebuild's ``--deadline``.
+    deadline: Optional[float] = None
+    jobs: int = 2
+    submit_at: float = 0.0
+    seq: int = 0
+    request_id: str = ""
+    #: Service level granted at admission (shedding may lower it).
+    mode: str = MODE_FULL
+    shed: bool = False
+    #: Set when the request was parked behind an identical in-flight
+    #: leader and re-dispatched against the leader-warmed shared cache.
+    deduped: bool = False
+    eff_jobs: int = 1
+
+
+@dataclass
+class RequestOutcome:
+    """The typed terminal record of one request."""
+
+    request_id: str
+    tenant: str
+    app: str
+    priority: str
+    mode: str
+    status: str = STATUS_COMPLETED
+    rung: Optional[str] = None
+    ref: Optional[str] = None
+    error: Optional[str] = None
+    retry_after: Optional[float] = None
+    submitted_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: float = 0.0
+    cost: float = 0.0
+    latency: float = 0.0
+    deduped: bool = False
+    shed: bool = False
+    reasons: List[str] = field(default_factory=list)
+    retry_spend: float = 0.0
+    retry_causes: Dict[str, int] = field(default_factory=dict)
+    cache_hit_nodes: int = 0
+    executed_nodes: int = 0
+    report: object = None
+    _layout: Optional[Tuple[OCILayout, str]] = None
+
+    def to_json(self) -> dict:
+        return {
+            "request_id": self.request_id,
+            "tenant": self.tenant,
+            "app": self.app,
+            "priority": self.priority,
+            "mode": self.mode,
+            "status": self.status,
+            "rung": self.rung,
+            "ref": self.ref,
+            "error": self.error,
+            "retry_after": self.retry_after,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "cost": self.cost,
+            "latency": self.latency,
+            "deduped": self.deduped,
+            "shed": self.shed,
+            "reasons": list(self.reasons),
+            "retry_spend": self.retry_spend,
+            "retry_causes": dict(self.retry_causes),
+            "cache_hit_nodes": self.cache_hit_nodes,
+            "executed_nodes": self.executed_nodes,
+        }
+
+
+@dataclass
+class TenantState:
+    """Per-tenant runtime: engine, bulkhead, budgets, fairness state."""
+
+    name: str
+    weight: float = 1.0
+    #: Bulkhead: max concurrent rebuild fleet workers this tenant may
+    #: hold out of the service's global pool.
+    max_workers: int = 2
+    retry_budget: float = 600.0
+    bucket: Optional[TokenBucket] = None
+    engine: ContainerEngine = None
+    recorder: object = None
+    vtime: float = 0.0
+    served_seconds: float = 0.0
+    retry_spent: float = 0.0
+    budget_exhausted: bool = False
+    workers_in_use: int = 0
+    stats: RetryStats = None
+    submitted: int = 0
+    completed: int = 0
+    degraded: int = 0
+    rejected: int = 0
+    deadline_exceeded: int = 0
+    latencies: List[float] = field(default_factory=list)
+
+    def summary(self) -> dict:
+        return {
+            "tenant": self.name,
+            "weight": self.weight,
+            "max_workers": self.max_workers,
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "degraded": self.degraded,
+            "rejected": self.rejected,
+            "deadline_exceeded": self.deadline_exceeded,
+            "p50": percentile(self.latencies, 0.50),
+            "p99": percentile(self.latencies, 0.99),
+            "retry_spend": self.retry_spent,
+            "retry_budget": self.retry_budget,
+            "vtime": self.vtime,
+        }
+
+
+@dataclass
+class ServiceReport:
+    """Everything one :meth:`AdaptationService.run` did, accounted."""
+
+    outcomes: List[RequestOutcome]
+    tenants: Dict[str, dict]
+    breakers: Dict[str, dict]
+    queue: dict
+    cache: dict
+    simulated_seconds: float = 0.0
+    deduped_requests: int = 0
+    mirror_syncs: int = 0
+    mirror_sync_failures: int = 0
+
+    def by_status(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {status: 0 for status in TERMINAL_STATUSES}
+        for outcome in self.outcomes:
+            counts[outcome.status] = counts.get(outcome.status, 0) + 1
+        return counts
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Fraction of rebuild node-work served from the shared cache."""
+        hits = sum(o.cache_hit_nodes for o in self.outcomes)
+        executed = sum(o.executed_nodes for o in self.outcomes)
+        total = hits + executed
+        return hits / total if total else 0.0
+
+    def to_json(self) -> dict:
+        return {
+            "outcomes": [o.to_json() for o in self.outcomes],
+            "tenants": dict(self.tenants),
+            "breakers": dict(self.breakers),
+            "queue": dict(self.queue),
+            "cache": dict(self.cache),
+            "by_status": self.by_status(),
+            "dedup_ratio": self.dedup_ratio,
+            "deduped_requests": self.deduped_requests,
+            "mirror_syncs": self.mirror_syncs,
+            "mirror_sync_failures": self.mirror_sync_failures,
+            "simulated_seconds": self.simulated_seconds,
+        }
+
+    def summary(self) -> str:
+        counts = self.by_status()
+        bits = [
+            f"{len(self.outcomes)} requests in {self.simulated_seconds:.1f}s "
+            f"simulated: "
+            + ", ".join(f"{counts[s]} {s}" for s in TERMINAL_STATUSES if counts[s])
+        ]
+        if self.deduped_requests:
+            bits.append(f"{self.deduped_requests} deduped in flight")
+        if self.dedup_ratio:
+            bits.append(f"{self.dedup_ratio:.0%} of rebuild work from shared cache")
+        open_breakers = [n for n, b in self.breakers.items()
+                        if b["state"] != "closed"]
+        if open_breakers:
+            bits.append("breakers not closed: " + ", ".join(sorted(open_breakers)))
+        return "; ".join(bits)
+
+
+class AdaptationService:
+    """Discrete-event, multi-tenant front end over the adaptation pipeline."""
+
+    def __init__(
+        self,
+        system: SystemModel = X86_CLUSTER,
+        flavor: str = "vendor",
+        workers: int = 8,
+        nodes: int = 16,
+        queue_capacity: int = 32,
+        shed_watermark: float = 0.75,
+        full_watermark: float = 0.9,
+        seed: int = 0,
+        injector=None,
+        policy: Optional[ResiliencePolicy] = None,
+        telemetry: Optional[Telemetry] = None,
+        cache_capacity: int = 512,
+        breaker_threshold: int = 3,
+        breaker_reset: float = 180.0,
+        dispatch_overhead: float = DISPATCH_OVERHEAD,
+    ) -> None:
+        self.system = system
+        self.flavor = flavor
+        self.workers = max(1, workers)
+        self.nodes = nodes
+        self.seed = seed
+        self.injector = injector
+        # Request cost is measured as telemetry-clock progress (rebuild
+        # makespans, retry backoff, workload runs all charge it), so the
+        # service needs a *live* recorder even when the caller brought none.
+        self.telemetry = (
+            telemetry if telemetry is not None and telemetry.enabled
+            else Telemetry()
+        )
+        #: The service timeline every event runs on.
+        self.clock = SimulatedClock()
+        if policy is None:
+            policy = ResiliencePolicy.permissive(
+                seed=seed, injector=injector, retry=SERVICE_RETRY
+            )
+        self.policy = policy
+        self.registry = ImageRegistry()
+        self.user_engine = ContainerEngine(arch=system.arch)
+        install_user_side_images(self.user_engine)
+        if injector is not None:
+            self.registry.fault_injector = injector
+            self.registry.blobs.fault_injector = injector
+        install_telemetry(
+            self.telemetry, registry=self.registry, engines=[self.user_engine]
+        )
+        self.queue = AdmissionQueue(
+            capacity=queue_capacity, shed_watermark=shed_watermark,
+            full_watermark=full_watermark, telemetry=self.telemetry,
+        )
+        self.shared_cache = SharedArtifactCache(
+            capacity=cache_capacity, telemetry=self.telemetry
+        )
+        self.breakers: Dict[str, CircuitBreaker] = {
+            name: CircuitBreaker(
+                name, clock=self.clock, failure_threshold=breaker_threshold,
+                reset_timeout=breaker_reset, telemetry=self.telemetry,
+            )
+            for name in ("registry", "fleet", "mirrors")
+        }
+        self.dispatch_overhead = dispatch_overhead
+        self.tenants: Dict[str, TenantState] = {}
+        self.mirrors: Dict[str, ImageRegistry] = {}
+        self.outcomes: List[RequestOutcome] = []
+        self.workers_in_use = 0
+        self.deduped_requests = 0
+        self.mirror_syncs = 0
+        self.mirror_sync_failures = 0
+        self._arrivals: List[AdaptationRequest] = []
+        self._seq = 0
+        self._extended: Dict[str, Tuple[OCILayout, str]] = {}
+        self._tenant_layouts: Dict[Tuple[str, str], Tuple[OCILayout, str]] = {}
+        self._leaders: Dict[Tuple[str, str], int] = {}
+        self._followers: Dict[Tuple[str, str], List[AdaptationRequest]] = {}
+        self._cost_sum = 0.0
+        self._cost_n = 0
+
+    # -- tenancy and submission -----------------------------------------
+
+    def add_tenant(
+        self,
+        name: str,
+        weight: float = 1.0,
+        max_workers: int = 2,
+        rate: Optional[float] = None,
+        burst: Optional[float] = None,
+        retry_budget: float = 600.0,
+    ) -> TenantState:
+        """Register a tenant: its own engine (bulkhead), budget, bucket."""
+        if name in self.tenants:
+            raise ServiceError(f"tenant {name!r} already registered")
+        engine = ContainerEngine(arch=self.system.arch)
+        install_system_side_images(engine, self.system, self.flavor)
+        recorder = attach_perf(engine, self.system)
+        install_telemetry(self.telemetry, engines=[engine])
+        bucket = None
+        if rate is not None:
+            bucket = TokenBucket(rate=rate, burst=burst if burst is not None
+                                 else max(1.0, 2.0 * rate))
+        state = TenantState(
+            name=name, weight=max(weight, 1e-6),
+            max_workers=max(1, min(max_workers, self.workers)),
+            retry_budget=retry_budget, bucket=bucket,
+            engine=engine, recorder=recorder,
+            stats=RetryStats(scope=name),
+        )
+        self.tenants[name] = state
+        return state
+
+    def add_mirror(self, name: str) -> ImageRegistry:
+        """Register a federation mirror synced after each full adaptation."""
+        registry = ImageRegistry()
+        install_telemetry(self.telemetry, registry=registry)
+        self.mirrors[name] = registry
+        return registry
+
+    def submit(
+        self,
+        tenant: str,
+        app: str,
+        at: float = 0.0,
+        priority: str = PRIORITY_NORMAL,
+        deadline: Optional[float] = None,
+        jobs: int = 2,
+    ) -> AdaptationRequest:
+        """Schedule an arrival at simulated time *at*; admission happens
+        when the event loop reaches it."""
+        if tenant not in self.tenants:
+            raise ServiceError(f"unknown tenant {tenant!r}")
+        get_app(app)   # typed KeyError now, not mid-run
+        self._seq += 1
+        request = AdaptationRequest(
+            tenant=tenant, app=app, priority=priority, deadline=deadline,
+            jobs=max(1, jobs), submit_at=float(at), seq=self._seq,
+            request_id=f"{tenant}/r{self._seq}",
+        )
+        self._arrivals.append(request)
+        return request
+
+    # -- the event loop --------------------------------------------------
+
+    def run(self) -> ServiceReport:
+        """Drain every submitted arrival through the timeline; report."""
+        arrivals = sorted(self._arrivals, key=lambda r: (r.submit_at, r.seq))
+        self._arrivals = []
+        # The user side publishes extended images ahead of serving; their
+        # build cost is not any one request's latency.
+        for request in arrivals:
+            self._prepare_extended(request.app)
+        running: List[Tuple[float, int, AdaptationRequest, RequestOutcome]] = []
+        index = 0
+        while index < len(arrivals) or running or len(self.queue):
+            times = []
+            if running:
+                times.append(running[0][0])
+            if index < len(arrivals):
+                times.append(arrivals[index].submit_at)
+            if times:
+                self._advance_to(max(self.clock.now, min(times)))
+            now = self.clock.now
+            while running and running[0][0] <= now:
+                _, _, request, outcome = heapq.heappop(running)
+                self._finish(request, outcome)
+            while index < len(arrivals) and arrivals[index].submit_at <= now:
+                self._admit(arrivals[index])
+                index += 1
+            self._expire_queued()
+            dispatched_any = False
+            while True:
+                request = self.queue.pop_next(self._wfq_key, self._eligible)
+                if request is None:
+                    break
+                dispatched_any = True
+                finish, outcome = self._dispatch(request)
+                if finish is not None:
+                    heapq.heappush(running, (finish, request.seq, request, outcome))
+            self._gauges()
+            if not times and len(self.queue) and not dispatched_any and not running:
+                raise ServiceError(
+                    "admission deadlock: queued work cannot be scheduled "
+                    "(a request needs more workers than exist?)"
+                )
+        report = self._report()
+        if self.telemetry.controlplane is not None:
+            self.telemetry.controlplane.poll()
+        return report
+
+    # -- timeline helpers ------------------------------------------------
+
+    def _advance_to(self, t: float) -> None:
+        dt = t - self.clock.now
+        if dt <= 0:
+            return
+        self.clock.sleep(dt)
+        controlplane = self.telemetry.controlplane
+        if controlplane is not None:
+            # Queue-wait and idle gaps are service progress too; execution
+            # intervals are already advanced by the fleet's own hooks.
+            controlplane.advance(dt)
+
+    def _retry_after_hint(self) -> float:
+        average = (self._cost_sum / self._cost_n) if self._cost_n else 30.0
+        return max(1.0, average * (len(self.queue) + 1) / self.workers)
+
+    def _wfq_key(self, request: AdaptationRequest):
+        tenant = self.tenants[request.tenant]
+        return (priority_rank(request.priority), tenant.vtime, request.seq)
+
+    def _effective_jobs(self, request: AdaptationRequest) -> int:
+        tenant = self.tenants[request.tenant]
+        if request.mode != MODE_FULL:
+            return 1   # no rebuild fleet below the full rung
+        return max(1, min(request.jobs, tenant.max_workers, self.workers))
+
+    def _eligible(self, request: AdaptationRequest) -> bool:
+        tenant = self.tenants[request.tenant]
+        eff = self._effective_jobs(request)
+        return (
+            tenant.workers_in_use + eff <= tenant.max_workers
+            and self.workers_in_use + eff <= self.workers
+        )
+
+    # -- admission -------------------------------------------------------
+
+    def _admit(self, request: AdaptationRequest) -> None:
+        tele = self.telemetry
+        tenant = self.tenants[request.tenant]
+        tenant.submitted += 1
+        if tele.enabled:
+            tele.metrics.counter("service_requests_submitted_total").inc()
+        if tenant.bucket is not None and not tenant.bucket.try_take(self.clock.now):
+            error = ServiceOverloadError(
+                request.tenant, "rate-limited",
+                retry_after=tenant.bucket.retry_after(self.clock.now),
+            )
+            if tele.enabled:
+                tele.metrics.counter("service_rate_limited_total").inc()
+            self._reject(request, error)
+            return
+        try:
+            displaced = self.queue.admit(
+                request, retry_after=self._retry_after_hint()
+            )
+        except ServiceOverloadError as error:
+            self._reject(request, error)
+            return
+        if displaced is not None:
+            self._reject(displaced, ServiceOverloadError(
+                displaced.tenant, "displaced",
+                retry_after=self._retry_after_hint(),
+            ))
+        if request.shed and tele.enabled:
+            tele.event("service.shed", request=request.request_id,
+                       mode=request.mode,
+                       occupancy=round(self.queue.occupancy(), 3))
+            tele.metrics.counter("service_requests_shed_total").inc()
+        self._gauges()
+
+    def _reject(self, request: AdaptationRequest,
+                error: ServiceOverloadError) -> None:
+        tenant = self.tenants[request.tenant]
+        tenant.rejected += 1
+        outcome = RequestOutcome(
+            request_id=request.request_id, tenant=request.tenant,
+            app=request.app, priority=request.priority, mode=request.mode,
+            status=STATUS_REJECTED, error=str(error),
+            retry_after=error.retry_after, submitted_at=request.submit_at,
+            finished_at=self.clock.now, shed=request.shed,
+        )
+        outcome.reasons.append(error.reason)
+        self.outcomes.append(outcome)
+        tele = self.telemetry
+        if tele.enabled:
+            tele.event("service.rejected", request=request.request_id,
+                       reason=error.reason,
+                       retry_after=round(error.retry_after, 3))
+            tele.metrics.counter("service_requests_rejected_total").inc()
+
+    def _expire_queued(self) -> None:
+        now = self.clock.now
+        expired = self.queue.expire(
+            lambda r: r.deadline is not None and now >= r.submit_at + r.deadline
+        )
+        for request in expired:
+            tenant = self.tenants[request.tenant]
+            tenant.deadline_exceeded += 1
+            outcome = RequestOutcome(
+                request_id=request.request_id, tenant=request.tenant,
+                app=request.app, priority=request.priority,
+                mode=request.mode, status=STATUS_DEADLINE_EXCEEDED,
+                rung=RUNG_DEADLINE_EXCEEDED,
+                submitted_at=request.submit_at, finished_at=now,
+                latency=now - request.submit_at, shed=request.shed,
+            )
+            outcome.reasons.append("deadline expired while queued")
+            self.outcomes.append(outcome)
+            if self.telemetry.enabled:
+                self.telemetry.event("service.deadline_expired_queued",
+                                     request=request.request_id)
+                self.telemetry.metrics.counter(
+                    "service_requests_deadline_total").inc()
+
+    # -- dispatch and execution ------------------------------------------
+
+    def _dispatch(self, request: AdaptationRequest):
+        tenant = self.tenants[request.tenant]
+        work = (request.app, request.mode)
+        if request.mode == MODE_FULL and work in self._leaders:
+            # Single-flight: identical rebuild work is already in flight.
+            # Park the follower; it re-dispatches when the leader lands
+            # (and then runs against the leader-warmed shared cache).
+            self._followers.setdefault(work, []).append(request)
+            self.deduped_requests += 1
+            if self.telemetry.enabled:
+                self.telemetry.event("service.singleflight",
+                                     request=request.request_id,
+                                     app=request.app)
+                self.telemetry.metrics.counter(
+                    "service_singleflight_followers_total").inc()
+            return None, None
+        request.eff_jobs = self._effective_jobs(request)
+        tenant.workers_in_use += request.eff_jobs
+        self.workers_in_use += request.eff_jobs
+        outcome = self._execute(request, tenant)
+        outcome.started_at = self.clock.now
+        if request.mode == MODE_FULL and outcome.status != STATUS_REJECTED:
+            self._leaders[work] = request.seq
+        finish = self.clock.now + self.dispatch_overhead + outcome.cost
+        return finish, outcome
+
+    def _request_ctx(self, request: AdaptationRequest,
+                     tenant: TenantState) -> ResilienceContext:
+        remaining = max(0.0, tenant.retry_budget - tenant.retry_spent)
+        base = self.policy.retry
+        if remaining <= 0.0:
+            retry = replace(base, max_attempts=1, budget_seconds=0.0)
+        else:
+            retry = replace(base,
+                            budget_seconds=min(base.budget_seconds, remaining))
+        policy = replace(self.policy, retry=retry, injector=self.injector)
+        return ResilienceContext(
+            policy=policy, injector=self.injector,
+            stats=RetryStats(scope=request.request_id),
+            rng=random.Random(
+                f"comtainer-service:{self.seed}:{request.request_id}"),
+            telemetry=self.telemetry,
+        )
+
+    def _execute(self, request: AdaptationRequest,
+                 tenant: TenantState) -> RequestOutcome:
+        tele = self.telemetry
+        outcome = RequestOutcome(
+            request_id=request.request_id, tenant=request.tenant,
+            app=request.app, priority=request.priority, mode=request.mode,
+            submitted_at=request.submit_at, shed=request.shed,
+            deduped=request.deduped,
+        )
+        ctx = self._request_ctx(request, tenant)
+        tenant.engine.resilience = ctx
+        tenant.engine.fault_injector = self.injector
+        before = tele.clock.now
+        try:
+            with tele.span("service.request", request=request.request_id,
+                           tenant=request.tenant, app=request.app,
+                           mode=request.mode):
+                self._perform(request, tenant, ctx, outcome)
+        finally:
+            outcome.cost = tele.clock.now - before
+            self._account(request, tenant, ctx, outcome)
+        return outcome
+
+    def _perform(self, request: AdaptationRequest, tenant: TenantState,
+                 ctx: ResilienceContext, outcome: RequestOutcome) -> None:
+        remaining = None
+        if request.deadline is not None:
+            remaining = request.submit_at + request.deadline - self.clock.now
+            if remaining <= 0:
+                outcome.status = STATUS_DEADLINE_EXCEEDED
+                outcome.rung = RUNG_DEADLINE_EXCEEDED
+                outcome.reasons.append("deadline expired before dispatch")
+                return
+        mode = request.mode
+        fleet = self.breakers["fleet"]
+        if mode == MODE_FULL and not fleet.allow():
+            mode = MODE_REDIRECT_ONLY
+            outcome.reasons.append(
+                f"fleet circuit open; degraded to redirect-only "
+                f"(half-open in {fleet.retry_after():.0f}s)"
+            )
+        layout, dist_tag, transfer_note = self._tenant_layout(request, ctx)
+        if transfer_note:
+            outcome.reasons.append(transfer_note)
+        ref = f"{request.tenant}/{request.app}:adapted"
+        if mode == MODE_FULL:
+            self.shared_cache.seed_layout(layout, dist_tag)
+            report = adapt_with_resilience(
+                tenant.engine, layout, self.system, ctx=ctx,
+                recorder=tenant.recorder, flavor=self.flavor, ref=ref,
+                nodes=self.nodes, jobs=request.eff_jobs, deadline=remaining,
+            )
+            outcome.report = report
+            outcome.rung = report.rung
+            outcome.ref = report.ref
+            outcome._layout = (layout, dist_tag)
+            if report.rung == RUNG_DEADLINE_EXCEEDED:
+                outcome.status = STATUS_DEADLINE_EXCEEDED
+            elif report.rung == RUNG_FULL:
+                outcome.status = STATUS_COMPLETED
+            else:
+                outcome.status = STATUS_DEGRADED
+                outcome.reasons.extend(report.reasons)
+            # The fleet breaker sees rebuild *outcomes*: a rung at or
+            # below fleet-exhausted means the parallel fleet could not
+            # deliver the requested rebuild.
+            if report.rung in (RUNG_FLEET_EXHAUSTED, RUNG_REDIRECT_ONLY,
+                               RUNG_GENERIC):
+                fleet.record_failure()
+            elif report.rung in (RUNG_FULL,):
+                fleet.record_success()
+            try:
+                meta = decode_rebuild(layout, dist_tag)[0]
+                outcome.cache_hit_nodes = len(meta.get("cache_hits", []))
+                outcome.executed_nodes = len(meta.get("executed_nodes", []))
+            except Exception:
+                pass   # no rebuild manifest on the lowest rungs
+        elif mode == MODE_REDIRECT_ONLY:
+            try:
+                outcome.ref = redirect_only_adapt(
+                    tenant.engine, layout, dist_tag, self.system,
+                    self.flavor, ref, ctx,
+                )
+                outcome.rung = RUNG_REDIRECT_ONLY
+            except Exception as exc:
+                outcome.reasons.append(f"redirect-only failed: {exc}")
+                outcome.ref = ctx.retry(
+                    lambda: tenant.engine.load_from_layout(
+                        layout, dist_tag, ref=ref),
+                    site="layout.load",
+                )
+                outcome.rung = RUNG_GENERIC
+            outcome.status = STATUS_DEGRADED
+        else:   # MODE_GENERIC
+            outcome.ref = ctx.retry(
+                lambda: tenant.engine.load_from_layout(layout, dist_tag, ref=ref),
+                site="layout.load",
+            )
+            outcome.rung = RUNG_GENERIC
+            outcome.status = STATUS_DEGRADED
+        if outcome.status == STATUS_COMPLETED and transfer_note:
+            # Full-rung bytes, but served around an unhealthy registry.
+            outcome.status = STATUS_DEGRADED
+
+    def _account(self, request: AdaptationRequest, tenant: TenantState,
+                 ctx: ResilienceContext, outcome: RequestOutcome) -> None:
+        spend = ctx.stats.total_spend
+        outcome.retry_spend = spend
+        outcome.retry_causes = ctx.stats.exhausted_by_cause()
+        tenant.retry_spent += spend
+        tenant.stats.merge(ctx.stats)
+        if (tenant.retry_budget > 0 and not tenant.budget_exhausted
+                and tenant.retry_spent >= tenant.retry_budget):
+            tenant.budget_exhausted = True
+            if self.telemetry.enabled:
+                self.telemetry.event("service.retry_budget_exhausted",
+                                     tenant=tenant.name,
+                                     spent=round(tenant.retry_spent, 3),
+                                     budget=tenant.retry_budget)
+                self.telemetry.metrics.counter(
+                    "service_retry_budget_exhausted_total").inc()
+
+    def _finish(self, request: AdaptationRequest,
+                outcome: RequestOutcome) -> None:
+        tenant = self.tenants[request.tenant]
+        tenant.workers_in_use -= request.eff_jobs
+        self.workers_in_use -= request.eff_jobs
+        outcome.finished_at = self.clock.now
+        outcome.latency = outcome.finished_at - request.submit_at
+        charged = outcome.cost + self.dispatch_overhead
+        tenant.served_seconds += charged
+        tenant.vtime += charged / tenant.weight
+        self._cost_sum += charged
+        self._cost_n += 1
+        tele = self.telemetry
+        if outcome.status == STATUS_COMPLETED:
+            tenant.completed += 1
+            tenant.latencies.append(outcome.latency)
+            if tele.enabled:
+                tele.metrics.counter("service_requests_completed_total").inc()
+        elif outcome.status == STATUS_DEGRADED:
+            tenant.degraded += 1
+            tenant.latencies.append(outcome.latency)
+            if tele.enabled:
+                tele.metrics.counter("service_requests_degraded_total").inc()
+        elif outcome.status == STATUS_DEADLINE_EXCEEDED:
+            tenant.deadline_exceeded += 1
+            if tele.enabled:
+                tele.metrics.counter("service_requests_deadline_total").inc()
+        self.outcomes.append(outcome)
+        if tele.enabled:
+            tele.event("service.finished", request=request.request_id,
+                       status=outcome.status, rung=outcome.rung or "",
+                       latency=round(outcome.latency, 3))
+        # Single-flight epilogue: absorb the leader's compile outputs into
+        # the shared pool *at completion time* (cache benefits must not
+        # flow backwards on the timeline), then release the followers.
+        work = (request.app, request.mode)
+        if self._leaders.get(work) == request.seq:
+            del self._leaders[work]
+            if outcome._layout is not None and outcome.status in (
+                    STATUS_COMPLETED, STATUS_DEGRADED):
+                self.shared_cache.absorb_layout(*outcome._layout)
+            for follower in self._followers.pop(work, []):
+                follower.deduped = True
+                self.queue.restore(follower)
+        if (self.mirrors and outcome._layout is not None
+                and outcome.status == STATUS_COMPLETED):
+            self._sync_mirrors(request.app, *outcome._layout)
+        self._update_dedup_gauge()
+
+    # -- shared dependencies ---------------------------------------------
+
+    def _prepare_extended(self, app: str) -> Tuple[OCILayout, str]:
+        if app not in self._extended:
+            self._extended[app] = build_extended_image(
+                self.user_engine, get_app(app)
+            )
+        return self._extended[app]
+
+    def _tenant_layout(self, request: AdaptationRequest,
+                       ctx: ResilienceContext):
+        """The tenant's system-side layout for the app, breaker-guarded.
+
+        The happy path transfers through the shared origin registry and
+        memoizes per (tenant, app).  When the registry breaker is open
+        (or the transfer exhausts its retries) the service degrades to a
+        direct copy of the pristine user-side layout — bytes identical,
+        but *not* memoized, so a later request probes the registry again
+        once the breaker half-opens.
+        """
+        key = (request.tenant, request.app)
+        memo = self._tenant_layouts.get(key)
+        if memo is not None:
+            return memo[0], memo[1], None
+        source, dist_tag = self._prepare_extended(request.app)
+        tags = (dist_tag, extended_tag(dist_tag))
+        repository = f"{request.tenant}/repro/{request.app}"
+        breaker = self.breakers["registry"]
+        try:
+            remote = breaker.call(lambda: resilient_transfer(
+                self.registry, source, repository, tags, ctx=ctx,
+            ))
+            self._tenant_layouts[key] = (remote, dist_tag)
+            return remote, dist_tag, None
+        except CircuitOpenError as exc:
+            note = f"registry circuit open; served from local replica ({exc})"
+        except Exception as exc:
+            note = (f"registry transfer failed ({exc}); "
+                    f"served from local replica")
+        if self.telemetry.enabled:
+            self.telemetry.event("service.local_replica",
+                                 request=request.request_id, app=request.app)
+            self.telemetry.metrics.counter(
+                "service_local_replica_transfers_total").inc()
+        replica = OCILayout()
+        for tag in tags:
+            resolved = source.resolve(tag)
+            replica.add_manifest(resolved.manifest, resolved.config,
+                                 resolved.layers, tag=tag)
+        return replica, dist_tag, note
+
+    def _sync_mirrors(self, app: str, layout: OCILayout,
+                      dist_tag: str) -> None:
+        breaker = self.breakers["mirrors"]
+
+        def sync() -> None:
+            for name, registry in self.mirrors.items():
+                if self.injector is not None:
+                    self.injector.arm("mirror.sync", f"{name}/{app}")
+                registry.push_layout(
+                    f"{name}/repro/{app}:{dist_tag}", layout, tag=dist_tag
+                )
+
+        try:
+            breaker.call(sync)
+            self.mirror_syncs += 1
+            if self.telemetry.enabled:
+                self.telemetry.metrics.counter(
+                    "service_mirror_syncs_total").inc()
+        except Exception as exc:
+            self.mirror_sync_failures += 1
+            if self.telemetry.enabled:
+                self.telemetry.event("service.mirror_sync_failed",
+                                     app=app, error=str(exc))
+                self.telemetry.metrics.counter(
+                    "service_mirror_sync_failures_total").inc()
+
+    # -- observability ----------------------------------------------------
+
+    def _gauges(self) -> None:
+        if not self.telemetry.enabled:
+            return
+        m = self.telemetry.metrics
+        m.gauge("service_queue_depth").set(float(len(self.queue)))
+        m.gauge("service_queue_occupancy").set(self.queue.occupancy())
+        m.gauge("service_workers_in_use").set(float(self.workers_in_use))
+        m.gauge("service_breakers_open").set(float(sum(
+            1 for b in self.breakers.values() if b.state == STATE_OPEN
+        )))
+
+    def _update_dedup_gauge(self) -> None:
+        if not self.telemetry.enabled:
+            return
+        hits = sum(o.cache_hit_nodes for o in self.outcomes)
+        executed = sum(o.executed_nodes for o in self.outcomes)
+        if hits + executed:
+            self.telemetry.metrics.gauge("service_dedup_ratio").set(
+                hits / (hits + executed)
+            )
+
+    def _report(self) -> ServiceReport:
+        return ServiceReport(
+            outcomes=list(self.outcomes),
+            tenants={name: state.summary()
+                     for name, state in sorted(self.tenants.items())},
+            breakers={name: breaker.to_json()
+                      for name, breaker in self.breakers.items()},
+            queue=self.queue.snapshot(),
+            cache=self.shared_cache.stats(),
+            simulated_seconds=self.clock.now,
+            deduped_requests=self.deduped_requests,
+            mirror_syncs=self.mirror_syncs,
+            mirror_sync_failures=self.mirror_sync_failures,
+        )
+
+
+__all__ = [
+    "DISPATCH_OVERHEAD",
+    "SERVICE_RETRY",
+    "STATUS_COMPLETED",
+    "STATUS_DEADLINE_EXCEEDED",
+    "STATUS_DEGRADED",
+    "STATUS_REJECTED",
+    "TERMINAL_STATUSES",
+    "AdaptationRequest",
+    "AdaptationService",
+    "RequestOutcome",
+    "ServiceReport",
+    "TenantState",
+    "percentile",
+]

@@ -195,6 +195,26 @@ DEFAULT_RULES: Tuple[SloRule, ...] = (
         component="federation", severity=SEVERITY_WARNING,
         description="mirror syncs are aborting",
     ),
+    SloRule.parse(
+        "service-queue-saturated", "service_queue_occupancy >= 0.9 for 3 samples",
+        component="service", severity=SEVERITY_WARNING,
+        description="admission queue near capacity; shedding imminent",
+    ),
+    SloRule.parse(
+        "service-rejections", "rate(service_requests_rejected_total) > 0 over 2 samples",
+        component="service", severity=SEVERITY_WARNING,
+        description="the service is rejecting admissions",
+    ),
+    SloRule.parse(
+        "service-breaker-open", "service_breakers_open > 0",
+        component="service", severity=SEVERITY_CRITICAL,
+        description="a shared-dependency circuit breaker is open",
+    ),
+    SloRule.parse(
+        "service-deadlines-blown", "rate(service_requests_deadline_total) > 0 over 2 samples",
+        component="service", severity=SEVERITY_WARNING,
+        description="requests are blowing their deadlines",
+    ),
 )
 
 

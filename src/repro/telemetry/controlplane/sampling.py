@@ -206,6 +206,19 @@ DEFAULT_SERIES: Tuple[SeriesSpec, ...] = (
                metric="federation_sync_failures_total"),
     SeriesSpec("rebuild_schedule_wavefronts",
                metric="rebuild_schedule_wavefronts"),
+    # Adaptation-service tier (absent — all-None — outside `serve` runs).
+    SeriesSpec("service_queue_depth", metric="service_queue_depth"),
+    SeriesSpec("service_queue_occupancy", metric="service_queue_occupancy",
+               description="admission queue depth / capacity"),
+    SeriesSpec("service_workers_in_use", metric="service_workers_in_use"),
+    SeriesSpec("service_breakers_open", metric="service_breakers_open",
+               description="circuit breakers currently open"),
+    SeriesSpec("service_requests_rejected_total",
+               metric="service_requests_rejected_total"),
+    SeriesSpec("service_requests_deadline_total",
+               metric="service_requests_deadline_total"),
+    SeriesSpec("service_dedup_ratio", metric="service_dedup_ratio",
+               description="rebuild node-work served from the shared cache"),
 )
 
 
