@@ -16,6 +16,8 @@
 #   make obs-bench - control-plane (sampler+rules+profiler) overhead check
 #   make health  - component health demo: chaos adaptation + stale mirror
 #   make integrity-bench - the verified-reads happy-path overhead check
+#   make perf-bench - incremental short-circuit speedup + VFS hot-path bars
+#   make incremental-test - plan-diff + byte-identity incremental sweeps
 #   make parallel-bench - wavefront makespan scaling + artifact-cache reuse
 #   make fleet-bench - worker-fleet no-fault overhead vs the slot scheduler
 #   make federation-bench - incremental mirror-sync bytes-on-wire vs naive push
@@ -30,7 +32,8 @@ TRACE_APP ?= lammps
 .PHONY: test chaos federation-chaos federation-test service-test \
         service-chaos service-bench serve bench resilience-bench \
         trace metrics telemetry-bench obs-bench health integrity-bench \
-        parallel-bench fleet-bench federation-bench fsck-demo
+        perf-bench incremental-test parallel-bench fleet-bench \
+        federation-bench fsck-demo
 
 test:
 	$(PYTEST) -x -q
@@ -65,6 +68,14 @@ bench:
 
 resilience-bench:
 	$(PYTEST) benchmarks/bench_resilience_overhead.py -q -s
+
+# Warm >=5x cold, <5% cold-path fingerprint overhead, VFS hot-path bars.
+perf-bench:
+	$(PYTEST) benchmarks/bench_incremental_adaptation.py \
+	    benchmarks/bench_vfs_hotpaths.py -q -s
+
+incremental-test:
+	$(PYTEST) -m incremental -q
 
 trace:
 	mkdir -p benchmarks/results

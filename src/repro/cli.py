@@ -112,6 +112,7 @@ def cmd_adapt(args: argparse.Namespace) -> int:
             jobs=args.jobs, speculate=args.speculate,
             max_worker_failures=args.max_worker_failures,
             extra_rebuild_args=extra, deadline=args.deadline,
+            incremental=args.incremental,
         )
     except Exception as exc:
         blown = find_deadline_exceeded(exc)
@@ -517,6 +518,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable speculative re-execution of stragglers")
     p.add_argument("--max-worker-failures", type=int, default=3, metavar="N",
                    help="flaky strikes before a rebuild worker is blacklisted")
+    p.add_argument("--incremental", dest="incremental", action="store_true",
+                   default=True,
+                   help="prune unchanged command groups against the previous "
+                        "rebuild before scheduling (default)")
+    p.add_argument("--no-incremental", dest="incremental",
+                   action="store_false",
+                   help="force full re-execution even when a previous "
+                        "rebuild exists")
     p.add_argument("--deadline", type=float, default=None, metavar="SECONDS",
                    help="simulated-seconds budget per rebuild; a miss is "
                         "reported as deadline_exceeded (journal resumable), "

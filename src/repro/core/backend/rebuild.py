@@ -46,10 +46,11 @@ from repro.core.cache.storage import (
     CacheError,
     add_rebuild_manifest,
     decode_cache,
-    decode_rebuild_nodes,
+    decode_rebuild_plan,
     encode_rebuild_layer,
     find_dist_tag,
 )
+from repro.perf.incremental import compute_plan_fingerprints, diff_plan
 from repro.core.models.process import ProcessModels
 from repro.oci.layout import OCILayout
 from repro.pkg.apt import AptFacade
@@ -80,6 +81,8 @@ def rebuild_in_container(
     speculate: bool = True,
     max_worker_failures: int = 3,
     deadline: Optional[float] = None,
+    incremental: bool = True,
+    prev_fingerprints: Optional[Dict[str, str]] = None,
 ) -> Tuple[dict, Dict[str, FileContent], Dict[str, int], Dict[str, FileContent],
            ScheduleReport]:
     """Execute the transformed build; returns
@@ -89,6 +92,15 @@ def rebuild_in_container(
     nodes whose transformed command is unchanged reuse their previous
     output instead of re-executing — rebuilds "can be performed many
     times during the image's lifetime" (§4.1) without paying full cost.
+
+    *prev_fingerprints* (with *incremental*, the default) enables the
+    plan-level short-circuit on top of that per-node reuse: the new plan
+    is fingerprinted (:mod:`repro.perf.incremental`) and diffed against
+    the previous run's persisted fingerprints, and every clean command
+    group is pruned before wavefront computation — its outputs replay
+    from the previous rebuild layer and it never enters the scheduler or
+    the worker fleet.  A warm identical re-adaptation executes zero nodes
+    and schedules zero waves.
 
     *journal* is an optional :class:`repro.resilience.RebuildJournal`:
     each successful command's outputs are checkpointed into the layout,
@@ -171,6 +183,42 @@ def rebuild_in_container(
         critical_path_seconds=build_plan.critical_path_seconds,
         groups_total=len(build_plan.groups),
     )
+
+    # Plan-level short-circuit: fingerprint the plan (command digest folded
+    # over transitive input digests, node-order independent) and prune every
+    # group the previous run already produced from identical inputs.  Pruned
+    # groups replay their outputs here and never enter the scheduler; the
+    # fingerprints always land in meta so the *next* run can diff against
+    # them.  Fingerprints and pruning decisions are jobs-independent.
+    fingerprints = compute_plan_fingerprints(build_plan, models.graph, fs)
+    pruned_nodes: List[str] = []
+    waves_to_run = build_plan.waves
+    if incremental and prev_fingerprints:
+        plan_diff = diff_plan(
+            build_plan, fingerprints, prev_fingerprints, prev_outputs
+        )
+        for group in plan_diff.pruned:
+            for node_id in group.node_ids:
+                node_commands[node_id] = group.digest
+            for n in group.nodes:
+                fs.write_file(n.path, prev_outputs[n.path],
+                              mode=0o755, create_parents=True)
+            reused.extend(group.node_ids)
+            reused_set.update(group.node_ids)
+            pruned_nodes.extend(group.node_ids)
+        if plan_diff.pruned:
+            waves_to_run = plan_diff.waves
+            report.groups_pruned = len(plan_diff.pruned)
+            if tele.enabled:
+                m = tele.metrics
+                m.counter("rebuild_groups_pruned_total").inc(
+                    len(plan_diff.pruned))
+                m.counter("rebuild_nodes_pruned_total").inc(len(pruned_nodes))
+                tele.event(
+                    "rebuild.plan_pruned",
+                    groups=len(plan_diff.pruned), nodes=len(pruned_nodes),
+                    dirty=len(plan_diff.dirty),
+                )
 
     def group_cache_key(group) -> Optional[str]:
         """Content address: transformed digest + every input's bytes."""
@@ -377,7 +425,7 @@ def rebuild_in_container(
         return outcome.makespan, completed, busy
 
     try:
-        for wave_index, wave in enumerate(build_plan.waves):
+        for wave_index, wave in enumerate(waves_to_run):
             if deadline is not None and fleet.clock.now >= deadline:
                 # Cancelled cleanly between wavefronts: every completed
                 # group is checkpointed (journal resumable), no group of
@@ -522,6 +570,8 @@ def rebuild_in_container(
         "executed_nodes": executed,
         "reused_nodes": reused,
         "node_commands": node_commands,
+        "node_fingerprints": fingerprints,
+        "pruned_nodes": pruned_nodes,
         "failed_nodes": failed_nodes,
         "fallback_paths": fallback_paths,
         "journal_restored": restored,
@@ -569,15 +619,20 @@ def comtainer_rebuild_entry(ctx) -> int:
         RebuildArtifactCache(layout, dist_tag, telemetry=ctx.engine.telemetry)
         if flags["cache"] else None
     )
-    previous = decode_rebuild_nodes(layout, dist_tag)
+    prev_commands, prev_outputs, prev_fingerprints = decode_rebuild_plan(
+        layout, dist_tag
+    )
     try:
         meta, files, modes, node_files, schedule = rebuild_in_container(
             ctx.engine, ctx.container, models, sources, adapter, options,
-            previous=previous, journal=journal, fallback_fs=fallback_fs,
+            previous=(prev_commands, prev_outputs), journal=journal,
+            fallback_fs=fallback_fs,
             jobs=flags["jobs"], artifact_cache=artifact_cache,
             speculate=flags["speculate"],
             max_worker_failures=flags["max_worker_failures"],
             deadline=flags["deadline"],
+            incremental=flags["incremental"],
+            prev_fingerprints=prev_fingerprints,
         )
     except RebuildError as exc:
         raise ProgramError(f"coMtainer-rebuild: {exc}")
@@ -597,6 +652,12 @@ def comtainer_rebuild_entry(ctx) -> int:
         f"with adapter {adapter.name!r}, tagged {tag}"
     )
     ctx.writeline(f"coMtainer-rebuild: {schedule.summary_line()}")
+    if schedule.groups_pruned:
+        ctx.writeline(
+            f"coMtainer-rebuild: incremental plan diff pruned "
+            f"{schedule.groups_pruned} unchanged command groups "
+            f"({len(meta['pruned_nodes'])} nodes) before scheduling"
+        )
     # The fleet line is separate from the schedule line so `speedup=...x`
     # stays the schedule line's tail (stdout consumers parse it).
     if schedule.fleet is not None and schedule.fleet.any_faults:
@@ -635,12 +696,17 @@ def _parse_args(args: List[str]) -> Tuple[RebuildOptions, str, Dict[str, object]
     flags: Dict[str, object] = {
         "journal": False, "fallback": False, "cache": True, "jobs": 1,
         "speculate": True, "max_worker_failures": 3, "deadline": None,
+        "incremental": True,
     }
     i = 0
     while i < len(args):
         arg = args[i]
         if arg == "--lto":
             options.lto = True
+        elif arg == "--incremental":
+            flags["incremental"] = True
+        elif arg == "--no-incremental":
+            flags["incremental"] = False
         elif arg == "--journal":
             flags["journal"] = True
         elif arg == "--fallback":

@@ -108,6 +108,9 @@ class ScheduleReport:
     #: Stale lease records found on a ``--journal`` resume: groups a
     #: previous rebuild had in flight when it died mid-wavefront.
     stale_leases: int = 0
+    #: Command groups the incremental plan diff short-circuited before
+    #: wavefront computation — they never entered the scheduler at all.
+    groups_pruned: int = 0
 
     @property
     def max_width(self) -> int:
@@ -144,6 +147,7 @@ class ScheduleReport:
             "utilization": self.utilization,
             "groups_total": self.groups_total,
             "groups_executed": self.groups_executed,
+            "groups_pruned": self.groups_pruned,
             "fleet": self.fleet.to_json() if self.fleet is not None else None,
             "stale_leases": self.stale_leases,
             "waves": [w.to_json() for w in self.waves],
@@ -260,12 +264,20 @@ def plan_command_groups(
 
 def compute_wavefronts(groups: Sequence[CommandGroup]) -> List[List[CommandGroup]]:
     """Kahn layering of the group DAG; intra-wave order is first-visit
-    order, so the result is deterministic and jobs-independent."""
+    order, so the result is deterministic and jobs-independent.
+
+    Layering is computed *within* the given set: dependency edges to
+    groups outside it are treated as satisfied.  For a full plan that is
+    a no-op; for a plan the incremental engine pruned, it means clean
+    upstream groups never hold a dirty group back.
+    """
+    keys = {group.key for group in groups}
     pending: Dict[tuple, int] = {}
     dependents: Dict[tuple, List[CommandGroup]] = {}
     for group in groups:
-        pending[group.key] = len(group.dep_groups)
-        for dep in group.dep_groups:
+        inner = [dep for dep in group.dep_groups if dep in keys]
+        pending[group.key] = len(inner)
+        for dep in inner:
             dependents.setdefault(dep, []).append(group)
     wave = sorted(
         (g for g in groups if pending[g.key] == 0), key=lambda g: g.order

@@ -14,6 +14,7 @@ from repro.core.cache.storage import (
     add_rebuild_manifest,
     decode_cache,
     decode_rebuild,
+    decode_rebuild_plan,
     encode_cache_layer,
     extended_tag,
     find_dist_tag,
@@ -32,6 +33,7 @@ __all__ = [
     "add_rebuild_manifest",
     "decode_cache",
     "decode_rebuild",
+    "decode_rebuild_plan",
     "encode_cache_layer",
     "extended_tag",
     "find_dist_tag",

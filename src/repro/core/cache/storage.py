@@ -249,15 +249,30 @@ def decode_rebuild_nodes(
     whose transformed command is unchanged reuses its previous output.
     Returns empty maps when no rebuilt image exists yet.
     """
+    commands, node_files, _ = decode_rebuild_plan(layout, dist_tag)
+    return commands, node_files
+
+
+def decode_rebuild_plan(
+    layout: OCILayout, dist_tag: str
+) -> Tuple[Dict[str, str], Dict[str, FileContent], Dict[str, str]]:
+    """Like :func:`decode_rebuild_nodes` plus the persisted plan
+    fingerprints — ``(node commands, node outputs, node fingerprints)``.
+
+    The fingerprints are what :mod:`repro.perf.incremental` diffs a new
+    plan against to prune unchanged command groups before scheduling.
+    Returns empty maps when no rebuilt image exists yet.
+    """
     tag = rebuilt_tag(dist_tag)
     if not layout.has_tag(tag):
-        return {}, {}
+        return {}, {}, {}
     resolved = layout.resolve(tag)
     fs = resolved.filesystem()
     meta_path = f"{REBUILD_ROOT}/meta.json"
     if not fs.exists(meta_path):
-        return {}, {}
+        return {}, {}, {}
     meta = json.loads(fs.read_text(meta_path))
     commands = dict(meta.get("node_commands", {}))
+    fingerprints = dict(meta.get("node_fingerprints", {}))
     node_files = _subtree_files(fs, f"{REBUILD_ROOT}/nodes")
-    return commands, node_files
+    return commands, node_files, fingerprints

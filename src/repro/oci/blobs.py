@@ -249,6 +249,15 @@ class BlobStore:
     def try_get(self, digest: str) -> Optional[Blob]:
         return self._blobs.get(digest)
 
+    def is_verified(self, digest: str) -> bool:
+        """Whether *digest*'s content verified clean since it last changed.
+
+        ``put``/``remove``/``quarantine`` all discard the digest from the
+        verified set, so a True here means no re-hash is needed — the basis
+        for memoized Merkle re-verification higher up the stack.
+        """
+        return digest in self._verified
+
     def get_layer(self, digest: str) -> Layer:
         return self.get(digest).as_layer()
 

@@ -8,10 +8,11 @@ into OCI layers.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.oci.layer import Layer, LayerEntry
 from repro.vfs import Directory, RegularFile, Symlink, VirtualFilesystem
+from repro.vfs import paths as vpath
 from repro.vfs.filesystem import AnyNode
 
 
@@ -49,25 +50,50 @@ def diff_filesystems(
 
     Deterministic: whiteouts first (sorted), then adds/changes in sorted
     path order (parents naturally precede children).
-    """
-    base_idx = _index(base)
-    new_idx = _index(new)
-    layer = Layer(comment=comment)
 
-    removed = sorted(set(base_idx) - set(new_idx))
+    Implemented as a parallel tree walk that skips any subtree where both
+    sides reference the *same* node object — with copy-on-write clones
+    (``VirtualFilesystem.clone``), everything a container session never
+    touched is still structurally shared with its base and costs O(1) to
+    rule out, so a commit diff scales with the size of the change, not the
+    size of the image.
+    """
+    removed: List[str] = []
+    changed: List[Tuple[str, AnyNode]] = []
+
+    def visit(dirpath: str, base_dir: Optional[Directory], new_dir: Directory) -> None:
+        base_children = base_dir.children if base_dir is not None else {}
+        for name, node in new_dir.sorted_items():
+            old = base_children.get(name)
+            if old is node:
+                continue  # structurally shared: identical subtree
+            path = vpath.join(dirpath, name)
+            if old is None or not _same_node(old, node):
+                changed.append((path, node))
+            if isinstance(node, Directory):
+                visit(path, old if isinstance(old, Directory) else None, node)
+            elif isinstance(old, Directory):
+                # Directory replaced by a non-directory: its former children
+                # are gone and need whiteouts of their own.
+                for child_name in old.children:
+                    removed.append(vpath.join(path, child_name))
+        if base_dir is not None:
+            for name in base_dir.children:
+                if name not in new_dir.children:
+                    removed.append(vpath.join(dirpath, name))
+
+    visit("/", base.root, new.root)
+
+    layer = Layer(comment=comment)
     # Skip children of removed directories: one whiteout removes the subtree.
     covered: Tuple[str, ...] = ()
-    for path in removed:
+    for path in sorted(removed):
         if covered and path.startswith(covered[-1] + "/"):
             continue
         layer.add(LayerEntry.whiteout(path))
         covered = covered + (path,)
 
-    for path in sorted(new_idx):
-        node = new_idx[path]
-        old = base_idx.get(path)
-        if old is not None and _same_node(old, node):
-            continue
+    for path, node in sorted(changed, key=lambda item: item[0]):
         layer.add(_entry_for(path, node))
     return layer
 

@@ -142,8 +142,12 @@ class Layer:
     entries: List[LayerEntry] = field(default_factory=list)
     comment: str = ""
 
+    def __post_init__(self) -> None:
+        self._digest_cache: Optional[str] = None
+
     def add(self, entry: LayerEntry) -> "Layer":
         self.entries.append(entry)
+        self._digest_cache = None
         return self
 
     def __len__(self) -> int:
@@ -154,8 +158,17 @@ class Layer:
 
     @property
     def digest(self) -> str:
-        """Stable content digest over the canonical entry identities."""
-        return digest_bytes(canonical_json([e.identity() for e in self.entries]))
+        """Stable content digest over the canonical entry identities.
+
+        Cached — layers are append-only through :meth:`add`, which is the
+        sole invalidation point.
+        """
+        cached = self._digest_cache
+        if cached is None:
+            cached = self._digest_cache = digest_bytes(
+                canonical_json([e.identity() for e in self.entries])
+            )
+        return cached
 
     @property
     def size(self) -> int:

@@ -73,6 +73,11 @@ class ImageRegistry:
         self.fault_injector = None
         #: Telemetry sink; spans each push/pull and counts transfer bytes.
         self.telemetry = NULL_TELEMETRY
+        #: Merkle-walk memo: manifest digest -> every member digest the walk
+        #: chained over (manifest, config, layers).  A repeat pull skips the
+        #: re-verification only while all members are still verified in the
+        #: blob store — put/remove/quarantine invalidate per digest.
+        self._merkle_verified: Dict[str, Tuple[str, ...]] = {}
 
     def _arm(self, site: str, key: str) -> None:
         if self.fault_injector is not None:
@@ -228,7 +233,22 @@ class ImageRegistry:
         if self.blobs.verify_reads:
             # Merkle walk: even content that individually hashed clean must
             # chain manifest -> config -> layers before a pull returns it.
-            resolved.check("registry.pull")
+            # Memoized per manifest digest: a repeat pull whose members all
+            # still sit verified in the blob store skips the re-hash.
+            members = self._merkle_verified.get(digest)
+            if members is None or not all(self.blobs.is_verified(d) for d in members):
+                resolved.check("registry.pull")
+                self._merkle_verified[digest] = (
+                    digest,
+                    manifest.config.digest,
+                    *(ld.digest for ld in manifest.layers),
+                )
+                if self.telemetry.enabled:
+                    self.telemetry.metrics.counter(
+                        "registry_merkle_walks_total").inc()
+            elif self.telemetry.enabled:
+                self.telemetry.metrics.counter(
+                    "registry_merkle_memo_hits_total").inc()
         return resolved
 
     def pull_to_layout(self, reference: str) -> OCILayout:

@@ -24,6 +24,12 @@ class DpkgDatabase:
     def __init__(self) -> None:
         self._packages: Dict[str, Package] = {}
         self._file_lists: Dict[str, List[str]] = {}
+        # Incremental persistence state: control stanzas are cached per
+        # package and ``.list`` files are only rewritten for packages
+        # touched since the last write_to on the same filesystem.
+        self._control_cache: Dict[str, str] = {}
+        self._dirty_lists: set = set()
+        self._lists_fs: Optional[VirtualFilesystem] = None
 
     def __len__(self) -> int:
         return len(self._packages)
@@ -51,10 +57,14 @@ class DpkgDatabase:
         if file_paths is None:
             file_paths = [f.path for f in package.files]
         self._file_lists[package.name] = sorted(file_paths)
+        self._control_cache.pop(package.name, None)
+        self._dirty_lists.add(package.name)
 
     def remove(self, name: str) -> None:
         self._packages.pop(name, None)
         self._file_lists.pop(name, None)
+        self._control_cache.pop(name, None)
+        self._dirty_lists.discard(name)
 
     def owner_of(self, path: str) -> Optional[str]:
         for name, files in self._file_lists.items():
@@ -83,12 +93,26 @@ class DpkgDatabase:
     # ------------------------------------------------------------------
 
     def write_to(self, fs: VirtualFilesystem) -> None:
-        stanzas = [self._packages[name].to_control() for name in self.names()]
+        stanzas = []
+        for name in self.names():
+            text = self._control_cache.get(name)
+            if text is None:
+                text = self._packages[name].to_control()
+                self._control_cache[name] = text
+            stanzas.append(text)
         fs.write_file(STATUS_PATH, "\n\n".join(stanzas) + "\n", create_parents=True)
         fs.makedirs(INFO_DIR)
-        for name in self.names():
+        # A filesystem seen before only needs the lists touched since the
+        # last write; any other target gets the full set.
+        if fs is self._lists_fs:
+            to_write = sorted(n for n in self._dirty_lists if n in self._packages)
+        else:
+            to_write = self.names()
+            self._lists_fs = fs
+        for name in to_write:
             listing = "\n".join(self._file_lists.get(name, [])) + "\n"
             fs.write_file(f"{INFO_DIR}/{name}.list", listing, create_parents=True)
+        self._dirty_lists.clear()
 
     @staticmethod
     def read_from(fs: VirtualFilesystem) -> "DpkgDatabase":

@@ -171,6 +171,11 @@ class RequestOutcome:
     retry_causes: Dict[str, int] = field(default_factory=dict)
     cache_hit_nodes: int = 0
     executed_nodes: int = 0
+    reused_nodes: int = 0
+    #: Plan-level short-circuit fired: the rebuild pruned every command
+    #: group against the tenant's previous adaptation and executed
+    #: nothing — the repeat-tenant fast path.
+    incremental_fast_path: bool = False
     report: object = None
     _layout: Optional[Tuple[OCILayout, str]] = None
 
@@ -198,6 +203,8 @@ class RequestOutcome:
             "retry_causes": dict(self.retry_causes),
             "cache_hit_nodes": self.cache_hit_nodes,
             "executed_nodes": self.executed_nodes,
+            "reused_nodes": self.reused_nodes,
+            "incremental_fast_path": self.incremental_fast_path,
         }
 
 
@@ -733,6 +740,19 @@ class AdaptationService:
                 meta = decode_rebuild(layout, dist_tag)[0]
                 outcome.cache_hit_nodes = len(meta.get("cache_hits", []))
                 outcome.executed_nodes = len(meta.get("executed_nodes", []))
+                outcome.reused_nodes = len(meta.get("reused_nodes", []))
+                pruned = len(meta.get("pruned_nodes", []))
+                if pruned and outcome.executed_nodes == 0:
+                    # Repeat tenant, unchanged request: the plan diff
+                    # pruned everything and no node executed.
+                    outcome.incremental_fast_path = True
+                    outcome.reasons.append(
+                        f"incremental fast path: {pruned} nodes pruned, "
+                        "0 executed"
+                    )
+                    if self.telemetry.enabled:
+                        self.telemetry.metrics.counter(
+                            "service_incremental_fast_path_total").inc()
             except Exception:
                 pass   # no rebuild manifest on the lowest rungs
         elif mode == MODE_REDIRECT_ONLY:

@@ -35,6 +35,12 @@ class Node:
     uid: int = 0
     gid: int = 0
 
+    def __post_init__(self) -> None:
+        # Structural-sharing marker: a node flagged ``_shared`` may be
+        # referenced from more than one tree and must never be mutated in
+        # place — mutators replace it with a private copy first.
+        self._shared = False
+
 
 @dataclass
 class RegularFile(Node):
@@ -63,19 +69,86 @@ class Symlink(Node):
         )
 
 
+class _ChildMap(dict):
+    """Child mapping that invalidates the owner's cached sorted view."""
+
+    __slots__ = ("_owner",)
+
+    def __init__(self, data=None, owner: Optional["Directory"] = None):
+        super().__init__(data or {})
+        self._owner = owner
+
+    def _touch(self) -> None:
+        owner = self._owner
+        if owner is not None:
+            owner._sorted = None
+
+    def __setitem__(self, key, value):
+        super().__setitem__(key, value)
+        self._touch()
+
+    def __delitem__(self, key):
+        super().__delitem__(key)
+        self._touch()
+
+    def clear(self):
+        super().clear()
+        self._touch()
+
+    def pop(self, *args):
+        result = super().pop(*args)
+        self._touch()
+        return result
+
+    def popitem(self):
+        result = super().popitem()
+        self._touch()
+        return result
+
+    def update(self, *args, **kwargs):
+        super().update(*args, **kwargs)
+        self._touch()
+
+    def setdefault(self, key, default=None):
+        had = key in self
+        result = super().setdefault(key, default)
+        if not had:
+            self._touch()
+        return result
+
+
 @dataclass
 class Directory(Node):
     mode: int = 0o755
     children: Dict[str, "AnyNode"] = field(default_factory=dict)
 
+    def __post_init__(self) -> None:
+        self._shared = False
+        self._sorted: Optional[List[Tuple[str, "AnyNode"]]] = None
+        if not isinstance(self.children, _ChildMap) or self.children._owner is not self:
+            self.children = _ChildMap(self.children, owner=self)
+
     def clone(self) -> "Directory":
-        copy = Directory(mode=self.mode, mtime=self.mtime, uid=self.uid, gid=self.gid)
-        for name, child in self.children.items():
-            copy.children[name] = child.clone()
+        """Copy-on-write copy: O(fan-out), children shared with the original.
+
+        Both the original's and the copy's children become ``_shared``; any
+        later mutation through :class:`VirtualFilesystem` replaces the shared
+        subtree along the mutated path with private copies first.
+        """
+        copy = Directory(
+            mode=self.mode, mtime=self.mtime, uid=self.uid, gid=self.gid,
+            children=dict(self.children),
+        )
+        for child in copy.children.values():
+            child._shared = True
         return copy
 
     def sorted_items(self) -> List[Tuple[str, "AnyNode"]]:
-        return sorted(self.children.items())
+        """Cached sorted ``(name, child)`` view — treat the list as immutable."""
+        cached = self._sorted
+        if cached is None:
+            cached = self._sorted = sorted(self.children.items())
+        return cached
 
 
 AnyNode = Union[Directory, RegularFile, Symlink]
@@ -106,7 +179,7 @@ class VirtualFilesystem:
         """
         if _hops > _MAX_SYMLINK_HOPS:
             raise SymlinkLoopError(f"too many levels of symbolic links: {path!r}")
-        comps = vpath.split_components(path)
+        comps = vpath.components(path)
         node: AnyNode = self.root
         cur = "/"
         for i, comp in enumerate(comps):
@@ -177,8 +250,28 @@ class VirtualFilesystem:
     # mutation
     # ------------------------------------------------------------------
 
+    def _writable_dir_at(self, canonical: str) -> Directory:
+        """Return a mutation-safe directory at the *canonical* (resolved) path.
+
+        Walks from the root and replaces every ``_shared`` directory along the
+        way with a private shallow copy (path copying), so mutating the
+        returned node can never leak into another tree that shares structure
+        with this one.
+        """
+        if self.root._shared:
+            self.root = self.root.clone()
+        node = self.root
+        for comp in vpath.components(canonical):
+            child = node.children[comp]
+            if child._shared:
+                child = child.clone()
+                node.children[comp] = child
+            assert isinstance(child, Directory)
+            node = child
+        return node
+
     def _parent_dir(self, path: str, *, create: bool = False) -> Tuple[Directory, str]:
-        """Return the directory node holding *path*'s final component."""
+        """Return a writable directory node holding *path*'s final component."""
         parent_path = vpath.dirname(path)
         name = vpath.basename(path)
         if not name:
@@ -190,7 +283,18 @@ class VirtualFilesystem:
             raise NotFoundError(f"no such directory: {parent_path!r}")
         if not isinstance(node, Directory):
             raise NotADirectoryVfsError(f"not a directory: {canonical!r}")
-        return node, name
+        return self._writable_dir_at(canonical), name
+
+    def writable_dir(self, path: str, *, create: bool = False) -> Directory:
+        """Resolve *path* to a directory safe for direct child mutation."""
+        if create:
+            self.makedirs(path, exist_ok=True)
+        canonical, node = self._resolve(path)
+        if node is None:
+            raise NotFoundError(f"no such directory: {path!r}")
+        if not isinstance(node, Directory):
+            raise NotADirectoryVfsError(f"not a directory: {canonical!r}")
+        return self._writable_dir_at(canonical)
 
     def mkdir(self, path: str, *, exist_ok: bool = False, mode: int = 0o755) -> None:
         parent, name = self._parent_dir(path)
@@ -202,7 +306,16 @@ class VirtualFilesystem:
         parent.children[name] = Directory(mode=mode)
 
     def makedirs(self, path: str, *, exist_ok: bool = True, mode: int = 0o755) -> None:
-        comps = vpath.split_components(path)
+        if exist_ok:
+            # Fast path for the overwhelmingly common case: the whole
+            # chain already exists (repeated writes into one directory).
+            try:
+                _, node = self._resolve(path)
+            except VfsError:
+                node = None
+            if isinstance(node, Directory):
+                return
+        comps = vpath.components(path)
         cur = "/"
         for comp in comps:
             cur = vpath.join(cur, comp)
@@ -275,7 +388,21 @@ class VirtualFilesystem:
         dparent.children[dname] = node
 
     def chmod(self, path: str, mode: int) -> None:
-        self.get_node(path).mode = mode
+        canonical, node = self._resolve(path)
+        if node is None:
+            raise NotFoundError(f"no such file or directory: {path!r}")
+        if node is self.root:
+            if self.root._shared:
+                self.root = self.root.clone()
+            self.root.mode = mode
+            return
+        parent = self._writable_dir_at(vpath.dirname(canonical))
+        name = vpath.basename(canonical)
+        child = parent.children[name]
+        if child._shared:
+            child = child.clone()
+            parent.children[name] = child
+        child.mode = mode
 
     # ------------------------------------------------------------------
     # reading
@@ -341,11 +468,18 @@ class VirtualFilesystem:
 
     def iter_entries(self, top: str = "/") -> Iterator[Tuple[str, AnyNode]]:
         """Yield every node strictly below *top* as ``(path, node)``, pre-order."""
-        for dirpath, dirnames, othernames in self.walk(top):
-            dirnode = self.get_node(dirpath, follow_symlinks=False)
-            assert isinstance(dirnode, Directory)
-            for name in sorted(dirnames + othernames):
-                yield vpath.join(dirpath, name), dirnode.children[name]
+        node = self.get_node(top, follow_symlinks=False)
+        if not isinstance(node, Directory):
+            raise NotADirectoryVfsError(f"not a directory: {top!r}")
+        stack: List[Tuple[str, Directory]] = [(vpath.normalize(top), node)]
+        while stack:
+            dirpath, dirnode = stack.pop()
+            subdirs: List[Tuple[str, Directory]] = []
+            for name, child in dirnode.sorted_items():
+                yield vpath.join(dirpath, name), child
+                if isinstance(child, Directory):
+                    subdirs.append((vpath.join(dirpath, name), child))
+            stack.extend(reversed(subdirs))
 
     def iter_files(self, top: str = "/") -> Iterator[Tuple[str, RegularFile]]:
         for path, node in self.iter_entries(top):
@@ -364,6 +498,7 @@ class VirtualFilesystem:
     # ------------------------------------------------------------------
 
     def clone(self) -> "VirtualFilesystem":
+        """O(root fan-out) copy-on-write clone sharing structure with self."""
         other = VirtualFilesystem()
         other.root = self.root.clone()
         return other

@@ -7,7 +7,13 @@ These helpers never touch the host filesystem.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import List, Tuple
+
+#: Path strings repeat massively (every file write resolves its parents,
+#: package installs hammer the same prefixes), so the pure-string helpers
+#: below are memoized.  Sized to hold a large image's worth of paths.
+_CACHE_SIZE = 65536
 
 
 def is_absolute(path: str) -> bool:
@@ -15,6 +21,7 @@ def is_absolute(path: str) -> bool:
     return path.startswith("/")
 
 
+@lru_cache(maxsize=_CACHE_SIZE)
 def normalize(path: str) -> str:
     """Collapse ``.``/``..``/doubled slashes; result is absolute.
 
@@ -34,6 +41,7 @@ def normalize(path: str) -> str:
     return "/" + "/".join(parts)
 
 
+@lru_cache(maxsize=_CACHE_SIZE)
 def join(base: str, *rest: str) -> str:
     """Join path fragments; an absolute fragment resets the result."""
     result = base
@@ -47,14 +55,25 @@ def join(base: str, *rest: str) -> str:
     return normalize(result)
 
 
-def split_components(path: str) -> List[str]:
-    """Return the component list of a normalized path (root -> [])."""
+@lru_cache(maxsize=_CACHE_SIZE)
+def components(path: str) -> Tuple[str, ...]:
+    """The component tuple of a normalized path (root -> ``()``).
+
+    The tuple is cached and shared — the immutable sibling of
+    :func:`split_components` for hot resolution loops.
+    """
     norm = normalize(path)
     if norm == "/":
-        return []
-    return norm[1:].split("/")
+        return ()
+    return tuple(norm[1:].split("/"))
 
 
+def split_components(path: str) -> List[str]:
+    """Return the component list of a normalized path (root -> [])."""
+    return list(components(path))
+
+
+@lru_cache(maxsize=_CACHE_SIZE)
 def split(path: str) -> Tuple[str, str]:
     """Return ``(dirname, basename)`` of a normalized path."""
     norm = normalize(path)

@@ -568,3 +568,81 @@ class TestFindingTypes:
         assert err.site == "blob.read"
         assert err.digest == finding.digest
         assert finding.digest in str(err) and "blob.read" in str(err)
+
+
+class TestMerkleMemoization:
+    """Repeat pulls skip the Merkle re-walk while every member blob is
+    still verified; any blob-store churn on a member invalidates it."""
+
+    def _pushed_registry(self):
+        layout, manifest, config, layer = _make_layout()
+        registry = ImageRegistry()
+        registry.push_layout("repro/app:latest", layout, tag="app:latest")
+        return registry, layer
+
+    def test_double_pull_rehashes_each_blob_at_most_once(self, monkeypatch):
+        from collections import Counter
+
+        from repro.oci import blobs as blobs_mod
+        from repro.oci.layout import ResolvedImage
+
+        registry, _ = self._pushed_registry()
+        walks = []
+        orig_verify = ResolvedImage.verify
+        monkeypatch.setattr(
+            ResolvedImage, "verify",
+            lambda self: (walks.append(1), orig_verify(self))[1])
+        hashed = []
+        orig_check = blobs_mod.check_blob
+        monkeypatch.setattr(
+            blobs_mod, "check_blob",
+            lambda blob: (hashed.append(blob.digest), orig_check(blob))[1])
+
+        first = registry.pull("repro/app:latest")
+        assert len(walks) == 1
+        walked_after_first = len(walks)
+        second = registry.pull("repro/app:latest")
+        # The repeat pull neither re-walks the tree nor re-hashes blobs.
+        assert len(walks) == walked_after_first
+        assert all(count <= 1 for count in Counter(hashed).values())
+        assert second.manifest.digest == first.manifest.digest
+
+    def test_member_churn_forces_rehash(self, monkeypatch):
+        from repro.oci import blobs as blobs_mod
+
+        registry, layer = self._pushed_registry()
+        hashed = []
+        orig_check = blobs_mod.check_blob
+        monkeypatch.setattr(
+            blobs_mod, "check_blob",
+            lambda blob: (hashed.append(blob.digest), orig_check(blob))[1])
+
+        digest = layer.digest
+        registry.pull("repro/app:latest")
+        registry.pull("repro/app:latest")
+        assert hashed.count(digest) == 1   # verified once, then memoized
+        # Quarantine + restore the member: the verified set forgets it,
+        # so the next pull must re-hash that blob before trusting it.
+        assert registry.blobs.quarantine(digest)
+        blob = registry.blobs.quarantined_blob(digest)
+        assert registry.blobs.release_quarantine(digest)
+        registry.blobs.put(blob)
+        before = hashed.count(digest)
+        registry.pull("repro/app:latest")
+        assert hashed.count(digest) == before + 1
+        # Re-verified: the memo holds again on the following pull.
+        registry.pull("repro/app:latest")
+        assert hashed.count(digest) == before + 1
+
+    def test_memo_counters(self):
+        from repro.telemetry import Telemetry, install_telemetry
+
+        registry, _ = self._pushed_registry()
+        tele = Telemetry()
+        install_telemetry(tele, registry=registry)
+        registry.pull("repro/app:latest")
+        registry.pull("repro/app:latest")
+        registry.pull("repro/app:latest")
+        m = tele.metrics
+        assert m.value("registry_merkle_walks_total") == 1
+        assert m.value("registry_merkle_memo_hits_total") == 2

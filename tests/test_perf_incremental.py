@@ -1,0 +1,204 @@
+"""Unit tests for the plan-level incremental short-circuit
+(:mod:`repro.perf.incremental`): fingerprint stability, plan diffing,
+and the pruned-wavefront guarantees — all on synthetic graphs, no
+containers."""
+
+import pytest
+
+from repro.core.adapters.base import RebuildOptions
+from repro.core.backend.scheduler import plan_command_groups
+from repro.core.models.build_graph import BuildGraph, BuildNode
+from repro.core.models.compilation import CompilationStep
+from repro.perf.incremental import (
+    REASON_CHANGED,
+    REASON_MISSING,
+    REASON_NEW,
+    compute_plan_fingerprints,
+    diff_plan,
+)
+from repro.vfs import VirtualFilesystem
+
+
+class IdentityAdapter:
+    def transform_step(self, step, options, node_id=None):
+        return step
+
+
+class LtoAdapter(IdentityAdapter):
+    """Identity except it honours the LTO option + scope — the minimal
+    adapter whose transformed digests react to an option-only change."""
+
+    def transform_step(self, step, options, node_id=None):
+        lto_on = options.lto and (
+            options.lto_scope is None or node_id in options.lto_scope
+        )
+        if lto_on:
+            return CompilationStep(argv=list(step.argv) + ["-flto"],
+                                   cwd=step.cwd)
+        return step
+
+
+def _compile(src, out):
+    return CompilationStep(argv=["gcc", "-c", src, "-o", out], cwd="/src")
+
+
+def _link(objs, out):
+    return CompilationStep(argv=["gcc"] + objs + ["-o", out], cwd="/src")
+
+
+def _source(name):
+    return BuildNode(id=f"/src/{name}.c", kind="source", path=f"/src/{name}.c")
+
+
+def _object(name):
+    return BuildNode(id=f"/src/{name}.o", kind="object",
+                     path=f"/src/{name}.o", deps=[f"/src/{name}.c"],
+                     step=_compile(f"{name}.c", f"{name}.o"))
+
+
+def _diamond(order=("a", "b")):
+    """a.c/b.c -> a.o/b.o -> app, nodes declared in *order*."""
+    g = BuildGraph()
+    for name in order:
+        g.add(_source(name))
+        g.add(_object(name))
+    g.add(BuildNode(id="/src/app", kind="executable", path="/src/app",
+                    deps=["/src/a.o", "/src/b.o"],
+                    step=_link(["a.o", "b.o"], "app")))
+    return g
+
+
+def _sources_fs(contents=None):
+    fs = VirtualFilesystem()
+    contents = contents or {}
+    for name in ("a", "b"):
+        fs.write_file(f"/src/{name}.c", contents.get(name, f"int {name};"),
+                      create_parents=True)
+    return fs
+
+
+def _fingerprint(graph, fs, adapter=None, options=None):
+    plan = plan_command_groups(graph, adapter or IdentityAdapter(),
+                               options or RebuildOptions())
+    return plan, compute_plan_fingerprints(plan, graph, fs)
+
+
+class TestFingerprints:
+    def test_every_planned_node_fingerprinted(self):
+        plan, fps = _fingerprint(_diamond(), _sources_fs())
+        planned = {nid for g in plan.groups for nid in g.node_ids}
+        assert set(fps) == planned == {"/src/a.o", "/src/b.o", "/src/app"}
+
+    def test_stable_under_node_order_permutation(self):
+        _, forward = _fingerprint(_diamond(("a", "b")), _sources_fs())
+        _, reverse = _fingerprint(_diamond(("b", "a")), _sources_fs())
+        assert forward == reverse
+
+    def test_source_change_reaches_dependents_only(self):
+        _, base = _fingerprint(_diamond(), _sources_fs())
+        _, edited = _fingerprint(
+            _diamond(), _sources_fs({"b": "int b2;"}))
+        assert edited["/src/a.o"] == base["/src/a.o"]
+        assert edited["/src/b.o"] != base["/src/b.o"]
+        # The fold carries the change through to the link.
+        assert edited["/src/app"] != base["/src/app"]
+
+    def test_absent_source_still_fingerprints(self):
+        fs = _sources_fs()
+        fs.remove("/src/b.c")
+        _, fps = _fingerprint(_diamond(), fs)
+        _, present = _fingerprint(_diamond(), _sources_fs())
+        assert fps["/src/b.o"] != present["/src/b.o"]
+
+    def test_option_only_change_flips_scoped_fingerprints(self):
+        fs = _sources_fs()
+        _, plain = _fingerprint(_diamond(), fs, adapter=LtoAdapter())
+        _, scoped = _fingerprint(
+            _diamond(), fs, adapter=LtoAdapter(),
+            options=RebuildOptions(lto=True, lto_scope=["/src/a.o"]))
+        assert scoped["/src/a.o"] != plain["/src/a.o"]
+        assert scoped["/src/b.o"] == plain["/src/b.o"]
+        assert scoped["/src/app"] != plain["/src/app"]
+
+
+def _outputs(plan):
+    return {node.path: object()
+            for group in plan.groups for node in group.nodes}
+
+
+class TestPlanDiff:
+    def test_identical_plan_fully_pruned_zero_waves(self):
+        plan, fps = _fingerprint(_diamond(), _sources_fs())
+        diff = diff_plan(plan, fps, dict(fps), _outputs(plan))
+        assert diff.fully_pruned
+        assert diff.dirty == [] and diff.waves == []
+        assert sorted(diff.pruned_node_ids) == [
+            "/src/a.o", "/src/app", "/src/b.o"]
+
+    def test_added_node_is_new_and_dirties_dependents(self):
+        fs = _sources_fs()
+        plan, prev = _fingerprint(_diamond(), fs)
+        grown = _diamond()
+        fs.write_file("/src/c.c", "int c;", create_parents=True)
+        grown.add(_source("c"))
+        grown.add(_object("c"))
+        grown.get("/src/app").deps.append("/src/c.o")
+        new_plan, fps = _fingerprint(grown, fs)
+        diff = diff_plan(new_plan, fps, prev, _outputs(plan))
+        dirty = {n for g in diff.dirty for n in g.node_ids}
+        assert dirty == {"/src/c.o", "/src/app"}
+        assert diff.reasons["/src/c.o"] == REASON_NEW
+        assert diff.reasons["/src/app"] == REASON_CHANGED
+        assert diff.pruned_node_ids == ["/src/a.o", "/src/b.o"]
+
+    def test_removed_node_leaves_rest_pruned(self):
+        full_plan, prev = _fingerprint(_diamond(), _sources_fs())
+        shrunk = BuildGraph()
+        shrunk.add(_source("a"))
+        shrunk.add(_object("a"))
+        new_plan, fps = _fingerprint(shrunk, _sources_fs())
+        diff = diff_plan(new_plan, fps, prev, _outputs(full_plan))
+        # The survivors' inputs are untouched: nothing to execute.
+        assert diff.fully_pruned
+        assert diff.pruned_node_ids == ["/src/a.o"]
+
+    def test_command_text_change_dirties_group_and_dependents(self):
+        plan, prev = _fingerprint(_diamond(), _sources_fs())
+        edited = _diamond()
+        edited.get("/src/b.o").step = CompilationStep(
+            argv=["gcc", "-c", "-O3", "b.c", "-o", "b.o"], cwd="/src")
+        new_plan, fps = _fingerprint(edited, _sources_fs())
+        diff = diff_plan(new_plan, fps, prev, _outputs(plan))
+        dirty = {n for g in diff.dirty for n in g.node_ids}
+        assert dirty == {"/src/b.o", "/src/app"}
+        assert diff.reasons["/src/b.o"] == REASON_CHANGED
+        assert diff.pruned_node_ids == ["/src/a.o"]
+
+    def test_option_only_lto_scope_diff(self):
+        fs = _sources_fs()
+        plan, prev = _fingerprint(_diamond(), fs, adapter=LtoAdapter())
+        new_plan, fps = _fingerprint(
+            _diamond(), fs, adapter=LtoAdapter(),
+            options=RebuildOptions(lto=True, lto_scope=["/src/b.o"]))
+        diff = diff_plan(new_plan, fps, prev, _outputs(plan))
+        dirty = {n for g in diff.dirty for n in g.node_ids}
+        assert dirty == {"/src/b.o", "/src/app"}
+        assert diff.pruned_node_ids == ["/src/a.o"]
+
+    def test_missing_previous_output_forces_execution(self):
+        plan, fps = _fingerprint(_diamond(), _sources_fs())
+        outputs = _outputs(plan)
+        del outputs["/src/b.o"]
+        diff = diff_plan(plan, fps, dict(fps), outputs)
+        dirty = {n for g in diff.dirty for n in g.node_ids}
+        assert dirty == {"/src/b.o"}
+        assert diff.reasons["/src/b.o"] == REASON_MISSING
+        # Its fingerprint still matches, so dependents stay pruned.
+        assert "/src/app" in diff.pruned_node_ids
+
+    def test_dirty_waves_respect_dependencies(self):
+        plan, prev = _fingerprint(_diamond(), _sources_fs())
+        _, fps = _fingerprint(_diamond(), _sources_fs({"b": "int b2;"}))
+        diff = diff_plan(plan, fps, prev, _outputs(plan))
+        assert [sorted(n for g in wave for n in g.node_ids)
+                for wave in diff.waves] == [["/src/b.o"], ["/src/app"]]

@@ -295,3 +295,48 @@ class TestContent:
         syn = SyntheticContent("x", 32)
         inline = InlineContent(syn.read())
         assert syn.digest != inline.digest
+
+
+class TestSortedItemsCache:
+    def _dir(self):
+        d = Directory()
+        d.children["zeta"] = RegularFile(content=InlineContent(b"z"))
+        d.children["alpha"] = RegularFile(content=InlineContent(b"a"))
+        d.children["mid"] = RegularFile(content=InlineContent(b"m"))
+        return d
+
+    def test_iteration_order_is_lexicographic(self):
+        # Pinned: every consumer (diffing, layer encoding, tar walks)
+        # relies on name order regardless of insertion order.
+        d = self._dir()
+        assert [name for name, _ in d.sorted_items()] == [
+            "alpha", "mid", "zeta"]
+
+    def test_repeat_calls_reuse_cached_list(self):
+        d = self._dir()
+        assert d.sorted_items() is d.sorted_items()
+
+    def test_cache_invalidated_on_every_mutation(self):
+        d = self._dir()
+        first = d.sorted_items()
+        d.children["beta"] = RegularFile(content=InlineContent(b"b"))
+        assert [n for n, _ in d.sorted_items()] == [
+            "alpha", "beta", "mid", "zeta"]
+        del d.children["zeta"]
+        assert [n for n, _ in d.sorted_items()] == ["alpha", "beta", "mid"]
+        d.children.pop("mid")
+        assert [n for n, _ in d.sorted_items()] == ["alpha", "beta"]
+        d.children.update({"omega": RegularFile(content=InlineContent(b"o"))})
+        assert [n for n, _ in d.sorted_items()] == ["alpha", "beta", "omega"]
+        d.children.clear()
+        assert d.sorted_items() == []
+        assert first[0][0] == "alpha"   # old snapshots are unaffected
+
+    def test_clone_does_not_share_cache_entries(self):
+        d = self._dir()
+        d.sorted_items()
+        twin = d.clone()
+        twin.children["extra"] = RegularFile(content=InlineContent(b"e"))
+        assert [n for n, _ in twin.sorted_items()] == [
+            "alpha", "extra", "mid", "zeta"]
+        assert [n for n, _ in d.sorted_items()] == ["alpha", "mid", "zeta"]
