@@ -6,6 +6,9 @@
 #   make federation-test - all federated-registry tests
 #   make service-test - all multi-tenant adaptation-service tests
 #   make service-chaos - service-tier chaos sweeps only
+#   make recovery-test - durable crash-restart + origin-failover sweeps
+#   make recovery-bench - WAL replay/resume/failover benchmarks
+#   make verify-all - tier-1 suite plus every marker-gated suite
 #   make service-bench - service throughput/latency/dedup benchmark
 #   make serve   - multi-tenant service demo: noisy tenant + seeded chaos
 #   make bench   - regenerate the evaluation tables / benchmarks
@@ -30,7 +33,8 @@ CLI     = PYTHONPATH=src $(PYTHON) -m repro.cli
 TRACE_APP ?= lammps
 
 .PHONY: test chaos federation-chaos federation-test service-test \
-        service-chaos service-bench serve bench resilience-bench \
+        service-chaos recovery-test recovery-bench verify-all \
+        service-bench serve bench resilience-bench \
         trace metrics telemetry-bench obs-bench health integrity-bench \
         perf-bench incremental-test parallel-bench fleet-bench \
         federation-bench fsck-demo
@@ -39,10 +43,10 @@ test:
 	$(PYTEST) -x -q
 
 # The marker split bounds each chaos invocation's runtime: the original
-# sweeps, the federation sweeps, and the service sweeps can run (and
-# time out) independently.
+# sweeps, the federation sweeps, the service sweeps, and the recovery
+# sweeps can run (and time out) independently.
 chaos:
-	$(PYTEST) -m "chaos and not federation and not service" -q
+	$(PYTEST) -m "chaos and not federation and not service and not recovery" -q
 
 federation-chaos:
 	$(PYTEST) -m "chaos and federation" -q
@@ -54,7 +58,17 @@ service-test:
 	$(PYTEST) -m service -q
 
 service-chaos:
-	$(PYTEST) -m "chaos and service" -q
+	$(PYTEST) -m "chaos and service and not recovery" -q
+
+recovery-test:
+	$(PYTEST) -m recovery -q
+
+recovery-bench:
+	$(PYTEST) benchmarks/bench_recovery.py -q -s
+
+# Everything: the tier-1 suite, then each marker-gated suite in turn.
+verify-all: test chaos federation-chaos service-chaos recovery-test \
+        federation-test service-test incremental-test
 
 service-bench:
 	$(PYTEST) benchmarks/bench_service_throughput.py -q -s

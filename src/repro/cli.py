@@ -252,13 +252,18 @@ def cmd_fsck(args: argparse.Namespace) -> int:
 
 
 def cmd_mirror(args: argparse.Namespace) -> int:
-    """``mirror sync``/``mirror status``: fan an app's extended image out
-    to N edge mirrors through the incremental sync engine.
+    """``mirror sync``/``mirror status``/``mirror promote``: fan an
+    app's extended image out to N edge mirrors through the incremental
+    sync engine.
 
     With ``--fault-rate`` the transfer path runs under seeded chaos
     (transient aborts + in-flight chunk corruption); syncs are retried
-    until every mirror converges, exercising the resumable ledger.  Exit
-    code 0 means every mirror ended digest-identical with the origin.
+    until every mirror converges, exercising the resumable ledger.
+    ``promote`` additionally fails the origin, elects the freshest
+    converged mirror under a new fence epoch, demonstrates a stale-fence
+    write being rejected, and reconciles the demoted origin back in as a
+    mirror.  Exit code 0 means every mirror ended digest-identical with
+    the (possibly promoted) origin.
     """
     from repro.apps import get_app
     from repro.containers import ContainerEngine
@@ -285,7 +290,7 @@ def cmd_mirror(args: argparse.Namespace) -> int:
     for i in range(args.mirrors):
         fed.add_mirror(f"edge-{i}")
 
-    if args.action == "sync":
+    if args.action in ("sync", "promote"):
         reports = {}
         for name in sorted(fed.mirrors):
             for _ in range(200):
@@ -297,9 +302,35 @@ def cmd_mirror(args: argparse.Namespace) -> int:
                         "sync of %s interrupted, resuming: %s", name, exc)
         print(render_sync_reports(reports.values()))
         print()
+    if args.action == "promote":
+        from repro.federation import FencedWriteError
+
+        reference = f"{args.app}:dist"
+        fed.pull(reference)   # pre-failure pull must work
+        before = fed.origin.manifest_digest(reference)
+        stale_writer = fed.fenced_writer()
+        promotion = fed.fail_over()
+        print(f"origin failed; promoted {promotion.elected} at "
+              f"generation {promotion.generation} "
+              f"(fence epoch {promotion.fence_token})")
+        for note in promotion.notes:
+            print(f"  {note}")
+        try:
+            stale_writer.push_layout(reference, layout, tag=dist_tag)
+            print("  ERROR: stale-fence write was accepted")
+            return 1
+        except FencedWriteError as exc:
+            print(f"  stale-fence write rejected: {exc}")
+        fed.pull(reference)   # post-promotion pull must work too
+        after = fed.origin.manifest_digest(reference)
+        print(f"  promoted-origin pull digest-identical: {before == after}")
+        fed.rejoin_demoted()
+        print(f"  demoted origin rejoined as mirror "
+              f"({len(fed.mirrors)} mirrors)")
+        print()
     print(render_federation_status(fed))
     problems = {n: p for n, p in fed.audit().items() if p}
-    if args.action == "sync":
+    if args.action in ("sync", "promote"):
         if problems:
             for name in sorted(problems):
                 for problem in problems[name]:
@@ -399,8 +430,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
     flight dedup.  ``--noisy`` makes tenant 0 submit at 10x the fair
     rate (the WFQ scheduler contains the damage); ``--fault-rate``
     arms seeded transfer/worker faults so the circuit breakers and the
-    degradation ladder have something to do.  Exit code 1 when any
-    admitted request is lost (never expected), else 0.
+    degradation ladder have something to do.  ``--durable`` backs the
+    service with a write-ahead log; ``--crash-at T`` (implies
+    ``--durable``) kills the simulated process at T seconds and restarts
+    it from the WAL — recovered/resumed requests show in the report.
+    Exit code 1 when any admitted request is lost (never expected),
+    else 0.
     """
     import random as _random
 
@@ -411,6 +446,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         PRIORITY_HIGH,
         PRIORITY_NORMAL,
         AdaptationService,
+        ServiceCrash,
         TERMINAL_STATUSES,
     )
 
@@ -423,6 +459,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             worker_crash_rate=args.fault_rate / 2,
             worker_flaky_rate=args.fault_rate / 2,
         )
+    durable = args.durable or args.crash_at is not None
     service = AdaptationService(
         system=system,
         workers=args.workers,
@@ -430,6 +467,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         injector=injector,
         queue_capacity=args.queue_capacity,
         telemetry=args.telemetry if args.telemetry.enabled else None,
+        durable=durable,
+        crash_at=args.crash_at,
     )
     apps = [a.strip() for a in args.apps.split(",") if a.strip()]
     rng = _random.Random(f"comtainer-serve:{args.seed}")
@@ -454,7 +493,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 priority=rng.choice(priorities),
                 deadline=args.deadline,
             )
-    report = service.run()
+    try:
+        report = service.run()
+    except ServiceCrash as crash:
+        print(f"{crash} at t={service.clock.now:.1f}s; "
+              f"restarting from the WAL...")
+        service = service.restart(
+            telemetry=args.telemetry if args.telemetry.enabled else None)
+        report = service.run()
     print(render_service_report(report, telemetry=service.telemetry))
     submitted = sum(t["submitted"] for t in report.tenants.values())
     lost = submitted - len(report.outcomes)
@@ -585,7 +631,7 @@ def build_parser() -> argparse.ArgumentParser:
         "mirror",
         help="federated registry demo: sync N edge mirrors and show status",
     )
-    p.add_argument("action", choices=["sync", "status"])
+    p.add_argument("action", choices=["sync", "status", "promote"])
     p.add_argument("app")
     p.add_argument("--mirrors", type=int, default=3, metavar="N",
                    help="edge mirrors to fan the origin out to (default 3)")
@@ -647,6 +693,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="seeded transient transfer/worker fault rate")
     p.add_argument("--seed", type=int, default=0,
                    help="workload and fault-injection seed")
+    p.add_argument("--durable", action="store_true",
+                   help="back the service with a write-ahead log")
+    p.add_argument("--crash-at", type=float, default=None, metavar="T",
+                   help="crash the simulated process at T seconds and "
+                        "restart it from the WAL (implies --durable)")
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("tables", help="print Tables 1 and 2")

@@ -6,6 +6,11 @@ protocol, and :mod:`repro.federation.ledger` for the chunk-level
 transfer ledger that makes syncs resumable.
 """
 
+from repro.federation.failover import (
+    FencedWriteError,
+    FencedWriter,
+    Promotion,
+)
 from repro.federation.ledger import LEDGER_VERSION, TransferLedger
 from repro.federation.registry import (
     FederatedRegistry,
@@ -29,8 +34,11 @@ __all__ = [
     "STAGE_ATTEMPTS",
     "FederatedRegistry",
     "FederationError",
+    "FencedWriteError",
+    "FencedWriter",
     "Mirror",
     "MirrorStatus",
+    "Promotion",
     "SyncEngine",
     "SyncReport",
     "TransferLedger",

@@ -1,0 +1,120 @@
+"""Generation-fenced origin failover for the federated registry tier.
+
+When the origin registry fails, the federation promotes the freshest
+*converged* mirror to be the new origin.  The dangerous part is not the
+election — it is the old origin coming back.  A resurrected origin that
+still believes it is authoritative would accept writes and split the
+brain: two registries, both "origin", diverging silently.
+
+The fence closes that hole.  Every promotion bumps a monotonic
+**fence token** (an epoch counter).  Writers do not talk to the origin
+directly; they hold a :class:`FencedWriter` handle that captured the
+fence token at creation.  A write through a handle whose token is no
+longer current — the resurrected stale origin's handle, by construction
+— is rejected with a typed :class:`FencedWriteError`, counted in
+:attr:`~repro.federation.registry.FederatedRegistry.fenced_rejections`,
+and surfaced through telemetry (``federation_fenced_writes_rejected_total``).
+The stale origin can *rejoin*, but only as a mirror: its extra
+references (writes the fenced epoch never accepted) are untagged and the
+:class:`~repro.federation.sync.SyncEngine` reconciles it against the
+promoted origin like any other replica.
+
+Election is deterministic: among mirrors that are locally intact (their
+own :meth:`~repro.oci.registry.ImageRegistry.audit` is clean) and
+converged (no in-flight sync: empty transfer ledger and staging area),
+pick the highest ``synced_generation``; ties break on name.  A mirror
+mid-sync is *not* electable — its ledger says some blobs are staged but
+unverified, and an origin must never serve bytes it has not promoted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.oci.registry import RegistryError
+
+
+class FencedWriteError(RegistryError):
+    """A write arrived bearing a stale fence token (pre-failover epoch)."""
+
+    def __init__(self, stale_token: int, current_token: int) -> None:
+        self.stale_token = stale_token
+        self.current_token = current_token
+        super().__init__(
+            f"write fenced: token {stale_token} is stale "
+            f"(current epoch is {current_token}); this writer was demoted "
+            f"by an origin failover — re-acquire a writer from the "
+            f"federation (the old origin must rejoin as a mirror)"
+        )
+
+
+@dataclass
+class Promotion:
+    """The outcome of one origin failover."""
+
+    elected: str
+    fence_token: int
+    #: Generation the promoted origin starts at (the winner's last
+    #: converged generation; unsynced writes on the failed origin are
+    #: lost, which is exactly what "freshest converged replica" means).
+    generation: int
+    demoted: Optional[str] = None
+    #: Mirrors that were considered and why the losers lost.
+    notes: List[str] = field(default_factory=list)
+
+    def to_json(self) -> dict:
+        return {
+            "elected": self.elected,
+            "fence_token": self.fence_token,
+            "generation": self.generation,
+            "demoted": self.demoted,
+            "notes": list(self.notes),
+        }
+
+
+class FencedWriter:
+    """A write handle bound to the fence epoch it was acquired under.
+
+    All origin mutations flow through one of these; the handle delegates
+    to the federation (so the generation counter bumps) only after
+    checking that its token is still the current epoch.  A handle issued
+    before a failover keeps pointing at whatever registry *was* origin —
+    and is rejected on first use, which is the split-brain guard.
+    """
+
+    def __init__(self, federation) -> None:
+        self._federation = federation
+        self.token = federation.fence_token
+        #: The registry this writer believes is origin (captured, not
+        #: looked up per call — exactly how a stale process behaves).
+        self.registry = federation.origin
+
+    def _check(self) -> None:
+        if self.token != self._federation.fence_token:
+            self._federation.reject_fenced_write(self.token)
+            raise FencedWriteError(self.token, self._federation.fence_token)
+
+    @property
+    def stale(self) -> bool:
+        return self.token != self._federation.fence_token
+
+    def push(self, reference, manifest, config, layers) -> str:
+        self._check()
+        return self._federation.push(reference, manifest, config, layers)
+
+    def push_layout(self, reference, layout, tag=None) -> str:
+        self._check()
+        return self._federation.push_layout(reference, layout, tag=tag)
+
+    def put_artifact_cache(self, repository: str, blob) -> str:
+        self._check()
+        return self._federation.put_artifact_cache(repository, blob)
+
+    def tag_manifest(self, reference: str, digest: str) -> None:
+        self._check()
+        self._federation.origin.tag_manifest(reference, digest)
+        self._federation.record_origin_write()
+
+
+__all__ = ["FencedWriteError", "FencedWriter", "Promotion"]

@@ -151,29 +151,32 @@ class TransferLedger:
         """
         ledger = TransferLedger(mirror=mirror)
         lines = data.split(b"\n")
-        start = 0
-        try:
-            header = json.loads(lines[0].decode("utf-8"))
-            if not (
-                isinstance(header, dict)
-                and header.get("kind") == "transfer-ledger"
-            ):
+        head = lines[0] if lines else b""
+        if head.strip(b" \t\r\x00"):
+            # A flush torn *inside the header line* leaves a JSON prefix
+            # here; that costs one dropped line, never a raise — the
+            # result is an empty-but-valid ledger and a full re-transfer.
+            try:
+                header = json.loads(head.decode("utf-8"))
+                if not (
+                    isinstance(header, dict)
+                    and header.get("kind") == "transfer-ledger"
+                ):
+                    ledger.torn_entries_dropped += 1
+                elif not mirror:
+                    ledger.mirror = str(header.get("mirror", ""))
+            except Exception:
                 ledger.torn_entries_dropped += 1
-            elif not mirror:
-                ledger.mirror = str(header.get("mirror", ""))
-            start = 1
-        except (IndexError, UnicodeDecodeError, json.JSONDecodeError):
-            ledger.torn_entries_dropped += 1
-            start = 1
-        for raw in lines[start:]:
+        for raw in lines[1:]:
             if not raw.strip(b" \t\r\x00"):
                 continue
             try:
                 entry = json.loads(raw.decode("utf-8"))
-            except (UnicodeDecodeError, json.JSONDecodeError):
+                valid = _valid_chunk(entry)
+            except Exception:
                 ledger.torn_entries_dropped += 1
                 continue
-            if not _valid_chunk(entry):
+            if not valid:
                 ledger.torn_entries_dropped += 1
                 continue
             ledger._chunks.setdefault(entry["blob"], {})[entry["index"]] = {

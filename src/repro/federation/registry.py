@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.federation.failover import FencedWriter, Promotion
 from repro.federation.ledger import TransferLedger
 from repro.federation.sync import (
     DEFAULT_BANDWIDTH,
@@ -122,6 +123,20 @@ class FederatedRegistry:
         #: they last converged to, giving a staleness measure that does
         #: not depend on wall-clock time.
         self.generation = 0
+        #: Fence epoch: bumped on every origin promotion.  Writers hold
+        #: :class:`~repro.federation.failover.FencedWriter` handles that
+        #: captured this token; a stale handle's writes are rejected —
+        #: the split-brain guard against a resurrected old origin.
+        self.fence_token = 0
+        #: The origin is down (``fail_origin``); pulls skip it and a
+        #: failover can promote a mirror in its place.
+        self.origin_offline = False
+        #: Stale-fence writes rejected since construction.
+        self.fenced_rejections = 0
+        #: Completed origin promotions.
+        self.failovers = 0
+        self._demoted: Optional[ImageRegistry] = None
+        self._demoted_name: Optional[str] = None
         self.engine = SyncEngine(
             self.origin,
             injector=injector,
@@ -184,6 +199,147 @@ class FederatedRegistry:
         self.generation += 1
         return digest
 
+    def record_origin_write(self) -> None:
+        """Bump the generation for a write that went to the origin
+        registry directly (e.g. the service's resilient transfer, which
+        pushes to the origin's :class:`ImageRegistry` without going
+        through the federation's wrappers)."""
+        self.generation += 1
+
+    # ------------------------------------------------------------------
+    # origin failover: fencing, election, promotion
+    # ------------------------------------------------------------------
+
+    def fenced_writer(self) -> FencedWriter:
+        """Acquire a write handle bound to the current fence epoch."""
+        return FencedWriter(self)
+
+    def reject_fenced_write(self, stale_token: int) -> None:
+        """Account one stale-fence write (called by the fence check)."""
+        self.fenced_rejections += 1
+        if self.telemetry.enabled:
+            self.telemetry.event(
+                "federation.fenced_write_rejected",
+                stale_token=stale_token, current_token=self.fence_token,
+            )
+            self.telemetry.metrics.counter(
+                "federation_fenced_writes_rejected_total").inc()
+
+    def fail_origin(self) -> None:
+        """Mark the origin down: pulls skip it, a failover may promote."""
+        if self.origin_offline:
+            return
+        self.origin_offline = True
+        if self.telemetry.enabled:
+            self.telemetry.event("federation.origin_failed",
+                                 generation=self.generation)
+
+    def electable(self) -> List[Mirror]:
+        """Mirrors eligible to become origin, deterministically ordered:
+        locally intact (clean registry audit), no in-flight sync (empty
+        ledger and staging — staged-but-unverified bytes must never be
+        served as origin truth), freshest ``synced_generation`` first,
+        ties broken by name."""
+        candidates = [
+            m for m in self.mirrors.values()
+            if not m.registry.audit() and not len(m.ledger) and not m.staging
+            and m.synced_generation >= 0
+        ]
+        return sorted(candidates, key=lambda m: (-m.synced_generation, m.name))
+
+    def promote(self, name: Optional[str] = None) -> Promotion:
+        """Promote a mirror to origin under a new fence epoch.
+
+        With no *name* the freshest electable mirror wins.  The old
+        origin is kept aside (see :meth:`rejoin_demoted`); its unsynced
+        generations are gone — by definition no surviving replica holds
+        them.  Every pre-failover :class:`FencedWriter` handle is now
+        stale and will be rejected on first write.
+        """
+        notes: List[str] = []
+        if name is None:
+            ranked = self.electable()
+            if not ranked:
+                raise FederationError(
+                    "no electable mirror: need a converged, intact replica "
+                    "with no in-flight sync"
+                )
+            winner = ranked[0]
+            notes.extend(
+                f"runner-up {m.name} at generation {m.synced_generation}"
+                for m in ranked[1:]
+            )
+        else:
+            winner = self.mirror(name)
+            if winner.registry.audit():
+                raise FederationError(
+                    f"mirror {name!r} fails its local audit; refusing to "
+                    f"promote damaged bytes to origin"
+                )
+            if len(winner.ledger) or winner.staging:
+                raise FederationError(
+                    f"mirror {name!r} has an in-flight sync; refusing to "
+                    f"promote unverified staged bytes to origin"
+                )
+        del self.mirrors[winner.name]
+        self._demoted = self.origin
+        self._demoted_name = f"demoted-origin-{self.fence_token}"
+        self.origin = winner.registry
+        self.engine.origin = winner.registry
+        self.fence_token += 1
+        self.origin_offline = False
+        self.failovers += 1
+        # The promoted origin's truth starts at what it had converged to;
+        # peers at most that fresh re-sync against it.
+        self.generation = max(0, winner.synced_generation)
+        for mirror in self.mirrors.values():
+            mirror.synced_generation = min(
+                mirror.synced_generation, self.generation)
+        promotion = Promotion(
+            elected=winner.name, fence_token=self.fence_token,
+            generation=self.generation, demoted=self._demoted_name,
+            notes=notes,
+        )
+        if self.telemetry.enabled:
+            self.telemetry.event(
+                "federation.promoted", elected=winner.name,
+                fence_token=self.fence_token, generation=self.generation,
+            )
+            self.telemetry.metrics.counter("federation_failovers_total").inc()
+            self.telemetry.metrics.gauge("federation_fence_token").set(
+                float(self.fence_token))
+            self.telemetry.metrics.gauge("federation_mirrors").set(
+                len(self.mirrors))
+        return promotion
+
+    def fail_over(self, name: Optional[str] = None) -> Promotion:
+        """Origin-down path in one step: fence + elect + promote."""
+        self.fail_origin()
+        return self.promote(name)
+
+    def rejoin_demoted(self, ctx=None) -> Optional[SyncReport]:
+        """Reconcile the demoted origin back in as a mirror.
+
+        References the fenced epoch never accepted (writes that only the
+        old origin saw) are untagged first, then the regular
+        :class:`SyncEngine` converges it like any other replica.  Returns
+        the sync report, or None when there is nothing to rejoin.
+        """
+        if self._demoted is None or self._demoted_name is None:
+            return None
+        registry, name = self._demoted, self._demoted_name
+        self._demoted = None
+        self._demoted_name = None
+        current = set(self.origin.manifest_map())
+        for ref in sorted(set(registry.manifest_map()) - current):
+            registry.delete_reference(ref)
+        mirror = self.add_mirror(name)
+        mirror.registry = registry
+        report = self.sync_mirror(name, ctx=ctx)
+        if self.telemetry.enabled:
+            self.telemetry.event("federation.demoted_rejoined", mirror=name)
+        return report
+
     # ------------------------------------------------------------------
     # sync
     # ------------------------------------------------------------------
@@ -232,14 +388,21 @@ class FederatedRegistry:
         metadata view lags its own content).
         """
         tele = self.telemetry
-        expected = self.origin.manifest_digest(reference)
         errors: List[str] = []
-        try:
-            return self.origin.pull(reference)
-        except ImageNotFound:
-            raise
-        except (RegistryError, IntegrityError, InjectedFault) as exc:
-            errors.append(f"origin: {exc}")
+        if self.origin_offline:
+            # A failed, not-yet-promoted origin serves nothing and its
+            # metadata cannot be trusted as the freshness bar; mirrors
+            # serve by existence until a promotion restores authority.
+            expected = None
+            errors.append("origin: offline")
+        else:
+            expected = self.origin.manifest_digest(reference)
+            try:
+                return self.origin.pull(reference)
+            except ImageNotFound:
+                raise
+            except (RegistryError, IntegrityError, InjectedFault) as exc:
+                errors.append(f"origin: {exc}")
         for mirror in self._freshest_first():
             if expected is not None:
                 if mirror.registry.manifest_digest(reference) != expected:

@@ -123,6 +123,15 @@ class ImageRegistry:
             )
         self._manifests[parse_reference(reference)] = digest
 
+    def delete_reference(self, reference: str) -> bool:
+        """Untag *reference* (metadata-only; blobs stay for GC/repair).
+
+        Returns True when the tag existed.  Reconciling a demoted origin
+        back into a federation as a mirror uses this to drop references
+        the fenced epoch never accepted.
+        """
+        return self._manifests.pop(parse_reference(reference), None) is not None
+
     def push(
         self,
         reference: str,

@@ -302,11 +302,18 @@ def render_service_report(report, telemetry=None) -> str:
         service_tenant_rows(report),
     )]
     lines.append("")
-    lines.append(render_table(("service", "value"), [
+    retry_hints = [
+        o.retry_after for o in report.outcomes
+        if o.status == "rejected" and o.retry_after is not None
+    ]
+    rows = [
         ("requests", len(report.outcomes)),
         ("completed", counts.get("completed", 0)),
         ("degraded", counts.get("degraded", 0)),
         ("rejected", counts.get("rejected", 0)),
+        ("retry-after hint (s)",
+         f"{min(retry_hints):.1f}-{max(retry_hints):.1f}"
+         if retry_hints else "-"),
         ("deadline-exceeded", counts.get("deadline-exceeded", 0)),
         ("deduped in flight", report.deduped_requests),
         ("shared-cache dedup", f"{report.dedup_ratio:.1%}"),
@@ -317,7 +324,25 @@ def render_service_report(report, telemetry=None) -> str:
         ("mirror syncs", f"{report.mirror_syncs} "
                          f"({report.mirror_sync_failures} failed)"),
         ("simulated seconds", report.simulated_seconds),
-    ]))
+    ]
+    if getattr(report, "wal", None):
+        rows.append(("WAL records", f"{report.wal['records']} "
+                                    f"({report.wal['bytes']} bytes, "
+                                    f"{report.wal['torn_records_dropped']} "
+                                    f"torn dropped)"))
+        rows.append(("WAL restarts survived", report.wal["restarts"]))
+    if getattr(report, "recovered_requests", 0):
+        rows.append(("recovered from WAL", report.recovered_requests))
+    if getattr(report, "resumed_requests", 0):
+        rows.append(("in-flight resumed", report.resumed_requests))
+    if getattr(report, "failovers", 0):
+        rows.append(("origin failovers", report.failovers))
+    lines.append(render_table(("service", "value"), rows))
+    for outcome in report.outcomes:
+        if outcome.status == "rejected" and outcome.retry_after is not None:
+            reason = outcome.reasons[0] if outcome.reasons else "rejected"
+            lines.append(f"  rejected: {outcome.request_id} ({reason}; "
+                         f"retry after {outcome.retry_after:.1f}s)")
     for name in sorted(report.breakers):
         breaker = report.breakers[name]
         lines.append(f"  breaker : {name} {breaker['state']}"

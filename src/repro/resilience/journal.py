@@ -32,7 +32,9 @@ line also records its reconstructed content's digest: a flipped bit
 inside a base64 payload can survive both the JSON parse and the
 structural check, so an entry is only reused when its content hashes to
 what was checkpointed.  Version-1 journals (one JSON dict) are still
-read.
+read.  The mirror transfer ledger (:mod:`repro.federation.ledger`) and
+the service write-ahead log (:mod:`repro.service.wal`) follow the same
+salvage discipline, so every durability tier degrades line-by-line.
 
 Content is serialized *structurally* — a compiler artifact is a small JSON
 payload plus a declared whitespace pad, and synthetic bulk content is just
@@ -137,15 +139,20 @@ def _parse_journal(data: bytes) -> Tuple[Dict[str, dict], Dict[str, dict], int]:
     """
     lines = data.split(b"\n")
     dropped = 0
-    start = 0
     leases: Dict[str, dict] = {}
-    try:
-        header = json.loads(lines[0].decode("utf-8"))
-    except (UnicodeDecodeError, json.JSONDecodeError):
-        header = None
-        dropped += 1
-        start = 1
-    else:
+    head = lines[0] if lines else b""
+    header = None
+    if head.strip(b" \t\r\x00"):
+        # Same discipline as the transfer ledger and the service WAL: a
+        # write torn inside the header line costs one dropped line and
+        # yields an empty-but-valid journal, never a raise.  Bytes
+        # truncated down to nothing are simply an empty journal.
+        try:
+            header = json.loads(head.decode("utf-8"))
+        except Exception:
+            header = None
+            dropped += 1
+    if header is not None:
         if isinstance(header, dict) and header.get("version") == 1:
             # Version-1 journal: the whole payload is one dict.
             nodes = header.get("nodes", {})
@@ -157,23 +164,23 @@ def _parse_journal(data: bytes) -> Tuple[Dict[str, dict], Dict[str, dict], int]:
             } if isinstance(nodes, dict) else {}
             bad = len(nodes) - len(good) if isinstance(nodes, dict) else 1
             return good, {}, bad
-        start = 1
     nodes: Dict[str, dict] = {}
-    for raw in lines[start:]:
+    for raw in lines[1:]:
         if not raw.strip(b" \t\r\x00"):
             continue
         try:
             entry = json.loads(raw.decode("utf-8"))
-        except (UnicodeDecodeError, json.JSONDecodeError):
+            if isinstance(entry, dict) and "lease" in entry:
+                if _valid_lease(entry):
+                    leases[entry["lease"]] = entry
+                else:
+                    dropped += 1
+                continue
+            valid = _valid_entry(entry) and _content_intact(entry)
+        except Exception:
             dropped += 1
             continue
-        if isinstance(entry, dict) and "lease" in entry:
-            if _valid_lease(entry):
-                leases[entry["lease"]] = entry
-            else:
-                dropped += 1
-            continue
-        if not _valid_entry(entry) or not _content_intact(entry):
+        if not valid:
             dropped += 1
             continue
         nodes[entry["node"]] = {

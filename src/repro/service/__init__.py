@@ -47,6 +47,13 @@ from repro.service.service import (
     TenantState,
     percentile,
 )
+from repro.service.wal import (
+    RECORD_KINDS,
+    WAL_SITE_KEY,
+    WAL_VERSION,
+    ServiceCrash,
+    ServiceWAL,
+)
 
 __all__ = [
     "DISPATCH_OVERHEAD",
@@ -57,6 +64,7 @@ __all__ = [
     "PRIORITY_HIGH",
     "PRIORITY_NORMAL",
     "PRIORITY_ORDER",
+    "RECORD_KINDS",
     "SERVICE_RETRY",
     "SHED_LADDER",
     "STATE_CLOSED",
@@ -67,15 +75,19 @@ __all__ = [
     "STATUS_DEGRADED",
     "STATUS_REJECTED",
     "TERMINAL_STATUSES",
+    "WAL_SITE_KEY",
+    "WAL_VERSION",
     "AdaptationRequest",
     "AdaptationService",
     "AdmissionQueue",
     "CircuitBreaker",
     "CircuitOpenError",
     "RequestOutcome",
+    "ServiceCrash",
     "ServiceError",
     "ServiceOverloadError",
     "ServiceReport",
+    "ServiceWAL",
     "TenantState",
     "TokenBucket",
     "percentile",

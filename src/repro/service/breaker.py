@@ -66,21 +66,28 @@ class CircuitBreaker:
         self.rejections = 0
         #: Every transition as ``(simulated t, from-state, to-state)``.
         self.transitions: List[Tuple[float, str, str]] = []
+        #: Optional transition hook ``listener(name, from, to, t)``; the
+        #: durable service writes WAL records (and triggers origin
+        #: failover) from here.
+        self.listener = None
 
     # ------------------------------------------------------------------
 
     def _move(self, state: str) -> None:
         if state == self.state:
             return
-        self.transitions.append((self.clock.now, self.state, state))
+        previous = self.state
+        self.transitions.append((self.clock.now, previous, state))
         if self.telemetry.enabled:
             self.telemetry.event(
                 "breaker.transition", dependency=self.name,
-                from_state=self.state, to_state=state, t=self.clock.now,
+                from_state=previous, to_state=state, t=self.clock.now,
             )
             self.telemetry.metrics.counter(
                 "service_breaker_transitions_total").inc()
         self.state = state
+        if self.listener is not None:
+            self.listener(self.name, previous, state, self.clock.now)
 
     def retry_after(self) -> float:
         """Simulated seconds until an open breaker admits a probe."""

@@ -87,6 +87,7 @@ from repro.service.admission import (
 )
 from repro.service.breaker import STATE_OPEN, CircuitBreaker
 from repro.service.errors import CircuitOpenError, ServiceError, ServiceOverloadError
+from repro.service.wal import ServiceCrash, ServiceWAL
 from repro.sysmodel import SystemModel, X86_CLUSTER
 from repro.telemetry import Telemetry, install_telemetry
 
@@ -176,6 +177,10 @@ class RequestOutcome:
     #: group against the tenant's previous adaptation and executed
     #: nothing — the repeat-tenant fast path.
     incremental_fast_path: bool = False
+    #: Restored from the WAL by a restart rather than produced by this
+    #: process's own event loop (the terminal status happened *before*
+    #: the crash and must not be re-earned).
+    recovered: bool = False
     report: object = None
     _layout: Optional[Tuple[OCILayout, str]] = None
 
@@ -205,6 +210,7 @@ class RequestOutcome:
             "executed_nodes": self.executed_nodes,
             "reused_nodes": self.reused_nodes,
             "incremental_fast_path": self.incremental_fast_path,
+            "recovered": self.recovered,
         }
 
 
@@ -265,6 +271,14 @@ class ServiceReport:
     deduped_requests: int = 0
     mirror_syncs: int = 0
     mirror_sync_failures: int = 0
+    #: Terminal outcomes restored from the WAL by a restart.
+    recovered_requests: int = 0
+    #: In-flight (dispatched, non-terminal) requests a restart resumed.
+    resumed_requests: int = 0
+    #: Origin failover promotions this service triggered.
+    failovers: int = 0
+    #: :meth:`ServiceWAL.stats` of the backing log (None when volatile).
+    wal: Optional[dict] = None
 
     def by_status(self) -> Dict[str, int]:
         counts: Dict[str, int] = {status: 0 for status in TERMINAL_STATUSES}
@@ -293,6 +307,10 @@ class ServiceReport:
             "mirror_syncs": self.mirror_syncs,
             "mirror_sync_failures": self.mirror_sync_failures,
             "simulated_seconds": self.simulated_seconds,
+            "recovered_requests": self.recovered_requests,
+            "resumed_requests": self.resumed_requests,
+            "failovers": self.failovers,
+            "wal": dict(self.wal) if self.wal else None,
         }
 
     def summary(self) -> str:
@@ -306,6 +324,12 @@ class ServiceReport:
             bits.append(f"{self.deduped_requests} deduped in flight")
         if self.dedup_ratio:
             bits.append(f"{self.dedup_ratio:.0%} of rebuild work from shared cache")
+        if self.recovered_requests:
+            bits.append(f"{self.recovered_requests} outcome(s) recovered from WAL")
+        if self.resumed_requests:
+            bits.append(f"{self.resumed_requests} in-flight request(s) resumed")
+        if self.failovers:
+            bits.append(f"{self.failovers} origin failover(s)")
         open_breakers = [n for n, b in self.breakers.items()
                         if b["state"] != "closed"]
         if open_breakers:
@@ -333,6 +357,13 @@ class AdaptationService:
         breaker_threshold: int = 3,
         breaker_reset: float = 180.0,
         dispatch_overhead: float = DISPATCH_OVERHEAD,
+        durable: bool = False,
+        wal: Optional[ServiceWAL] = None,
+        crash_after_records: Optional[int] = None,
+        crash_at: Optional[float] = None,
+        crash_torn: bool = True,
+        federation=None,
+        auto_failover: bool = True,
     ) -> None:
         self.system = system
         self.flavor = flavor
@@ -340,6 +371,18 @@ class AdaptationService:
         self.nodes = nodes
         self.seed = seed
         self.injector = injector
+        #: Constructor shape a :meth:`restart` rebuilds the process from
+        #: (everything except the volatile telemetry/WAL/crash knobs).
+        self._config = {
+            "system": system, "flavor": flavor, "workers": workers,
+            "nodes": nodes, "queue_capacity": queue_capacity,
+            "shed_watermark": shed_watermark, "full_watermark": full_watermark,
+            "seed": seed, "injector": injector, "policy": policy,
+            "cache_capacity": cache_capacity,
+            "breaker_threshold": breaker_threshold,
+            "breaker_reset": breaker_reset,
+            "dispatch_overhead": dispatch_overhead,
+        }
         # Request cost is measured as telemetry-clock progress (rebuild
         # makespans, retry backoff, workload runs all charge it), so the
         # service needs a *live* recorder even when the caller brought none.
@@ -393,6 +436,50 @@ class AdaptationService:
         self._followers: Dict[Tuple[str, str], List[AdaptationRequest]] = {}
         self._cost_sum = 0.0
         self._cost_n = 0
+        # -- durability (the service WAL) ------------------------------
+        self.durable = bool(
+            durable or wal is not None or crash_after_records is not None
+            or crash_at is not None
+        )
+        self.wal: Optional[ServiceWAL] = None
+        if self.durable:
+            if wal is None:
+                self.wal = ServiceWAL(
+                    seed=seed, injector=injector,
+                    crash_after_records=crash_after_records,
+                    crash_torn=crash_torn,
+                )
+            else:
+                self.wal = wal
+                self.wal.injector = injector
+                if crash_after_records is not None:
+                    self.wal.crash_after_records = crash_after_records
+                    self.wal.crash_torn = crash_torn
+        self.crash_at = crash_at
+        self.crashed = False
+        self._replaying = False
+        self.recovered_requests = 0
+        self.resumed_requests = 0
+        self._resumed_ids: set = set()
+        self._open_ids: set = set()
+        # -- federation (origin failover) ------------------------------
+        self.federation = federation
+        self.auto_failover = auto_failover
+        self.failovers = 0
+        if federation is not None:
+            # The service's origin registry *is* the federation's; the
+            # breaker's half-open probes naturally route through
+            # whichever registry the federation currently calls origin.
+            self.registry = federation.origin
+            if injector is not None:
+                self.registry.fault_injector = injector
+                self.registry.blobs.fault_injector = injector
+            install_telemetry(self.telemetry, registry=self.registry)
+        if self.durable:
+            for breaker in self.breakers.values():
+                breaker.listener = self._on_breaker_transition
+        elif federation is not None and auto_failover:
+            self.breakers["registry"].listener = self._on_breaker_transition
 
     # -- tenancy and submission -----------------------------------------
 
@@ -424,6 +511,9 @@ class AdaptationService:
             stats=RetryStats(scope=name),
         )
         self.tenants[name] = state
+        self._wal("tenant", name=name, weight=state.weight,
+                  max_workers=state.max_workers, rate=rate, burst=burst,
+                  retry_budget=retry_budget)
         return state
 
     def add_mirror(self, name: str) -> ImageRegistry:
@@ -431,6 +521,7 @@ class AdaptationService:
         registry = ImageRegistry()
         install_telemetry(self.telemetry, registry=registry)
         self.mirrors[name] = registry
+        self._wal("mirror", name=name)
         return registry
 
     def submit(
@@ -454,12 +545,359 @@ class AdaptationService:
             request_id=f"{tenant}/r{self._seq}",
         )
         self._arrivals.append(request)
+        self._wal("submit", request_id=request.request_id, tenant=tenant,
+                  app=app, priority=priority, deadline=deadline,
+                  jobs=request.jobs, submit_at=request.submit_at,
+                  seq=request.seq)
         return request
+
+    # -- durability: WAL, crash, restart ---------------------------------
+
+    def _wal(self, kind: str, **fields) -> None:
+        """Durably append one WAL record (no-op when volatile/replaying)."""
+        if self.wal is None or self._replaying:
+            return
+        record = {"rec": kind, "t": float(self.clock.now)}
+        record.update(fields)
+        self.wal.append(record)
+        if self.telemetry.enabled:
+            self.telemetry.metrics.counter("service_wal_records_total").inc()
+
+    def _wal_terminal(self, outcome: RequestOutcome,
+                      charged: float = 0.0) -> None:
+        """The commit point of one request: exactly one terminal record
+        per request_id ever reaches the log (a torn terminal line is
+        dropped by salvage, so the restart re-earns it — once)."""
+        self._open_ids.discard(outcome.request_id)
+        self._wal("terminal", request_id=outcome.request_id,
+                  charged=float(charged), outcome=outcome.to_json())
+
+    def _on_breaker_transition(self, name: str, from_state: str,
+                               to_state: str, t: float) -> None:
+        self._wal("breaker", breaker=name, from_state=from_state,
+                  to_state=to_state)
+        if (name == "registry" and to_state == STATE_OPEN
+                and self.federation is not None and self.auto_failover
+                and not self._replaying):
+            self._failover_origin()
+
+    def _failover_origin(self) -> None:
+        """The registry breaker opened against a federated origin: fail
+        the origin over to the freshest converged mirror, so the
+        breaker's half-open probe lands on the promoted origin."""
+        from repro.federation import FederationError
+
+        fed = self.federation
+        try:
+            promotion = fed.fail_over()
+        except FederationError as exc:
+            if self.telemetry.enabled:
+                self.telemetry.event("service.failover_unavailable",
+                                     error=str(exc))
+            return
+        self.registry = fed.origin
+        if self.injector is not None:
+            # The injector stays attached to the *failed* origin; the
+            # promoted one is a healthy replica.
+            self.registry.fault_injector = None
+        install_telemetry(self.telemetry, registry=self.registry)
+        self.failovers += 1
+        self._wal("failover", elected=promotion.elected,
+                  fence=promotion.fence_token)
+        if self.telemetry.enabled:
+            self.telemetry.event("service.origin_failover",
+                                 elected=promotion.elected,
+                                 fence=promotion.fence_token)
+            self.telemetry.metrics.counter("service_failovers_total").inc()
+
+    def crash(self) -> bytes:
+        """Simulate hard process death *now*.
+
+        Everything volatile — the admission queue, in-flight leases,
+        single-flight parking, breaker counters, tenant engines — is
+        considered lost; only the WAL's flushed bytes (returned) and the
+        durable stores (origin registry, mirror registries, mounted
+        layouts) survive.  :meth:`restart` builds the next process from
+        exactly those.
+        """
+        if not self.durable or self.wal is None:
+            raise ServiceError("crash/restart simulation requires durable mode")
+        self.crashed = True
+        return self.wal.flushed_bytes
+
+    def restart(
+        self,
+        crash_after_records: Optional[int] = None,
+        crash_at: Optional[float] = None,
+        crash_torn: bool = True,
+        telemetry: Optional[Telemetry] = None,
+    ) -> "AdaptationService":
+        """The next process: salvage the WAL, replay it, resume.
+
+        Returns a *new* :class:`AdaptationService` whose queue order,
+        tenant token buckets, breaker states and terminal outcomes are
+        reconstructed from the salvaged log; requests that were admitted
+        (or in flight) without a terminal record are re-queued and will
+        re-dispatch against the surviving mounted layouts — their
+        rebuild journals and ``+coMre`` manifests mean the re-execution
+        prunes every checkpointed node.  Fresh crash triggers may be
+        armed for multi-crash chains (``crash_after_records`` counts
+        *all* records including the salvaged ones).
+        """
+        if not self.durable or self.wal is None:
+            raise ServiceError("crash/restart simulation requires durable mode")
+        salvaged = ServiceWAL.from_bytes(
+            self.wal.flushed_bytes, injector=self.injector,
+            crash_after_records=crash_after_records, crash_torn=crash_torn,
+        )
+        config = dict(self._config)
+        service = AdaptationService(
+            telemetry=telemetry, durable=True, wal=salvaged,
+            crash_at=crash_at, federation=self.federation,
+            auto_failover=self.auto_failover, **config,
+        )
+        service._recover(self)
+        return service
+
+    def _recover(self, prior: "AdaptationService") -> None:
+        """Adopt the durable stores of the crashed process and replay."""
+        if self.federation is None:
+            self.registry = prior.registry
+            if self.injector is not None:
+                self.registry.fault_injector = self.injector
+                self.registry.blobs.fault_injector = self.injector
+            install_telemetry(self.telemetry, registry=self.registry)
+        self._extended = dict(prior._extended)
+        self._tenant_layouts = dict(prior._tenant_layouts)
+        self._carry_mirrors = dict(prior.mirrors)
+        self._replay()
+
+    def _replay(self) -> None:
+        """Reconstruct volatile state from the salvaged WAL records."""
+        wal = self.wal
+        carry_mirrors = getattr(self, "_carry_mirrors", {})
+        admits: Dict[str, dict] = {}
+        submits: Dict[str, dict] = {}
+        terminals: List[dict] = []
+        terminal_ids: set = set()
+        dispatched: set = set()
+        last_t = 0.0
+        self._replaying = True
+        try:
+            for record in wal.records:
+                t = float(record.get("t", 0.0))
+                last_t = max(last_t, t)
+                kind = record.get("rec")
+                if kind == "tenant":
+                    name = record.get("name", "")
+                    if name and name not in self.tenants:
+                        self.add_tenant(
+                            name, weight=record.get("weight", 1.0),
+                            max_workers=record.get("max_workers", 2),
+                            rate=record.get("rate"),
+                            burst=record.get("burst"),
+                            retry_budget=record.get("retry_budget", 600.0),
+                        )
+                elif kind == "mirror":
+                    name = record.get("name", "")
+                    if name and name not in self.mirrors:
+                        carried = carry_mirrors.get(name)
+                        if carried is not None:
+                            install_telemetry(self.telemetry, registry=carried)
+                            self.mirrors[name] = carried
+                        else:
+                            self.add_mirror(name)
+                elif kind == "submit":
+                    submits[record.get("request_id", "")] = record
+                elif kind == "admit":
+                    rid = record.get("request_id", "")
+                    admits[rid] = record
+                    tenant = self.tenants.get(record.get("tenant", ""))
+                    if tenant is not None and tenant.bucket is not None:
+                        # Replaying the successful takes at their original
+                        # times reproduces the bucket's exact token level
+                        # (refill is linear-capped, so skipped failed
+                        # takes change nothing).
+                        tenant.bucket.try_take(t)
+                elif kind == "dispatch":
+                    dispatched.add(record.get("request_id", ""))
+                elif kind == "breaker":
+                    breaker = self.breakers.get(record.get("breaker", ""))
+                    to_state = record.get("to_state")
+                    if breaker is not None and isinstance(to_state, str):
+                        breaker.transitions.append(
+                            (t, str(record.get("from_state")), to_state))
+                        breaker.state = to_state
+                        if to_state == STATE_OPEN:
+                            breaker.opened_at = t
+                        # Consecutive-failure/success counters restart at
+                        # zero: the state machine position is durable, the
+                        # streak is not.
+                        breaker.failures = 0
+                        breaker.successes = 0
+                elif kind == "terminal":
+                    rid = record.get("request_id", "")
+                    if rid and rid not in terminal_ids:
+                        terminal_ids.add(rid)
+                        terminals.append(record)
+                elif kind == "absorb":
+                    memo = self._tenant_layouts.get(
+                        (record.get("tenant", ""), record.get("app", "")))
+                    if memo is not None:
+                        self.shared_cache.absorb_layout(
+                            memo[0], record.get("dist_tag", memo[1]))
+                elif kind == "sync":
+                    if record.get("ok", False):
+                        self.mirror_syncs += 1
+                    else:
+                        self.mirror_sync_failures += 1
+            self._restore_terminals(terminals, admits)
+            self._requeue_open(admits, submits, terminal_ids, dispatched)
+            seqs = [int(r.get("seq", 0)) for r in admits.values()]
+            seqs += [int(r.get("seq", 0)) for r in submits.values()]
+            self._seq = max(seqs + [self._seq])
+            if last_t > self.clock.now:
+                self.clock.sleep(last_t - self.clock.now)
+        finally:
+            self._replaying = False
+        wal.restarts += 1
+        self._wal("restart", recovered=self.recovered_requests,
+                  resumed=self.resumed_requests,
+                  torn_dropped=wal.torn_records_dropped)
+        if self.telemetry.enabled:
+            self.telemetry.metrics.counter("service_recoveries_total").inc()
+            self.telemetry.event(
+                "service.restarted", recovered=self.recovered_requests,
+                requeued=len(self._open_ids), resumed=self.resumed_requests,
+                torn_dropped=wal.torn_records_dropped,
+            )
+            self._gauges()
+
+    def _restore_terminals(self, terminals: List[dict],
+                           admits: Dict[str, dict]) -> None:
+        """Terminal records are facts: restore outcomes + accounting."""
+        for record in terminals:
+            data = record.get("outcome") or {}
+            status = data.get("status", STATUS_REJECTED)
+            if status not in TERMINAL_STATUSES:
+                continue
+            rid = data.get("request_id") or record.get("request_id", "")
+            outcome = RequestOutcome(
+                request_id=rid,
+                tenant=data.get("tenant", ""), app=data.get("app", ""),
+                priority=data.get("priority", PRIORITY_NORMAL),
+                mode=data.get("mode", MODE_FULL), status=status,
+                rung=data.get("rung"), ref=data.get("ref"),
+                error=data.get("error"), retry_after=data.get("retry_after"),
+                submitted_at=data.get("submitted_at", 0.0),
+                started_at=data.get("started_at"),
+                finished_at=data.get("finished_at", 0.0),
+                cost=data.get("cost", 0.0), latency=data.get("latency", 0.0),
+                deduped=data.get("deduped", False),
+                shed=data.get("shed", False),
+                reasons=list(data.get("reasons", [])),
+                retry_spend=data.get("retry_spend", 0.0),
+                retry_causes=dict(data.get("retry_causes", {})),
+                cache_hit_nodes=data.get("cache_hit_nodes", 0),
+                executed_nodes=data.get("executed_nodes", 0),
+                reused_nodes=data.get("reused_nodes", 0),
+                incremental_fast_path=data.get(
+                    "incremental_fast_path", False),
+                recovered=True,
+            )
+            self.outcomes.append(outcome)
+            self.recovered_requests += 1
+            tenant = self.tenants.get(outcome.tenant)
+            if tenant is None:
+                continue
+            if status == STATUS_COMPLETED:
+                tenant.completed += 1
+                tenant.latencies.append(outcome.latency)
+            elif status == STATUS_DEGRADED:
+                tenant.degraded += 1
+                tenant.latencies.append(outcome.latency)
+            elif status == STATUS_REJECTED:
+                tenant.rejected += 1
+            else:
+                tenant.deadline_exceeded += 1
+            tenant.retry_spent += outcome.retry_spend
+            charged = float(record.get("charged", 0.0))
+            if charged > 0.0:
+                tenant.served_seconds += charged
+                tenant.vtime += charged / tenant.weight
+                self._cost_sum += charged
+                self._cost_n += 1
+            # Arrival-level rejections (rate-limited, queue-full) never
+            # got an admit record, but their arrival was counted.
+            if status == STATUS_REJECTED and rid not in admits:
+                tenant.submitted += 1
+
+    def _requeue_open(self, admits: Dict[str, dict], submits: Dict[str, dict],
+                      terminal_ids: set, dispatched: set) -> None:
+        """Admitted-but-non-terminal requests re-enter the queue with
+        their granted service level; unprocessed arrivals re-arrive."""
+        open_requests: List[AdaptationRequest] = []
+        for rid, record in admits.items():
+            tenant_name = record.get("tenant", "")
+            tenant = self.tenants.get(tenant_name)
+            if tenant is None:
+                continue
+            tenant.submitted += 1
+            if rid in terminal_ids:
+                continue
+            open_requests.append(AdaptationRequest(
+                tenant=tenant_name, app=record.get("app", ""),
+                priority=record.get("priority", PRIORITY_NORMAL),
+                deadline=record.get("deadline"),
+                jobs=int(record.get("jobs", 2)),
+                submit_at=float(record.get("submit_at", 0.0)),
+                seq=int(record.get("seq", 0)), request_id=rid,
+                mode=record.get("mode", MODE_FULL),
+                shed=bool(record.get("shed", False)),
+            ))
+        for request in sorted(open_requests, key=lambda r: r.seq):
+            self.queue.restore(request)
+            self._open_ids.add(request.request_id)
+            if request.request_id in dispatched:
+                # In flight at the crash: its durable effects (rebuild
+                # journal, +coMre manifest) are already in the mounted
+                # layout, so the re-dispatch executes zero checkpointed
+                # nodes.
+                self.resumed_requests += 1
+                self._resumed_ids.add(request.request_id)
+        for rid, record in submits.items():
+            if rid in admits or rid in terminal_ids:
+                continue
+            if record.get("tenant", "") not in self.tenants:
+                continue
+            self._arrivals.append(AdaptationRequest(
+                tenant=record.get("tenant", ""), app=record.get("app", ""),
+                priority=record.get("priority", PRIORITY_NORMAL),
+                deadline=record.get("deadline"),
+                jobs=int(record.get("jobs", 2)),
+                submit_at=float(record.get("submit_at", 0.0)),
+                seq=int(record.get("seq", 0)), request_id=rid,
+            ))
 
     # -- the event loop --------------------------------------------------
 
     def run(self) -> ServiceReport:
-        """Drain every submitted arrival through the timeline; report."""
+        """Drain every submitted arrival through the timeline; report.
+
+        In durable mode a :class:`ServiceCrash` (armed via
+        ``crash_after_records`` / ``crash_at``) propagates out of here
+        with :attr:`crashed` set; call :meth:`restart` to build the next
+        process from the WAL and ``run()`` it again.
+        """
+        if self.crashed:
+            raise ServiceError("service crashed; restart() it first")
+        try:
+            return self._run_loop()
+        except ServiceCrash:
+            self.crashed = True
+            raise
+
+    def _run_loop(self) -> ServiceReport:
         arrivals = sorted(self._arrivals, key=lambda r: (r.submit_at, r.seq))
         self._arrivals = []
         # The user side publishes extended images ahead of serving; their
@@ -507,6 +945,21 @@ class AdaptationService:
     # -- timeline helpers ------------------------------------------------
 
     def _advance_to(self, t: float) -> None:
+        if (self.crash_at is not None and not self._replaying
+                and t >= self.crash_at):
+            # Die mid-advance: the clock stops at the crash point, the WAL
+            # keeps only what was flushed before it.
+            t = max(self.clock.now, self.crash_at)
+            self.crash_at = None
+            dt = t - self.clock.now
+            if dt > 0:
+                self.clock.sleep(dt)
+                if self.telemetry.controlplane is not None:
+                    self.telemetry.controlplane.advance(dt)
+            raise ServiceCrash(
+                len(self.wal.records) if self.wal is not None else 0,
+                torn=False,
+            )
         dt = t - self.clock.now
         if dt <= 0:
             return
@@ -563,6 +1016,14 @@ class AdaptationService:
         except ServiceOverloadError as error:
             self._reject(request, error)
             return
+        # The admission is durable only once this record lands: the shed
+        # level granted here is the service level a restart re-queues at.
+        self._open_ids.add(request.request_id)
+        self._wal("admit", request_id=request.request_id,
+                  tenant=request.tenant, app=request.app,
+                  priority=request.priority, deadline=request.deadline,
+                  jobs=request.jobs, submit_at=request.submit_at,
+                  seq=request.seq, mode=request.mode, shed=request.shed)
         if displaced is not None:
             self._reject(displaced, ServiceOverloadError(
                 displaced.tenant, "displaced",
@@ -588,6 +1049,7 @@ class AdaptationService:
         )
         outcome.reasons.append(error.reason)
         self.outcomes.append(outcome)
+        self._wal_terminal(outcome)
         tele = self.telemetry
         if tele.enabled:
             tele.event("service.rejected", request=request.request_id,
@@ -613,6 +1075,7 @@ class AdaptationService:
             )
             outcome.reasons.append("deadline expired while queued")
             self.outcomes.append(outcome)
+            self._wal_terminal(outcome)
             if self.telemetry.enabled:
                 self.telemetry.event("service.deadline_expired_queued",
                                      request=request.request_id)
@@ -630,6 +1093,8 @@ class AdaptationService:
             # (and then runs against the leader-warmed shared cache).
             self._followers.setdefault(work, []).append(request)
             self.deduped_requests += 1
+            self._wal("park", request_id=request.request_id,
+                      app=request.app)
             if self.telemetry.enabled:
                 self.telemetry.event("service.singleflight",
                                      request=request.request_id,
@@ -645,6 +1110,14 @@ class AdaptationService:
         if request.mode == MODE_FULL and outcome.status != STATUS_REJECTED:
             self._leaders[work] = request.seq
         finish = self.clock.now + self.dispatch_overhead + outcome.cost
+        # Written *after* _execute returns: this record asserts the
+        # request's durable effects (rebuild journal, +coMre manifest in
+        # the mounted layout) exist, which is what lets a restart resume
+        # it with zero checkpointed nodes re-executed.  A crash before
+        # this line leaves only the admit record — a clean cold re-run.
+        self._wal("dispatch", request_id=request.request_id,
+                  eff_jobs=request.eff_jobs, mode=request.mode,
+                  cost=outcome.cost, finish=finish)
         return finish, outcome
 
     def _request_ctx(self, request: AdaptationRequest,
@@ -828,6 +1301,7 @@ class AdaptationService:
             if tele.enabled:
                 tele.metrics.counter("service_requests_deadline_total").inc()
         self.outcomes.append(outcome)
+        self._wal_terminal(outcome, charged=charged)
         if tele.enabled:
             tele.event("service.finished", request=request.request_id,
                        status=outcome.status, rung=outcome.rung or "",
@@ -841,6 +1315,8 @@ class AdaptationService:
             if outcome._layout is not None and outcome.status in (
                     STATUS_COMPLETED, STATUS_DEGRADED):
                 self.shared_cache.absorb_layout(*outcome._layout)
+                self._wal("absorb", tenant=request.tenant, app=request.app,
+                          dist_tag=outcome._layout[1])
             for follower in self._followers.pop(work, []):
                 follower.deduped = True
                 self.queue.restore(follower)
@@ -881,6 +1357,10 @@ class AdaptationService:
             remote = breaker.call(lambda: resilient_transfer(
                 self.registry, source, repository, tags, ctx=ctx,
             ))
+            if self.federation is not None:
+                # The transfer pushed straight into the origin registry,
+                # bypassing the federation's generation counter.
+                self.federation.record_origin_write()
             self._tenant_layouts[key] = (remote, dist_tag)
             return remote, dist_tag, None
         except CircuitOpenError as exc:
@@ -915,11 +1395,13 @@ class AdaptationService:
         try:
             breaker.call(sync)
             self.mirror_syncs += 1
+            self._wal("sync", app=app, ok=True)
             if self.telemetry.enabled:
                 self.telemetry.metrics.counter(
                     "service_mirror_syncs_total").inc()
         except Exception as exc:
             self.mirror_sync_failures += 1
+            self._wal("sync", app=app, ok=False)
             if self.telemetry.enabled:
                 self.telemetry.event("service.mirror_sync_failed",
                                      app=app, error=str(exc))
@@ -938,6 +1420,10 @@ class AdaptationService:
         m.gauge("service_breakers_open").set(float(sum(
             1 for b in self.breakers.values() if b.state == STATE_OPEN
         )))
+        if self.wal is not None:
+            # WAL lag: admitted requests whose terminal record has not
+            # landed yet — the restart exposure right now.
+            m.gauge("service_wal_open_requests").set(float(len(self._open_ids)))
 
     def _update_dedup_gauge(self) -> None:
         if not self.telemetry.enabled:
@@ -962,6 +1448,10 @@ class AdaptationService:
             deduped_requests=self.deduped_requests,
             mirror_syncs=self.mirror_syncs,
             mirror_sync_failures=self.mirror_sync_failures,
+            recovered_requests=self.recovered_requests,
+            resumed_requests=self.resumed_requests,
+            failovers=self.failovers,
+            wal=self.wal.stats() if self.wal is not None else None,
         )
 
 
@@ -976,7 +1466,9 @@ __all__ = [
     "AdaptationRequest",
     "AdaptationService",
     "RequestOutcome",
+    "ServiceCrash",
     "ServiceReport",
+    "ServiceWAL",
     "TenantState",
     "percentile",
 ]

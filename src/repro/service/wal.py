@@ -1,0 +1,295 @@
+"""The service write-ahead log: crash-consistent request accounting.
+
+The :class:`~repro.service.service.AdaptationService` is a long-lived
+server, and a long-lived server must survive its own death.  The WAL is
+the durability mechanism: every service-level state transition — a
+tenant registration, an arrival, an admission (with the shed level it
+was granted), a displacement, a dispatch, a circuit-breaker transition,
+a shared-cache absorb, a mirror sync, and above all every **terminal
+status** — is appended as one self-contained JSONL line *before* the
+in-memory state is trusted.  A restart replays the salvaged log against
+the durable stores (the origin registry, the mounted tenant layouts)
+and reconstructs queue order, token buckets, breaker states and the set
+of in-flight requests; in-flight rebuilds then resume through their
+per-request rebuild journals, so nothing checkpointed re-executes.
+
+Serialized form follows the same torn-line-salvage discipline as the v2
+rebuild journal and the mirror transfer ledger — one header line plus
+one line per record::
+
+    {"kind": "service-wal", "version": 1, "seed": 7}
+    {"rec": "admit", "t": 12.5, "request_id": "acme/r3", ...,
+     "line_digest": "sha256:..."}
+    ...
+
+A torn or bit-flipped write damages *lines*, not the document:
+:meth:`ServiceWAL.from_bytes` salvages every line that decodes, parses,
+validates structurally **and** re-hashes to its recorded
+``line_digest`` (a flipped bit inside a field value survives the JSON
+parse, so content is only trusted when it hashes to what was appended),
+counting the rest in :attr:`ServiceWAL.torn_records_dropped`.  A record
+that was mid-append at the crash is simply a torn last line; a dropped
+terminal record leaves its request non-terminal, so the restart re-runs
+it — and because the request's durable effects (the rebuild journal and
+``+coMre`` manifest in the mounted layout) landed before the terminal
+record, the re-run executes zero checkpointed nodes and produces the
+same bytes.  That is how the service holds its core invariant: **every
+admitted request ends in exactly one typed terminal status across any
+number of crashes**.
+
+WAL appends ride the existing ``journal.append`` corruption site (the
+WAL *is* a journal), keyed ``service-wal`` so scripted corruptions can
+target it.
+
+Crash simulation: a :class:`ServiceCrash` is raised from inside a
+configured append (``crash_after_records``) or timeline advance
+(``crash_at``), optionally tearing the record being appended.  It
+derives from ``BaseException`` on purpose — a simulated process death
+must not be absorbed by the service's own ``except Exception``
+degradation paths (a real ``kill -9`` does not negotiate with error
+handlers).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.oci.digest import digest_bytes
+
+WAL_VERSION = 1
+
+#: Record kinds the salvage accepts.
+RECORD_KINDS = frozenset({
+    "tenant", "mirror", "submit", "admit", "park", "dispatch",
+    "breaker", "absorb", "sync", "terminal", "restart", "failover",
+})
+
+#: The ``journal.append`` corruption-site key WAL flushes ride.
+WAL_SITE_KEY = "service-wal"
+
+
+class ServiceCrash(BaseException):
+    """Simulated hard process death of the adaptation service.
+
+    Deliberately *not* an ``Exception``: the crash must propagate
+    through every ``except Exception`` degradation path in the service
+    (breaker fallbacks, ladder rungs) exactly as a SIGKILL would.  Only
+    the WAL's flushed bytes and the durable stores survive it.
+    """
+
+    def __init__(self, records_flushed: int, torn: bool) -> None:
+        self.records_flushed = records_flushed
+        self.torn = torn
+        super().__init__(
+            f"simulated service crash after {records_flushed} WAL record(s)"
+            + (" (last record torn)" if torn else "")
+        )
+
+
+def _line_digest(record: dict) -> str:
+    """Content digest of one record, excluding the digest field itself."""
+    body = {k: v for k, v in record.items() if k != "line_digest"}
+    return digest_bytes(json.dumps(body, sort_keys=True).encode("utf-8"))
+
+
+def _valid_record(record: object) -> bool:
+    """Structural check for one WAL line before trusting it."""
+    if not isinstance(record, dict):
+        return False
+    if record.get("rec") not in RECORD_KINDS:
+        return False
+    t = record.get("t")
+    if not isinstance(t, (int, float)) or t < 0:
+        return False
+    digest = record.get("line_digest")
+    if not isinstance(digest, str):
+        return False
+    return _line_digest(record) == digest
+
+
+class ServiceWAL:
+    """Append-only JSONL log of service state transitions.
+
+    The in-memory :attr:`records` list and the flushed byte buffer move
+    in lockstep: :meth:`append` serializes, (optionally) passes the line
+    through the ``journal.append`` corruption site, extends the buffer,
+    and only then returns — the buffer *is* the durable artifact a
+    crash leaves behind.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        injector=None,
+        crash_after_records: Optional[int] = None,
+        crash_torn: bool = True,
+    ) -> None:
+        self.seed = seed
+        self.injector = injector
+        #: Crash simulation: raise :class:`ServiceCrash` while appending
+        #: the N-th record from now (1-based); ``crash_torn`` flushes
+        #: only a prefix of that record's line, as a real torn write
+        #: would.
+        self.crash_after_records = crash_after_records
+        self.crash_torn = crash_torn
+        self.records: List[dict] = []
+        #: Lines dropped by the last :meth:`from_bytes` salvage.
+        self.torn_records_dropped = 0
+        #: Restart records seen (how many crashes this log has survived).
+        self.restarts = 0
+        self._buf = bytearray()
+        self._appended = 0
+        self._write_header()
+
+    # -- writing -----------------------------------------------------------
+
+    def _write_header(self) -> None:
+        header = json.dumps(
+            {"kind": "service-wal", "version": WAL_VERSION, "seed": self.seed},
+            sort_keys=True,
+        )
+        self._buf.extend(header.encode("utf-8") + b"\n")
+
+    def _flush_line(self, line: bytes) -> None:
+        inj = self.injector
+        if inj is not None and inj.corrupting("journal.append"):
+            line = inj.corrupt("journal.append", WAL_SITE_KEY, line)
+        self._buf.extend(line)
+
+    def append(self, record: dict) -> dict:
+        """Durably append one record (adds ``line_digest``); honours the
+        crash trigger — the configured append flushes a (possibly torn)
+        line and then raises :class:`ServiceCrash`."""
+        record = dict(record)
+        record["line_digest"] = _line_digest(record)
+        line = (json.dumps(record, sort_keys=True) + "\n").encode("utf-8")
+        self._appended += 1
+        if (self.crash_after_records is not None
+                and self._appended >= self.crash_after_records):
+            if self.crash_torn:
+                # A torn write: a prefix of the line reaches the log.
+                self._flush_line(line[: max(1, len(line) // 2)])
+            else:
+                self._flush_line(line)
+                self.records.append(record)
+            raise ServiceCrash(len(self.records), torn=self.crash_torn)
+        self._flush_line(line)
+        self.records.append(record)
+        return record
+
+    @property
+    def flushed_bytes(self) -> bytes:
+        """What would be on disk right now (survives a crash)."""
+        return bytes(self._buf)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- queries -----------------------------------------------------------
+
+    def by_kind(self, kind: str) -> List[dict]:
+        return [r for r in self.records if r.get("rec") == kind]
+
+    def terminal_counts(self) -> Dict[str, int]:
+        """request_id -> number of terminal records (the invariant says
+        this is exactly 1 for every admitted request, eventually)."""
+        counts: Dict[str, int] = {}
+        for record in self.by_kind("terminal"):
+            rid = record.get("request_id", "")
+            counts[rid] = counts.get(rid, 0) + 1
+        return counts
+
+    def open_request_ids(self) -> List[str]:
+        """Admitted (or dispatched) requests with no terminal record yet
+        — the service's recovery exposure ("WAL lag")."""
+        terminal = set(self.terminal_counts())
+        seen: List[str] = []
+        for record in self.records:
+            if record.get("rec") not in ("admit", "dispatch"):
+                continue
+            rid = record.get("request_id", "")
+            if rid and rid not in terminal and rid not in seen:
+                seen.append(rid)
+        return seen
+
+    def open_request_count(self) -> int:
+        return len(self.open_request_ids())
+
+    def stats(self) -> dict:
+        kinds: Dict[str, int] = {}
+        for record in self.records:
+            kind = record.get("rec", "?")
+            kinds[kind] = kinds.get(kind, 0) + 1
+        return {
+            "records": len(self.records),
+            "bytes": len(self._buf),
+            "torn_records_dropped": self.torn_records_dropped,
+            "restarts": self.restarts,
+            "open_requests": self.open_request_count(),
+            "by_kind": kinds,
+        }
+
+    # -- salvage -----------------------------------------------------------
+
+    @classmethod
+    def from_bytes(
+        cls,
+        data: bytes,
+        injector=None,
+        crash_after_records: Optional[int] = None,
+        crash_torn: bool = True,
+    ) -> "ServiceWAL":
+        """Salvage a WAL from its flushed bytes, line by line.
+
+        Never raises: a truncated header yields an empty-but-valid log,
+        a torn or flipped record line is dropped and counted, and a
+        record whose content does not re-hash to its ``line_digest`` is
+        treated as torn (never resurrected with altered fields).
+        """
+        wal = cls(injector=injector,
+                  crash_after_records=crash_after_records,
+                  crash_torn=crash_torn)
+        wal._buf = bytearray()
+        lines = data.split(b"\n")
+        start = 0
+        seed = 0
+        try:
+            header = json.loads(lines[0].decode("utf-8"))
+            if not (isinstance(header, dict)
+                    and header.get("kind") == "service-wal"):
+                wal.torn_records_dropped += 1
+            elif isinstance(header.get("seed"), int):
+                seed = header["seed"]
+            start = 1
+        except (IndexError, UnicodeDecodeError, json.JSONDecodeError):
+            wal.torn_records_dropped += 1
+            start = 1
+        wal.seed = seed
+        wal._write_header()
+        for raw in lines[start:]:
+            if not raw.strip(b" \t\r\x00"):
+                continue
+            try:
+                record = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                wal.torn_records_dropped += 1
+                continue
+            if not _valid_record(record):
+                wal.torn_records_dropped += 1
+                continue
+            wal.records.append(record)
+            wal._buf.extend(raw + b"\n")
+            if record.get("rec") == "restart":
+                wal.restarts += 1
+        wal._appended = len(wal.records)
+        return wal
+
+
+__all__ = [
+    "RECORD_KINDS",
+    "WAL_SITE_KEY",
+    "WAL_VERSION",
+    "ServiceCrash",
+    "ServiceWAL",
+]

@@ -30,6 +30,7 @@ from repro.telemetry.controlplane.health import (
     COMPONENT_ENGINE,
     COMPONENT_FEDERATION,
     COMPONENT_FLEET,
+    COMPONENT_SERVICE_WAL,
     STATUS_CRITICAL,
     STATUS_DEGRADED,
     STATUS_HEALTHY,
@@ -116,10 +117,10 @@ class ControlPlane:
             self.profiler.finish(self.telemetry.clock.now)
 
     def health(self, fsck=None, federation=None, audit: bool = False,
-               failures=None) -> HealthReport:
+               failures=None, wal=None) -> HealthReport:
         return score_health(
             self, fsck=fsck, federation=federation, audit=audit,
-            failures=failures,
+            failures=failures, wal=wal,
         )
 
     def uninstall(self) -> None:
@@ -142,6 +143,7 @@ __all__ = [
     "COMPONENT_ENGINE",
     "COMPONENT_FEDERATION",
     "COMPONENT_FLEET",
+    "COMPONENT_SERVICE_WAL",
     "DEFAULT_CADENCE",
     "DEFAULT_CAPACITY",
     "DEFAULT_RULES",

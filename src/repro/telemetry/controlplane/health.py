@@ -46,9 +46,14 @@ COMPONENT_ENGINE = "engine"
 COMPONENT_FLEET = "fleet"
 COMPONENT_CACHE = "cache"
 COMPONENT_FEDERATION = "federation"
+COMPONENT_SERVICE_WAL = "service-wal"
 
 #: Mirrors lagging more than this many origin generations degrade.
 STALENESS_DEGRADED = 2
+
+#: Open (non-terminal) requests in the WAL beyond this degrade the
+#: service-wal component: a crash now would replay a deep backlog.
+WAL_LAG_DEGRADED = 8
 
 
 @dataclass
@@ -154,16 +159,22 @@ def score_health(
     federation=None,
     audit: bool = False,
     failures: Optional[Dict[str, str]] = None,
+    wal=None,
 ) -> HealthReport:
     """Fold alerts + fsck + federation state into a :class:`HealthReport`.
 
     *fsck* may be an :class:`~repro.integrity.fsck.FsckReport` or a
     :class:`~repro.integrity.fsck.FederationFsckReport`.  *federation*
     is a :class:`~repro.federation.registry.FederatedRegistry`; with
-    ``audit=True`` its (more expensive) divergence audit also runs.
-    *failures* maps component names to hard-failure evidence the caller
-    observed out of band (an exhausted fleet, a crashed adaptation);
-    each makes its component critical.
+    ``audit=True`` its (more expensive) divergence audit also runs —
+    stale-fence write rejections and completed failovers it carries are
+    scored into the federation component either way.  *failures* maps
+    component names to hard-failure evidence the caller observed out of
+    band (an exhausted fleet, a crashed adaptation); each makes its
+    component critical.  *wal* is a
+    :class:`~repro.service.wal.ServiceWAL` (or its :meth:`stats` dict):
+    torn records and a deep open-request backlog degrade the
+    ``service-wal`` component.
     """
     components: Dict[str, ComponentHealth] = {
         name: ComponentHealth(name=name)
@@ -216,7 +227,47 @@ def score_health(
         else:
             _apply_fsck(component(COMPONENT_ENGINE), fsck)
 
+    if wal is not None:
+        stats = wal.stats() if hasattr(wal, "stats") else dict(wal)
+        comp = component(COMPONENT_SERVICE_WAL)
+        if comp.status == STATUS_UNKNOWN:
+            comp.status = STATUS_HEALTHY
+        comp.note(
+            f"{stats.get('records', 0)} records, "
+            f"{stats.get('restarts', 0)} restart(s) survived"
+        )
+        open_requests = stats.get("open_requests", 0)
+        if open_requests > WAL_LAG_DEGRADED:
+            comp.escalate(
+                STATUS_DEGRADED,
+                f"{open_requests} admitted request(s) without terminal "
+                f"records (deep replay on crash)",
+            )
+        torn = stats.get("torn_records_dropped", 0)
+        if torn:
+            comp.escalate(
+                STATUS_DEGRADED, f"{torn} torn record(s) dropped by salvage"
+            )
+
     if federation is not None:
+        fenced = getattr(federation, "fenced_rejections", 0)
+        if fenced:
+            component(COMPONENT_FEDERATION).escalate(
+                STATUS_CRITICAL,
+                f"{fenced} stale-fence write(s) rejected "
+                f"(demoted origin still writing)",
+            )
+        failovers = getattr(federation, "failovers", 0)
+        if failovers:
+            component(COMPONENT_FEDERATION).escalate(
+                STATUS_DEGRADED,
+                f"{failovers} origin failover(s) "
+                f"(fence epoch {getattr(federation, 'fence_token', 0)})",
+            )
+        if getattr(federation, "origin_offline", False):
+            component(COMPONENT_FEDERATION).escalate(
+                STATUS_CRITICAL, "origin offline with no promoted successor"
+            )
         problems = federation.audit() if audit else {}
         for name in sorted(federation.mirrors):
             mirror = federation.mirrors[name]
@@ -258,7 +309,9 @@ __all__ = [
     "COMPONENT_ENGINE",
     "COMPONENT_FEDERATION",
     "COMPONENT_FLEET",
+    "COMPONENT_SERVICE_WAL",
     "STALENESS_DEGRADED",
+    "WAL_LAG_DEGRADED",
     "STATUS_CRITICAL",
     "STATUS_DEGRADED",
     "STATUS_HEALTHY",

@@ -215,6 +215,29 @@ DEFAULT_RULES: Tuple[SloRule, ...] = (
         component="service", severity=SEVERITY_WARNING,
         description="requests are blowing their deadlines",
     ),
+    SloRule.parse(
+        "service-wal-backlog", "service_wal_open_requests > 8 for 3 samples",
+        component="service", severity=SEVERITY_WARNING,
+        description="many admitted requests lack terminal WAL records; "
+                    "a crash now would replay a deep backlog",
+    ),
+    SloRule.parse(
+        "service-crash-recovery", "rate(service_recoveries_total) > 0 over 2 samples",
+        component="service", severity=SEVERITY_WARNING,
+        description="the service restarted from its WAL",
+    ),
+    SloRule.parse(
+        "federation-failover", "rate(federation_failovers_total) > 0 over 2 samples",
+        component="federation", severity=SEVERITY_WARNING,
+        description="the origin failed over to a promoted mirror",
+    ),
+    SloRule.parse(
+        "federation-fenced-writes",
+        "rate(federation_fenced_writes_rejected_total) > 0 over 2 samples",
+        component="federation", severity=SEVERITY_CRITICAL,
+        description="a demoted origin is still trying to write "
+                    "(split-brain attempt fenced off)",
+    ),
 )
 
 

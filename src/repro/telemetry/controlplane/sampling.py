@@ -219,6 +219,19 @@ DEFAULT_SERIES: Tuple[SeriesSpec, ...] = (
                metric="service_requests_deadline_total"),
     SeriesSpec("service_dedup_ratio", metric="service_dedup_ratio",
                description="rebuild node-work served from the shared cache"),
+    # Durability tier (absent outside durable serve / federation runs).
+    SeriesSpec("service_wal_records_total",
+               metric="service_wal_records_total"),
+    SeriesSpec("service_wal_open_requests",
+               metric="service_wal_open_requests",
+               description="admitted requests without a terminal WAL "
+                           "record yet (restart exposure)"),
+    SeriesSpec("service_recoveries_total",
+               metric="service_recoveries_total"),
+    SeriesSpec("federation_failovers_total",
+               metric="federation_failovers_total"),
+    SeriesSpec("federation_fenced_writes_rejected_total",
+               metric="federation_fenced_writes_rejected_total"),
 )
 
 

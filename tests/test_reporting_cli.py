@@ -137,3 +137,58 @@ class TestCli:
     def test_parser_help_smoke(self):
         parser = cli.build_parser()
         assert parser.prog == "comtainer-demo"
+
+
+class TestServiceReportRenderer:
+    """The serve report table surfaces retry-after hints and, for
+    durable runs, the WAL/recovery rows."""
+
+    def overloaded_report(self):
+        from repro.service import AdaptationService
+
+        service = AdaptationService(workers=2, seed=3, queue_capacity=4)
+        service.add_tenant("noisy", max_workers=2)
+        for i in range(30):
+            service.submit("noisy", "hpccg", at=0.2 * i)
+        return service.run()
+
+    def test_retry_after_surfaces_in_table(self):
+        from repro.reporting import render_service_report
+        from repro.service import STATUS_REJECTED
+
+        report = self.overloaded_report()
+        rejected = [o for o in report.outcomes
+                    if o.status == STATUS_REJECTED
+                    and o.retry_after is not None]
+        assert rejected, "workload failed to produce typed rejections"
+        text = render_service_report(report)
+        assert "retry-after hint (s)" in text
+        hints = sorted(o.retry_after for o in rejected)
+        assert f"{hints[0]:.1f}-{hints[-1]:.1f}" in text
+        # Each rejection is itemized with its own hint.
+        for outcome in rejected:
+            assert (f"rejected: {outcome.request_id}" in text
+                    and f"retry after {outcome.retry_after:.1f}s" in text)
+
+    def test_volatile_run_renders_no_recovery_rows(self):
+        from repro.reporting import render_service_report
+
+        text = render_service_report(self.overloaded_report())
+        assert "WAL records" not in text
+        assert "recovered from WAL" not in text
+
+    def test_durable_crash_restart_rows(self):
+        from repro.reporting import render_service_report
+        from repro.service import AdaptationService, ServiceCrash
+
+        service = AdaptationService(workers=4, seed=11, durable=True,
+                                    crash_at=1.5)
+        service.add_tenant("acme", max_workers=4)
+        service.submit("acme", "hpccg", at=0.0)
+        service.submit("acme", "minimd", at=2.0)
+        with pytest.raises(ServiceCrash):
+            service.run()
+        restarted = service.restart()
+        text = render_service_report(restarted.run())
+        assert "WAL records" in text
+        assert "WAL restarts survived" in text
